@@ -1,0 +1,23 @@
+"""Shared driver for Figures 7–9: one algorithm's improvements across the
+noise sweep (mean and median metrics, one curve per noise level)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sim import CurveSet, PAPER_NOISE_LEVELS, placement_improvement_curves
+
+
+def noise_figure_curves(config, algorithm):
+    """(mean CurveSet, median CurveSet) with one series per noise level."""
+    mean_curves, median_curves = [], []
+    for noise in PAPER_NOISE_LEVELS:
+        mean_set, median_set = placement_improvement_curves(config, noise, [algorithm])
+        label = "Ideal" if noise == 0.0 else f"Noise={noise:g}"
+        mean_curves.append(replace(mean_set.curves[0], label=label))
+        median_curves.append(replace(median_set.curves[0], label=label))
+    name = algorithm.name.capitalize()
+    return (
+        CurveSet(f"{name}: improvement in mean error vs density (noise sweep)", mean_curves),
+        CurveSet(f"{name}: improvement in median error vs density (noise sweep)", median_curves),
+    )

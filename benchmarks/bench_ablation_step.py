@@ -1,0 +1,45 @@
+"""Ablation A3 — measurement step size (survey cost vs placement quality).
+
+The paper measures every 1 m (P_T = 10201 points).  A real robot pays travel
+time per measurement; this bench sweeps step ∈ {1, 2, 5} m and reports the
+Grid algorithm's low-density gain next to the survey size — showing how much
+coarser instrumentation the algorithm tolerates.
+"""
+
+from dataclasses import replace
+
+from repro.placement import GridPlacement
+from repro.sim import placement_improvement_curves
+
+
+def test_ablation_measurement_step(benchmark, config, emit_table):
+    cfg = config.with_counts([20]).with_fields(max(config.fields_per_density // 2, 5))
+
+    def run():
+        rows = []
+        for step in (1.0, 2.0, 5.0):
+            stepped = replace(cfg, step=step)
+            algorithm = GridPlacement(stepped.grid_layout())
+            mean_set, _ = placement_improvement_curves(stepped, 0.0, [algorithm])
+            rows.append(
+                (
+                    f"{step:g} m",
+                    stepped.num_measurement_points,
+                    mean_set.curves[0].values[0],
+                    mean_set.curves[0].ci_half_widths[0],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "ablation_step",
+        ("step", "P_T (survey points)", "grid mean gain (m)", "ci"),
+        rows,
+    )
+
+    gains = [r[2] for r in rows]
+    # All step sizes still deliver positive gains at low density …
+    assert min(gains) > 0.0
+    # … and a 25× cheaper survey (step 5) retains most of the benefit.
+    assert gains[2] >= 0.5 * gains[0]

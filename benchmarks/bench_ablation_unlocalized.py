@@ -1,0 +1,50 @@
+"""Ablation A1 — the unlocalizable-point policy.
+
+The paper never specifies the position estimate for clients hearing zero
+beacons; DESIGN.md documents our default (TERRAIN_CENTER).  This bench
+quantifies how each policy shifts the Figure-4 curve: the low-density anchor
+moves by many meters, the saturated region barely at all — evidence that the
+policy choice matters exactly where the paper's curves are anchored.
+"""
+
+from dataclasses import replace
+
+from repro.localization import UnlocalizedPolicy
+from repro.sim import CurveSet, mean_error_curve
+
+
+POLICIES = (
+    UnlocalizedPolicy.TERRAIN_CENTER,
+    UnlocalizedPolicy.NEAREST_BEACON,
+    UnlocalizedPolicy.EXCLUDE,
+    UnlocalizedPolicy.ZERO_ERROR,
+)
+
+
+def test_ablation_unlocalized_policy(benchmark, config, emit):
+    small = config.with_fields(max(config.fields_per_density // 2, 3))
+
+    def run():
+        curves = []
+        for policy in POLICIES:
+            cfg = replace(small, policy=policy)
+            curves.append(
+                replace(mean_error_curve(cfg, 0.0), label=policy.value)
+            )
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_unlocalized",
+        CurveSet("A1: mean error vs density by unlocalized-point policy", curves),
+    )
+
+    by_label = {c.label: c for c in curves}
+    low, high = 0, -1
+    # ZERO_ERROR is the most charitable, TERRAIN_CENTER more pessimistic.
+    assert by_label["zero_error"].values[low] < by_label["terrain_center"].values[low]
+    # EXCLUDE ignores uncovered points entirely → lowest-looking low-density error.
+    assert by_label["exclude"].values[low] < by_label["terrain_center"].values[low]
+    # At saturation (full coverage) every policy agrees.
+    values_at_top = [c.values[high] for c in curves]
+    assert max(values_at_top) - min(values_at_top) < 0.3

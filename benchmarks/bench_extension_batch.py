@@ -1,0 +1,87 @@
+"""Extension E1 — adding several beacons at once (§6 future work).
+
+Compares, at low density with the Grid algorithm:
+
+* ``single``      — the paper's setting: one beacon, gain per beacon;
+* ``independent`` — k beacons planned from ONE survey with error
+  suppression (no re-measurement — what a robot can do in one pass);
+* ``sequential``  — greedy place → re-survey → place (k passes).
+
+Expected: sequential ≥ independent ≫ k × nothing; diminishing returns per
+beacon as the field approaches saturation.
+"""
+
+import numpy as np
+
+from repro.placement import GridPlacement, plan_batch_independent, plan_batch_sequential
+from repro.sim import build_world, derive_rng
+
+
+K = 4
+
+
+def run_modes(config, count, fields):
+    algorithm = GridPlacement(config.grid_layout())
+    rows = []
+    for mode in ("independent", "sequential"):
+        total_gains = []
+        for i in range(fields):
+            world = build_world(config, 0.0, count, i)
+            base_mean, _ = world.base_stats()
+            rng = derive_rng(config.seed, "batch", mode, count, i)
+            if mode == "independent":
+                picks = plan_batch_independent(
+                    algorithm,
+                    world.survey(),
+                    rng,
+                    K,
+                    suppression_radius=config.radio_range,
+                )
+                final = world
+                for pick in picks:
+                    final = final.with_beacon(pick)
+            else:
+                state = {"world": world}
+
+                def resurvey(pick, _state=state):
+                    _state["world"] = _state["world"].with_beacon(pick)
+                    return _state["world"].survey()
+
+                plan_batch_sequential(algorithm, world.survey(), rng, K, resurvey)
+                final = state["world"]
+            final_mean, _ = final.base_stats()
+            total_gains.append(base_mean - final_mean)
+        rows.append((mode, K, float(np.mean(total_gains)), float(np.mean(total_gains)) / K))
+    return rows
+
+
+def test_extension_batch_placement(benchmark, config, emit_table):
+    count = config.beacon_counts[0]
+    fields = min(config.fields_per_density, 8)
+
+    rows = benchmark.pedantic(
+        lambda: run_modes(config, count, fields), rounds=1, iterations=1
+    )
+
+    # Single-beacon reference from the same worlds.
+    algorithm = GridPlacement(config.grid_layout())
+    singles = []
+    for i in range(fields):
+        world = build_world(config, 0.0, count, i)
+        pick = algorithm.propose(world.survey(), derive_rng(config.seed, "batch1", i))
+        singles.append(world.evaluate_candidate(pick)[0])
+    rows.insert(0, ("single", 1, float(np.mean(singles)), float(np.mean(singles))))
+
+    emit_table(
+        "extension_batch",
+        ("mode", "k", "total mean gain (m)", "gain per beacon (m)"),
+        rows,
+    )
+
+    by_mode = {r[0]: r for r in rows}
+    # Batches help more in total than one beacon.
+    assert by_mode["independent"][2] > by_mode["single"][2]
+    # Greedy re-measurement is at least as good as one-shot planning.
+    assert by_mode["sequential"][2] >= 0.9 * by_mode["independent"][2]
+    # Diminishing returns: per-beacon gain of a batch below the single gain.
+    assert by_mode["sequential"][3] <= by_mode["single"][3] + 1e-9

@@ -1,0 +1,82 @@
+"""Extension E9 — how much accuracy does the centroid summary leave behind?
+
+Section 2.2 argues for the centroid because time-of-flight and signal
+strength were impractical; §6 keeps the locus perspective "worth pursuing
+from a theoretical standpoint".  This bench puts numbers on that ladder at
+low and saturated density (ideal and Noise = 0.5):
+
+centroid → weighted centroid → fingerprinting (RADAR) → grid-Bayes
+(information-theoretic ceiling for connectivity observations).
+"""
+
+import numpy as np
+
+from repro.localization import (
+    CentroidLocalizer,
+    FingerprintLocalizer,
+    GridBayesLocalizer,
+    WeightedCentroidLocalizer,
+    localization_errors,
+)
+from repro.geometry import MeasurementGrid
+from repro.sim import TrialWorld, build_world, derive_rng
+
+
+def run_ladder(config, noise, count, fields):
+    grid = MeasurementGrid(config.side, 2.0)  # coarser lattice: Bayes is O(P·Q)
+    results = {}
+    for i in range(fields):
+        base = build_world(config, noise, count, i)
+        pts = grid.points()
+        conn = base.realization.connectivity(pts, base.field)
+        positions = base.field.positions()
+
+        fingerprint = FingerprintLocalizer(config.side, base.realization, k=3)
+        fingerprint.calibrate(MeasurementGrid(config.side, 4.0).points(), base.field)
+
+        localizers = {
+            "centroid": CentroidLocalizer(config.side, config.policy),
+            "weighted": WeightedCentroidLocalizer(
+                config.side, config.radio_range, alpha=1.5
+            ),
+            "fingerprint": fingerprint,
+            "grid-bayes": GridBayesLocalizer(
+                grid, config.radio_range, noise=noise, cm_thresh=config.cm_thresh
+            ),
+        }
+        for name, localizer in localizers.items():
+            estimates = localizer.estimate(conn, positions, pts)
+            err = float(np.nanmean(localization_errors(estimates, pts)))
+            results.setdefault(name, []).append(err)
+    return {name: float(np.mean(v)) for name, v in results.items()}
+
+
+def test_extension_localizer_ladder(benchmark, config, emit_table):
+    counts = (config.beacon_counts[0], config.beacon_counts[-1])
+    fields = min(config.fields_per_density, 5)
+
+    def run():
+        rows = []
+        for noise in (0.0, 0.5):
+            for count in counts:
+                ladder = run_ladder(config, noise, count, fields)
+                rows.append((noise, count, *ladder.values()))
+                if not rows[0][2:]:
+                    raise RuntimeError("empty ladder")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "extension_localizers",
+        ("noise", "beacons", "centroid (m)", "weighted (m)", "fingerprint (m)", "grid-bayes (m)"),
+        rows,
+    )
+
+    for row in rows:
+        centroid, weighted, fingerprint, bayes = row[2:]
+        # The ladder is ordered: richer information never hurts on average
+        # (small tolerance: Bayes assumes an approximate channel model under
+        # the CM_thresh world, see GridBayesLocalizer docs).
+        assert weighted <= centroid + 0.3
+        assert bayes <= centroid + 0.5
+        assert fingerprint <= centroid + 0.5

@@ -1,0 +1,107 @@
+"""Extension E3 — recasting placement for multilateration (§6 future work).
+
+The paper: proximity error is governed by placement *density*, whereas
+multilateration error is governed by beacon *geometry*; it plans to recast
+its algorithms accordingly.  Two experiments:
+
+1. the paper's algorithms run unchanged on a multilateration error survey
+   (5 % ranging noise), plus the geometry-native GDOP placement;
+2. baseline error of centroid vs multilateration vs weighted centroid
+   across densities — the "error characteristics of the two are
+   significantly different" claim.
+"""
+
+import numpy as np
+
+from repro.localization import (
+    CentroidLocalizer,
+    MultilaterationLocalizer,
+    WeightedCentroidLocalizer,
+)
+from repro.placement import GdopPlacement, MaxPlacement, RandomPlacement
+from repro.sim import TrialWorld, build_world, derive_rng, run_placement_trial
+
+
+def localizer_comparison(config, counts, fields):
+    rows = []
+    for count in counts:
+        per_localizer = {"centroid": [], "weighted": [], "multilateration": []}
+        for i in range(fields):
+            base = build_world(config, 0.0, count, i)
+            noise_rng = derive_rng(config.seed, "mlat-noise", count, i)
+            localizers = {
+                "centroid": CentroidLocalizer(config.side, config.policy),
+                "weighted": WeightedCentroidLocalizer(
+                    config.side, config.radio_range, alpha=1.5
+                ),
+                "multilateration": MultilaterationLocalizer(
+                    config.side, range_noise=0.05, rng=noise_rng
+                ),
+            }
+            for name, localizer in localizers.items():
+                world = TrialWorld(
+                    base.field, base.realization, base.grid, base.layout, localizer
+                )
+                per_localizer[name].append(world.error_surface().mean_error())
+        rows.append(
+            (count, *(float(np.mean(per_localizer[k])) for k in per_localizer))
+        )
+    return rows
+
+
+def test_extension_localizer_error_characteristics(benchmark, config, emit_table):
+    counts = [config.beacon_counts[0], config.beacon_counts[-1]]
+    fields = min(config.fields_per_density, 5)
+    rows = benchmark.pedantic(
+        lambda: localizer_comparison(config, counts, fields), rounds=1, iterations=1
+    )
+    emit_table(
+        "extension_multilateration_baselines",
+        ("beacons", "centroid (m)", "weighted (m)", "multilateration (m)"),
+        rows,
+    )
+
+    # With enough well-spread beacons and 5 % ranging, multilateration beats
+    # the connectivity centroid by a wide margin at high density.
+    high = rows[-1]
+    assert high[3] < high[1]
+    # Weighted centroid sits between plain centroid and full ranging.
+    assert high[2] <= high[1] + 0.1
+
+
+def test_extension_placement_for_multilateration(benchmark, config, emit_table):
+    count = config.beacon_counts[0]
+    fields = min(config.fields_per_density, 5)
+
+    def run():
+        algorithms = [RandomPlacement(), MaxPlacement(), GdopPlacement(stride=8)]
+        gains = {a.name: [] for a in algorithms}
+        for i in range(fields):
+            base = build_world(config, 0.0, count, i)
+            localizer = MultilaterationLocalizer(
+                config.side,
+                range_noise=0.05,
+                rng=derive_rng(config.seed, "mlat-place", i),
+            )
+            world = TrialWorld(
+                base.field, base.realization, base.grid, base.layout, localizer
+            )
+            outcomes = run_placement_trial(
+                world,
+                algorithms,
+                lambda name, _i=i: derive_rng(config.seed, "mlat-alg", name, _i),
+            )
+            for outcome in outcomes:
+                gains[outcome.algorithm].append(outcome.improvement_mean)
+        return {name: float(np.mean(v)) for name, v in gains.items()}
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "extension_multilateration_placement",
+        ("algorithm", "mean gain (m, multilateration error)"),
+        list(gains.items()),
+    )
+
+    # Measurement-driven and geometry-driven placement both beat Random.
+    assert gains["max"] > gains["random"]
+    assert gains["gdop"] > gains["random"]

@@ -1,0 +1,58 @@
+"""Extension E5 — oracle-greedy upper bound vs the paper's algorithms.
+
+How much headroom do Random/Max/Grid leave?  The oracle evaluates every
+overlapping-grid center against the true counterfactual error field and
+picks the best — unimplementable on a robot, but it calibrates the
+algorithms: at low density Grid should capture a large fraction of the
+oracle's gain (the paper's implicit claim that Grid is "good enough").
+"""
+
+import numpy as np
+
+from repro.placement import (
+    GridPlacement,
+    MaxPlacement,
+    OracleGreedyPlacement,
+    RandomPlacement,
+)
+from repro.sim import build_world, derive_rng, run_placement_trial
+
+
+def test_extension_oracle_headroom(benchmark, config, emit_table):
+    count = config.beacon_counts[0]
+    fields = min(config.fields_per_density, 6)
+
+    def run():
+        algorithms = [
+            RandomPlacement(),
+            MaxPlacement(),
+            GridPlacement(config.grid_layout()),
+            OracleGreedyPlacement(),
+        ]
+        gains = {a.name: [] for a in algorithms}
+        for i in range(fields):
+            world = build_world(config, 0.0, count, i)
+            outcomes = run_placement_trial(
+                world,
+                algorithms,
+                lambda name, _i=i: derive_rng(config.seed, "oracle", name, _i),
+            )
+            for outcome in outcomes:
+                gains[outcome.algorithm].append(outcome.improvement_mean)
+        return {name: float(np.mean(v)) for name, v in gains.items()}
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (name, value, value / gains["oracle"] if gains["oracle"] > 0 else float("nan"))
+        for name, value in gains.items()
+    ]
+    emit_table(
+        "extension_oracle",
+        ("algorithm", "mean gain (m)", "fraction of oracle"),
+        rows,
+    )
+
+    assert gains["oracle"] >= gains["grid"] - 1e-9  # oracle dominates by construction
+    assert gains["grid"] >= 0.5 * gains["oracle"]  # Grid captures most of it
+    assert gains["random"] < gains["grid"]

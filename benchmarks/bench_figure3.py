@@ -1,0 +1,61 @@
+"""Figure 3 — illustration of the Grid algorithm's overlapping-grid geometry.
+
+Reproduces the figure's content as data: the N_G = 400 grid centers computed
+from the paper's formula (Gc(1,1), Gc(2,2), Gc(5,5) are labelled in the
+figure), each grid's side 2R, the per-grid point count P_G, and one worked
+placement showing the winning grid's cumulative error.
+"""
+
+from repro.placement import GridPlacement
+from repro.sim import bench_config, build_world, derive_rng, paper_config
+
+
+def test_figure3_grid_geometry(benchmark, emit_table):
+    paper = paper_config()
+    layout = paper.grid_layout()
+
+    def run():
+        rows = []
+        for i, j in ((1, 1), (2, 2), (5, 5), (20, 20)):
+            center = layout.center(i, j)
+            rows.append((f"Gc({i},{j})", center.x, center.y))
+        return rows
+
+    rows = benchmark(run)
+
+    grid = paper.measurement_grid()
+    pg = layout.points_per_grid(grid)
+    rows.append(("gridSide", layout.grid_side, layout.grid_side))
+    rows.append(("P_G min/max", float(pg.min()), float(pg.max())))
+    emit_table("figure3", ("quantity", "x / min", "y / max"), rows)
+
+    # Paper formula spot-checks: Gc(1,1) = (15, 15); spacing 70/19.
+    assert rows[0][1] == 15.0 and rows[0][2] == 15.0
+    assert abs(rows[1][1] - (15.0 + 70.0 / 19.0)) < 1e-9
+    assert rows[3][1] == 85.0  # Gc(20,20) flush with the far border
+
+
+def test_figure3_worked_placement(benchmark, emit):
+    config = bench_config()
+    world = build_world(config, 0.0, 30, 1)
+    algorithm = GridPlacement(world.layout)
+
+    def run():
+        survey = world.survey()
+        scores = algorithm.cumulative_errors(survey)
+        pick = algorithm.propose(survey, derive_rng(config.seed, "fig3"))
+        return scores, pick
+
+    scores, pick = benchmark(run)
+    gain_mean, _ = world.evaluate_candidate(pick)
+    emit(
+        "figure3_worked",
+        (
+            f"winning grid center: ({pick.x:.2f}, {pick.y:.2f})\n"
+            f"winning cumulative error S(i,j): {scores.max():.1f} m over "
+            f"{world.layout.points_per_grid(world.grid).max()} points\n"
+            f"improvement in mean error: {gain_mean:.3f} m"
+        ),
+    )
+    assert scores.shape == (world.layout.num_grids,)
+    assert gain_mean > 0.0

@@ -1,0 +1,29 @@
+"""Figure 4 — mean localization error vs beacon density (Ideal).
+
+Paper claims: the mean error falls sharply with density, reaches the
+*saturation density* ≈ 0.01 beacons/m² (≈ 7 beacons per coverage area) and
+flattens around 4 m ≈ 0.3R; deploying beyond the saturation density buys
+almost nothing.
+"""
+
+from repro.sim import CurveSet, mean_error_curve
+
+
+def test_figure4_mean_error_vs_density(benchmark, config, emit):
+    curve = benchmark.pedantic(
+        lambda: mean_error_curve(config, 0.0), rounds=1, iterations=1
+    )
+    curve_set = CurveSet(
+        "Figure 4: mean localization error vs beacon density (Ideal)",
+        [curve],
+        meta={"fields_per_density": config.fields_per_density},
+    )
+    emit("figure4", curve_set)
+
+    values = curve.values
+    # Sharp fall to saturation ...
+    assert values[0] > 2.0 * min(values)
+    # ... and a flat tail: last two sweep points within 15 % of each other.
+    assert abs(values[-1] - values[-2]) <= 0.15 * values[-2] + 0.05
+    # Saturation level in the right ballpark (paper: ~4 m = 0.27R).
+    assert 0.1 <= min(values) / config.radio_range <= 0.45

@@ -1,0 +1,42 @@
+"""Figure 5 — improvement in mean and median error vs density (Ideal),
+Random vs Max vs Grid.
+
+Paper claims: Random improves least; at low densities (≤ 0.005 /m²) Grid's
+mean-error improvement is at least twice Max's; at moderate densities
+(0.008–0.02) Max edges out Grid; at very high densities (≥ 0.02) everything
+is saturated and the three are equal; median improvements are roughly a
+quarter of the mean improvements for Grid (hot spots get fixed first).
+"""
+
+import numpy as np
+
+from repro.sim import placement_improvement_curves
+
+
+def test_figure5_improvements_ideal(benchmark, config, paper_algorithms, emit):
+    mean_set, median_set = benchmark.pedantic(
+        lambda: placement_improvement_curves(config, 0.0, paper_algorithms),
+        rounds=1,
+        iterations=1,
+    )
+    mean_set.title = "Figure 5a: improvement in mean error vs density (Ideal)"
+    median_set.title = "Figure 5b: improvement in median error vs density (Ideal)"
+    emit("figure5a_mean", mean_set)
+    emit("figure5b_median", median_set)
+
+    low = 0  # lowest-density sweep point (20 beacons = 0.002 /m²)
+    grid_low = mean_set.curve("grid").values[low]
+    max_low = mean_set.curve("max").values[low]
+    random_low = mean_set.curve("random").values[low]
+
+    # Random is the sanity-check floor.
+    assert random_low < max_low
+    assert random_low < grid_low
+    # Grid ≥ ~2× Max at low density.
+    assert grid_low >= 1.6 * max_low
+    # Saturation: all three improvements near zero at the top density.
+    top = [mean_set.curve(label).values[-1] for label in mean_set.labels()]
+    assert max(np.abs(top)) < 0.3
+    # Median gains exist but are a fraction of mean gains for Grid.
+    grid_median_low = median_set.curve("grid").values[low]
+    assert 0.0 < grid_median_low < grid_low

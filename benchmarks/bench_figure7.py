@@ -1,0 +1,30 @@
+"""Figure 7 — performance of the Random algorithm with noise.
+
+Paper claim: the gains in both metrics with Random are *"somewhat unchanged
+with noise"* — expected, because noise is not an input to an algorithm that
+makes no measurements.
+"""
+
+import numpy as np
+
+from _noise_figure import noise_figure_curves
+from repro.placement import RandomPlacement
+
+
+def test_figure7_random_with_noise(benchmark, config, emit):
+    mean_set, median_set = benchmark.pedantic(
+        lambda: noise_figure_curves(config, RandomPlacement()),
+        rounds=1,
+        iterations=1,
+    )
+    mean_set.title = "Figure 7a: Random improvement in mean error (noise sweep)"
+    median_set.title = "Figure 7b: Random improvement in median error (noise sweep)"
+    emit("figure7a_mean", mean_set)
+    emit("figure7b_median", median_set)
+
+    ideal = np.array(mean_set.curve("Ideal").values)
+    noisy = np.array(mean_set.curve("Noise=0.5").values)
+    # Noise-invariance: curves stay close (Random never reads the noise).
+    assert np.abs(ideal - noisy).max() < 0.6
+    # And the gains themselves are small everywhere.
+    assert np.abs(ideal).max() < 1.0

@@ -1,0 +1,32 @@
+"""Figure 8 — performance of the Max algorithm with noise.
+
+Paper claims: same relative trend as ideal (gains shrink with density);
+noise makes moderate densities somewhat more improvable, though less so
+than with Grid; median improvements stay roughly unchanged.
+"""
+
+import numpy as np
+
+from _noise_figure import noise_figure_curves
+from repro.placement import MaxPlacement
+
+
+def test_figure8_max_with_noise(benchmark, config, emit):
+    mean_set, median_set = benchmark.pedantic(
+        lambda: noise_figure_curves(config, MaxPlacement()),
+        rounds=1,
+        iterations=1,
+    )
+    mean_set.title = "Figure 8a: Max improvement in mean error (noise sweep)"
+    median_set.title = "Figure 8b: Max improvement in median error (noise sweep)"
+    emit("figure8a_mean", mean_set)
+    emit("figure8b_median", median_set)
+
+    ideal = np.array(mean_set.curve("Ideal").values)
+    noisy = np.array(mean_set.curve("Noise=0.5").values)
+    # Gains decline with density in both regimes.
+    assert ideal[0] > ideal[-1]
+    assert noisy[0] > noisy[-1]
+    # Positive improvements at low density under every noise level.
+    for label in mean_set.labels():
+        assert mean_set.curve(label).values[0] > 0.0

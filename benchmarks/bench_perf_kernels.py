@@ -1,0 +1,103 @@
+"""Performance of the hot kernels (not a paper figure — engineering checks).
+
+Every figure bench runs millions of candidate evaluations; these
+micro-benchmarks time the four kernels that dominate and pin the complexity
+claim DESIGN.md makes: evaluating a candidate beacon through the cached
+centroid state is O(P) and therefore much cheaper than re-evaluating the
+whole field.
+"""
+
+import time
+
+import numpy as np
+
+from repro.localization import localization_errors
+from repro.sim import build_world, paper_config
+
+
+def _world():
+    # Full paper geometry: 10201 lattice points, 120 beacons, noise on.
+    return build_world(paper_config(), 0.3, 120, 0)
+
+
+def test_perf_connectivity_matrix(benchmark):
+    world = _world()
+    points = world.points()
+
+    def run():
+        return world.realization.connectivity(points, world.field)
+
+    conn = benchmark(run)
+    assert conn.shape == (10201, 120)
+
+
+def test_perf_full_error_surface(benchmark):
+    world = _world()
+    world.connectivity()  # pre-warm the connectivity cache
+
+    def run():
+        # Force the full localization pass (state + estimates + errors).
+        world._errors = None
+        world._state = None
+        return world.errors()
+
+    errors = benchmark(run)
+    assert errors.shape == (10201,)
+
+
+def test_perf_candidate_evaluation(benchmark):
+    world = _world()
+    world.errors()  # warm all caches, as in the sweep inner loop
+
+    def run():
+        return world.evaluate_candidate((37.0, 53.0))
+
+    gain_mean, gain_median = benchmark(run)
+    assert np.isfinite(gain_mean) and np.isfinite(gain_median)
+
+
+def test_perf_grid_cumulative_scores(benchmark):
+    from repro.placement import GridPlacement
+
+    world = _world()
+    survey = world.survey()
+    algorithm = GridPlacement(world.layout)
+    algorithm.cumulative_errors(survey)  # warm the mask cache
+
+    scores = benchmark(algorithm.cumulative_errors, survey)
+    assert scores.shape == (400,)
+
+
+def test_incremental_candidate_beats_full_recompute(benchmark, emit_table):
+    """The O(P) claim, measured: cached-state candidate evaluation must be
+    several times faster than re-running the full localization pass."""
+    world = _world()
+    world.errors()
+
+    incremental = benchmark(lambda: world.errors_with_candidate((37.0, 53.0)))
+    assert incremental.shape == (10201,)
+    incremental_time = benchmark.stats.stats.mean
+
+    extended = world.field.with_beacon_at((37.0, 53.0))
+
+    def full():
+        conn = world.realization.connectivity(world.points(), extended)
+        est = world.localizer.estimate(conn, extended.positions(), world.points())
+        return localization_errors(est, world.points())
+
+    repeats = 5
+    start = time.perf_counter()
+    for _ in range(repeats):
+        full()
+    recompute_time = (time.perf_counter() - start) / repeats
+
+    emit_table(
+        "perf_incremental",
+        ("path", "seconds per candidate"),
+        [
+            ("incremental (cached state)", incremental_time),
+            ("full recompute", recompute_time),
+        ],
+        float_digits=5,
+    )
+    assert incremental_time < recompute_time / 3.0

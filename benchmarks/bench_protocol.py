@@ -1,0 +1,105 @@
+"""Extension E4 — the §2.2 beacon protocol, executed as a DES.
+
+Two questions the geometric shortcut cannot answer:
+
+1. **Validation** — with modest airtime and t ≫ T, does the protocol's
+   CM_thresh rule reproduce the geometric connectivity matrix?  (It must:
+   the whole §4 evaluation rests on the shortcut.)
+2. **Self-interference** (§1 motivation for limiting beacon density) — as
+   beacon count × airtime grows, collisions destroy message delivery and
+   protocol connectivity collapses below its geometric ceiling.
+"""
+
+import numpy as np
+
+from repro.field import random_uniform_field
+from repro.protocol import ProtocolConnectivityEstimator
+from repro.radio import IdealDiskModel
+from repro.sim import derive_rng
+
+
+SIDE = 100.0
+R = 15.0
+
+
+def run_density_sweep(config):
+    realization = IdealDiskModel(R).realize(derive_rng(config.seed, "proto-real"))
+    client_rng = derive_rng(config.seed, "proto-clients")
+    clients = client_rng.uniform(0, SIDE, (60, 2))
+    rows = []
+    for count in (40, 120, 240, 480):
+        field = random_uniform_field(
+            count, SIDE, derive_rng(config.seed, "proto-field", count)
+        )
+        estimator = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=20.0, message_duration=0.02, cm_thresh=0.75
+        )
+        result = estimator.run(
+            clients, field, realization, derive_rng(config.seed, "proto-run", count)
+        )
+        geo = realization.connectivity(clients, field)
+        rows.append(
+            (
+                count,
+                float(result.collision_rate),
+                int(geo.sum()),
+                int(result.connectivity.sum()),
+                float((result.connectivity == geo).mean()),
+            )
+        )
+    return rows
+
+
+def test_protocol_validation_and_self_interference(benchmark, config, emit_table):
+    rows = benchmark.pedantic(lambda: run_density_sweep(config), rounds=1, iterations=1)
+    emit_table(
+        "protocol",
+        ("beacons", "collision rate", "geometric links", "protocol links", "agreement"),
+        rows,
+        float_digits=3,
+    )
+
+    # Validation: at low density the protocol reproduces geometry almost exactly.
+    assert rows[0][4] > 0.97
+    # Self-interference: collision rate grows monotonically with density …
+    collision = [r[1] for r in rows]
+    assert all(b >= a for a, b in zip(collision, collision[1:]))
+    # … and at the top density the protocol delivers far fewer usable links
+    # than geometry promises (the §1 argument for limiting beacon density).
+    assert rows[-1][3] < 0.7 * rows[-1][2]
+
+
+def test_protocol_listen_time_convergence(benchmark, config, emit_table):
+    """Longer listening windows sharpen the received-fraction estimate: the
+    §2.2 requirement t ≫ T quantified."""
+    realization = IdealDiskModel(R).realize(derive_rng(config.seed, "conv-real"))
+    field = random_uniform_field(60, SIDE, derive_rng(config.seed, "conv-field"))
+    clients = derive_rng(config.seed, "conv-clients").uniform(0, SIDE, (40, 2))
+    geo = realization.connectivity(clients, field)
+
+    def run():
+        rows = []
+        for periods in (2, 5, 20, 50):
+            estimator = ProtocolConnectivityEstimator(
+                period=1.0,
+                listen_time=float(periods),
+                message_duration=0.01,
+                cm_thresh=0.75,
+            )
+            agreements = []
+            for trial in range(3):
+                result = estimator.run(
+                    clients,
+                    field,
+                    realization,
+                    derive_rng(config.seed, "conv", periods, trial),
+                )
+                agreements.append(float((result.connectivity == geo).mean()))
+            rows.append((periods, float(np.mean(agreements))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table("protocol_listen_time", ("t/T (periods)", "agreement"), rows)
+
+    assert rows[-1][1] >= rows[0][1] - 0.02  # longer windows never hurt much
+    assert rows[-1][1] > 0.97

@@ -1,0 +1,81 @@
+"""Extension E12 — duty-cycled beacons through the full protocol stack.
+
+The §1 power motivation executed end to end: beacons sleep through part of
+every cycle, clients apply the §2.2 CM_thresh rule, localization quality
+follows.  Sweep the awake fraction on a dense field and report decoded
+fraction, protocol connectivity, and the §2.2 phase change at
+awake ≈ CM_thresh.
+"""
+
+import numpy as np
+
+from repro.field import random_uniform_field
+from repro.protocol import RadioChannel, Simulator, start_duty_cycled_processes
+from repro.radio import IdealDiskModel
+from repro.sim import derive_rng
+
+
+def run_duty_sweep(config, fractions, listen_time=40.0, cm_thresh=0.6):
+    realization = IdealDiskModel(config.radio_range).realize(
+        derive_rng(config.seed, "duty-real")
+    )
+    field = random_uniform_field(120, config.side, derive_rng(config.seed, "duty-field"))
+    clients = derive_rng(config.seed, "duty-clients").uniform(0, config.side, (30, 2))
+    geometric = realization.connectivity(clients, field)
+
+    rows = []
+    for fraction in fractions:
+        sim = Simulator()
+        channel = RadioChannel(
+            sim, field, realization, clients, derive_rng(config.seed, "duty-chan", fraction)
+        )
+        txs = start_duty_cycled_processes(
+            sim,
+            channel,
+            len(field),
+            period=1.0,
+            message_duration=0.002,
+            jitter=0.05,
+            rng=derive_rng(config.seed, "duty-tx", fraction),
+            cycle_length=8.0,
+            awake_fraction=fraction,
+        )
+        sim.run(until=listen_time)
+        for tx in txs:
+            tx.stop()
+        sim.run()
+        sent = np.array([tx.messages_sent + tx.messages_suppressed for tx in txs], float)
+        received = channel.received_matrix(len(field)).astype(float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(sent[None, :] > 0, received / sent[None, :], 0.0)
+        connectivity = frac >= cm_thresh
+        rows.append(
+            (
+                fraction,
+                float(frac[geometric].mean()) if geometric.any() else 0.0,
+                int(geometric.sum()),
+                int(connectivity.sum()),
+            )
+        )
+    return rows
+
+
+def test_protocol_duty_cycling(benchmark, config, emit_table):
+    fractions = (1.0, 0.8, 0.5, 0.3)
+    rows = benchmark.pedantic(
+        lambda: run_duty_sweep(config, fractions), rounds=1, iterations=1
+    )
+    emit_table(
+        "protocol_duty",
+        ("awake fraction", "recv fraction (in range)", "geometric links", "CM_thresh links"),
+        rows,
+        float_digits=3,
+    )
+
+    # Received fraction tracks the duty fraction.
+    for fraction, recv, _, _ in rows:
+        assert abs(recv - fraction) < 0.15
+    # §2.2 phase change: links collapse once awake fraction < CM_thresh (0.6).
+    by_fraction = {r[0]: r for r in rows}
+    assert by_fraction[0.8][3] >= 0.8 * by_fraction[0.8][2]
+    assert by_fraction[0.3][3] <= 0.2 * by_fraction[0.3][2]

@@ -1,0 +1,56 @@
+"""Ablation A6 — the spatial structure of localization error.
+
+Two implicit assumptions in §3.2 get measured here:
+
+* Max: *"points with high localization error are spatially correlated"* —
+  Moran's I of the error surface should be strongly positive;
+* Grid: the 2R grid side implicitly assumes the error field's correlation
+  length is on the order of the radio range — the measured 1/e correlation
+  length should sit near R and shrink with noise (which is why Max, which
+  relies on pointwise values, degrades before Grid, which averages).
+"""
+
+import numpy as np
+
+from repro.sim import build_world
+from repro.stats import SpatialSummary
+
+
+def test_spatial_structure_of_error(benchmark, config, emit_table):
+    counts = (config.beacon_counts[0], config.beacon_counts[len(config.beacon_counts) // 2])
+    fields = min(config.fields_per_density, 5)
+
+    def run():
+        rows = []
+        for noise in (0.0, 0.5):
+            for count in counts:
+                morans, lengths = [], []
+                for i in range(fields):
+                    world = build_world(config, noise, count, i)
+                    summary = SpatialSummary.of_error_surface(world.error_surface())
+                    morans.append(summary.morans_i)
+                    if np.isfinite(summary.correlation_length):
+                        lengths.append(summary.correlation_length)
+                rows.append(
+                    (
+                        noise,
+                        count,
+                        float(np.mean(morans)),
+                        float(np.mean(lengths)) if lengths else float("nan"),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "spatial_correlation",
+        ("noise", "beacons", "Moran's I", "corr length (m)"),
+        rows,
+    )
+
+    # Max's premise holds: error is strongly spatially correlated everywhere.
+    assert min(r[2] for r in rows) > 0.3
+    # Correlation length is on the order of the radio range (same decade).
+    finite = [r[3] for r in rows if np.isfinite(r[3])]
+    assert finite
+    assert 0.2 * config.radio_range <= np.mean(finite) <= 4.0 * config.radio_range

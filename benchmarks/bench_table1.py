@@ -1,0 +1,42 @@
+"""Table 1 — simulation parameters, plus the derived quantities the paper
+quotes in its text (P_T, gridSide, P_G, the density range on both axes).
+
+Paper values: Side = 100 m, R = 15 m, step = 1 m, N_G = 400.
+"""
+
+from repro.sim import paper_config
+
+
+def test_table1_parameters(benchmark, emit_table):
+    config = paper_config()
+
+    def build_rows():
+        return [
+            ("Side", f"{config.side:g} m", "Table 1"),
+            ("R", f"{config.radio_range:g} m", "Table 1"),
+            ("step", f"{config.step:g} m", "Table 1"),
+            ("N_G", str(config.num_grids), "Table 1"),
+            ("P_T", str(config.num_measurement_points), "derived: (Side/step+1)^2"),
+            ("gridSide", f"{config.grid_side:g} m", "derived: 2R"),
+            ("P_G", f"{config.points_per_grid:.2f}", "derived: P_T (2R)^2/Side^2"),
+            (
+                "density sweep",
+                f"{config.densities()[0]:.3f}..{config.densities()[-1]:.3f} /m^2",
+                "§4.1: 20..240 beacons",
+            ),
+            (
+                "per coverage area",
+                f"{config.coverage_densities()[0]:.2f}..{config.coverage_densities()[-1]:.2f}",
+                "§4.1: 1.41..17",
+            ),
+            ("noise levels", ", ".join(f"{n:g}" for n in config.noise_levels), "§4.2.1"),
+            ("fields per density", str(config.fields_per_density), "§4.1: 1000"),
+        ]
+
+    rows = benchmark(build_rows)
+    emit_table("table1", ("parameter", "value", "source"), rows)
+
+    # The derived quantities must match the paper's quoted values exactly.
+    assert config.num_measurement_points == 10201
+    assert config.grid_side == 30.0
+    assert round(config.points_per_grid) == 918

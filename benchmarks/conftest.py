@@ -1,0 +1,79 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper at configurable
+fidelity (see ``repro.sim.bench_config``: ``REPRO_FIELDS``,
+``REPRO_DENSITIES``, ``REPRO_FULL=1``), prints the reproduced series, and
+persists them under ``benchmarks/results/`` (CSV + rendered text) so the
+output survives pytest's capture.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # default fidelity
+    REPRO_FULL=1 pytest benchmarks/ --benchmark-only   # paper fidelity (hours)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim import CurveSet, bench_config, write_curve_set
+from repro.viz import format_curve_set, format_table, line_chart
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The bench-fidelity experiment configuration."""
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def paper_algorithms(config):
+    """Random, Max, Grid at the paper's configuration."""
+    from repro.placement import GridPlacement, MaxPlacement, RandomPlacement
+
+    return [
+        RandomPlacement(),
+        MaxPlacement(),
+        GridPlacement(config.grid_layout()),
+    ]
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Persist + print a curve set (or raw text) for one experiment id."""
+
+    def _emit(experiment_id: str, payload, *, chart: bool = True) -> str:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        if isinstance(payload, CurveSet):
+            text = format_curve_set(payload)
+            if chart and payload.curves and len(payload.curves[0]) > 1:
+                series = [(c.label, c.densities, c.values) for c in payload.curves]
+                text += "\n\n" + line_chart(
+                    series,
+                    title=payload.title,
+                    x_label="beacons per m^2",
+                    y_label="meters",
+                    y_min=0.0,
+                )
+            write_curve_set(payload, RESULTS_DIR / f"{experiment_id}.csv")
+        else:
+            text = str(payload)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        print(f"\n=== {experiment_id} ===\n{text}\n")
+        return text
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def emit_table(emit):
+    """Persist + print a plain table for one experiment id."""
+
+    def _emit(experiment_id: str, headers, rows, **kwargs) -> str:
+        return emit(experiment_id, format_table(headers, rows, **kwargs))
+
+    return _emit

@@ -1,0 +1,100 @@
+"""Air-drop on a hilltop: the paper's §1 motivating scenario, end to end.
+
+    "Consider for instance, a terrain comprising of a hilltop.  Air dropped
+    beacon nodes will roll over the hill, while lighter sensor nodes may
+    stay atop the hill. … if the number of air-dropped beacons were
+    doubled, the same situation would persist."
+
+This example builds that world: a Gaussian hill, beacons air-dropped
+uniformly that roll downhill, and terrain-occluded radio propagation.  It
+then shows (a) the hilltop is a localization dead zone, (b) doubling the
+airdrop does NOT fix it — the paper's "terrain commonality" argument —
+while (c) ONE adaptively placed beacon does.
+
+Run:  python examples/airdrop_hilltop.py
+"""
+
+import numpy as np
+
+from repro import (
+    BeaconNoiseModel,
+    CentroidLocalizer,
+    GridPlacement,
+    MeasurementGrid,
+    OverlappingGridLayout,
+    TerrainAwareModel,
+    TrialWorld,
+    airdrop_field,
+    hill_terrain,
+)
+from repro.viz import format_table, heatmap
+
+
+SIDE = 100.0
+RANGE = 15.0
+
+
+def hilltop_world(num_beacons: int, hill, rng) -> TrialWorld:
+    field = airdrop_field(num_beacons, SIDE, rng, heightmap=hill, roll_steps=30)
+    model = TerrainAwareModel(
+        BeaconNoiseModel(RANGE, noise=0.1),
+        hill,
+        blocked_range_factor=0.4,
+    )
+    return TrialWorld(
+        field=field,
+        realization=model.realize(rng),
+        grid=MeasurementGrid(SIDE, step=2.0),
+        layout=OverlappingGridLayout.for_radio_range(SIDE, RANGE, 400),
+        localizer=CentroidLocalizer(SIDE),
+    )
+
+
+SUMMIT = np.array([70.0, 70.0])
+
+
+def summit_error(world: TrialWorld) -> float:
+    """Mean LE within 15 m of the summit."""
+    pts = world.points()
+    near_summit = np.linalg.norm(pts - SUMMIT, axis=1) <= 15.0
+    return float(np.nanmean(world.errors()[near_summit]))
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    hill = hill_terrain(SIDE, peak_height=35.0, peak_fraction=(0.7, 0.7), spread_fraction=0.18)
+
+    world = hilltop_world(60, hill, rng)
+    print("air-dropped 60 beacons onto a 35 m hill; they rolled downhill:")
+    summit_dist = np.linalg.norm(world.field.positions() - SUMMIT, axis=1)
+    print(f"  beacons within 20 m of the summit: {(summit_dist <= 20).sum()}")
+    print(f"  terrain-wide mean LE: {world.error_surface().mean_error():.2f} m")
+    print(f"  summit-area mean LE:  {summit_error(world):.2f} m  <-- dead zone\n")
+
+    print(heatmap(world.error_surface().as_image().T[::-1][::2, ::2],
+                  title="localization error (darker = worse; summit at upper right)"))
+
+    # Doubling the airdrop does not fix the summit (terrain commonality).
+    doubled = hilltop_world(120, hill, np.random.default_rng(43))
+    # Adaptive placement: survey, then put ONE beacon where Grid says.
+    pick = GridPlacement(world.layout).propose(world.survey(), rng)
+    fixed = world.with_beacon(pick)
+
+    rows = [
+        ("60 airdropped", 60, world.error_surface().mean_error(), summit_error(world)),
+        ("120 airdropped", 120, doubled.error_surface().mean_error(), summit_error(doubled)),
+        (f"60 + Grid pick ({pick.x:.0f},{pick.y:.0f})", 61,
+         fixed.error_surface().mean_error(), summit_error(fixed)),
+    ]
+    print()
+    print(format_table(
+        ("deployment", "beacons", "terrain mean LE (m)", "summit mean LE (m)"), rows
+    ))
+    print(
+        "\none adaptively placed beacon fixes the summit better than "
+        "doubling the airdrop — the paper's case for empirical adaptation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""The §2.2 beacon protocol, run for real: periods, thresholds, collisions.
+
+The paper's evaluation replaces the listening protocol with geometric
+connectivity.  This example runs the protocol as a discrete-event
+simulation and shows when the shortcut is valid and when it breaks:
+
+1. connectivity agreement vs listening-window length (t ≫ T quantified);
+2. self-interference: collision-driven collapse as beacon density and
+   per-message airtime grow (the §1 argument for limiting beacon use).
+
+Run:  python examples/protocol_demo.py
+"""
+
+import numpy as np
+
+from repro import IdealDiskModel, random_uniform_field
+from repro.protocol import ProtocolConnectivityEstimator
+from repro.viz import format_table
+
+
+SIDE = 100.0
+RANGE = 15.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    realization = IdealDiskModel(RANGE).realize(rng)
+    clients = rng.uniform(0, SIDE, (50, 2))
+
+    # --- 1. How long must a client listen? --------------------------------
+    field = random_uniform_field(60, SIDE, rng)
+    geometric = realization.connectivity(clients, field)
+    rows = []
+    for periods in (2, 5, 10, 40):
+        estimator = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=float(periods), message_duration=0.01,
+            cm_thresh=0.75,
+        )
+        result = estimator.run(clients, field, realization, np.random.default_rng(periods))
+        agreement = float((result.connectivity == geometric).mean())
+        rows.append((periods, result.messages_sent, agreement))
+    print("listening-window convergence (60 beacons, 1 % airtime):")
+    print(format_table(("t/T", "messages sent", "agreement with geometry"), rows))
+
+    # --- 2. Self-interference ----------------------------------------------
+    print("\nself-interference: density x airtime vs usable links:")
+    rows = []
+    for count, airtime in ((60, 0.01), (240, 0.01), (240, 0.05), (480, 0.05)):
+        dense = random_uniform_field(count, SIDE, np.random.default_rng(count))
+        estimator = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=20.0, message_duration=airtime, cm_thresh=0.75
+        )
+        result = estimator.run(
+            clients, dense, realization, np.random.default_rng(count + 1)
+        )
+        geo = realization.connectivity(clients, dense)
+        rows.append(
+            (
+                count,
+                f"{airtime * 100:.0f}%",
+                f"{result.collision_rate:.1%}",
+                int(geo.sum()),
+                int(result.connectivity.sum()),
+            )
+        )
+    print(
+        format_table(
+            ("beacons", "airtime", "collision rate", "geometric links", "protocol links"),
+            rows,
+        )
+    )
+    print(
+        "\ngeometry promises ever more links with density; the channel does "
+        "not deliver them — exactly the paper's self-interference motivation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Beacon-based self-configuration (§6): dense field, beacons decide.
+
+The paper's alternative to robot-carried placement: deploy densely, then
+let beacons *"instrument the terrain conditions based on interactions with
+other (beacon) nodes, and decide whether to turn themselves on"*.  This
+example runs the distributed density-adaptive activation protocol on an
+over-provisioned field and shows it sheds most of the duty cycle while
+keeping localization quality at the saturation level — and that the
+surviving active set also cuts self-interference in the real protocol.
+
+Run:  python examples/self_configuration.py
+"""
+
+import numpy as np
+
+from repro import (
+    BeaconNoiseModel,
+    CentroidLocalizer,
+    DensityAdaptiveActivation,
+    MeasurementGrid,
+    OverlappingGridLayout,
+    TrialWorld,
+    random_uniform_field,
+)
+from repro.protocol import ProtocolConnectivityEstimator
+from repro.viz import format_table
+
+
+SIDE = 100.0
+RANGE = 15.0
+
+
+def world_for(field, realization) -> TrialWorld:
+    return TrialWorld(
+        field=field,
+        realization=realization,
+        grid=MeasurementGrid(SIDE, 2.0),
+        layout=OverlappingGridLayout.for_radio_range(SIDE, RANGE, 400),
+        localizer=CentroidLocalizer(SIDE),
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    dense = random_uniform_field(240, SIDE, rng)  # 2.4x the saturation density
+    realization = BeaconNoiseModel(RANGE, noise=0.1).realize(rng)
+
+    rows = []
+    protocol = ProtocolConnectivityEstimator(
+        period=1.0, listen_time=20.0, message_duration=0.03, cm_thresh=0.75
+    )
+    clients = rng.uniform(0, SIDE, (40, 2))
+
+    for target in (None, 8, 5, 3):
+        if target is None:
+            field, label = dense, "all on (240)"
+        else:
+            result = DensityAdaptiveActivation(target_neighbors=target).run(
+                dense, realization, rng
+            )
+            field = result.active_field
+            label = f"target={target} ({result.num_active} on)"
+        world = world_for(field, realization)
+        run = protocol.run(clients, field, realization, np.random.default_rng(target or 0))
+        rows.append(
+            (
+                label,
+                len(field),
+                f"{len(field) / 240:.0%}",
+                world.error_surface().mean_error(),
+                f"{run.collision_rate:.1%}",
+            )
+        )
+
+    print("density-adaptive activation on a 240-beacon field (saturation ≈ 100):")
+    print(
+        format_table(
+            ("configuration", "active", "duty", "mean LE (m)", "collision rate"),
+            rows,
+        )
+    )
+    print(
+        "\nshedding beacons costs little accuracy (the field is past the "
+        "paper's saturation density) while cutting channel collisions —\n"
+        "the power and self-interference motivations of §1, solved by §6's "
+        "beacon-based adaptation."
+    )
+
+
+if __name__ == "__main__":
+    main()

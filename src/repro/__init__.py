@@ -1,0 +1,266 @@
+"""repro — a full reproduction of "Adaptive Beacon Placement"
+(Bulusu, Heidemann, Estrin; ICDCS 2001).
+
+Adaptive placement of localization beacons for connectivity-based RF
+localization in wireless sensor networks: the paper's three placement
+algorithms (Random, Max, Grid), the complete simulation methodology of its
+evaluation, and every substrate they depend on (propagation models, terrain,
+the periodic-beacon protocol, exploration agents, statistics).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        BeaconNoiseModel, CentroidLocalizer, GridPlacement,
+        MeasurementGrid, OverlappingGridLayout, TrialWorld,
+        random_uniform_field,
+    )
+
+    rng = np.random.default_rng(7)
+    grid = MeasurementGrid(side=100.0, step=1.0)
+    world = TrialWorld(
+        field=random_uniform_field(40, 100.0, rng),
+        realization=BeaconNoiseModel(radio_range=15.0, noise=0.3).realize(rng),
+        grid=grid,
+        layout=OverlappingGridLayout.for_radio_range(100.0, 15.0, 400),
+        localizer=CentroidLocalizer(terrain_side=100.0),
+    )
+    survey = world.survey()
+    pick = GridPlacement.paper_configuration(100.0, 15.0).propose(survey, rng)
+    gain_mean, gain_median = world.evaluate_candidate(pick)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .exploration import (
+    ActiveSurveyPlanner,
+    GpsErrorModel,
+    Survey,
+    SurveyAgent,
+    boustrophedon_sweep,
+    lawnmower_path,
+    path_length,
+    plan_tour,
+    random_walk_path,
+    spiral_path,
+)
+from .field import (
+    Beacon,
+    BeaconField,
+    beacon_graph,
+    deployment_health,
+    airdrop_field,
+    beacons_per_coverage_area,
+    clustered_field,
+    count_from_density,
+    density_from_count,
+    density_from_coverage,
+    paper_density_sweep,
+    perturbed_grid_field,
+    random_uniform_field,
+    regular_grid_field,
+)
+from .geometry import (
+    MeasurementGrid,
+    OverlappingGridLayout,
+    Point,
+    RegionDecomposition,
+    decompose_regions,
+)
+from .localization import (
+    AlphaBetaTracker,
+    CentroidLocalizer,
+    FingerprintLocalizer,
+    GridBayesLocalizer,
+    TrackingResult,
+    track_path,
+    CentroidState,
+    ErrorSummary,
+    ErrorSurface,
+    Localizer,
+    LocusLocalizer,
+    MultilaterationLocalizer,
+    UnlocalizedPolicy,
+    WeightedCentroidLocalizer,
+    gdop,
+    localization_errors,
+    max_error_for_overlap_ratio,
+    overlap_ratio_sweep,
+)
+from .placement import (
+    ActivationResult,
+    CoverageHolePlacement,
+    HybridPlacement,
+    DensityAdaptiveActivation,
+    GdopPlacement,
+    GridPlacement,
+    LocusAreaPlacement,
+    MaxPlacement,
+    OracleGreedyPlacement,
+    PlacementAlgorithm,
+    RandomPlacement,
+    WeightedRedeployment,
+    plan_batch_independent,
+    plan_batch_sequential,
+)
+from .radio import (
+    BeaconNoiseModel,
+    IdealDiskModel,
+    LogNormalShadowingModel,
+    PropagationModel,
+    PropagationRealization,
+    TerrainAwareModel,
+    TimeVaryingModel,
+    coverage_fraction,
+    mean_degree,
+)
+from .sim import (
+    Curve,
+    CurveSet,
+    ExperimentConfig,
+    TrialOutcome,
+    TrialWorld,
+    bench_config,
+    build_world,
+    derive_rng,
+    mean_error_curve,
+    paper_config,
+    placement_improvement_curves,
+    read_curve_set,
+    run_placement_trial,
+    write_curve_set,
+)
+from .stats import (
+    MeanCI,
+    SpatialSummary,
+    distribution_improvement,
+    error_cdf,
+    quantile_profile,
+    SolutionSpaceAnalysis,
+    analyze_solution_space,
+    bootstrap_ci,
+    mean_ci,
+    median_ci,
+)
+from .terrain import (
+    Heightmap,
+    flat_terrain,
+    fractal_terrain,
+    hill_terrain,
+    ridge_terrain,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geometry
+    "Point",
+    "MeasurementGrid",
+    "OverlappingGridLayout",
+    "RegionDecomposition",
+    "decompose_regions",
+    # field
+    "Beacon",
+    "BeaconField",
+    "random_uniform_field",
+    "regular_grid_field",
+    "perturbed_grid_field",
+    "airdrop_field",
+    "clustered_field",
+    "density_from_count",
+    "count_from_density",
+    "density_from_coverage",
+    "beacons_per_coverage_area",
+    "paper_density_sweep",
+    "beacon_graph",
+    "deployment_health",
+    # radio
+    "PropagationModel",
+    "PropagationRealization",
+    "IdealDiskModel",
+    "BeaconNoiseModel",
+    "LogNormalShadowingModel",
+    "TerrainAwareModel",
+    "TimeVaryingModel",
+    "coverage_fraction",
+    "mean_degree",
+    # terrain
+    "Heightmap",
+    "flat_terrain",
+    "hill_terrain",
+    "fractal_terrain",
+    "ridge_terrain",
+    # localization
+    "Localizer",
+    "UnlocalizedPolicy",
+    "CentroidLocalizer",
+    "CentroidState",
+    "LocusLocalizer",
+    "WeightedCentroidLocalizer",
+    "MultilaterationLocalizer",
+    "GridBayesLocalizer",
+    "FingerprintLocalizer",
+    "AlphaBetaTracker",
+    "TrackingResult",
+    "track_path",
+    "gdop",
+    "localization_errors",
+    "ErrorSurface",
+    "ErrorSummary",
+    "max_error_for_overlap_ratio",
+    "overlap_ratio_sweep",
+    # placement
+    "PlacementAlgorithm",
+    "RandomPlacement",
+    "MaxPlacement",
+    "GridPlacement",
+    "OracleGreedyPlacement",
+    "LocusAreaPlacement",
+    "GdopPlacement",
+    "CoverageHolePlacement",
+    "HybridPlacement",
+    "WeightedRedeployment",
+    "plan_batch_independent",
+    "plan_batch_sequential",
+    "DensityAdaptiveActivation",
+    "ActivationResult",
+    # exploration
+    "Survey",
+    "SurveyAgent",
+    "GpsErrorModel",
+    "ActiveSurveyPlanner",
+    "boustrophedon_sweep",
+    "lawnmower_path",
+    "spiral_path",
+    "random_walk_path",
+    "path_length",
+    "plan_tour",
+    # sim
+    "ExperimentConfig",
+    "paper_config",
+    "bench_config",
+    "derive_rng",
+    "TrialWorld",
+    "TrialOutcome",
+    "run_placement_trial",
+    "build_world",
+    "mean_error_curve",
+    "placement_improvement_curves",
+    "Curve",
+    "CurveSet",
+    "write_curve_set",
+    "read_curve_set",
+    # stats
+    "MeanCI",
+    "mean_ci",
+    "median_ci",
+    "bootstrap_ci",
+    "SolutionSpaceAnalysis",
+    "analyze_solution_space",
+    "SpatialSummary",
+    "error_cdf",
+    "quantile_profile",
+    "distribution_improvement",
+]

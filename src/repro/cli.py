@@ -1,0 +1,476 @@
+"""Command-line interface: ``beaconplace`` / ``python -m repro``.
+
+Subcommands:
+
+* ``table1`` — print the simulation parameters (Table 1) plus the derived
+  quantities quoted in the paper's text.
+* ``reproduce {fig4,fig5,fig6,fig7,fig8,fig9}`` — rerun a figure's sweep at
+  configurable fidelity and print the series (table + ASCII chart).
+* ``place`` — one adaptive-placement trial, narrated.
+* ``protocol`` — run the §2.2 discrete-event protocol and compare with the
+  geometric connectivity model.
+* ``bounds`` — the §2.2 uniform-grid error bounds vs range-overlap ratio.
+* ``survey`` — drive a survey robot along a path and report what it saw.
+* ``activate`` — density-adaptive beacon self-scheduling on a dense field.
+* ``regions`` — localization-region (locus) statistics of a deployment.
+* ``report`` — run a compact evaluation and write a markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .localization import overlap_ratio_sweep
+from .placement import GridPlacement, MaxPlacement, RandomPlacement
+from .protocol import ProtocolConnectivityEstimator
+from .sim import (
+    PAPER_NOISE_LEVELS,
+    bench_config,
+    build_world,
+    derive_rng,
+    mean_error_curve,
+    placement_improvement_curves,
+    run_placement_trial,
+    write_curve_set,
+)
+from .sim.results import CurveSet
+from .viz import format_curve_set, format_table, line_chart
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from_args(args) -> "object":
+    config = bench_config()
+    if args.fields is not None:
+        config = config.with_fields(args.fields)
+    if args.counts:
+        config = config.with_counts(args.counts)
+    return config
+
+
+def _paper_algorithms(config):
+    return [
+        RandomPlacement(),
+        MaxPlacement(),
+        GridPlacement.paper_configuration(config.side, config.radio_range, config.num_grids),
+    ]
+
+
+def _emit(curve_set: CurveSet, args, csv_suffix: str = "") -> None:
+    print(format_curve_set(curve_set))
+    series = [(c.label, c.densities, c.values) for c in curve_set.curves]
+    print()
+    print(
+        line_chart(
+            series,
+            title=curve_set.title,
+            x_label="beacons per m^2",
+            y_label="meters",
+            y_min=0.0,
+        )
+    )
+    if args.csv:
+        target = args.csv
+        if csv_suffix:
+            from pathlib import Path
+
+            p = Path(target)
+            target = p.with_name(p.stem + csv_suffix + p.suffix)
+        path = write_curve_set(curve_set, target)
+        print(f"\nwrote {path}")
+
+
+def _cmd_table1(args) -> int:
+    config = _config_from_args(args)
+    rows = [
+        ("Side", f"{config.side:g} m"),
+        ("R", f"{config.radio_range:g} m"),
+        ("step", f"{config.step:g} m"),
+        ("N_G", str(config.num_grids)),
+        ("P_T (derived)", str(config.num_measurement_points)),
+        ("gridSide = 2R (derived)", f"{config.grid_side:g} m"),
+        ("P_G (derived)", f"{config.points_per_grid:.0f}"),
+        ("density sweep", f"{config.beacon_counts[0]}..{config.beacon_counts[-1]} beacons"),
+        ("noise levels", ", ".join(f"{n:g}" for n in config.noise_levels)),
+        ("fields per density", str(config.fields_per_density)),
+    ]
+    print(format_table(("parameter", "value"), rows))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    config = _config_from_args(args)
+    figure = args.figure
+    if figure == "fig4":
+        curve = mean_error_curve(config, 0.0, progress=_progress(args))
+        _emit(CurveSet("Figure 4: mean localization error vs density (Ideal)", [curve]), args)
+        return 0
+    if figure == "fig6":
+        curves = [
+            mean_error_curve(config, noise, progress=_progress(args))
+            for noise in PAPER_NOISE_LEVELS
+        ]
+        _emit(CurveSet("Figure 6: mean localization error vs density (Noise)", curves), args)
+        return 0
+    if figure == "fig5":
+        mean_set, median_set = placement_improvement_curves(
+            config, 0.0, _paper_algorithms(config), progress=_progress(args)
+        )
+        mean_set.title = "Figure 5a: improvement in mean error (Ideal)"
+        median_set.title = "Figure 5b: improvement in median error (Ideal)"
+        _emit(mean_set, args, csv_suffix="_mean")
+        print()
+        _emit(median_set, args, csv_suffix="_median")
+        return 0
+    algorithm = {"fig7": RandomPlacement(), "fig8": MaxPlacement()}.get(figure)
+    if algorithm is None:
+        algorithm = GridPlacement.paper_configuration(
+            config.side, config.radio_range, config.num_grids
+        )
+    mean_curves, median_curves = [], []
+    for noise in PAPER_NOISE_LEVELS:
+        mean_set, median_set = placement_improvement_curves(
+            config, noise, [algorithm], progress=_progress(args)
+        )
+        label = "Ideal" if noise == 0.0 else f"Noise={noise:g}"
+        mean_curves.append(_relabel(mean_set.curves[0], label))
+        median_curves.append(_relabel(median_set.curves[0], label))
+    number = {"fig7": "7", "fig8": "8", "fig9": "9"}[figure]
+    name = algorithm.name.capitalize()
+    _emit(
+        CurveSet(f"Figure {number}a: {name} improvement in mean error", mean_curves),
+        args,
+        csv_suffix="_mean",
+    )
+    print()
+    _emit(
+        CurveSet(f"Figure {number}b: {name} improvement in median error", median_curves),
+        args,
+        csv_suffix="_median",
+    )
+    return 0
+
+
+def _relabel(curve, label):
+    from dataclasses import replace
+
+    return replace(curve, label=label)
+
+
+def _progress(args):
+    if not args.verbose:
+        return None
+
+    def report(message: str) -> None:
+        print(f"  … {message}", file=sys.stderr)
+
+    return report
+
+
+def _cmd_place(args) -> int:
+    config = _config_from_args(args)
+    world = build_world(config, args.noise, args.beacons, args.field_index)
+    algorithms = _paper_algorithms(config)
+    if args.algorithm != "all":
+        algorithms = [a for a in algorithms if a.name == args.algorithm]
+
+    def rng_for(name):
+        return derive_rng(config.seed, "cli", name, args.noise, args.beacons, args.field_index)
+
+    outcomes = run_placement_trial(world, algorithms, rng_for)
+    base = outcomes[0]
+    print(
+        f"{args.beacons} beacons (density {args.beacons / config.side**2:.4f}/m^2), "
+        f"noise {args.noise:g}: mean LE {base.base_mean:.2f} m, median {base.base_median:.2f} m"
+    )
+    rows = [
+        (
+            o.algorithm,
+            f"({o.pick.x:.1f}, {o.pick.y:.1f})",
+            o.improvement_mean,
+            o.improvement_median,
+        )
+        for o in outcomes
+    ]
+    print(
+        format_table(
+            ("algorithm", "placed at", "mean gain (m)", "median gain (m)"), rows
+        )
+    )
+    return 0
+
+
+def _cmd_protocol(args) -> int:
+    config = _config_from_args(args)
+    world = build_world(config, args.noise, args.beacons, args.field_index)
+    rng = derive_rng(config.seed, "cli-protocol", args.beacons, args.noise)
+    points = world.points()[:: args.stride]
+    estimator = ProtocolConnectivityEstimator(
+        period=args.period,
+        listen_time=args.listen_time,
+        message_duration=args.message_duration,
+        cm_thresh=args.cm_thresh,
+    )
+    result = estimator.run(points, world.field, world.realization, rng)
+    geometric = world.realization.connectivity(points, world.field)
+    agreement = float((result.connectivity == geometric).mean())
+    rows = [
+        ("clients", points.shape[0]),
+        ("messages sent", result.messages_sent),
+        ("decoded", result.decoded_messages),
+        ("collision losses", result.collision_losses),
+        ("propagation losses", result.propagation_losses),
+        ("collision rate", f"{result.collision_rate:.4f}"),
+        ("agreement with geometric model", f"{agreement:.4f}"),
+    ]
+    print(format_table(("metric", "value"), rows))
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    results = overlap_ratio_sweep()
+    rows = [
+        (r.overlap_ratio, r.max_error_fraction, r.mean_error_fraction)
+        for r in results
+    ]
+    print(
+        format_table(
+            ("R/d", "max error (fraction of d)", "mean error (fraction of d)"),
+            rows,
+            float_digits=3,
+        )
+    )
+    print("\npaper (§2.2): max error 0.5d at R/d=1, falling to 0.25d by R/d=4")
+    return 0
+
+
+def _parse_counts(text: str) -> list[int]:
+    try:
+        counts = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid count list {text!r}") from exc
+    if not counts:
+        raise argparse.ArgumentTypeError("count list must not be empty")
+    return counts
+
+
+def _cmd_survey(args) -> int:
+    from .exploration import (
+        GpsErrorModel,
+        SurveyAgent,
+        lawnmower_path,
+        path_length,
+        random_walk_path,
+        spiral_path,
+    )
+    from .localization import CentroidLocalizer
+    from .placement import GridPlacement
+
+    config = _config_from_args(args)
+    world = build_world(config, args.noise, args.beacons, args.field_index)
+    rng = derive_rng(config.seed, "cli-survey", args.path, args.beacons)
+    if args.path == "lawnmower":
+        path = lawnmower_path(config.side, args.spacing, args.spacing)
+    elif args.path == "spiral":
+        path = spiral_path(config.side, args.spacing)
+    else:
+        path = random_walk_path(config.side, 2000, args.spacing, rng)
+    gps = GpsErrorModel(args.gps_sigma, clamp_side=config.side) if args.gps_sigma else None
+    agent = SurveyAgent(
+        world.field,
+        world.realization,
+        CentroidLocalizer(config.side, config.policy),
+        config.side,
+        gps=gps,
+    )
+    survey = agent.measure_at(path, rng)
+    pick = GridPlacement(config.grid_layout()).propose(survey, rng)
+    gain_mean, gain_median = world.evaluate_candidate(pick)
+    rows = [
+        ("path", args.path),
+        ("measurements", survey.num_points),
+        ("travel", f"{path_length(path):.0f} m"),
+        ("surveyed mean LE", f"{survey.mean_error():.2f} m"),
+        ("surveyed median LE", f"{survey.median_error():.2f} m"),
+        ("grid pick", f"({pick.x:.1f}, {pick.y:.1f})"),
+        ("true mean gain", f"{gain_mean:.3f} m"),
+        ("true median gain", f"{gain_median:.3f} m"),
+    ]
+    print(format_table(("metric", "value"), rows))
+    return 0
+
+
+def _cmd_activate(args) -> int:
+    from .placement import DensityAdaptiveActivation
+    from .sim import TrialWorld
+
+    config = _config_from_args(args)
+    world = build_world(config, args.noise, args.beacons, args.field_index)
+    base_mean, _ = world.base_stats()
+    result = DensityAdaptiveActivation(target_neighbors=args.target).run(
+        world.field,
+        world.realization,
+        derive_rng(config.seed, "cli-activate", args.beacons, args.target),
+    )
+    active_world = TrialWorld(
+        result.active_field, world.realization, world.grid, world.layout, world.localizer
+    )
+    active_mean, _ = active_world.base_stats()
+    rows = [
+        ("deployed beacons", len(world.field)),
+        ("active beacons", result.num_active),
+        ("duty fraction", f"{result.duty_fraction:.0%}"),
+        ("mean LE (all on)", f"{base_mean:.2f} m"),
+        ("mean LE (active set)", f"{active_mean:.2f} m"),
+    ]
+    print(format_table(("metric", "value"), rows))
+    return 0
+
+
+def _cmd_regions(args) -> int:
+    from .geometry import decompose_regions
+
+    config = _config_from_args(args)
+    world = build_world(config, args.noise, args.beacons, args.field_index)
+    regions = decompose_regions(
+        world.connectivity(), world.grid, split_spatially=args.split
+    )
+    areas = regions.covered_region_areas()
+    rows = [
+        ("beacons", args.beacons),
+        ("regions (total)", regions.num_regions),
+        ("covered regions", regions.num_covered_regions),
+        ("mean covered area", f"{regions.mean_covered_region_area():.1f} m^2"),
+        ("largest covered area", f"{areas.max():.1f} m^2" if areas.size else "n/a"),
+        ("uncovered area", f"{regions.region_areas.sum() - areas.sum():.1f} m^2"),
+    ]
+    print(format_table(("metric", "value"), rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .viz import ReportBuilder
+
+    config = _config_from_args(args)
+    builder = ReportBuilder("Adaptive Beacon Placement — evaluation report")
+    builder.add_section(
+        "Configuration",
+        f"terrain {config.side:g} m, R = {config.radio_range:g} m, "
+        f"{config.fields_per_density} fields per density, "
+        f"counts {list(config.beacon_counts)}",
+    )
+    curve = mean_error_curve(config, 0.0, progress=_progress(args))
+    builder.add_section("Mean error vs density (ideal) — Figure 4")
+    builder.add_curve_set(CurveSet("Figure 4", [curve]))
+    mean_set, median_set = placement_improvement_curves(
+        config, 0.0, _paper_algorithms(config), progress=_progress(args)
+    )
+    builder.add_section("Placement improvements (ideal) — Figure 5")
+    builder.add_curve_set(mean_set)
+    builder.add_curve_set(median_set, chart=False)
+    out = builder.write(args.output)
+    print(f"wrote {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="beaconplace",
+        description=(
+            "Adaptive beacon placement for RF-proximity localization "
+            "(reproduction of Bulusu, Heidemann, Estrin; ICDCS 2001)"
+        ),
+    )
+    parser.add_argument("--fields", type=int, default=None, help="fields per density")
+    parser.add_argument(
+        "--counts",
+        type=_parse_counts,
+        default=None,
+        help="beacon-count sweep override, comma-separated (e.g. 20,60,120)",
+    )
+    parser.add_argument("--csv", default=None, help="also write results to this CSV path")
+    parser.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 and derived quantities")
+
+    rep = sub.add_parser("reproduce", help="reproduce a figure's data series")
+    rep.add_argument(
+        "figure", choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
+    )
+
+    place = sub.add_parser("place", help="run one adaptive-placement trial")
+    place.add_argument("--beacons", type=int, default=40)
+    place.add_argument("--noise", type=float, default=0.0)
+    place.add_argument("--field-index", type=int, default=0)
+    place.add_argument(
+        "--algorithm", choices=["random", "max", "grid", "all"], default="all"
+    )
+
+    proto = sub.add_parser("protocol", help="run the §2.2 protocol simulation")
+    proto.add_argument("--beacons", type=int, default=40)
+    proto.add_argument("--noise", type=float, default=0.0)
+    proto.add_argument("--field-index", type=int, default=0)
+    proto.add_argument("--period", type=float, default=1.0)
+    proto.add_argument("--listen-time", type=float, default=20.0)
+    proto.add_argument("--message-duration", type=float, default=0.005)
+    proto.add_argument("--cm-thresh", type=float, default=0.75)
+    proto.add_argument("--stride", type=int, default=100, help="client subsampling")
+
+    sub.add_parser("bounds", help="uniform-grid error bounds vs overlap ratio")
+
+    survey = sub.add_parser("survey", help="drive a survey robot along a path")
+    survey.add_argument("--beacons", type=int, default=30)
+    survey.add_argument("--noise", type=float, default=0.3)
+    survey.add_argument("--field-index", type=int, default=0)
+    survey.add_argument(
+        "--path", choices=["lawnmower", "spiral", "walk"], default="lawnmower"
+    )
+    survey.add_argument("--spacing", type=float, default=5.0)
+    survey.add_argument("--gps-sigma", type=float, default=0.0)
+
+    activate = sub.add_parser("activate", help="density-adaptive self-scheduling")
+    activate.add_argument("--beacons", type=int, default=240)
+    activate.add_argument("--noise", type=float, default=0.0)
+    activate.add_argument("--field-index", type=int, default=0)
+    activate.add_argument("--target", type=int, default=5, help="target active neighbours")
+
+    regions = sub.add_parser("regions", help="localization-region statistics")
+    regions.add_argument("--beacons", type=int, default=40)
+    regions.add_argument("--noise", type=float, default=0.0)
+    regions.add_argument("--field-index", type=int, default=0)
+    regions.add_argument(
+        "--split", action="store_true", help="split regions into contiguous loci"
+    )
+
+    report = sub.add_parser("report", help="write a markdown evaluation report")
+    report.add_argument("--output", default="beaconplace-report.md")
+
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "reproduce": _cmd_reproduce,
+    "place": _cmd_place,
+    "protocol": _cmd_protocol,
+    "bounds": _cmd_bounds,
+    "survey": _cmd_survey,
+    "activate": _cmd_activate,
+    "regions": _cmd_regions,
+    "report": _cmd_report,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Terrain exploration: survey agents, paths, measurement noise, surveys."""
+
+from .adaptive import ActiveSurveyPlanner
+from .agent import SurveyAgent
+from .measurement import GpsErrorModel
+from .paths import (
+    boustrophedon_sweep,
+    lawnmower_path,
+    path_length,
+    random_walk_path,
+    spiral_path,
+)
+from .routing import nearest_neighbor_tour, plan_tour, tour_savings, two_opt_improve
+from .survey import Survey
+
+__all__ = [
+    "Survey",
+    "SurveyAgent",
+    "ActiveSurveyPlanner",
+    "GpsErrorModel",
+    "boustrophedon_sweep",
+    "lawnmower_path",
+    "spiral_path",
+    "random_walk_path",
+    "path_length",
+    "plan_tour",
+    "nearest_neighbor_tour",
+    "two_opt_improve",
+    "tour_savings",
+]

@@ -1,0 +1,136 @@
+"""Active (adaptive) exploration: measure where it matters.
+
+The paper's §3.1 evaluation assumes complete terrain exploration; its
+"ongoing work" is the general case.  The key question there is *which*
+points a measurement-budget-limited robot should visit.  This planner
+answers it with a simple, effective rule: explore coarsely first, then
+iteratively refine around the highest measured errors — the survey analogue
+of the Max/Grid intuition that error is spatially correlated.
+
+Rounds:
+
+1. seed round: a coarse uniform lattice over the terrain;
+2. each refinement round spends its budget on fresh points drawn around the
+   top-q fraction of the worst measurements so far (Gaussian jitter with
+   scale ``refine_sigma``, clamped to the terrain).
+
+The resulting survey concentrates samples in bad regions, which is exactly
+what Grid's cumulative score wants.  Bench E6b compares placement gain per
+measurement against lawnmower surveys of the same budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array
+from .survey import Survey
+
+__all__ = ["ActiveSurveyPlanner"]
+
+
+class ActiveSurveyPlanner:
+    """Iterative explore-then-refine measurement planning.
+
+    Args:
+        terrain_side: side of the terrain square.
+        seed_points_per_axis: coarse seed lattice resolution.
+        refine_fraction: fraction of worst measured points refined around.
+        refine_sigma: Gaussian jitter scale for refinement samples, meters.
+    """
+
+    def __init__(
+        self,
+        terrain_side: float,
+        *,
+        seed_points_per_axis: int = 6,
+        refine_fraction: float = 0.2,
+        refine_sigma: float = 8.0,
+    ):
+        if terrain_side <= 0:
+            raise ValueError(f"terrain_side must be positive, got {terrain_side}")
+        if seed_points_per_axis < 2:
+            raise ValueError(
+                f"seed_points_per_axis must be >= 2, got {seed_points_per_axis}"
+            )
+        if not 0.0 < refine_fraction <= 1.0:
+            raise ValueError(f"refine_fraction must be in (0, 1], got {refine_fraction}")
+        if refine_sigma <= 0:
+            raise ValueError(f"refine_sigma must be positive, got {refine_sigma}")
+        self.terrain_side = float(terrain_side)
+        self.seed_points_per_axis = int(seed_points_per_axis)
+        self.refine_fraction = float(refine_fraction)
+        self.refine_sigma = float(refine_sigma)
+
+    def seed_points(self) -> np.ndarray:
+        """The coarse first-round lattice, ``(k², 2)``."""
+        axis = np.linspace(0.0, self.terrain_side, self.seed_points_per_axis)
+        xs, ys = np.meshgrid(axis, axis, indexing="ij")
+        return np.column_stack([xs.ravel(), ys.ravel()])
+
+    def refine_points(
+        self, survey: Survey, budget: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Next-round measurement locations given everything measured so far.
+
+        Args:
+            survey: all measurements collected so far.
+            budget: number of new points to propose.
+            rng: randomness for the jitter and anchor choice.
+
+        Returns:
+            ``(budget, 2)`` new locations, clamped to the terrain.
+        """
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        errors = np.nan_to_num(survey.errors, nan=0.0)
+        if errors.size == 0 or errors.max() <= 0.0:
+            return rng.uniform(0.0, self.terrain_side, size=(budget, 2))
+        k = max(int(np.ceil(self.refine_fraction * errors.size)), 1)
+        worst = np.argpartition(errors, -k)[-k:]
+        anchors = survey.points[rng.choice(worst, size=budget)]
+        jitter = rng.normal(0.0, self.refine_sigma, size=(budget, 2))
+        return np.clip(anchors + jitter, 0.0, self.terrain_side)
+
+    def run(
+        self,
+        agent,
+        total_budget: int,
+        rng: np.random.Generator,
+        *,
+        rounds: int = 3,
+    ) -> Survey:
+        """Plan and execute a full active survey with a measurement budget.
+
+        Args:
+            agent: a :class:`~repro.exploration.SurveyAgent`.
+            total_budget: total measurements across all rounds.
+            rng: randomness for planning (and GPS noise if the agent has it).
+            rounds: refinement rounds after the seed round.
+
+        Returns:
+            The merged survey of every measurement taken.
+        """
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        seed = self.seed_points()
+        if total_budget <= seed.shape[0]:
+            raise ValueError(
+                f"total_budget ({total_budget}) must exceed the seed round "
+                f"({seed.shape[0]} points)"
+            )
+        merged = agent.measure_at(seed, rng)
+        remaining = total_budget - seed.shape[0]
+        per_round = remaining // rounds
+        for r in range(rounds):
+            budget = per_round if r < rounds - 1 else remaining - per_round * (rounds - 1)
+            if budget <= 0:
+                break
+            fresh = self.refine_points(merged, budget, rng)
+            measured = agent.measure_at(fresh, rng)
+            merged = Survey(
+                points=np.vstack([merged.points, measured.points]),
+                errors=np.concatenate([merged.errors, measured.errors]),
+                terrain_side=self.terrain_side,
+            )
+        return merged

@@ -1,0 +1,135 @@
+"""The mobile survey agent (Section 3).
+
+The agent models the paper's GPS-equipped human or robot: it moves along a
+path, and at each waypoint (a) reads its true position from differential GPS
+(optionally corrupted by :class:`GpsErrorModel`), (b) listens to the beacon
+field through the propagation realization, (c) runs the localization
+algorithm on what it heard, and (d) records the localization error.  The
+collected measurements form a :class:`~repro.exploration.Survey`.
+
+For the paper's evaluation setting (complete sweep, no measurement noise)
+:meth:`SurveyAgent.survey_lattice` produces a survey numerically identical
+to the direct vectorized evaluation in :mod:`repro.sim` — a cross-check the
+integration tests enforce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field import BeaconField
+from ..geometry import MeasurementGrid, as_point_array
+from ..localization import Localizer, localization_errors
+from ..radio import PropagationRealization
+from .measurement import GpsErrorModel
+from .survey import Survey
+
+__all__ = ["SurveyAgent"]
+
+
+class SurveyAgent:
+    """A mobile agent that measures localization error over a terrain.
+
+    Args:
+        field: the deployed beacon field.
+        realization: the (static) propagation world the agent moves through.
+        localizer: the localization algorithm the sensor nodes use; the agent
+            runs the same one to measure its error.
+        terrain_side: side of the terrain square.
+        gps: optional GPS error model; None means perfect ground truth (the
+            paper's assumption).
+        carried_beacons: how many additional beacons the agent can deploy.
+    """
+
+    def __init__(
+        self,
+        field: BeaconField,
+        realization: PropagationRealization,
+        localizer: Localizer,
+        terrain_side: float,
+        *,
+        gps: GpsErrorModel | None = None,
+        carried_beacons: int = 1,
+    ):
+        if terrain_side <= 0:
+            raise ValueError(f"terrain_side must be positive, got {terrain_side}")
+        if carried_beacons < 0:
+            raise ValueError(f"carried_beacons must be non-negative, got {carried_beacons}")
+        self._field = field
+        self._realization = realization
+        self._localizer = localizer
+        self._terrain_side = float(terrain_side)
+        self._gps = gps
+        self._carried = int(carried_beacons)
+
+    @property
+    def field(self) -> BeaconField:
+        """The field the agent currently sees (grows as it deploys beacons)."""
+        return self._field
+
+    @property
+    def beacons_remaining(self) -> int:
+        """Beacons still in the agent's carrier."""
+        return self._carried
+
+    def measure_at(self, points, rng: np.random.Generator | None = None) -> Survey:
+        """Survey the given waypoints.
+
+        Args:
+            points: ``(K, 2)`` true waypoint positions along the path.
+            rng: randomness for GPS noise (required if a GPS model is set).
+
+        Returns:
+            A :class:`Survey` whose recorded points are the GPS readings and
+            whose errors compare the localization estimate against the GPS
+            reading (the agent's best available ground truth).
+        """
+        true_pts = as_point_array(points)
+        if self._gps is not None:
+            if rng is None:
+                raise ValueError("rng is required when a GPS error model is set")
+            recorded = self._gps.read(true_pts, rng)
+        else:
+            recorded = true_pts
+
+        conn = self._realization.connectivity(true_pts, self._field)
+        estimates = self._localizer.estimate(conn, self._field.positions(), true_pts)
+        errors = localization_errors(estimates, recorded)
+        return Survey(points=recorded, errors=errors, terrain_side=self._terrain_side)
+
+    def survey_lattice(
+        self, grid: MeasurementGrid, rng: np.random.Generator | None = None
+    ) -> Survey:
+        """Complete sweep of a measurement lattice (the paper's §3.1 setting).
+
+        With no GPS model this is exact and the returned survey carries the
+        lattice handle so grid-aware placement can use cached masks.
+        """
+        if abs(grid.side - self._terrain_side) > 1e-9:
+            raise ValueError(
+                f"lattice side {grid.side} != agent terrain side {self._terrain_side}"
+            )
+        survey = self.measure_at(grid.points(), rng)
+        if self._gps is None:
+            return Survey(
+                points=survey.points,
+                errors=survey.errors,
+                terrain_side=self._terrain_side,
+                grid=grid,
+            )
+        return survey
+
+    def deploy_beacon(self, position) -> BeaconField:
+        """Place one carried beacon, growing the agent's field.
+
+        Returns:
+            The extended field (also retained by the agent).
+
+        Raises:
+            RuntimeError: if the carrier is empty.
+        """
+        if self._carried <= 0:
+            raise RuntimeError("no beacons left to deploy")
+        self._field = self._field.with_beacon_at(position)
+        self._carried -= 1
+        return self._field

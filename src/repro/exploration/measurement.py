@@ -1,0 +1,57 @@
+"""Measurement-noise models for the survey agent.
+
+The paper's evaluation assumes *"no measurement noise"* (§3.1) and flags the
+generalization as ongoing work.  :class:`GpsErrorModel` supplies that
+generalization: differential-GPS position readings with configurable bias
+and jitter, used by the exploration extension bench to quantify how much
+survey noise the placement algorithms tolerate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array
+
+__all__ = ["GpsErrorModel"]
+
+
+class GpsErrorModel:
+    """Gaussian GPS reading error with an optional constant bias.
+
+    Args:
+        sigma: isotropic standard deviation of each reading, meters
+            (differential GPS is sub-meter; plain GPS of the era was ~5–10 m).
+        bias: constant offset ``(dx, dy)`` applied to every reading, meters —
+            models datum/projection error when mapping GPS coordinates onto
+            the local terrain coordinate system (§3: the agent must "map it
+            to the local coordinate system").
+        clamp_side: if set, readings are clamped into ``[0, clamp_side]²``.
+    """
+
+    def __init__(
+        self,
+        sigma: float,
+        bias: tuple[float, float] = (0.0, 0.0),
+        clamp_side: float | None = None,
+    ):
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        if clamp_side is not None and clamp_side <= 0:
+            raise ValueError(f"clamp_side must be positive, got {clamp_side}")
+        self.sigma = float(sigma)
+        self.bias = (float(bias[0]), float(bias[1]))
+        self.clamp_side = clamp_side
+
+    def __repr__(self) -> str:
+        return f"GpsErrorModel(sigma={self.sigma}, bias={self.bias})"
+
+    def read(self, true_points, rng: np.random.Generator) -> np.ndarray:
+        """GPS readings for the given true positions, ``(K, 2)``."""
+        pts = as_point_array(true_points)
+        readings = pts + np.asarray(self.bias)[None, :]
+        if self.sigma > 0:
+            readings = readings + rng.normal(0.0, self.sigma, size=pts.shape)
+        if self.clamp_side is not None:
+            readings = np.clip(readings, 0.0, self.clamp_side)
+        return readings

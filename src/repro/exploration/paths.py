@@ -1,0 +1,155 @@
+"""Exploration paths for the mobile survey agent.
+
+The paper's evaluation assumes *complete terrain exploration*; real robots
+trade coverage for travel time.  These generators produce ordered waypoint
+sequences over the terrain square:
+
+* :func:`boustrophedon_sweep` — the complete lattice sweep, visiting every
+  measurement point in lawnmower order (the paper's setting);
+* :func:`lawnmower_path` — a coarser lawnmower with configurable track
+  spacing (partial exploration);
+* :func:`spiral_path` — inward rectangular spiral, front-loading the border;
+* :func:`random_walk_path` — a reflecting random walk, the weakest
+  exploration baseline.
+
+:func:`path_length` measures travel cost so benches can compare placement
+quality per meter travelled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import MeasurementGrid
+
+__all__ = [
+    "boustrophedon_sweep",
+    "lawnmower_path",
+    "spiral_path",
+    "random_walk_path",
+    "path_length",
+]
+
+
+def boustrophedon_sweep(grid: MeasurementGrid) -> np.ndarray:
+    """Every lattice point in serpentine (lawnmower) visiting order.
+
+    Returns:
+        ``(P_T, 2)`` waypoints: columns alternate direction so consecutive
+        points are always one ``step`` apart.
+    """
+    axis = grid.axis_coordinates()
+    rows = []
+    for i, x in enumerate(axis):
+        ys = axis if i % 2 == 0 else axis[::-1]
+        rows.append(np.column_stack([np.full_like(ys, x), ys]))
+    return np.vstack(rows)
+
+
+def lawnmower_path(
+    side: float, track_spacing: float, sample_spacing: float
+) -> np.ndarray:
+    """A lawnmower sweep with parallel tracks ``track_spacing`` apart.
+
+    Args:
+        side: terrain side length.
+        track_spacing: distance between adjacent north–south tracks.
+        sample_spacing: distance between measurements along a track.
+
+    Returns:
+        ``(K, 2)`` ordered waypoints.
+    """
+    if track_spacing <= 0 or sample_spacing <= 0:
+        raise ValueError("track_spacing and sample_spacing must be positive")
+    xs = np.arange(0.0, side + 1e-9, track_spacing)
+    ys = np.arange(0.0, side + 1e-9, sample_spacing)
+    rows = []
+    for i, x in enumerate(xs):
+        track_ys = ys if i % 2 == 0 else ys[::-1]
+        rows.append(np.column_stack([np.full_like(track_ys, x), track_ys]))
+    return np.vstack(rows)
+
+
+def spiral_path(side: float, spacing: float) -> np.ndarray:
+    """An inward rectangular spiral from the border to the center.
+
+    Args:
+        side: terrain side length.
+        spacing: distance between consecutive spiral rings and between
+            samples along the path.
+    """
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    waypoints = []
+    lo, hi = 0.0, side
+    while hi - lo > spacing / 2.0:
+        # Four edges of the current ring, sampled every `spacing`.
+        xs = np.arange(lo, hi + 1e-9, spacing)
+        ys = np.arange(lo + spacing, hi + 1e-9, spacing)
+        waypoints.append(np.column_stack([xs, np.full_like(xs, lo)]))
+        waypoints.append(np.column_stack([np.full_like(ys, hi), ys]))
+        xs_back = xs[::-1]
+        waypoints.append(np.column_stack([xs_back, np.full_like(xs_back, hi)]))
+        ys_back = ys[:-1][::-1]
+        waypoints.append(np.column_stack([np.full_like(ys_back, lo), ys_back]))
+        lo += spacing
+        hi -= spacing
+    if not waypoints:
+        return np.array([[side / 2.0, side / 2.0]])
+    path = np.vstack(waypoints)
+    # Deduplicate consecutive repeats introduced at ring corners.
+    keep = np.ones(path.shape[0], dtype=bool)
+    keep[1:] = np.any(np.abs(np.diff(path, axis=0)) > 1e-9, axis=1)
+    return path[keep]
+
+
+def random_walk_path(
+    side: float,
+    num_steps: int,
+    step_length: float,
+    rng: np.random.Generator,
+    *,
+    start=None,
+) -> np.ndarray:
+    """A reflecting random walk inside the terrain square.
+
+    Args:
+        side: terrain side length.
+        num_steps: number of movement steps (path has ``num_steps + 1``
+            waypoints).
+        step_length: distance travelled per step.
+        rng: randomness for headings.
+        start: starting point; defaults to the terrain center.
+    """
+    if num_steps < 0:
+        raise ValueError(f"num_steps must be non-negative, got {num_steps}")
+    if step_length <= 0:
+        raise ValueError(f"step_length must be positive, got {step_length}")
+    position = (
+        np.array([side / 2.0, side / 2.0])
+        if start is None
+        else np.asarray(start, dtype=float)
+    )
+    path = [position.copy()]
+    for _ in range(num_steps):
+        heading = rng.uniform(0.0, 2.0 * np.pi)
+        position = position + step_length * np.array([np.cos(heading), np.sin(heading)])
+        # Reflect off the borders.
+        for k in range(2):
+            if position[k] < 0.0:
+                position[k] = -position[k]
+            if position[k] > side:
+                position[k] = 2.0 * side - position[k]
+            position[k] = min(max(position[k], 0.0), side)
+        path.append(position.copy())
+    return np.asarray(path)
+
+
+def path_length(path: np.ndarray) -> float:
+    """Total travel distance along an ordered waypoint sequence, meters."""
+    pts = np.asarray(path, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"path must be (K, 2), got shape {pts.shape}")
+    if pts.shape[0] < 2:
+        return 0.0
+    return float(np.linalg.norm(np.diff(pts, axis=0), axis=1).sum())

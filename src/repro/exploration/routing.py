@@ -1,0 +1,120 @@
+"""Waypoint routing: minimize robot travel for a given measurement set.
+
+Partial and active surveys (§3.1 generalization) produce *sets* of points to
+measure; the robot's cost is the tour that visits them.  This module plans
+short tours:
+
+* :func:`nearest_neighbor_tour` — the classic O(K²) constructive heuristic;
+* :func:`two_opt_improve` — 2-opt local search with a move budget;
+* :func:`plan_tour` — nearest-neighbour seed + 2-opt polish, the sensible
+  default.
+
+Guarantees are heuristic (TSP is NP-hard) but the property tests pin the
+useful invariants: every point visited exactly once, never worse than the
+seed tour, and large savings over the input order for random point sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array
+from .paths import path_length
+
+__all__ = ["nearest_neighbor_tour", "two_opt_improve", "plan_tour", "tour_savings"]
+
+
+def nearest_neighbor_tour(points, start_index: int = 0) -> np.ndarray:
+    """Visit order by always moving to the nearest unvisited point.
+
+    Args:
+        points: ``(K, 2)`` waypoints.
+        start_index: index of the first waypoint.
+
+    Returns:
+        ``(K,)`` permutation of ``0..K-1``.
+    """
+    pts = as_point_array(points)
+    k = pts.shape[0]
+    if k == 0:
+        return np.zeros(0, dtype=int)
+    if not 0 <= start_index < k:
+        raise ValueError(f"start_index {start_index} out of range for {k} points")
+    remaining = np.ones(k, dtype=bool)
+    order = np.empty(k, dtype=int)
+    order[0] = start_index
+    remaining[start_index] = False
+    current = pts[start_index]
+    for step in range(1, k):
+        candidates = np.flatnonzero(remaining)
+        d2 = np.einsum(
+            "nk,nk->n", pts[candidates] - current, pts[candidates] - current
+        )
+        chosen = candidates[int(np.argmin(d2))]
+        order[step] = chosen
+        remaining[chosen] = False
+        current = pts[chosen]
+    return order
+
+
+def two_opt_improve(points, order, *, max_rounds: int = 8) -> np.ndarray:
+    """2-opt local search: reverse segments while any reversal shortens the tour.
+
+    Args:
+        points: ``(K, 2)`` waypoints.
+        order: starting permutation.
+        max_rounds: full improvement sweeps before giving up.
+
+    Returns:
+        An order at a 2-opt local optimum (or after ``max_rounds`` sweeps).
+    """
+    pts = as_point_array(points)
+    tour = np.asarray(order, dtype=int).copy()
+    k = tour.shape[0]
+    if k < 4:
+        return tour
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+
+    def dist(a: int, b: int) -> float:
+        return float(np.hypot(*(pts[a] - pts[b])))
+
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(k - 3):
+            a, b = tour[i], tour[i + 1]
+            d_ab = dist(a, b)
+            # Vectorized gain scan for edge (i, i+1) against all (j, j+1).
+            cs = tour[i + 2 : k - 1]
+            ds = tour[i + 3 : k]
+            d_cd = np.linalg.norm(pts[cs] - pts[ds], axis=1)
+            d_ac = np.linalg.norm(pts[a] - pts[cs], axis=1)
+            d_bd = np.linalg.norm(pts[b] - pts[ds], axis=1)
+            gains = (d_ab + d_cd) - (d_ac + d_bd)
+            best = int(np.argmax(gains)) if gains.size else -1
+            if best >= 0 and gains[best] > 1e-9:
+                j = i + 2 + best
+                tour[i + 1 : j + 1] = tour[i + 1 : j + 1][::-1]
+                improved = True
+        if not improved:
+            break
+    return tour
+
+
+def plan_tour(points, *, start_index: int = 0, max_rounds: int = 8) -> np.ndarray:
+    """Nearest-neighbour seed polished by 2-opt.
+
+    Returns:
+        The waypoints reordered, ``(K, 2)`` — ready for
+        :meth:`SurveyAgent.measure_at`.
+    """
+    pts = as_point_array(points)
+    order = nearest_neighbor_tour(pts, start_index)
+    order = two_opt_improve(pts, order, max_rounds=max_rounds)
+    return pts[order]
+
+
+def tour_savings(points, *, start_index: int = 0) -> tuple[float, float]:
+    """(input-order length, planned length) for a waypoint set."""
+    pts = as_point_array(points)
+    return path_length(pts), path_length(plan_tour(pts, start_index=start_index))

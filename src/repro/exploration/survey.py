@@ -1,0 +1,104 @@
+"""Surveys: the measurement sets that placement algorithms consume.
+
+Section 3 of the paper: a GPS-equipped mobile robot or human explores the
+terrain, computes its localization estimate at each visited point, and thus
+*"has a means of computing the localization error at any point on the
+terrain"*.  A :class:`Survey` is the product of that exploration — visited
+points with their measured localization errors — and is the sole input of
+the measurement-driven placement algorithms (Max, Grid).
+
+The paper's evaluation uses *complete* surveys (every lattice point, no
+measurement noise); partial and noisy surveys are the §3.1 generalization
+exercised by the exploration extension bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import MeasurementGrid, as_point_array
+from ..localization import ErrorSurface
+
+__all__ = ["Survey"]
+
+
+@dataclass(frozen=True)
+class Survey:
+    """Localization-error measurements over a set of terrain points.
+
+    Attributes:
+        points: ``(P, 2)`` surveyed locations (as recorded by the surveyor —
+            under GPS noise these may deviate from the true positions).
+        errors: ``(P,)`` measured localization error at each point; NaN marks
+            points excluded by the unlocalized policy.
+        terrain_side: side of the surveyed terrain square.
+        grid: the full measurement lattice when the survey is a complete
+            sweep aligned with it, else None.  Grid-aware algorithms use this
+            to reuse cached lattice masks.
+    """
+
+    points: np.ndarray
+    errors: np.ndarray
+    terrain_side: float
+    grid: MeasurementGrid | None = None
+
+    def __post_init__(self) -> None:
+        pts = as_point_array(self.points)
+        err = np.asarray(self.errors, dtype=float)
+        if err.shape != (pts.shape[0],):
+            raise ValueError(
+                f"errors shape {err.shape} does not match {pts.shape[0]} points"
+            )
+        if self.terrain_side <= 0:
+            raise ValueError(f"terrain_side must be positive, got {self.terrain_side}")
+        if self.grid is not None and pts.shape[0] != self.grid.num_points:
+            raise ValueError(
+                "grid is set but survey does not cover the full lattice "
+                f"({pts.shape[0]} points vs {self.grid.num_points})"
+            )
+        object.__setattr__(self, "points", pts)
+        object.__setattr__(self, "errors", err)
+
+    @classmethod
+    def from_error_surface(cls, surface: ErrorSurface) -> "Survey":
+        """A complete, noise-free survey of a full error surface."""
+        return cls(
+            points=surface.grid.points(),
+            errors=surface.errors,
+            terrain_side=surface.grid.side,
+            grid=surface.grid,
+        )
+
+    @property
+    def num_points(self) -> int:
+        """Number of surveyed points."""
+        return int(self.points.shape[0])
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the survey covers a full measurement lattice."""
+        return self.grid is not None
+
+    def mean_error(self) -> float:
+        """Mean measured LE (NaN-aware)."""
+        if np.all(np.isnan(self.errors)):
+            return float("nan")
+        return float(np.nanmean(self.errors))
+
+    def median_error(self) -> float:
+        """Median measured LE (NaN-aware)."""
+        if np.all(np.isnan(self.errors)):
+            return float("nan")
+        return float(np.nanmedian(self.errors))
+
+    def subsample(self, indices) -> "Survey":
+        """A survey restricted to ``indices`` (loses lattice completeness)."""
+        idx = np.asarray(indices)
+        return Survey(
+            points=self.points[idx],
+            errors=self.errors[idx],
+            terrain_side=self.terrain_side,
+            grid=None,
+        )

@@ -1,0 +1,36 @@
+"""Beacon fields: beacons, field containers, deployment generators, density."""
+
+from .beacons import Beacon, BeaconField
+from .density import (
+    beacons_per_coverage_area,
+    count_from_density,
+    density_from_count,
+    density_from_coverage,
+    paper_density_sweep,
+)
+from .graph import DeploymentHealth, beacon_graph, deployment_health
+from .generators import (
+    airdrop_field,
+    clustered_field,
+    perturbed_grid_field,
+    random_uniform_field,
+    regular_grid_field,
+)
+
+__all__ = [
+    "Beacon",
+    "BeaconField",
+    "random_uniform_field",
+    "regular_grid_field",
+    "perturbed_grid_field",
+    "airdrop_field",
+    "clustered_field",
+    "beacon_graph",
+    "deployment_health",
+    "DeploymentHealth",
+    "density_from_count",
+    "count_from_density",
+    "beacons_per_coverage_area",
+    "density_from_coverage",
+    "paper_density_sweep",
+]

@@ -1,0 +1,156 @@
+"""Beacons and beacon fields.
+
+A *beacon* is a node at a known position that transmits periodically and
+serves as a localization reference (Section 2.2).  A *beacon field* is the
+set of beacons deployed on a terrain; the paper generates 1000 random fields
+per density and then asks where to add one more beacon.
+
+:class:`BeaconField` is an immutable value object.  Extending a field (the
+placement step) returns a **new** field whose existing beacons keep their
+identifiers — identifiers are what the static propagation-noise realization
+(:mod:`repro.radio`) is keyed on, which is how adding a beacon leaves the
+connectivity of every existing beacon untouched (the paper's noise is
+"static with respect to time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..geometry import Point, as_point, as_point_array
+
+__all__ = ["Beacon", "BeaconField"]
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """One beacon: a stable identifier and a known position.
+
+    Attributes:
+        beacon_id: stable identifier, unique within a field lineage.  Survives
+            field extension, so noise realizations can be cached against it.
+        position: the beacon's known location.
+    """
+
+    beacon_id: int
+    position: Point
+
+    def __post_init__(self) -> None:
+        if self.beacon_id < 0:
+            raise ValueError(f"beacon_id must be non-negative, got {self.beacon_id}")
+
+
+class BeaconField:
+    """An immutable collection of beacons on a terrain.
+
+    Construct with :meth:`from_positions` (fresh ids ``0..N-1``) or extend an
+    existing field with :meth:`with_beacon_at` / :meth:`with_beacons_at`.
+
+    The positions array is exposed read-only via :meth:`positions`; all
+    numeric kernels in the package consume that ``(N, 2)`` view.
+    """
+
+    __slots__ = ("_beacons", "_positions", "_next_id")
+
+    def __init__(self, beacons: Sequence[Beacon], *, next_id: int | None = None):
+        self._beacons = tuple(beacons)
+        ids = [b.beacon_id for b in self._beacons]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate beacon ids in field")
+        pos = as_point_array([b.position for b in self._beacons])
+        pos.setflags(write=False)
+        self._positions = pos
+        inferred = max(ids, default=-1) + 1
+        if next_id is not None and next_id < inferred:
+            raise ValueError(f"next_id {next_id} collides with existing ids (max {inferred - 1})")
+        self._next_id = inferred if next_id is None else next_id
+
+    @classmethod
+    def from_positions(cls, positions) -> "BeaconField":
+        """Build a field from raw coordinates, assigning ids ``0..N-1``."""
+        pos = as_point_array(positions)
+        beacons = [Beacon(i, Point(float(x), float(y))) for i, (x, y) in enumerate(pos)]
+        return cls(beacons)
+
+    @classmethod
+    def empty(cls) -> "BeaconField":
+        """A field with no beacons."""
+        return cls(())
+
+    def __len__(self) -> int:
+        return len(self._beacons)
+
+    def __iter__(self) -> Iterator[Beacon]:
+        return iter(self._beacons)
+
+    def __getitem__(self, index: int) -> Beacon:
+        return self._beacons[index]
+
+    def __repr__(self) -> str:
+        return f"BeaconField(n={len(self)}, next_id={self._next_id})"
+
+    @property
+    def beacons(self) -> tuple[Beacon, ...]:
+        """All beacons, in field order."""
+        return self._beacons
+
+    @property
+    def next_beacon_id(self) -> int:
+        """The id the next added beacon will receive.
+
+        Exposed so trial code can evaluate candidate beacons under the same
+        identity (and therefore the same static noise) the beacon would have
+        if actually deployed.
+        """
+        return self._next_id
+
+    @property
+    def beacon_ids(self) -> tuple[int, ...]:
+        """Identifiers in field order, aligned with :meth:`positions` rows."""
+        return tuple(b.beacon_id for b in self._beacons)
+
+    def positions(self) -> np.ndarray:
+        """Beacon coordinates as a read-only ``(N, 2)`` array."""
+        return self._positions
+
+    def with_beacon_at(self, position) -> "BeaconField":
+        """A new field with one additional beacon at ``position``.
+
+        The new beacon receives a fresh id; existing beacons are unchanged.
+        """
+        p = as_point(position)
+        new = Beacon(self._next_id, p)
+        return BeaconField(self._beacons + (new,), next_id=self._next_id + 1)
+
+    def with_beacons_at(self, positions) -> "BeaconField":
+        """A new field with several additional beacons (batch placement)."""
+        out = self
+        for row in as_point_array(positions):
+            out = out.with_beacon_at(row)
+        return out
+
+    def density(self, area: float) -> float:
+        """Deployment density in beacons per m² over a terrain of ``area`` m²."""
+        if area <= 0:
+            raise ValueError(f"area must be positive, got {area}")
+        return len(self) / area
+
+    def beacons_per_coverage_area(self, area: float, radio_range: float) -> float:
+        """Beacons per nominal radio coverage area ``π R²`` (the paper's
+        secondary density axis, 1.41 … 17 for its parameter range)."""
+        return self.density(area) * np.pi * radio_range**2
+
+    def nearest_beacon_distances(self, points) -> np.ndarray:
+        """Distance from each query point to its nearest beacon.
+
+        Returns ``inf`` for every point when the field is empty.
+        """
+        pts = as_point_array(points)
+        if len(self) == 0:
+            return np.full(pts.shape[0], np.inf)
+        diff = pts[:, None, :] - self._positions[None, :, :]
+        d2 = np.einsum("pnk,pnk->pn", diff, diff)
+        return np.sqrt(d2.min(axis=1))

@@ -1,0 +1,73 @@
+"""Density bookkeeping for beacon deployments.
+
+The paper reports results on two aligned axes: deployment density in
+*beacons per square meter* and *beacons per nominal radio coverage area*
+(``π R²``); its sweep runs 20..240 beacons on a 100 m square, i.e.
+0.002..0.024 /m² or 1.41..17 per coverage area.  These helpers convert
+between the three representations and generate the paper's sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "density_from_count",
+    "count_from_density",
+    "beacons_per_coverage_area",
+    "density_from_coverage",
+    "paper_density_sweep",
+]
+
+
+def density_from_count(num_beacons: int, side: float) -> float:
+    """Beacons per m² for ``num_beacons`` on a ``side × side`` terrain."""
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    return num_beacons / (side * side)
+
+
+def count_from_density(density: float, side: float) -> int:
+    """Beacon count (rounded to nearest) realizing ``density`` beacons/m²."""
+    if density < 0:
+        raise ValueError(f"density must be non-negative, got {density}")
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    return int(round(density * side * side))
+
+
+def beacons_per_coverage_area(density: float, radio_range: float) -> float:
+    """Convert beacons/m² to beacons per nominal coverage area ``π R²``."""
+    if radio_range <= 0:
+        raise ValueError(f"radio_range must be positive, got {radio_range}")
+    return density * math.pi * radio_range**2
+
+
+def density_from_coverage(per_coverage: float, radio_range: float) -> float:
+    """Inverse of :func:`beacons_per_coverage_area`."""
+    if radio_range <= 0:
+        raise ValueError(f"radio_range must be positive, got {radio_range}")
+    return per_coverage / (math.pi * radio_range**2)
+
+
+def paper_density_sweep(
+    side: float = 100.0,
+    *,
+    min_beacons: int = 20,
+    max_beacons: int = 240,
+    step: int = 10,
+) -> list[int]:
+    """The paper's beacon-count sweep: 20, 30, …, 240 (inclusive).
+
+    Returns beacon *counts*; combine with :func:`density_from_count` for the
+    density axis.  ``side`` is accepted for symmetry with callers that
+    parameterize the terrain, though the counts themselves are what §4.1
+    specifies.
+    """
+    if min_beacons < 0 or max_beacons < min_beacons or step <= 0:
+        raise ValueError(
+            f"invalid sweep bounds: min={min_beacons}, max={max_beacons}, step={step}"
+        )
+    return list(np.arange(min_beacons, max_beacons + 1, step, dtype=int))

@@ -1,0 +1,162 @@
+"""Beacon-field generators.
+
+The paper's evaluation (§4.1) generates each field *"by randomly placing the
+beacons in the 100m × 100m square terrain"* — :func:`random_uniform_field`.
+The introduction motivates several other deployment regimes which the
+examples and extension benches exercise:
+
+* :func:`regular_grid_field` — the uniform placement of Figure 1 (k × k
+  lattice), also the setting of the analytic error bounds in §2.2;
+* :func:`perturbed_grid_field` — uniform intent + deployment perturbation
+  ("beacons may be perturbed during deployment");
+* :func:`airdrop_field` — air-dropped beacons rolling downhill on a terrain
+  heightmap (the hilltop story of §1), implemented against
+  :mod:`repro.terrain`;
+* :func:`clustered_field` — Matérn-style cluster process, a stress case of
+  badly non-uniform density.
+
+All generators draw from a caller-supplied :class:`numpy.random.Generator`
+so experiments are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array
+from .beacons import BeaconField
+
+__all__ = [
+    "random_uniform_field",
+    "regular_grid_field",
+    "perturbed_grid_field",
+    "airdrop_field",
+    "clustered_field",
+]
+
+
+def _require_count(num_beacons: int) -> None:
+    if num_beacons < 0:
+        raise ValueError(f"num_beacons must be non-negative, got {num_beacons}")
+
+
+def random_uniform_field(
+    num_beacons: int, side: float, rng: np.random.Generator
+) -> BeaconField:
+    """Beacons i.i.d. uniform over the ``[0, side]²`` terrain (paper §4.1)."""
+    _require_count(num_beacons)
+    positions = rng.uniform(0.0, side, size=(num_beacons, 2))
+    return BeaconField.from_positions(positions)
+
+
+def regular_grid_field(per_axis: int, side: float, *, margin: float | None = None) -> BeaconField:
+    """A ``per_axis × per_axis`` lattice of beacons (uniform placement, Fig 1).
+
+    Args:
+        per_axis: beacons along each axis (≥ 1).
+        side: terrain side length.
+        margin: distance from the border to the outermost beacons.  Defaults
+            to half the beacon separation, which tiles the terrain into equal
+            cells (the configuration the §2.2 error bounds assume).
+
+    Returns:
+        The lattice field; beacon separation is ``(side - 2·margin) /
+        (per_axis - 1)`` for ``per_axis > 1``.
+    """
+    if per_axis < 1:
+        raise ValueError(f"per_axis must be >= 1, got {per_axis}")
+    if per_axis == 1:
+        return BeaconField.from_positions([[side / 2.0, side / 2.0]])
+    if margin is None:
+        margin = side / (2.0 * per_axis)
+    if not 0 <= margin < side / 2.0:
+        raise ValueError(f"margin must be in [0, side/2), got {margin}")
+    axis = np.linspace(margin, side - margin, per_axis)
+    xs, ys = np.meshgrid(axis, axis, indexing="ij")
+    return BeaconField.from_positions(np.column_stack([xs.ravel(), ys.ravel()]))
+
+
+def perturbed_grid_field(
+    per_axis: int,
+    side: float,
+    rng: np.random.Generator,
+    *,
+    sigma: float,
+    margin: float | None = None,
+) -> BeaconField:
+    """A regular grid whose beacons were displaced during deployment.
+
+    Each lattice beacon is shifted by isotropic Gaussian noise of standard
+    deviation ``sigma`` (meters) and clamped to the terrain.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    base = regular_grid_field(per_axis, side, margin=margin).positions()
+    jitter = rng.normal(0.0, sigma, size=base.shape)
+    return BeaconField.from_positions(np.clip(base + jitter, 0.0, side))
+
+
+def airdrop_field(
+    num_beacons: int,
+    side: float,
+    rng: np.random.Generator,
+    *,
+    heightmap,
+    roll_steps: int = 25,
+    roll_rate: float = 2.0,
+) -> BeaconField:
+    """Air-dropped beacons that roll downhill after landing.
+
+    Reproduces the §1 motivation: *"Air dropped beacon nodes will roll over
+    the hill"* — so uniform-at-altitude drops end up non-uniform on the
+    ground, depleting ridges and piling into valleys.
+
+    Args:
+        num_beacons: beacons dropped.
+        side: terrain side.
+        rng: randomness for the drop points.
+        heightmap: a :class:`repro.terrain.Heightmap` over the same terrain.
+        roll_steps: gradient-descent steps simulating the roll.
+        roll_rate: meters moved per unit slope per step.
+
+    Returns:
+        The settled field (positions clamped to the terrain).
+    """
+    _require_count(num_beacons)
+    if roll_steps < 0:
+        raise ValueError(f"roll_steps must be non-negative, got {roll_steps}")
+    positions = rng.uniform(0.0, side, size=(num_beacons, 2))
+    for _ in range(roll_steps):
+        gx, gy = heightmap.gradient_at(positions)
+        positions = positions - roll_rate * np.column_stack([gx, gy])
+        positions = np.clip(positions, 0.0, side)
+    return BeaconField.from_positions(positions)
+
+
+def clustered_field(
+    num_beacons: int,
+    side: float,
+    rng: np.random.Generator,
+    *,
+    num_clusters: int,
+    cluster_sigma: float,
+) -> BeaconField:
+    """Beacons concentrated around random cluster centers (Matérn-style).
+
+    Args:
+        num_beacons: total beacons.
+        side: terrain side.
+        rng: randomness source.
+        num_clusters: number of cluster centers, uniform over the terrain.
+        cluster_sigma: Gaussian spread of beacons around their center.
+    """
+    _require_count(num_beacons)
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    if cluster_sigma < 0:
+        raise ValueError(f"cluster_sigma must be non-negative, got {cluster_sigma}")
+    centers = rng.uniform(0.0, side, size=(num_clusters, 2))
+    assignment = rng.integers(0, num_clusters, size=num_beacons)
+    offsets = rng.normal(0.0, cluster_sigma, size=(num_beacons, 2))
+    positions = np.clip(centers[assignment] + offsets, 0.0, side)
+    return BeaconField.from_positions(as_point_array(positions))

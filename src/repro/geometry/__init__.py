@@ -1,0 +1,30 @@
+"""Planar geometry substrate: points, lattices, overlapping grids, regions."""
+
+from .measurement_grid import MeasurementGrid
+from .overlapping_grids import OverlappingGridLayout
+from .points import (
+    Point,
+    as_point,
+    as_point_array,
+    clamp_to_square,
+    distance,
+    distances_to_point,
+    pairwise_distances,
+    points_equal,
+)
+from .regions import RegionDecomposition, decompose_regions
+
+__all__ = [
+    "Point",
+    "as_point",
+    "as_point_array",
+    "clamp_to_square",
+    "distance",
+    "distances_to_point",
+    "pairwise_distances",
+    "points_equal",
+    "MeasurementGrid",
+    "OverlappingGridLayout",
+    "RegionDecomposition",
+    "decompose_regions",
+]

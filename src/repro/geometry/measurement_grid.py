@@ -1,0 +1,139 @@
+"""The regular lattice of measurement points used to survey a terrain.
+
+Section 3.2 of the paper: *"We assume the terrain to be a square of Side
+meters and each robot will take measurements step meters apart (step <
+Side)"*, so the Max and Grid algorithms measure localization error at every
+point ``(i·step, j·step)`` with ``0 ≤ i, j ≤ Side/step``.  The number of data
+points is ``P_T = (Side/step + 1)²``.
+
+:class:`MeasurementGrid` owns that lattice: it generates the point array once
+(cached), maps between flat point indices and lattice coordinates, and
+answers membership queries for sub-squares (needed by the overlapping-grid
+decomposition of the Grid algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .points import Point, as_point
+
+__all__ = ["MeasurementGrid"]
+
+
+@dataclass(frozen=True)
+class MeasurementGrid:
+    """A square terrain sampled on a regular lattice.
+
+    Args:
+        side: terrain side length in meters (``Side`` in the paper).
+        step: lattice spacing in meters (``step`` in the paper).  Must divide
+            ``side`` to a lattice that covers the far corner exactly, i.e.
+            ``side / step`` must be (numerically) an integer, mirroring the
+            paper's ``(i·step, j·step)`` indexing.
+
+    Attributes:
+        side: terrain side length.
+        step: lattice spacing.
+    """
+
+    side: float
+    step: float
+    _cache: dict = field(default_factory=dict, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.side <= 0:
+            raise ValueError(f"side must be positive, got {self.side}")
+        if self.step <= 0:
+            raise ValueError(f"step must be positive, got {self.step}")
+        if self.step >= self.side:
+            raise ValueError(f"step ({self.step}) must be smaller than side ({self.side})")
+        ratio = self.side / self.step
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ValueError(
+                f"step ({self.step}) must evenly divide side ({self.side}); "
+                f"side/step = {ratio}"
+            )
+
+    @property
+    def points_per_axis(self) -> int:
+        """Lattice points per axis: ``Side/step + 1``."""
+        return int(round(self.side / self.step)) + 1
+
+    @property
+    def num_points(self) -> int:
+        """Total measurement points ``P_T = (Side/step + 1)²``."""
+        return self.points_per_axis**2
+
+    def axis_coordinates(self) -> np.ndarray:
+        """The shared per-axis coordinates ``0, step, 2·step, …, side``."""
+        return np.arange(self.points_per_axis, dtype=float) * self.step
+
+    def points(self) -> np.ndarray:
+        """All lattice points as a ``(P_T, 2)`` array, row-major in (x, y).
+
+        The array is computed once and cached; callers must treat it as
+        read-only (it is marked non-writeable).
+        """
+        cached = self._cache.get("points")
+        if cached is not None:
+            return cached
+        axis = self.axis_coordinates()
+        xs, ys = np.meshgrid(axis, axis, indexing="ij")
+        pts = np.column_stack([xs.ravel(), ys.ravel()])
+        pts.setflags(write=False)
+        self._cache["points"] = pts
+        return pts
+
+    def index_of(self, point) -> int:
+        """Flat index of a lattice point.
+
+        Raises:
+            ValueError: if ``point`` is not (within 1e-6 m) on the lattice.
+        """
+        p = as_point(point)
+        i = p.x / self.step
+        j = p.y / self.step
+        ii, jj = round(i), round(j)
+        if abs(i - ii) > 1e-6 or abs(j - jj) > 1e-6:
+            raise ValueError(f"{p} is not a lattice point of {self}")
+        n = self.points_per_axis
+        if not (0 <= ii < n and 0 <= jj < n):
+            raise ValueError(f"{p} lies outside the terrain of {self}")
+        return int(ii) * n + int(jj)
+
+    def point_at(self, index: int) -> Point:
+        """The lattice point for a flat index (inverse of :meth:`index_of`)."""
+        n = self.points_per_axis
+        if not 0 <= index < self.num_points:
+            raise IndexError(f"index {index} out of range for {self.num_points} points")
+        return Point((index // n) * self.step, (index % n) * self.step)
+
+    def contains(self, point) -> bool:
+        """Whether a point lies inside the closed terrain square."""
+        p = as_point(point)
+        return 0.0 <= p.x <= self.side and 0.0 <= p.y <= self.side
+
+    def mask_in_square(self, center, half_side: float) -> np.ndarray:
+        """Boolean mask of lattice points inside a closed axis-aligned square.
+
+        Args:
+            center: square center.
+            half_side: half the square's side length.
+
+        Returns:
+            ``(P_T,)`` boolean array aligned with :meth:`points`.
+        """
+        if half_side < 0:
+            raise ValueError(f"half_side must be non-negative, got {half_side}")
+        c = as_point(center)
+        pts = self.points()
+        return (np.abs(pts[:, 0] - c.x) <= half_side + 1e-9) & (
+            np.abs(pts[:, 1] - c.y) <= half_side + 1e-9
+        )
+
+    def cell_area(self) -> float:
+        """Area represented by one lattice point (``step²``), for region areas."""
+        return self.step * self.step

@@ -1,0 +1,181 @@
+"""Localization regions (loci) induced by beacon connectivity.
+
+Under connectivity-based localization every client that hears the same set of
+beacons computes the same position estimate, so the terrain decomposes into
+*localization regions*: maximal sets of points sharing one connectivity
+signature (Figure 1 of the paper, and the "full locus information" discussed
+in Sections 2.2 and 6).  Denser beacon fields induce more, smaller regions
+and hence finer-grained localization.
+
+This module computes that decomposition on a measurement lattice: region
+labels per point, per-region areas and centroids, and summary statistics.
+It backs both the quantitative Figure-1 reproduction and the locus-area
+placement extension (:class:`repro.placement.LocusAreaPlacement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .measurement_grid import MeasurementGrid
+
+__all__ = ["RegionDecomposition", "decompose_regions"]
+
+
+@dataclass(frozen=True)
+class RegionDecomposition:
+    """The partition of a measurement lattice into localization regions.
+
+    Attributes:
+        labels: ``(P_T,)`` int array; ``labels[p]`` is the region id of
+            lattice point ``p``.  Region ids are dense, ``0 .. num_regions-1``.
+        region_point_counts: ``(num_regions,)`` lattice points per region.
+        region_areas: ``(num_regions,)`` areas in m² (count × step²).
+        region_centroids: ``(num_regions, 2)`` centroid of each region's
+            lattice points.
+        region_beacon_counts: ``(num_regions,)`` number of connected beacons
+            in each region's signature (0 for the uncovered region, if any).
+    """
+
+    labels: np.ndarray
+    region_point_counts: np.ndarray
+    region_areas: np.ndarray
+    region_centroids: np.ndarray
+    region_beacon_counts: np.ndarray
+
+    @property
+    def num_regions(self) -> int:
+        """Number of distinct localization regions (incl. uncovered space)."""
+        return int(self.region_point_counts.shape[0])
+
+    @property
+    def num_covered_regions(self) -> int:
+        """Regions whose signature contains at least one beacon."""
+        return int(np.count_nonzero(self.region_beacon_counts > 0))
+
+    def covered_region_areas(self) -> np.ndarray:
+        """Areas of regions hearing ≥ 1 beacon."""
+        return self.region_areas[self.region_beacon_counts > 0]
+
+    def largest_covered_region(self) -> int:
+        """Region id of the largest-area region hearing ≥ 1 beacon.
+
+        Raises:
+            ValueError: if no point hears any beacon.
+        """
+        covered = self.region_beacon_counts > 0
+        if not covered.any():
+            raise ValueError("no covered region: no lattice point hears a beacon")
+        areas = np.where(covered, self.region_areas, -1.0)
+        return int(np.argmax(areas))
+
+    def mean_covered_region_area(self) -> float:
+        """Mean area of covered regions — the 'granularity' of Figure 1."""
+        areas = self.covered_region_areas()
+        if areas.size == 0:
+            return float("nan")
+        return float(areas.mean())
+
+
+def _signature_keys(connectivity: np.ndarray) -> np.ndarray:
+    """Compact per-point signature keys for row-wise grouping.
+
+    Packs each boolean row into bytes and views the result as a void dtype so
+    ``np.unique`` can group full rows in one call.
+    """
+    packed = np.packbits(connectivity, axis=1)
+    return packed.view([("", packed.dtype)] * packed.shape[1]).reshape(-1)
+
+
+def _split_spatially(labels: np.ndarray, grid: MeasurementGrid) -> np.ndarray:
+    """Relabel signature classes into 4-connected lattice components.
+
+    Two points with the same signature but in disjoint patches of terrain
+    are *different* loci — a client in either patch computes the same
+    estimate, but a beacon placed to break one patch does nothing for the
+    other.  Spatial splitting turns the signature partition into the true
+    locus partition.
+    """
+    from scipy import ndimage
+
+    n = grid.points_per_axis
+    image = labels.reshape(n, n)
+    out = np.full_like(image, -1)
+    next_label = 0
+    for value in np.unique(image):
+        components, count = ndimage.label(image == value)
+        mask = image == value
+        out[mask] = components[mask] - 1 + next_label
+        next_label += count
+    return out.reshape(-1)
+
+
+def decompose_regions(
+    connectivity: np.ndarray,
+    grid: MeasurementGrid,
+    *,
+    split_spatially: bool = False,
+) -> RegionDecomposition:
+    """Group lattice points into localization regions by signature.
+
+    Args:
+        connectivity: ``(P_T, N)`` boolean matrix; ``connectivity[p, b]`` is
+            True when lattice point ``p`` is connected to beacon ``b``.
+        grid: the measurement lattice the rows are aligned with.
+        split_spatially: additionally split each signature class into
+            4-connected lattice components, so regions are true contiguous
+            loci (see :func:`_split_spatially`).  Figure 1's picture assumes
+            this; the signature-only partition is what the *localizer* can
+            distinguish.
+
+    Returns:
+        The :class:`RegionDecomposition`.  Points hearing zero beacons form
+        one region with ``region_beacon_counts == 0`` (they are
+        indistinguishable to the localizer) — or one region per uncovered
+        patch when ``split_spatially`` is set.
+    """
+    conn = np.asarray(connectivity, dtype=bool)
+    if conn.ndim != 2:
+        raise ValueError(f"connectivity must be 2-D (P, N), got shape {conn.shape}")
+    if conn.shape[0] != grid.num_points:
+        raise ValueError(
+            f"connectivity has {conn.shape[0]} rows, lattice has {grid.num_points} points"
+        )
+
+    if conn.shape[1] == 0:
+        labels = np.zeros(conn.shape[0], dtype=int)
+        counts = np.array([conn.shape[0]])
+    else:
+        keys = _signature_keys(conn)
+        _, labels, counts = np.unique(keys, return_inverse=True, return_counts=True)
+        labels = labels.reshape(-1)
+
+    if split_spatially and conn.shape[1] > 0:
+        labels = _split_spatially(labels, grid)
+        counts = np.bincount(labels)
+
+    num_regions = counts.shape[0]
+    pts = grid.points()
+    sums = np.zeros((num_regions, 2))
+    np.add.at(sums, labels, pts)
+    centroids = sums / counts[:, None]
+
+    beacon_counts = np.zeros(num_regions, dtype=int)
+    per_point_degree = conn.sum(axis=1)
+    # All points in a region share a signature, so any representative's
+    # degree is the region's beacon count.
+    first_index = np.full(num_regions, -1, dtype=int)
+    seen_order = np.argsort(labels, kind="stable")
+    first_positions = np.searchsorted(labels[seen_order], np.arange(num_regions))
+    first_index = seen_order[first_positions]
+    beacon_counts = per_point_degree[first_index].astype(int)
+
+    return RegionDecomposition(
+        labels=labels,
+        region_point_counts=counts,
+        region_areas=counts.astype(float) * grid.cell_area(),
+        region_centroids=centroids,
+        region_beacon_counts=beacon_counts,
+    )

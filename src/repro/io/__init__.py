@@ -1,0 +1,23 @@
+"""Persistence: beacon fields, surveys, heightmaps, error surfaces ⇄ disk."""
+
+from .serialization import (
+    load_error_surface,
+    load_field,
+    load_heightmap,
+    load_survey,
+    save_error_surface,
+    save_field,
+    save_heightmap,
+    save_survey,
+)
+
+__all__ = [
+    "save_field",
+    "load_field",
+    "save_survey",
+    "load_survey",
+    "save_heightmap",
+    "load_heightmap",
+    "save_error_surface",
+    "load_error_surface",
+]

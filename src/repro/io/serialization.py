@@ -1,0 +1,172 @@
+"""Persistence for deployments, surveys, terrains and error surfaces.
+
+A real deployment workflow spans sessions: the survey robot logs
+measurements in the field, placement planning happens back at base, and the
+beacon inventory lives in a config file.  These helpers give every core
+artifact a stable on-disk form:
+
+* beacon fields ⇄ JSON (ids preserved — they key the static noise),
+* surveys ⇄ CSV (one row per measurement; lattice completeness restored
+  when the points form a full grid),
+* heightmaps ⇄ NPZ,
+* error surfaces ⇄ NPZ.
+
+All formats are versioned with a ``format`` tag so future revisions can
+migrate old files explicitly instead of mis-reading them.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exploration import Survey
+from ..field import Beacon, BeaconField
+from ..geometry import MeasurementGrid, Point
+from ..localization import ErrorSurface
+from ..terrain import Heightmap
+
+__all__ = [
+    "save_field",
+    "load_field",
+    "save_survey",
+    "load_survey",
+    "save_heightmap",
+    "load_heightmap",
+    "save_error_surface",
+    "load_error_surface",
+]
+
+_FIELD_FORMAT = "beaconplace.field.v1"
+_SURVEY_FORMAT = "beaconplace.survey.v1"
+_HEIGHTMAP_FORMAT = "beaconplace.heightmap.v1"
+_SURFACE_FORMAT = "beaconplace.error_surface.v1"
+
+
+def _check_format(found, expected: str, path) -> None:
+    if found != expected:
+        raise ValueError(f"{path}: expected format {expected!r}, found {found!r}")
+
+
+# -- Beacon fields -----------------------------------------------------------
+
+
+def save_field(field: BeaconField, path) -> Path:
+    """Write a beacon field to JSON (ids and positions)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": _FIELD_FORMAT,
+        "next_id": field.next_beacon_id,
+        "beacons": [
+            {"id": b.beacon_id, "x": b.position.x, "y": b.position.y} for b in field
+        ],
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def load_field(path) -> BeaconField:
+    """Read a beacon field written by :func:`save_field`."""
+    src = Path(path)
+    payload = json.loads(src.read_text())
+    _check_format(payload.get("format"), _FIELD_FORMAT, src)
+    beacons = [
+        Beacon(int(b["id"]), Point(float(b["x"]), float(b["y"])))
+        for b in payload["beacons"]
+    ]
+    return BeaconField(beacons, next_id=int(payload["next_id"]))
+
+
+# -- Surveys -----------------------------------------------------------------
+
+
+def save_survey(survey: Survey, path) -> Path:
+    """Write a survey to CSV (x, y, error rows plus a header comment)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        handle.write(f"# {_SURVEY_FORMAT} terrain_side={survey.terrain_side!r}")
+        if survey.is_complete:
+            handle.write(f" grid_step={survey.grid.step!r}")
+        handle.write("\n")
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y", "error"])
+        for (x, y), err in zip(survey.points, survey.errors):
+            writer.writerow([repr(float(x)), repr(float(y)), repr(float(err))])
+    return out
+
+
+def load_survey(path) -> Survey:
+    """Read a survey written by :func:`save_survey`."""
+    src = Path(path)
+    with src.open() as handle:
+        header = handle.readline().strip()
+        if not header.startswith(f"# {_SURVEY_FORMAT}"):
+            raise ValueError(f"{src}: not a {_SURVEY_FORMAT} file")
+        meta = dict(
+            part.split("=", 1) for part in header.split()[2:] if "=" in part
+        )
+        terrain_side = float(meta["terrain_side"])
+        reader = csv.reader(handle)
+        head = next(reader)
+        if head != ["x", "y", "error"]:
+            raise ValueError(f"{src}: unexpected survey columns {head}")
+        rows = [(float(r[0]), float(r[1]), float(r[2])) for r in reader]
+    points = np.array([[r[0], r[1]] for r in rows]) if rows else np.zeros((0, 2))
+    errors = np.array([r[2] for r in rows])
+    grid = None
+    if "grid_step" in meta:
+        step = float(meta["grid_step"])
+        grid = MeasurementGrid(terrain_side, step)
+        if grid.num_points != points.shape[0]:
+            grid = None  # stored partial rows; degrade gracefully
+    return Survey(points=points, errors=errors, terrain_side=terrain_side, grid=grid)
+
+
+# -- Heightmaps and error surfaces --------------------------------------------
+
+
+def save_heightmap(heightmap: Heightmap, path) -> Path:
+    """Write a heightmap to NPZ."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        out,
+        format=_HEIGHTMAP_FORMAT,
+        side=heightmap.side,
+        elevations=heightmap.elevations,
+    )
+    return out if out.suffix == ".npz" else out.with_suffix(out.suffix + ".npz")
+
+
+def load_heightmap(path) -> Heightmap:
+    """Read a heightmap written by :func:`save_heightmap`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        _check_format(str(data["format"]), _HEIGHTMAP_FORMAT, path)
+        return Heightmap(data["elevations"], float(data["side"]))
+
+
+def save_error_surface(surface: ErrorSurface, path) -> Path:
+    """Write an error surface (lattice geometry + per-point errors) to NPZ."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        out,
+        format=_SURFACE_FORMAT,
+        side=surface.grid.side,
+        step=surface.grid.step,
+        errors=surface.errors,
+    )
+    return out if out.suffix == ".npz" else out.with_suffix(out.suffix + ".npz")
+
+
+def load_error_surface(path) -> ErrorSurface:
+    """Read an error surface written by :func:`save_error_surface`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        _check_format(str(data["format"]), _SURFACE_FORMAT, path)
+        grid = MeasurementGrid(float(data["side"]), float(data["step"]))
+        return ErrorSurface(grid, data["errors"])

@@ -1,0 +1,43 @@
+"""Localization algorithms and error metrics.
+
+The paper's estimator is the connectivity centroid (§2.2); locus, weighted
+centroid and multilateration are the comparison baselines it discusses.
+"""
+
+from .base import Localizer, UnlocalizedPolicy, apply_unlocalized_policy
+from .bayes import GridBayesLocalizer
+from .fingerprint import FingerprintLocalizer
+from .bounds import (
+    OverlapRatioResult,
+    max_error_for_overlap_ratio,
+    overlap_ratio_sweep,
+)
+from .centroid import CentroidLocalizer, CentroidState
+from .error import ErrorSummary, ErrorSurface, localization_errors
+from .locus import LocusLocalizer
+from .tracking import AlphaBetaTracker, TrackingResult, track_path
+from .multilateration import MultilaterationLocalizer, gdop
+from .weighted import WeightedCentroidLocalizer
+
+__all__ = [
+    "Localizer",
+    "UnlocalizedPolicy",
+    "apply_unlocalized_policy",
+    "CentroidLocalizer",
+    "CentroidState",
+    "LocusLocalizer",
+    "GridBayesLocalizer",
+    "FingerprintLocalizer",
+    "AlphaBetaTracker",
+    "TrackingResult",
+    "track_path",
+    "WeightedCentroidLocalizer",
+    "MultilaterationLocalizer",
+    "gdop",
+    "localization_errors",
+    "ErrorSurface",
+    "ErrorSummary",
+    "OverlapRatioResult",
+    "max_error_for_overlap_ratio",
+    "overlap_ratio_sweep",
+]

@@ -1,0 +1,130 @@
+"""Localization-error metrics (Section 2.2 / 4.1).
+
+The paper's error measure is the Euclidean distance between estimated and
+actual position::
+
+    LE = sqrt((X_est − X_a)² + (Y_est − Y_a)²)
+
+and its evaluation metrics are statistics of LE over all measurement points:
+mean error, median error, and the *improvements* in each when a beacon is
+added.  :class:`ErrorSurface` bundles the per-point errors with the lattice
+they were measured on; all reductions are NaN-aware so the ``EXCLUDE``
+unlocalized policy composes transparently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import MeasurementGrid, as_point_array
+
+__all__ = ["localization_errors", "ErrorSurface", "ErrorSummary"]
+
+
+def localization_errors(estimates: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """Per-point localization error ``LE``, shape ``(P,)``.
+
+    NaN estimates (excluded points) yield NaN errors.
+    """
+    est = as_point_array(estimates)
+    act = as_point_array(actual)
+    if est.shape != act.shape:
+        raise ValueError(f"estimates shape {est.shape} != actual shape {act.shape}")
+    diff = est - act
+    return np.sqrt(np.einsum("pk,pk->p", diff, diff))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Scalar statistics of an error surface.
+
+    Attributes:
+        mean: mean LE over measured (non-NaN) points, meters.
+        median: median LE, meters.
+        maximum: max LE, meters.
+        num_points: points contributing (non-NaN).
+    """
+
+    mean: float
+    median: float
+    maximum: float
+    num_points: int
+
+
+@dataclass(frozen=True)
+class ErrorSurface:
+    """Per-point localization errors over a measurement lattice.
+
+    Attributes:
+        grid: the lattice the errors were measured on.
+        errors: ``(P_T,)`` LE values aligned with ``grid.points()``; NaN
+            marks excluded points.
+    """
+
+    grid: MeasurementGrid
+    errors: np.ndarray
+
+    def __post_init__(self) -> None:
+        err = np.asarray(self.errors, dtype=float)
+        if err.shape != (self.grid.num_points,):
+            raise ValueError(
+                f"errors shape {err.shape} != lattice size ({self.grid.num_points},)"
+            )
+
+    def mean_error(self) -> float:
+        """Mean LE (meters), ignoring excluded points."""
+        if np.all(np.isnan(self.errors)):
+            return float("nan")
+        return float(np.nanmean(self.errors))
+
+    def median_error(self) -> float:
+        """Median LE (meters), ignoring excluded points."""
+        if np.all(np.isnan(self.errors)):
+            return float("nan")
+        return float(np.nanmedian(self.errors))
+
+    def max_error(self) -> float:
+        """Maximum LE (meters), ignoring excluded points."""
+        if np.all(np.isnan(self.errors)):
+            return float("nan")
+        return float(np.nanmax(self.errors))
+
+    def summary(self) -> ErrorSummary:
+        """All scalar statistics at once."""
+        return ErrorSummary(
+            mean=self.mean_error(),
+            median=self.median_error(),
+            maximum=self.max_error(),
+            num_points=int(np.count_nonzero(~np.isnan(self.errors))),
+        )
+
+    def argmax_point(self):
+        """The lattice point with the highest LE (the Max algorithm's pick).
+
+        Ties break to the lowest flat index (row-major), deterministically.
+        """
+        if np.all(np.isnan(self.errors)):
+            raise ValueError("error surface has no measured points")
+        idx = int(np.nanargmax(self.errors))
+        return self.grid.point_at(idx)
+
+    def as_image(self) -> np.ndarray:
+        """Errors reshaped to the lattice's ``(n, n)`` image (x-major)."""
+        n = self.grid.points_per_axis
+        return self.errors.reshape(n, n)
+
+    def improvement_over(self, other: "ErrorSurface") -> tuple[float, float]:
+        """The paper's §4.1 metrics vs a *prior* surface.
+
+        Returns:
+            ``(improvement_in_mean, improvement_in_median)`` where each is
+            ``other − self`` (positive when this surface is better).
+        """
+        if self.grid != other.grid:
+            raise ValueError("cannot compare error surfaces on different lattices")
+        return (
+            other.mean_error() - self.mean_error(),
+            other.median_error() - self.median_error(),
+        )

@@ -1,0 +1,178 @@
+"""Signal-strength fingerprinting localization (the RADAR baseline).
+
+The paper's related work cites Bahl & Padmanabhan's RADAR (ref [1]): locate
+a client by matching its received-signal-strength vector against a
+*database of signal strength signatures* collected at known calibration
+points.  This is the natural high-information baseline against which the
+connectivity centroid's simplicity can be judged — and its placement
+sensitivity is of the same kind (calibration quality depends on where the
+beacons are).
+
+Implementation:
+
+* **Offline phase** (:meth:`FingerprintLocalizer.calibrate`): walk a
+  calibration lattice, record each point's signature.  Signatures are
+  derived from the propagation realization's per-link effective ranges — an
+  idealized RSS in dB, ``s = 10·n·log10(r_eff / d)`` clipped at the
+  detection floor — so the same static world serves both phases.
+* **Online phase** (:meth:`estimate`): per query point, take the k nearest
+  database signatures (Euclidean distance in signal space, counting
+  non-detections as floor) and average their calibration coordinates.
+
+Calibration measurement noise is supported to keep the baseline honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array, pairwise_distances
+from .base import Localizer, UnlocalizedPolicy, apply_unlocalized_policy
+
+__all__ = ["FingerprintLocalizer"]
+
+
+class FingerprintLocalizer(Localizer):
+    """k-nearest-signature localization against a calibrated database.
+
+    Args:
+        terrain_side: side of the terrain square.
+        realization: the propagation world signatures are measured in.
+        path_loss_exponent: exponent for the idealized RSS mapping.
+        floor_db: detection floor; links weaker than this read as
+            non-detections (assigned the floor value in signature space).
+        k: neighbours averaged in the online phase.
+        calibration_noise_db: Gaussian noise added to calibration
+            signatures (0 = clean database).
+        policy: fallback for query points detecting no beacon at all.
+    """
+
+    def __init__(
+        self,
+        terrain_side: float,
+        realization,
+        *,
+        path_loss_exponent: float = 3.0,
+        floor_db: float = -20.0,
+        k: int = 3,
+        calibration_noise_db: float = 0.0,
+        rng: np.random.Generator | None = None,
+        policy: UnlocalizedPolicy = UnlocalizedPolicy.TERRAIN_CENTER,
+    ):
+        if terrain_side <= 0:
+            raise ValueError(f"terrain_side must be positive, got {terrain_side}")
+        if path_loss_exponent <= 0:
+            raise ValueError(f"path_loss_exponent must be positive, got {path_loss_exponent}")
+        if floor_db >= 0:
+            raise ValueError(f"floor_db must be negative, got {floor_db}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if calibration_noise_db < 0:
+            raise ValueError(f"calibration_noise_db must be >= 0, got {calibration_noise_db}")
+        if calibration_noise_db > 0 and rng is None:
+            raise ValueError("rng is required when calibration_noise_db > 0")
+        self.terrain_side = float(terrain_side)
+        self.realization = realization
+        self.n = float(path_loss_exponent)
+        self.floor_db = float(floor_db)
+        self.k = int(k)
+        self.calibration_noise_db = float(calibration_noise_db)
+        self._rng = rng
+        self.policy = policy
+        self._db_points: np.ndarray | None = None
+        self._db_signatures: np.ndarray | None = None
+        self._beacons = None  # the field the database was calibrated against
+
+    # -- Signatures ----------------------------------------------------------
+
+    def signatures_at(self, points, beacons) -> np.ndarray:
+        """Idealized RSS signature (dB) for each point, ``(P, N)``.
+
+        ``10·n·log10(r_eff/d)`` clipped below at the detection floor; exactly
+        0 dB at the connectivity boundary, so "detected" ⇔ RSS > floor.
+        """
+        pts = as_point_array(points)
+        positions = (
+            beacons.positions() if hasattr(beacons, "positions") else as_point_array(beacons)
+        )
+        if positions.shape[0] == 0:
+            return np.zeros((pts.shape[0], 0))
+        dist = np.maximum(pairwise_distances(pts, positions), 1e-9)
+        r_eff = self.realization.effective_ranges(pts, beacons)
+        rss = 10.0 * self.n * np.log10(np.maximum(r_eff, 1e-9) / dist)
+        return np.maximum(rss, self.floor_db)
+
+    # -- Offline phase ---------------------------------------------------------
+
+    def calibrate(self, calibration_points, beacons) -> int:
+        """Build the signature database.
+
+        Args:
+            calibration_points: ``(C, 2)`` surveyed calibration locations.
+            beacons: the beacon field at calibration time.
+
+        Returns:
+            The number of database entries.
+        """
+        pts = as_point_array(calibration_points)
+        sigs = self.signatures_at(pts, beacons)
+        if self.calibration_noise_db > 0:
+            noise = self._rng.normal(0.0, self.calibration_noise_db, size=sigs.shape)
+            sigs = np.maximum(sigs + noise, self.floor_db)
+        self._db_points = pts
+        self._db_signatures = sigs
+        self._beacons = beacons
+        return pts.shape[0]
+
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether a database has been built."""
+        return self._db_points is not None
+
+    # -- Online phase -----------------------------------------------------------
+
+    def estimate(
+        self,
+        connectivity: np.ndarray,
+        beacon_positions: np.ndarray,
+        points: np.ndarray,
+    ) -> np.ndarray:
+        """k-nearest-signature position estimates.
+
+        ``connectivity`` is only used to resolve the no-detection policy;
+        signature matching uses the full RSS vector against the *calibrated*
+        beacon field (online signatures need the same beacon identities the
+        database was measured with — the static noise is keyed on them), so
+        ``beacon_positions`` must describe the calibration field.
+        """
+        if not self.is_calibrated:
+            raise RuntimeError("calibrate() must be called before estimate()")
+        pts = as_point_array(points)
+        conn = np.asarray(connectivity, dtype=bool)
+        if conn.shape[0] != pts.shape[0]:
+            raise ValueError(
+                f"connectivity rows {conn.shape[0]} != {pts.shape[0]} points"
+            )
+        if self._db_signatures.shape[1] != conn.shape[1]:
+            raise ValueError(
+                "database was calibrated against a different beacon count "
+                f"({self._db_signatures.shape[1]} vs {conn.shape[1]}); recalibrate"
+            )
+
+        query = self.signatures_at(pts, self._beacons)
+        # Signal-space distances query × database.
+        diff = query[:, None, :] - self._db_signatures[None, :, :]
+        d2 = np.einsum("qcn,qcn->qc", diff, diff)
+        k = min(self.k, self._db_points.shape[0])
+        nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        estimates = self._db_points[nearest].mean(axis=1)
+
+        unheard = ~conn.any(axis=1)
+        return apply_unlocalized_policy(
+            estimates,
+            unheard,
+            self.policy,
+            points=pts,
+            beacon_positions=as_point_array(beacon_positions),
+            terrain_side=self.terrain_side,
+        )

@@ -1,0 +1,139 @@
+"""Locus localization: the "full locus information" estimator (§2.2, §6).
+
+Footnote 3 of the paper: under the idealized radio model the client lies in
+the locus described by the intersection of the disks of the connected
+beacons; the plain centroid merely *summarizes* that locus by the mean of
+the beacon positions.  This estimator keeps the full geometry: the estimate
+is the **centroid of the feasible region** — every terrain point within
+nominal range R of *all* connected beacons — computed on a lattice.
+
+Section 6 suggests placement algorithms that "break down the loci with the
+largest area"; :class:`repro.placement.LocusAreaPlacement` builds on the same
+region machinery.
+
+Under noisy propagation an observed signature can be geometrically
+infeasible (a beacon heard beyond R); the estimator then falls back to the
+plain centroid of heard beacons, which is also the paper's robustness
+argument for preferring the centroid summary in the real world.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import MeasurementGrid, as_point_array, pairwise_distances
+from .base import Localizer, UnlocalizedPolicy, apply_unlocalized_policy
+
+__all__ = ["LocusLocalizer"]
+
+
+class LocusLocalizer(Localizer):
+    """Centroid-of-feasible-region localization on a lattice.
+
+    Args:
+        grid: lattice on which feasible regions are rasterized (its ``side``
+            is also the terrain side for the fallback policy).
+        radio_range: nominal range R assumed by clients.
+        policy: fallback for zero-connectivity points.
+        chunk_size: signatures processed per matmul block (memory bound).
+    """
+
+    def __init__(
+        self,
+        grid: MeasurementGrid,
+        radio_range: float,
+        policy: UnlocalizedPolicy = UnlocalizedPolicy.TERRAIN_CENTER,
+        chunk_size: int = 256,
+    ):
+        if radio_range <= 0:
+            raise ValueError(f"radio_range must be positive, got {radio_range}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.grid = grid
+        self.radio_range = float(radio_range)
+        self.policy = policy
+        self.chunk_size = int(chunk_size)
+
+    def _signature_centroids(
+        self, signatures: np.ndarray, beacon_positions: np.ndarray
+    ) -> np.ndarray:
+        """Region centroid per signature row; NaN when empty.
+
+        For each signature S the preferred region is the *exact* locus —
+        terrain points that (under the nominal R) hear all of S and nothing
+        else, which makes the centroid the Bayes estimate under a uniform
+        client prior.  If noise produced a signature with an empty exact
+        locus, fall back to the disk intersection (points hearing at least
+        S); if even that is empty the row stays NaN for the caller's
+        beacon-centroid fallback.
+
+        Args:
+            signatures: ``(S, N)`` boolean unique connectivity signatures.
+            beacon_positions: ``(N, 2)``.
+
+        Returns:
+            ``(S, 2)`` centroids (NaN rows for infeasible signatures).
+        """
+        lattice = self.grid.points()
+        feasible = (
+            pairwise_distances(lattice, beacon_positions) <= self.radio_range
+        ).astype(np.float32)  # (Q, N)
+        degree = feasible.sum(axis=1)  # (Q,) beacons heard per lattice point
+        sizes = signatures.sum(axis=1).astype(np.float32)  # (S,)
+        out = np.full((signatures.shape[0], 2), np.nan)
+        for start in range(0, signatures.shape[0], self.chunk_size):
+            block = signatures[start : start + self.chunk_size]  # (s, N)
+            block_sizes = sizes[start : start + block.shape[0]]
+            hears = feasible @ block.T.astype(np.float32)  # (Q, s)
+            hears_all = hears >= block_sizes[None, :] - 0.5
+            exact = hears_all & (degree[:, None] <= block_sizes[None, :] + 0.5)
+            for region in (exact, hears_all):
+                counts = region.sum(axis=0)  # (s,)
+                sums = region.T.astype(float) @ lattice  # (s, 2)
+                fill = (counts > 0) & np.isnan(out[start : start + block.shape[0], 0])
+                rows = np.flatnonzero(fill)
+                out[start + rows] = sums[rows] / counts[rows, None]
+        return out
+
+    def estimate(
+        self,
+        connectivity: np.ndarray,
+        beacon_positions: np.ndarray,
+        points: np.ndarray,
+    ) -> np.ndarray:
+        conn = np.asarray(connectivity, dtype=bool)
+        pos = as_point_array(beacon_positions)
+        pts = as_point_array(points)
+        if conn.shape != (pts.shape[0], pos.shape[0]):
+            raise ValueError(
+                f"connectivity shape {conn.shape} does not match "
+                f"{pts.shape[0]} points × {pos.shape[0]} beacons"
+            )
+
+        estimates = np.zeros_like(pts)
+        unheard = ~conn.any(axis=1)
+        if pos.shape[0] > 0 and (~unheard).any():
+            packed = np.packbits(conn, axis=1)
+            keys = packed.view([("", packed.dtype)] * packed.shape[1]).reshape(-1)
+            _, first_idx, inverse = np.unique(keys, return_index=True, return_inverse=True)
+            signatures = conn[first_idx]  # (S, N)
+            centroids = self._signature_centroids(signatures, pos)  # (S, 2)
+
+            # Fallback for infeasible signatures: plain centroid of heard beacons.
+            infeasible = np.isnan(centroids[:, 0]) & (signatures.any(axis=1))
+            if infeasible.any():
+                weights = signatures[infeasible].astype(float)
+                counts = np.maximum(weights.sum(axis=1), 1.0)
+                centroids[infeasible] = (weights @ pos) / counts[:, None]
+
+            estimates = centroids[inverse.reshape(-1)]
+            estimates = np.where(unheard[:, None], 0.0, estimates)
+
+        return apply_unlocalized_policy(
+            estimates,
+            unheard,
+            self.policy,
+            points=pts,
+            beacon_positions=pos,
+            terrain_side=self.grid.side,
+        )

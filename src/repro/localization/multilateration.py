@@ -1,0 +1,152 @@
+"""Multilateration baselines (Sections 1 and 6).
+
+The paper contrasts proximity localization with *multilateration* — position
+estimated from distances to three or more known points — and plans to recast
+its placement algorithms for it, noting that multilateration error *"is
+influenced by the geometry of the beacon nodes"*.  This module provides:
+
+* :class:`MultilaterationLocalizer` — linearized least-squares position
+  solving from (noisy) range measurements to connected beacons, falling back
+  to the centroid when fewer than three non-collinear beacons are heard;
+* :func:`gdop` — geometric dilution of precision, the standard summary of
+  beacon-geometry quality that the placement extension optimizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array, pairwise_distances
+from .base import Localizer, UnlocalizedPolicy, apply_unlocalized_policy
+
+__all__ = ["MultilaterationLocalizer", "gdop"]
+
+
+def _solve_lateration(anchors: np.ndarray, ranges: np.ndarray) -> np.ndarray | None:
+    """Linearized least-squares fix from ≥ 3 anchors; None if degenerate.
+
+    Subtracting the first anchor's circle equation from the others yields the
+    standard linear system ``A x = b`` with::
+
+        A[k] = 2 · (a_{k+1} − a_0),
+        b[k] = ||a_{k+1}||² − ||a_0||² − (r_{k+1}² − r_0²)
+    """
+    if anchors.shape[0] < 3:
+        return None
+    a0 = anchors[0]
+    rest = anchors[1:]
+    a_mat = 2.0 * (rest - a0[None, :])
+    b_vec = (
+        np.einsum("nk,nk->n", rest, rest)
+        - float(a0 @ a0)
+        - (ranges[1:] ** 2 - ranges[0] ** 2)
+    )
+    # Collinear anchors make A rank-deficient; detect via conditioning.
+    solution, residuals, rank, _ = np.linalg.lstsq(a_mat, b_vec, rcond=None)
+    del residuals
+    if rank < 2:
+        return None
+    return solution
+
+
+def gdop(anchors: np.ndarray, at_point) -> float:
+    """Geometric dilution of precision of an anchor set at a point.
+
+    GDOP = sqrt(trace((Hᵀ H)⁻¹)) where H's rows are the unit vectors from the
+    point to each anchor.  Lower is better; collinear or too-few anchors give
+    ``inf``.
+    """
+    a = as_point_array(anchors)
+    p = as_point_array(at_point)[0]
+    if a.shape[0] < 2:
+        return float("inf")
+    diff = a - p[None, :]
+    norms = np.linalg.norm(diff, axis=1)
+    good = norms > 1e-9
+    if np.count_nonzero(good) < 2:
+        return float("inf")
+    h = diff[good] / norms[good][:, None]
+    gram = h.T @ h
+    if np.linalg.cond(gram) > 1e12:
+        return float("inf")
+    return float(np.sqrt(np.trace(np.linalg.inv(gram))))
+
+
+class MultilaterationLocalizer(Localizer):
+    """Least-squares multilateration from noisy ranges to heard beacons.
+
+    Range measurements are the true distances corrupted by zero-mean Gaussian
+    noise of relative standard deviation ``range_noise`` (e.g. 0.05 = 5 % of
+    distance), drawn from the supplied generator — modelling time-of-flight
+    or signal-strength ranging (refs [18], [12] of the paper).
+
+    Points hearing < 3 beacons (or a collinear set) fall back to the centroid
+    of heard beacons; points hearing none follow ``policy``.
+
+    Args:
+        terrain_side: side of the terrain square.
+        range_noise: relative ranging-error standard deviation (≥ 0).
+        rng: randomness for measurement noise (None = noiseless ranging).
+        policy: fallback for zero-connectivity points.
+    """
+
+    def __init__(
+        self,
+        terrain_side: float,
+        range_noise: float = 0.0,
+        rng: np.random.Generator | None = None,
+        policy: UnlocalizedPolicy = UnlocalizedPolicy.TERRAIN_CENTER,
+    ):
+        if terrain_side <= 0:
+            raise ValueError(f"terrain_side must be positive, got {terrain_side}")
+        if range_noise < 0:
+            raise ValueError(f"range_noise must be non-negative, got {range_noise}")
+        if range_noise > 0 and rng is None:
+            raise ValueError("rng is required when range_noise > 0")
+        self.terrain_side = float(terrain_side)
+        self.range_noise = float(range_noise)
+        self._rng = rng
+        self.policy = policy
+
+    def estimate(
+        self,
+        connectivity: np.ndarray,
+        beacon_positions: np.ndarray,
+        points: np.ndarray,
+    ) -> np.ndarray:
+        conn = np.asarray(connectivity, dtype=bool)
+        pos = as_point_array(beacon_positions)
+        pts = as_point_array(points)
+        if conn.shape != (pts.shape[0], pos.shape[0]):
+            raise ValueError(
+                f"connectivity shape {conn.shape} does not match "
+                f"{pts.shape[0]} points × {pos.shape[0]} beacons"
+            )
+
+        if pos.shape[0] == 0:
+            measured = np.zeros((pts.shape[0], 0))
+        else:
+            true_dist = pairwise_distances(pts, pos)
+            measured = true_dist
+            if self.range_noise > 0:
+                noise = self._rng.normal(1.0, self.range_noise, size=true_dist.shape)
+                measured = true_dist * np.maximum(noise, 0.0)
+
+        estimates = np.zeros_like(pts)
+        for p in range(pts.shape[0]):
+            heard = np.flatnonzero(conn[p])
+            if heard.size == 0:
+                continue  # policy fills this row below
+            anchors = pos[heard]
+            fix = _solve_lateration(anchors, measured[p, heard])
+            estimates[p] = anchors.mean(axis=0) if fix is None else fix
+
+        unheard = ~conn.any(axis=1)
+        return apply_unlocalized_policy(
+            estimates,
+            unheard,
+            self.policy,
+            points=pts,
+            beacon_positions=pos,
+            terrain_side=self.terrain_side,
+        )

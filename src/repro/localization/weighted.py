@@ -1,0 +1,104 @@
+"""Weighted-centroid localization (signal-strength flavoured baseline).
+
+Section 2.2 notes that alternatives to the plain centroid *"consider
+additional information of time-of-flight or signal strength"* (refs [18],
+[12]).  The weighted centroid is the simplest such refinement: beacons are
+averaged with weights derived from a received-signal-strength proxy, so near
+beacons pull the estimate harder than far ones.
+
+The proxy is ``w = (R / max(d_meas, ε))^α`` where ``d_meas`` is the true
+distance corrupted by relative Gaussian noise (an RSSI-derived range is
+noisy), clipped to ``[w_min, w_max]`` for numerical sanity.  With ``α = 0``
+the estimator degenerates to the plain centroid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array, pairwise_distances
+from .base import Localizer, UnlocalizedPolicy, apply_unlocalized_policy
+
+__all__ = ["WeightedCentroidLocalizer"]
+
+
+class WeightedCentroidLocalizer(Localizer):
+    """Centroid of heard beacons, weighted by a signal-strength proxy.
+
+    Args:
+        terrain_side: side of the terrain square.
+        radio_range: nominal range R (sets the weight scale).
+        alpha: weight exponent (0 = plain centroid; 1–2 typical).
+        strength_noise: relative std-dev of the distance proxy (RSSI noise).
+        rng: randomness for the proxy noise (None = noiseless).
+        policy: fallback for zero-connectivity points.
+    """
+
+    _WEIGHT_CLIP = (1e-3, 1e3)
+
+    def __init__(
+        self,
+        terrain_side: float,
+        radio_range: float,
+        alpha: float = 1.0,
+        strength_noise: float = 0.0,
+        rng: np.random.Generator | None = None,
+        policy: UnlocalizedPolicy = UnlocalizedPolicy.TERRAIN_CENTER,
+    ):
+        if terrain_side <= 0:
+            raise ValueError(f"terrain_side must be positive, got {terrain_side}")
+        if radio_range <= 0:
+            raise ValueError(f"radio_range must be positive, got {radio_range}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        if strength_noise < 0:
+            raise ValueError(f"strength_noise must be non-negative, got {strength_noise}")
+        if strength_noise > 0 and rng is None:
+            raise ValueError("rng is required when strength_noise > 0")
+        self.terrain_side = float(terrain_side)
+        self.radio_range = float(radio_range)
+        self.alpha = float(alpha)
+        self.strength_noise = float(strength_noise)
+        self._rng = rng
+        self.policy = policy
+
+    def estimate(
+        self,
+        connectivity: np.ndarray,
+        beacon_positions: np.ndarray,
+        points: np.ndarray,
+    ) -> np.ndarray:
+        conn = np.asarray(connectivity, dtype=bool)
+        pos = as_point_array(beacon_positions)
+        pts = as_point_array(points)
+        if conn.shape != (pts.shape[0], pos.shape[0]):
+            raise ValueError(
+                f"connectivity shape {conn.shape} does not match "
+                f"{pts.shape[0]} points × {pos.shape[0]} beacons"
+            )
+
+        unheard = ~conn.any(axis=1)
+        if pos.shape[0] == 0:
+            estimates = np.zeros_like(pts)
+        else:
+            dist = pairwise_distances(pts, pos)
+            if self.strength_noise > 0:
+                jitter = self._rng.normal(1.0, self.strength_noise, size=dist.shape)
+                dist = dist * np.maximum(jitter, 1e-3)
+            lo, hi = self._WEIGHT_CLIP
+            weights = np.clip(
+                (self.radio_range / np.maximum(dist, 1e-6)) ** self.alpha, lo, hi
+            )
+            weights = weights * conn
+            totals = weights.sum(axis=1)
+            safe = np.maximum(totals, 1e-12)
+            estimates = (weights @ pos) / safe[:, None]
+
+        return apply_unlocalized_policy(
+            estimates,
+            unheard,
+            self.policy,
+            points=pts,
+            beacon_positions=pos,
+            terrain_side=self.terrain_side,
+        )

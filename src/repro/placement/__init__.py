@@ -1,0 +1,37 @@
+"""Adaptive beacon placement — the paper's core contribution plus extensions.
+
+Paper algorithms (§3.2): :class:`RandomPlacement`, :class:`MaxPlacement`,
+:class:`GridPlacement`.  Extensions (§6 future work + calibration):
+:class:`OracleGreedyPlacement`, :class:`LocusAreaPlacement`,
+:class:`GdopPlacement`, batch planning, and density-adaptive activation.
+"""
+
+from .activation import ActivationResult, DensityAdaptiveActivation
+from .base import PlacementAlgorithm
+from .batch import plan_batch_independent, plan_batch_sequential
+from .coverage import CoverageHolePlacement
+from .redeploy import WeightedRedeployment
+from .gdop_placement import GdopPlacement
+from .grid_placement import GridPlacement
+from .hybrid import HybridPlacement
+from .locus_area import LocusAreaPlacement
+from .max_placement import MaxPlacement
+from .oracle import OracleGreedyPlacement
+from .random_placement import RandomPlacement
+
+__all__ = [
+    "PlacementAlgorithm",
+    "RandomPlacement",
+    "MaxPlacement",
+    "GridPlacement",
+    "OracleGreedyPlacement",
+    "LocusAreaPlacement",
+    "GdopPlacement",
+    "CoverageHolePlacement",
+    "HybridPlacement",
+    "WeightedRedeployment",
+    "plan_batch_independent",
+    "plan_batch_sequential",
+    "DensityAdaptiveActivation",
+    "ActivationResult",
+]

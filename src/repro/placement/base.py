@@ -1,0 +1,71 @@
+"""Placement-algorithm interface.
+
+Section 3 defines the adaptive beacon placement problem: *given an existing
+field of beacons, how should additional beacons be placed for best
+advantage?*  A placement algorithm inspects a :class:`~repro.exploration.Survey`
+(measured localization errors over the terrain) and proposes the coordinates
+for one additional beacon.
+
+The paper's three algorithms (§3.2) differ in *"the amount of global
+knowledge and processing used"*:
+
+=========  =============================  ==========
+Algorithm  Input used                     Complexity
+=========  =============================  ==========
+Random     nothing                        O(1)
+Max        per-point LE                   O(P_T)
+Grid       per-point LE + grid geometry   O(N_G · P_G)
+=========  =============================  ==========
+
+Extension algorithms that need more than the survey (the oracle upper bound,
+locus-area placement, GDOP placement) declare ``requires_world = True`` and
+receive a *world* — a duck-typed object exposing the trial's ``field``,
+``realization``, ``localizer``, ``grid`` and ``points`` (see
+:class:`repro.sim.TrialWorld`).  The paper's three algorithms never touch
+it: they are implementable by a real robot with only its own measurements.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exploration import Survey
+from ..geometry import Point
+
+__all__ = ["PlacementAlgorithm"]
+
+
+class PlacementAlgorithm(ABC):
+    """Proposes where to add the next beacon, given survey measurements."""
+
+    #: Short machine-friendly identifier used in results tables and benches.
+    name: str = "abstract"
+
+    #: Whether :meth:`propose` needs the trial world (oracle-type algorithms).
+    requires_world: bool = False
+
+    @abstractmethod
+    def propose(
+        self,
+        survey: Survey,
+        rng: np.random.Generator,
+        world=None,
+    ) -> Point:
+        """Candidate coordinates for one additional beacon.
+
+        Args:
+            survey: measured localization errors over the terrain.
+            rng: randomness source (only the Random algorithm draws from it,
+                but the signature is uniform so trial code treats algorithms
+                interchangeably).
+            world: trial world, provided only to algorithms that declare
+                ``requires_world`` (None otherwise).
+
+        Returns:
+            The proposed beacon position, inside the terrain square.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,112 @@
+"""Batch placement: adding several beacons at once (Section 6).
+
+The paper evaluates adding *one* beacon and plans to study *"the gains
+obtained when several beacons are added at once"*.  Two strategies bracket
+the design space:
+
+* :func:`plan_batch_independent` — run the base algorithm ``k`` times on the
+  *same* survey.  Plain repetition would pick the same point ``k`` times for
+  deterministic algorithms, so after each pick the measurements within a
+  *suppression radius* (default R) are zeroed — a stand-in for the
+  improvement the new beacon will cause there.  This is what a robot can do
+  without revisiting the terrain.
+* :func:`plan_batch_sequential` — place, *re-survey*, place again: the
+  greedy strategy with fresh measurements each round.  It needs either a
+  robot willing to re-traverse the terrain or a simulation world; the
+  caller provides the re-survey function.
+
+Bench E1 compares the two against ``k`` single-beacon gains.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exploration import Survey
+from ..geometry import Point, distances_to_point
+from .base import PlacementAlgorithm
+
+__all__ = ["plan_batch_independent", "plan_batch_sequential"]
+
+
+def plan_batch_independent(
+    algorithm: PlacementAlgorithm,
+    survey: Survey,
+    rng: np.random.Generator,
+    k: int,
+    *,
+    suppression_radius: float,
+    world=None,
+) -> list[Point]:
+    """Pick ``k`` positions from one survey with error suppression.
+
+    Args:
+        algorithm: the base placement algorithm.
+        survey: the (single) survey to plan from.
+        rng: randomness for stochastic algorithms.
+        k: number of beacons to place.
+        suppression_radius: after each pick, measured errors within this
+            radius of the pick are zeroed (a beacon at the pick should fix
+            its own neighbourhood; R is the natural choice).
+        world: forwarded to world-requiring algorithms.
+
+    Returns:
+        ``k`` proposed positions, in pick order.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if suppression_radius < 0:
+        raise ValueError(f"suppression_radius must be non-negative, got {suppression_radius}")
+
+    current = survey
+    picks: list[Point] = []
+    for _ in range(k):
+        pick = algorithm.propose(current, rng, world)
+        picks.append(pick)
+        near = distances_to_point(current.points, pick) <= suppression_radius
+        damped = np.where(near, 0.0, current.errors)
+        current = Survey(
+            points=current.points,
+            errors=damped,
+            terrain_side=current.terrain_side,
+            grid=current.grid,
+        )
+    return picks
+
+
+def plan_batch_sequential(
+    algorithm: PlacementAlgorithm,
+    survey: Survey,
+    rng: np.random.Generator,
+    k: int,
+    resurvey: Callable[[Point], Survey],
+    *,
+    world=None,
+) -> list[Point]:
+    """Greedy place-and-remeasure: ``k`` rounds of propose → deploy → survey.
+
+    Args:
+        algorithm: the base placement algorithm.
+        survey: the initial survey.
+        rng: randomness for stochastic algorithms.
+        k: number of beacons to place.
+        resurvey: callback invoked with every accepted pick (including the
+            last); it must deploy the beacon in the underlying world and
+            return the fresh survey (and, if the world object is shared,
+            refresh it for world-requiring algorithms).
+        world: forwarded to world-requiring algorithms.
+
+    Returns:
+        ``k`` proposed positions, in deployment order.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    current = survey
+    picks: list[Point] = []
+    for _ in range(k):
+        pick = algorithm.propose(current, rng, world)
+        picks.append(pick)
+        current = resurvey(pick)
+    return picks

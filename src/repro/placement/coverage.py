@@ -1,0 +1,89 @@
+"""Coverage-hole placement: a connectivity-first baseline (extension).
+
+Before localization *quality* comes localization *possibility*: a client
+hearing zero beacons cannot localize at all, and the paper names "global
+coverage" as a sibling problem its algorithms may generalize to (§1).  This
+algorithm ignores the error magnitudes entirely and places the new beacon to
+cover the most uncovered ground: the surveyed point that maximizes the
+number of currently-unheard survey points within nominal range.
+
+It needs only the set of unlocalizable survey points, which any robot
+running the §2.2 client stack observes for free — so, unlike the oracle, it
+is deployable.  It is the natural foil for Max/Grid: at very low densities
+(coverage-limited regime) it is competitive; once coverage saturates it has
+nothing to optimize and falls behind the error-driven algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exploration import Survey
+from ..geometry import Point, pairwise_distances
+from .base import PlacementAlgorithm
+
+__all__ = ["CoverageHolePlacement"]
+
+
+class CoverageHolePlacement(PlacementAlgorithm):
+    """Place to cover the most unlocalizable survey points.
+
+    Unheard points are detected from the survey: under the package's
+    fallback policies an unlocalizable point's measured error is either NaN
+    (EXCLUDE) or computed against a fixed fallback estimate — so the
+    surveyor records the raw "heard nothing" bit separately.  Absent that
+    bit, this implementation uses the world when available (exact), else
+    treats the ``unheard_quantile`` largest errors as the holes (heuristic).
+
+    Args:
+        radio_range: nominal range R of the beacon to be placed.
+        unheard_quantile: survey-only fallback — fraction of worst-error
+            points treated as coverage holes.
+    """
+
+    name = "coverage"
+    requires_world = False
+
+    def __init__(self, radio_range: float, unheard_quantile: float = 0.15):
+        if radio_range <= 0:
+            raise ValueError(f"radio_range must be positive, got {radio_range}")
+        if not 0.0 < unheard_quantile <= 1.0:
+            raise ValueError(
+                f"unheard_quantile must be in (0, 1], got {unheard_quantile}"
+            )
+        self.radio_range = float(radio_range)
+        self.unheard_quantile = float(unheard_quantile)
+
+    def _hole_mask(self, survey: Survey, world) -> np.ndarray:
+        if world is not None:
+            return ~world.connectivity().any(axis=1)
+        errors = survey.errors
+        holes = np.isnan(errors)
+        finite = errors[~holes]
+        if finite.size:
+            cutoff = np.quantile(finite, 1.0 - self.unheard_quantile)
+            holes = holes | (errors >= cutoff)
+        return holes
+
+    def propose(
+        self,
+        survey: Survey,
+        rng: np.random.Generator,
+        world=None,
+    ) -> Point:
+        if survey.num_points == 0:
+            raise ValueError("survey has no measured points for coverage placement")
+        holes = self._hole_mask(survey, world)
+        if not holes.any():
+            # Fully covered: fall back to the worst measured point.
+            idx = int(np.nanargmax(survey.errors))
+            x, y = survey.points[idx]
+            return Point(float(x), float(y))
+
+        hole_points = survey.points[holes]
+        # Candidate set = the survey points themselves; score = holes covered.
+        dist = pairwise_distances(survey.points, hole_points)
+        covered = (dist <= self.radio_range).sum(axis=1)
+        winner = int(np.argmax(covered))
+        x, y = survey.points[winner]
+        return Point(float(x), float(y))

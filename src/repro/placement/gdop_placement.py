@@ -1,0 +1,82 @@
+"""GDOP-driven placement for multilateration (the Section 6 recast).
+
+Section 6: proximity localization error *"is governed by beacon placement
+and density, whereas [multilateration error] is influenced by the geometry
+of the beacon nodes.  We plan to recast our existing beacon placement
+algorithms for multilateration based localization approaches."*
+
+Two pieces implement that recast:
+
+* the Max/Grid algorithms run unchanged on an error survey produced by a
+  :class:`~repro.localization.MultilaterationLocalizer` (bench E3 does
+  exactly this), and
+* this class adds the geometry-native algorithm: measure the *geometric
+  dilution of precision* of the heard beacon set at every surveyed point and
+  place the new beacon where geometry is worst — points hearing fewer than
+  three beacons (no fix possible) are the worst of all.
+
+The tie-break inside the worst class prefers the point farthest from its
+nearest beacon, pushing new anchors toward genuinely bare areas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exploration import Survey
+from ..geometry import Point
+from ..localization import gdop
+from .base import PlacementAlgorithm
+
+__all__ = ["GdopPlacement"]
+
+
+class GdopPlacement(PlacementAlgorithm):
+    """Place where the beacon geometry for multilateration is worst.
+
+    Args:
+        stride: evaluate GDOP every ``stride``-th surveyed point (GDOP is a
+            per-point matrix solve; the default keeps complete lattice
+            surveys affordable).
+    """
+
+    name = "gdop"
+    requires_world = True
+
+    def __init__(self, stride: int = 4):
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.stride = int(stride)
+
+    def propose(
+        self,
+        survey: Survey,
+        rng: np.random.Generator,
+        world=None,
+    ) -> Point:
+        if world is None:
+            raise ValueError("GdopPlacement requires the trial world")
+        conn = world.connectivity()
+        positions = world.field.positions()
+        points = world.points()
+
+        sample = np.arange(0, points.shape[0], self.stride)
+        nearest = world.field.nearest_beacon_distances(points[sample])
+
+        best_idx = None
+        best_key = (-1.0, -1.0)  # (gdop_class, nearest_beacon_distance)
+        for row, p in enumerate(sample):
+            heard = np.flatnonzero(conn[p])
+            if heard.size >= 3:
+                score = gdop(positions[heard], points[p])
+                score = min(score, 1e6)  # collinear sets rank below no-fix points
+            else:
+                score = np.inf
+            key = (score if np.isfinite(score) else 1e9, float(nearest[row]))
+            if key > best_key:
+                best_key = key
+                best_idx = p
+        if best_idx is None:  # pragma: no cover - sample is never empty
+            raise ValueError("survey has no points for GDOP placement")
+        x, y = points[best_idx]
+        return Point(float(x), float(y))

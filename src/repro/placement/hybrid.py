@@ -1,0 +1,64 @@
+"""Hybrid placement: coverage first, error second (extension).
+
+At very low density the dominant problem is points that hear *nothing*; at
+moderate density it is points localized badly.  The pure strategies each
+own one regime (bench E5/E2 data): coverage-hole placement wins while holes
+dominate, Grid wins once coverage is adequate.  The hybrid switches on the
+observed unlocalizable fraction — a quantity any §2.2 surveyor measures for
+free — giving one algorithm that is competitive across the whole density
+sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exploration import Survey
+from ..geometry import Point
+from .base import PlacementAlgorithm
+from .coverage import CoverageHolePlacement
+from .grid_placement import GridPlacement
+
+__all__ = ["HybridPlacement"]
+
+
+class HybridPlacement(PlacementAlgorithm):
+    """CoverageHolePlacement below a coverage threshold, Grid above it.
+
+    Args:
+        grid: the Grid algorithm instance for the adequate-coverage regime.
+        coverage: the coverage-hole algorithm for the hole-dominated regime.
+        hole_threshold: switch to coverage mode when the estimated fraction
+            of unlocalizable survey points exceeds this.
+    """
+
+    name = "hybrid"
+    requires_world = True  # exact hole detection; degrades gracefully without
+
+    def __init__(
+        self,
+        grid: GridPlacement,
+        coverage: CoverageHolePlacement,
+        hole_threshold: float = 0.1,
+    ):
+        if not 0.0 <= hole_threshold <= 1.0:
+            raise ValueError(f"hole_threshold must be in [0, 1], got {hole_threshold}")
+        self.grid = grid
+        self.coverage = coverage
+        self.hole_threshold = float(hole_threshold)
+
+    def hole_fraction(self, survey: Survey, world) -> float:
+        """Estimated fraction of unlocalizable survey points."""
+        if world is not None:
+            return float((~world.connectivity().any(axis=1)).mean())
+        return float(np.isnan(survey.errors).mean())
+
+    def propose(
+        self,
+        survey: Survey,
+        rng: np.random.Generator,
+        world=None,
+    ) -> Point:
+        if self.hole_fraction(survey, world) > self.hole_threshold:
+            return self.coverage.propose(survey, rng, world)
+        return self.grid.propose(survey, rng, world)

@@ -1,0 +1,76 @@
+"""Locus-area placement (the Section 6 future-work algorithm).
+
+Section 6: *"Knowledge of loci enables a new perspective on adaptive beacon
+placement, such as adding new beacons to break down the loci with the
+largest area into smaller loci.  To some extent, the Grid algorithm
+incorporates this strategy."*
+
+This algorithm implements that idea directly: decompose the terrain into
+localization regions (points sharing a connectivity signature, including the
+uncovered region), score each region, and place the new beacon at the
+centroid of the worst region.  Two scoring modes:
+
+* ``"area"`` — the paper's proposal verbatim: largest region area wins
+  (coverage holes count, since the uncovered region is the coarsest locus
+  of all);
+* ``"error"`` — area × mean measured error, folding in the survey so the
+  algorithm prefers large *and bad* regions.
+
+Requires the world for the connectivity matrix (signatures are not part of
+a plain error survey); the paper notes locus information *"is not reliable
+under non ideal radio propagation"*, which bench E2 quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exploration import Survey
+from ..geometry import Point, decompose_regions
+from .base import PlacementAlgorithm
+
+__all__ = ["LocusAreaPlacement"]
+
+
+class LocusAreaPlacement(PlacementAlgorithm):
+    """Break the largest (or worst) localization region with a new beacon.
+
+    Args:
+        score: ``"area"`` or ``"error"`` (see module docstring).
+        include_uncovered: whether the zero-beacon region may win (True
+            matches the intuition that coverage holes are the coarsest loci).
+    """
+
+    name = "locus"
+    requires_world = True
+
+    def __init__(self, score: str = "area", include_uncovered: bool = True):
+        if score not in ("area", "error"):
+            raise ValueError(f"score must be 'area' or 'error', got {score!r}")
+        self.score = score
+        self.include_uncovered = include_uncovered
+
+    def propose(
+        self,
+        survey: Survey,
+        rng: np.random.Generator,
+        world=None,
+    ) -> Point:
+        if world is None:
+            raise ValueError("LocusAreaPlacement requires the trial world")
+        conn = world.connectivity()
+        regions = decompose_regions(conn, world.grid, split_spatially=True)
+
+        scores = regions.region_areas.astype(float).copy()
+        if self.score == "error":
+            errors = np.nan_to_num(survey.errors, nan=0.0)
+            mean_err = np.zeros(regions.num_regions)
+            np.add.at(mean_err, regions.labels, errors)
+            mean_err /= np.maximum(regions.region_point_counts, 1)
+            scores = scores * mean_err
+        if not self.include_uncovered:
+            scores[regions.region_beacon_counts == 0] = -np.inf
+
+        winner = int(np.argmax(scores))
+        x, y = regions.region_centroids[winner]
+        return Point(float(x), float(y))

@@ -1,0 +1,43 @@
+"""The Max placement algorithm (Section 3.2.2).
+
+    Step 1  Divide the terrain into step × step squares.
+    Step 2  Measure localization error at each square corner.
+    Step 3  Add the new beacon at the point with the highest measured
+            localization error among all points.
+
+The algorithm assumes high-error points are spatially correlated; it is
+cheap (linear in the number of measured points, O(P_T)) but *"sensitive to
+local maxima"* — a single loud outlier attracts the beacon even if its
+neighbourhood is fine, which is exactly the weakness the evaluation exposes
+at low densities.  Ties break to the first point in survey order, which for
+a complete lattice sweep means row-major order — deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exploration import Survey
+from ..geometry import Point
+from .base import PlacementAlgorithm
+
+__all__ = ["MaxPlacement"]
+
+
+class MaxPlacement(PlacementAlgorithm):
+    """Place at the surveyed point with maximum localization error."""
+
+    name = "max"
+
+    def propose(
+        self,
+        survey: Survey,
+        rng: np.random.Generator,
+        world=None,
+    ) -> Point:
+        errors = survey.errors
+        if errors.size == 0 or np.all(np.isnan(errors)):
+            raise ValueError("survey has no measured points for Max placement")
+        idx = int(np.nanargmax(errors))
+        x, y = survey.points[idx]
+        return Point(float(x), float(y))

@@ -1,0 +1,64 @@
+"""Oracle greedy placement — an empirical upper bound (extension).
+
+Not in the paper's algorithm set: this oracle *evaluates* every candidate
+position against the true world (re-running localization with the beacon
+tentatively added) and picks the best one.  No robot could do this — it
+needs the counterfactual error field — but it bounds what any single-beacon
+placement algorithm could achieve, which calibrates how much headroom Grid
+leaves (the ablation bench E5).
+
+The candidate set is a coarse lattice (default: the overlapping-grid centers
+of the Grid algorithm, so Oracle ≥ Grid by construction on the mean-error
+objective).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exploration import Survey
+from ..geometry import Point, as_point_array
+from .base import PlacementAlgorithm
+
+__all__ = ["OracleGreedyPlacement"]
+
+
+class OracleGreedyPlacement(PlacementAlgorithm):
+    """Exhaustively evaluate candidates against the true world.
+
+    Args:
+        candidates: ``(K, 2)`` candidate positions; None uses the trial
+            world's overlapping-grid centers.
+        objective: ``"mean"`` or ``"median"`` — which improvement to maximize.
+    """
+
+    name = "oracle"
+    requires_world = True
+
+    def __init__(self, candidates=None, objective: str = "mean"):
+        if objective not in ("mean", "median"):
+            raise ValueError(f"objective must be 'mean' or 'median', got {objective!r}")
+        self.candidates = None if candidates is None else as_point_array(candidates)
+        self.objective = objective
+
+    def propose(
+        self,
+        survey: Survey,
+        rng: np.random.Generator,
+        world=None,
+    ) -> Point:
+        if world is None:
+            raise ValueError("OracleGreedyPlacement requires the trial world")
+        candidates = (
+            world.layout.centers() if self.candidates is None else self.candidates
+        )
+        best_idx = 0
+        best_score = -np.inf
+        for k, (x, y) in enumerate(candidates):
+            mean_gain, median_gain = world.evaluate_candidate(Point(float(x), float(y)))
+            score = mean_gain if self.objective == "mean" else median_gain
+            if score > best_score:
+                best_score = score
+                best_idx = k
+        x, y = candidates[best_idx]
+        return Point(float(x), float(y))

@@ -1,0 +1,34 @@
+"""The Random placement algorithm (Section 3.2.1).
+
+    Step 1  Select a random point (Xr, Yr) in the terrain.
+    Step 2  Add a new beacon at (Xr, Yr).
+
+It *"pays no attention to the quality of localization"* and exists (a) as
+the sanity-check baseline for Max and Grid and (b) because it matches the
+character of an uncontrolled airdrop of additional nodes.  Complexity O(1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exploration import Survey
+from ..geometry import Point
+from .base import PlacementAlgorithm
+
+__all__ = ["RandomPlacement"]
+
+
+class RandomPlacement(PlacementAlgorithm):
+    """Uniform-random candidate point; ignores all measurements."""
+
+    name = "random"
+
+    def propose(
+        self,
+        survey: Survey,
+        rng: np.random.Generator,
+        world=None,
+    ) -> Point:
+        x, y = rng.uniform(0.0, survey.terrain_side, size=2)
+        return Point(float(x), float(y))

@@ -1,0 +1,87 @@
+"""Full redeployment: the expensive alternative adaptation is measured against.
+
+Section 3 defines adaptation as *"adjusting beacon placement or adding a few
+beacons rather than by completely re-deploying all beacons"*.  To quantify
+what adaptation gives up, this module implements the complete-redeployment
+strategy: pick up all N beacons and re-place them with global knowledge of
+the measured error field.
+
+The algorithm is weighted Lloyd's (k-means): beacon positions iterate to the
+error-mass-weighted centroids of their Voronoi cells over the survey points,
+so beacons concentrate where localization error mass is.  A small uniform
+mass floor keeps beacons from abandoning well-served areas entirely.
+
+Bench E7 compares: one adaptive Grid beacon (cost: 1 beacon + 1 survey)
+versus full redeployment of the same N beacons (cost: N placements) — the
+paper's economic argument in numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exploration import Survey
+from ..field import BeaconField
+
+__all__ = ["WeightedRedeployment"]
+
+
+class WeightedRedeployment:
+    """Error-weighted k-means redeployment of an entire beacon field.
+
+    Args:
+        iterations: Lloyd iterations (each is one assignment + recenter).
+        mass_floor: uniform per-point mass added to the error weights, as a
+            fraction of the mean error (keeps empty cells rare and retains
+            coverage in low-error areas).
+    """
+
+    def __init__(self, iterations: int = 25, mass_floor: float = 0.25):
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        if mass_floor < 0:
+            raise ValueError(f"mass_floor must be non-negative, got {mass_floor}")
+        self.iterations = int(iterations)
+        self.mass_floor = float(mass_floor)
+
+    def redeploy(
+        self,
+        field: BeaconField,
+        survey: Survey,
+        rng: np.random.Generator,
+    ) -> BeaconField:
+        """Re-place every beacon of ``field`` against the survey.
+
+        Returns:
+            A NEW field with ids ``0..N-1`` — the same radios re-placed, so
+            a static noise realization keeps each beacon's per-radio noise
+            factor while the location-dependent part follows the move.
+        """
+        n = len(field)
+        if n == 0:
+            return field
+        if survey.num_points == 0:
+            raise ValueError("survey has no measured points for redeployment")
+
+        points = survey.points
+        errors = np.nan_to_num(survey.errors, nan=0.0)
+        mean_error = errors.mean() if errors.size else 0.0
+        weights = errors + self.mass_floor * max(mean_error, 1e-9)
+
+        # Initialize at the current deployment (warm start), jittered so
+        # coincident beacons separate.
+        centers = field.positions() + rng.normal(0.0, 1e-3, size=(n, 2))
+        for _ in range(self.iterations):
+            diff = points[:, None, :] - centers[None, :, :]
+            d2 = np.einsum("pnk,pnk->pn", diff, diff)
+            assignment = np.argmin(d2, axis=1)
+            for b in range(n):
+                mask = assignment == b
+                mass = weights[mask].sum()
+                if mass <= 0.0 or not mask.any():
+                    # Dead cell: respawn at the currently worst point.
+                    centers[b] = points[int(np.argmax(weights))]
+                    continue
+                centers[b] = (weights[mask][:, None] * points[mask]).sum(axis=0) / mass
+        centers = np.clip(centers, 0.0, survey.terrain_side)
+        return BeaconField.from_positions(centers)

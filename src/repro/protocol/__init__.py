@@ -1,0 +1,23 @@
+"""Beacon protocol substrate: discrete-event simulation of §2.2."""
+
+from .beacon_process import BeaconTransmitter, start_beacon_processes
+from .channel import Listener, RadioChannel, Transmission
+from .duty_cycle import DutyCycledTransmitter, start_duty_cycled_processes
+from .estimator import ProtocolConnectivityEstimator, ProtocolRunResult
+from .events import ScheduledEvent, Simulator
+from .loss import GilbertElliottLoss
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "RadioChannel",
+    "Listener",
+    "Transmission",
+    "BeaconTransmitter",
+    "start_beacon_processes",
+    "DutyCycledTransmitter",
+    "start_duty_cycled_processes",
+    "ProtocolConnectivityEstimator",
+    "ProtocolRunResult",
+    "GilbertElliottLoss",
+]

@@ -1,0 +1,105 @@
+"""Periodic beacon transmitters (§2.2: "beacons … transmit periodically
+with a time period T").
+
+Each beacon is an independent process: it wakes every ``period`` seconds
+(plus optional per-message jitter — real beacon firmwares desynchronize on
+purpose, and without jitter co-periodic beacons would collide forever or
+never) and hands one message of ``message_duration`` airtime to the channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .channel import RadioChannel
+from .events import Simulator
+
+__all__ = ["BeaconTransmitter", "start_beacon_processes"]
+
+
+class BeaconTransmitter:
+    """One beacon's periodic transmission process.
+
+    Args:
+        simulator: the event kernel.
+        channel: the shared radio channel.
+        beacon_index: this beacon's column in the field.
+        period: nominal transmission period ``T`` (seconds).
+        message_duration: airtime per message (seconds, ≪ period).
+        jitter: uniform per-message phase jitter as a fraction of the period
+            (0 = strictly periodic).
+        rng: randomness for the initial phase and per-message jitter.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        channel: RadioChannel,
+        beacon_index: int,
+        period: float,
+        message_duration: float,
+        jitter: float,
+        rng: np.random.Generator,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0 < message_duration < period:
+            raise ValueError(
+                f"message_duration must be in (0, period); got {message_duration} vs {period}"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self._sim = simulator
+        self._channel = channel
+        self._index = beacon_index
+        self._period = float(period)
+        self._duration = float(message_duration)
+        self._jitter = float(jitter)
+        self._rng = rng
+        self.messages_sent = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        """Begin transmitting; the first message lands at a random phase."""
+        first = self._rng.uniform(0.0, self._period)
+        self._sim.schedule_in(first, self._fire)
+
+    def stop(self) -> None:
+        """Cease scheduling further messages (in-flight airtime completes)."""
+        self._stopped = True
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._channel.transmit(self._index, self._duration)
+        self.messages_sent += 1
+        delay = self._period
+        if self._jitter > 0:
+            delay += self._period * self._rng.uniform(-self._jitter, self._jitter)
+            delay = max(delay, self._duration)
+        self._sim.schedule_in(delay, self._fire)
+
+
+def start_beacon_processes(
+    simulator: Simulator,
+    channel: RadioChannel,
+    num_beacons: int,
+    *,
+    period: float,
+    message_duration: float,
+    jitter: float,
+    rng: np.random.Generator,
+) -> list[BeaconTransmitter]:
+    """Create and start one transmitter per beacon.
+
+    Returns:
+        The transmitters, indexed like the beacon field.
+    """
+    transmitters = []
+    for b in range(num_beacons):
+        tx = BeaconTransmitter(
+            simulator, channel, b, period, message_duration, jitter, rng
+        )
+        tx.start()
+        transmitters.append(tx)
+    return transmitters

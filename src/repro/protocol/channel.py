@@ -1,0 +1,163 @@
+"""The shared radio channel: propagation, per-message loss, collisions.
+
+Transmissions occupy the channel for their airtime.  A listener receives a
+message iff
+
+1. the link is *audible* — decided per message by the propagation
+   realization's :meth:`message_success_probability` (a hard 0/1 for the
+   geometric models, a fading ramp for the shadowing model), and
+2. no other transmission audible at that listener overlapped it in time
+   (otherwise all overlapping audible messages are destroyed — no capture
+   effect by default, matching the §1 worry that *"at very high densities,
+   the probability of collisions among signals transmitted by the beacons
+   increases"*).
+
+The channel is deliberately listener-centric: two beacons out of range of
+each other can still collide at a listener in the middle (the hidden-terminal
+situation a CSMA-less periodic beacon protocol cannot avoid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..field import BeaconField
+from ..radio import PropagationRealization
+from .events import Simulator
+
+__all__ = ["RadioChannel", "Listener", "Transmission"]
+
+
+@dataclass
+class Transmission:
+    """One beacon message on the air."""
+
+    beacon_index: int
+    start: float
+    end: float
+
+
+@dataclass
+class Listener:
+    """A receiver at a fixed position, counting received beacon messages.
+
+    Attributes:
+        index: the listener's row in the channel's point array.
+        received: per-beacon counts of successfully decoded messages.
+        collisions: messages lost to overlap at this listener.
+        missed: messages lost to propagation (inaudible draws).
+    """
+
+    index: int
+    received: dict[int, int] = field(default_factory=dict)
+    collisions: int = 0
+    missed: int = 0
+    _active: list = field(default_factory=list)
+    _collided: set = field(default_factory=set)
+
+
+class RadioChannel:
+    """Propagation + collision model binding beacons to listeners.
+
+    Args:
+        simulator: the event kernel (used only for its clock).
+        field: the transmitting beacon field.
+        realization: the propagation world.
+        points: ``(L, 2)`` listener positions.
+        rng: randomness for per-message audibility draws.
+        capture: if True, an overlapping message whose link success
+            probability is at least ``capture_margin`` higher than every
+            competitor survives the collision (simple capture effect).
+        capture_margin: see ``capture``.
+        burst_loss: optional bursty per-link loss process (e.g.
+            :class:`~repro.protocol.GilbertElliottLoss`); consulted per
+            message in addition to the propagation draw.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        field: BeaconField,
+        realization: PropagationRealization,
+        points: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        capture: bool = False,
+        capture_margin: float = 0.3,
+        burst_loss=None,
+    ):
+        self._sim = simulator
+        self._field = field
+        self._rng = rng
+        self._capture = capture
+        self._capture_margin = float(capture_margin)
+        self._burst_loss = burst_loss
+        self._success_prob = realization.message_success_probability(points, field)
+        self.listeners = [Listener(i) for i in range(points.shape[0])]
+        self.messages_sent = 0
+
+    def audible_listeners(self, beacon_index: int) -> np.ndarray:
+        """Listener indices with any chance of hearing a beacon."""
+        return np.flatnonzero(self._success_prob[:, beacon_index] > 0.0)
+
+    def transmit(self, beacon_index: int, duration: float) -> None:
+        """Put one message on the air, starting now.
+
+        Audibility per listener is drawn immediately (the fade over the
+        message); delivery is resolved at end-of-airtime so later-starting
+        overlaps can still destroy it.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        now = self._sim.now
+        tx = Transmission(beacon_index, now, now + duration)
+        self.messages_sent += 1
+        for li in self.audible_listeners(beacon_index):
+            listener = self.listeners[li]
+            p = self._success_prob[li, beacon_index]
+            if p < 1.0 and self._rng.random() >= p:
+                listener.missed += 1
+                continue
+            if self._burst_loss is not None and self._burst_loss.message_lost(
+                int(li), beacon_index, now
+            ):
+                listener.missed += 1
+                continue
+            # Overlap check against messages still on the air here.
+            overlapping = [t for t in listener._active if t.end > now + 1e-12]
+            if overlapping:
+                survivor = None
+                if self._capture:
+                    strengths = {
+                        id(t): self._success_prob[li, t.beacon_index]
+                        for t in overlapping
+                    }
+                    strengths[id(tx)] = p
+                    ordered = sorted(strengths.values(), reverse=True)
+                    if len(ordered) == 1 or ordered[0] - ordered[1] >= self._capture_margin:
+                        best = max(strengths, key=strengths.get)
+                        survivor = best
+                for t in overlapping + [tx]:
+                    if survivor is not None and id(t) == survivor:
+                        continue
+                    listener._collided.add(id(t))
+            listener._active.append(tx)
+            self._sim.schedule_at(tx.end, self._finish, listener, tx)
+
+    def _finish(self, listener: Listener, tx: Transmission) -> None:
+        listener._active.remove(tx)
+        if id(tx) in listener._collided:
+            listener._collided.discard(id(tx))
+            listener.collisions += 1
+            return
+        listener.received[tx.beacon_index] = listener.received.get(tx.beacon_index, 0) + 1
+
+    def received_matrix(self, num_beacons: int) -> np.ndarray:
+        """Per-(listener, beacon) decoded-message counts, ``(L, N)``."""
+        out = np.zeros((len(self.listeners), num_beacons), dtype=int)
+        for listener in self.listeners:
+            for b, count in listener.received.items():
+                out[listener.index, b] = count
+        return out

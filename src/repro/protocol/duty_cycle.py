@@ -1,0 +1,120 @@
+"""Duty-cycled beacon transmitters (the power motivation of §1, executed).
+
+    "Power considerations may require that only a restricted smaller subset
+    of beacon nodes be active at any given time so as to prolong system
+    lifetime."
+
+:class:`DutyCycledTransmitter` runs the standard periodic process through an
+awake/asleep schedule: the beacon cycles with period ``cycle_length``,
+transmitting only during the awake fraction.  Per-beacon phase offsets are
+randomized so the population's awake sets rotate (the AFECA-style fidelity
+rotation of ref [19]).
+
+The interaction with §2.2's threshold rule is the interesting part, probed
+by tests: a client's received fraction from a duty-cycled beacon tracks the
+awake fraction, so connectivity flips from "all in-range beacons" to "the
+currently awake in-range beacons" once the duty fraction drops below
+CM_thresh — the protocol-level mechanism behind
+:class:`~repro.placement.DensityAdaptiveActivation`'s accuracy/energy trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .beacon_process import BeaconTransmitter
+from .channel import RadioChannel
+from .events import Simulator
+
+__all__ = ["DutyCycledTransmitter", "start_duty_cycled_processes"]
+
+
+class DutyCycledTransmitter(BeaconTransmitter):
+    """A periodic transmitter that sleeps through part of every cycle.
+
+    Args:
+        simulator: the event kernel.
+        channel: the shared radio channel.
+        beacon_index: this beacon's column in the field.
+        period: transmission period while awake (seconds).
+        message_duration: airtime per message.
+        jitter: per-message phase jitter fraction.
+        rng: randomness (initial phase, jitter, cycle phase).
+        cycle_length: length of one awake/asleep cycle (seconds).
+        awake_fraction: fraction of each cycle spent awake, in (0, 1].
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        channel: RadioChannel,
+        beacon_index: int,
+        period: float,
+        message_duration: float,
+        jitter: float,
+        rng: np.random.Generator,
+        *,
+        cycle_length: float,
+        awake_fraction: float,
+    ):
+        super().__init__(
+            simulator, channel, beacon_index, period, message_duration, jitter, rng
+        )
+        if cycle_length <= 0:
+            raise ValueError(f"cycle_length must be positive, got {cycle_length}")
+        if not 0.0 < awake_fraction <= 1.0:
+            raise ValueError(f"awake_fraction must be in (0, 1], got {awake_fraction}")
+        self._cycle = float(cycle_length)
+        self._awake_fraction = float(awake_fraction)
+        self._cycle_phase = float(rng.uniform(0.0, cycle_length))
+        self.messages_suppressed = 0
+
+    def is_awake(self, time: float) -> bool:
+        """Whether the beacon's schedule has it awake at ``time``."""
+        phase = (time + self._cycle_phase) % self._cycle
+        return phase < self._awake_fraction * self._cycle
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        if self.is_awake(self._sim.now):
+            super()._fire()
+            return
+        # Asleep: skip this slot, but keep the clock running.
+        self.messages_suppressed += 1
+        delay = self._period
+        if self._jitter > 0:
+            delay += self._period * self._rng.uniform(-self._jitter, self._jitter)
+            delay = max(delay, self._duration)
+        self._sim.schedule_in(delay, self._fire)
+
+
+def start_duty_cycled_processes(
+    simulator: Simulator,
+    channel: RadioChannel,
+    num_beacons: int,
+    *,
+    period: float,
+    message_duration: float,
+    jitter: float,
+    rng: np.random.Generator,
+    cycle_length: float,
+    awake_fraction: float,
+) -> list[DutyCycledTransmitter]:
+    """Create and start one duty-cycled transmitter per beacon."""
+    transmitters = []
+    for b in range(num_beacons):
+        tx = DutyCycledTransmitter(
+            simulator,
+            channel,
+            b,
+            period,
+            message_duration,
+            jitter,
+            rng,
+            cycle_length=cycle_length,
+            awake_fraction=awake_fraction,
+        )
+        tx.start()
+        transmitters.append(tx)
+    return transmitters

@@ -1,0 +1,162 @@
+"""Protocol-level connectivity estimation (§2.2, executed rather than assumed).
+
+    "Clients listen for a period t >> T to evaluate connectivity.  If the
+    percentage of messages received from a beacon in a time interval t
+    exceeds a threshold CM_thresh, that beacon is considered connected."
+
+:class:`ProtocolConnectivityEstimator` runs the full pipeline — periodic
+transmitters, collision channel, listening window, threshold — and returns
+the same ``(P, N)`` boolean matrix the geometric models produce, plus the
+channel statistics (collision/loss rates) the geometric shortcut hides.
+
+Bench E4 uses it two ways: to *validate* the shortcut (with generous
+``t/T`` and low beacon density the protocol matrix equals the geometric
+one), and to *quantify self-interference* (at high densities collisions
+push per-link delivery below CM_thresh, so protocol connectivity — and with
+it localization — degrades even though geometry says it should saturate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..field import BeaconField
+from ..geometry import as_point_array
+from ..radio import PropagationRealization
+from .beacon_process import start_beacon_processes
+from .channel import RadioChannel
+from .events import Simulator
+
+__all__ = ["ProtocolConnectivityEstimator", "ProtocolRunResult"]
+
+
+@dataclass(frozen=True)
+class ProtocolRunResult:
+    """Outcome of one protocol listening window.
+
+    Attributes:
+        connectivity: ``(P, N)`` boolean — §2.2 threshold rule outcome.
+        received_fraction: ``(P, N)`` decoded-message fraction per link
+            (denominator: messages each beacon actually sent).
+        messages_sent: total messages transmitted during the window.
+        decoded_messages: messages successfully decoded, summed over
+            listeners.
+        collision_losses: messages destroyed by overlap, summed over
+            listeners.
+        propagation_losses: messages lost to the channel (inaudible draws),
+            summed over listeners.
+    """
+
+    connectivity: np.ndarray
+    received_fraction: np.ndarray
+    messages_sent: int
+    decoded_messages: int
+    collision_losses: int
+    propagation_losses: int
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of audible message arrivals destroyed by overlap."""
+        audible = self.collision_losses + self.decoded_messages
+        if audible <= 0:
+            return 0.0
+        return self.collision_losses / audible
+
+
+class ProtocolConnectivityEstimator:
+    """Estimate connectivity by actually running the beacon protocol.
+
+    Args:
+        period: beacon transmission period ``T`` (seconds).
+        listen_time: client listening window ``t`` (seconds; the paper only
+            requires ``t ≫ T`` — default 20 periods).
+        message_duration: airtime per message (seconds).
+        cm_thresh: the §2.2 received-fraction threshold ``CM_thresh``.
+        jitter: per-message phase jitter fraction (desynchronization).
+    """
+
+    def __init__(
+        self,
+        period: float = 1.0,
+        listen_time: float | None = None,
+        message_duration: float = 0.005,
+        cm_thresh: float = 0.75,
+        jitter: float = 0.05,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 < cm_thresh <= 1.0:
+            raise ValueError(f"cm_thresh must be in (0, 1], got {cm_thresh}")
+        self.period = float(period)
+        self.listen_time = float(listen_time) if listen_time is not None else 20.0 * period
+        if self.listen_time < 2 * period:
+            raise ValueError("listen_time must be at least 2 periods (t >> T)")
+        self.message_duration = float(message_duration)
+        self.cm_thresh = float(cm_thresh)
+        self.jitter = float(jitter)
+
+    def run(
+        self,
+        points,
+        field: BeaconField,
+        realization: PropagationRealization,
+        rng: np.random.Generator,
+        *,
+        burst_loss=None,
+    ) -> ProtocolRunResult:
+        """Simulate one listening window for every client point at once.
+
+        Args:
+            points: ``(P, 2)`` client locations.
+            field: the transmitting beacons.
+            realization: the propagation world.
+            rng: per-run randomness (phases, jitter, loss draws).
+            burst_loss: optional bursty loss process (see
+                :class:`~repro.protocol.GilbertElliottLoss`).
+        """
+        pts = as_point_array(points)
+        sim = Simulator()
+        channel = RadioChannel(sim, field, realization, pts, rng, burst_loss=burst_loss)
+        transmitters = start_beacon_processes(
+            sim,
+            channel,
+            len(field),
+            period=self.period,
+            message_duration=self.message_duration,
+            jitter=self.jitter,
+            rng=rng,
+        )
+        sim.run(until=self.listen_time)
+        for tx in transmitters:
+            tx.stop()
+        sim.run()  # drain in-flight message completions
+
+        sent = np.array([tx.messages_sent for tx in transmitters], dtype=float)
+        received = channel.received_matrix(len(field)).astype(float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction = np.where(sent[None, :] > 0, received / sent[None, :], 0.0)
+        connectivity = fraction >= self.cm_thresh
+
+        collisions = sum(listener.collisions for listener in channel.listeners)
+        missed = sum(listener.missed for listener in channel.listeners)
+        decoded = int(received.sum())
+        return ProtocolRunResult(
+            connectivity=connectivity,
+            received_fraction=fraction,
+            messages_sent=channel.messages_sent,
+            decoded_messages=decoded,
+            collision_losses=collisions,
+            propagation_losses=missed,
+        )
+
+    def estimate(
+        self,
+        points,
+        field: BeaconField,
+        realization: PropagationRealization,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Just the ``(P, N)`` connectivity matrix (see :meth:`run`)."""
+        return self.run(points, field, realization, rng).connectivity

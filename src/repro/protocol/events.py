@@ -1,0 +1,113 @@
+"""A minimal discrete-event simulation core.
+
+The localization protocol of §2.2 is fundamentally temporal — beacons
+transmit every ``T`` seconds, clients listen for ``t ≫ T`` and threshold the
+*fraction of messages received* — and the paper's self-interference argument
+(§1) is about transmissions colliding in time.  The numeric shortcut used by
+the evaluation (geometric connectivity) abstracts all of that away; this
+package keeps it, so the abstraction can be validated rather than assumed.
+
+:class:`Simulator` is a classic event-queue kernel: a priority queue of
+``(time, sequence, callback)`` entries, FIFO-stable among simultaneous
+events, with ``schedule_at``/``schedule_in`` and a bounded ``run``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Simulator", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One pending event (ordered by time, then insertion sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Sequential event-driven simulation kernel.
+
+    Time is a monotonically non-decreasing float in seconds; the unit is by
+    convention only.  Callbacks may schedule further events.
+    """
+
+    def __init__(self):
+        self._queue: list[ScheduledEvent] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled tombstones)."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable, *args) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at an absolute time.
+
+        Raises:
+            ValueError: if ``time`` lies in the past.
+        """
+        if time < self._now - 1e-12:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        event = ScheduledEvent(float(time), self._sequence, callback, tuple(args))
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable, *args) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` after a non-negative delay."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Execute events in order.
+
+        Args:
+            until: stop once the next event is strictly later than this time
+                (the clock advances to ``until``); None runs to exhaustion.
+            max_events: safety bound on callbacks executed this call.
+
+        Returns:
+            The number of events executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            executed += 1
+            self._processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return executed

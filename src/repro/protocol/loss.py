@@ -1,0 +1,92 @@
+"""Bursty per-link message loss (Gilbert–Elliott channels).
+
+Real RF links don't fail i.i.d.: interference and fading come in bursts.
+The classic two-state Gilbert–Elliott model captures this — each link is
+either GOOD (low loss) or BAD (high loss) and flips state as a Markov chain
+in continuous time.  Burstiness matters specifically to the §2.2 threshold
+rule: with the same *average* loss rate, bursty links spend whole listening
+windows in the BAD state and flap in and out of "connected", while i.i.d.
+loss of equal rate averages out.  The protocol bench quantifies the
+difference.
+
+The chain is sampled lazily per (listener, beacon) pair and advanced only
+when that link carries a message, using exponential holding times — exact
+for a two-state Markov chain, no per-tick simulation needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GilbertElliottLoss"]
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert–Elliott) loss process per link.
+
+    Args:
+        good_loss: message-loss probability in the GOOD state.
+        bad_loss: message-loss probability in the BAD state.
+        mean_good_time: mean sojourn in GOOD, seconds.
+        mean_bad_time: mean sojourn in BAD, seconds.
+        rng: randomness for state flips and loss draws.
+    """
+
+    def __init__(
+        self,
+        good_loss: float = 0.0,
+        bad_loss: float = 0.9,
+        mean_good_time: float = 10.0,
+        mean_bad_time: float = 3.0,
+        rng: np.random.Generator | None = None,
+    ):
+        for name, p in (("good_loss", good_loss), ("bad_loss", bad_loss)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if mean_good_time <= 0 or mean_bad_time <= 0:
+            raise ValueError("mean sojourn times must be positive")
+        self.good_loss = float(good_loss)
+        self.bad_loss = float(bad_loss)
+        self.mean_good_time = float(mean_good_time)
+        self.mean_bad_time = float(mean_bad_time)
+        self._rng = rng or np.random.default_rng()
+        # link key -> (state_is_bad, time_state_expires)
+        self._links: dict[tuple[int, int], tuple[bool, float]] = {}
+
+    @property
+    def steady_state_loss(self) -> float:
+        """Long-run average loss rate of the chain."""
+        total = self.mean_good_time + self.mean_bad_time
+        return (
+            self.good_loss * self.mean_good_time + self.bad_loss * self.mean_bad_time
+        ) / total
+
+    def _sojourn(self, bad: bool) -> float:
+        mean = self.mean_bad_time if bad else self.mean_good_time
+        return float(self._rng.exponential(mean))
+
+    def _state_at(self, key: tuple[int, int], now: float) -> bool:
+        entry = self._links.get(key)
+        if entry is None:
+            # Start in steady state.
+            p_bad = self.mean_bad_time / (self.mean_good_time + self.mean_bad_time)
+            bad = bool(self._rng.random() < p_bad)
+            self._links[key] = (bad, now + self._sojourn(bad))
+            return bad
+        bad, expires = entry
+        while expires <= now:
+            bad = not bad
+            expires += self._sojourn(bad)
+        self._links[key] = (bad, expires)
+        return bad
+
+    def message_lost(self, listener_index: int, beacon_index: int, now: float) -> bool:
+        """Whether a message on this link at time ``now`` is lost to the burst
+        process (in addition to any propagation/collision loss)."""
+        bad = self._state_at((listener_index, beacon_index), now)
+        loss = self.bad_loss if bad else self.good_loss
+        if loss <= 0.0:
+            return False
+        if loss >= 1.0:
+            return True
+        return bool(self._rng.random() < loss)

@@ -1,0 +1,36 @@
+"""Radio propagation substrate: models, static realizations, connectivity."""
+
+from .base import PropagationModel, PropagationRealization, beacon_rows
+from .beacon_noise import BeaconNoiseModel, BeaconNoiseRealization
+from .connectivity import (
+    beacon_audiences,
+    coverage_fraction,
+    degree_histogram,
+    mean_degree,
+    unheard_fraction,
+)
+from .ideal import IdealDiskModel, IdealDiskRealization
+from .lognormal import LogNormalShadowingModel, LogNormalShadowingRealization
+from .terrain_aware import TerrainAwareModel, TerrainAwareRealization
+from .time_varying import TimeVaryingModel, TimeVaryingRealization
+
+__all__ = [
+    "PropagationModel",
+    "PropagationRealization",
+    "beacon_rows",
+    "IdealDiskModel",
+    "IdealDiskRealization",
+    "BeaconNoiseModel",
+    "BeaconNoiseRealization",
+    "LogNormalShadowingModel",
+    "LogNormalShadowingRealization",
+    "TerrainAwareModel",
+    "TerrainAwareRealization",
+    "TimeVaryingModel",
+    "TimeVaryingRealization",
+    "coverage_fraction",
+    "unheard_fraction",
+    "mean_degree",
+    "degree_histogram",
+    "beacon_audiences",
+]

@@ -1,0 +1,69 @@
+"""Connectivity-matrix statistics.
+
+Small, pure helpers over the ``(P, N)`` boolean matrices produced by
+propagation realizations: coverage, beacon degree, and the visibility
+summaries quoted throughout the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "coverage_fraction",
+    "mean_degree",
+    "degree_histogram",
+    "unheard_fraction",
+    "beacon_audiences",
+]
+
+
+def _as_bool_matrix(connectivity: np.ndarray) -> np.ndarray:
+    conn = np.asarray(connectivity, dtype=bool)
+    if conn.ndim != 2:
+        raise ValueError(f"connectivity must be 2-D (P, N), got shape {conn.shape}")
+    return conn
+
+
+def coverage_fraction(connectivity: np.ndarray) -> float:
+    """Fraction of points hearing at least one beacon."""
+    conn = _as_bool_matrix(connectivity)
+    if conn.shape[0] == 0:
+        return float("nan")
+    return float(conn.any(axis=1).mean())
+
+
+def unheard_fraction(connectivity: np.ndarray) -> float:
+    """Fraction of points hearing *no* beacon (1 − coverage)."""
+    return 1.0 - coverage_fraction(connectivity)
+
+
+def mean_degree(connectivity: np.ndarray) -> float:
+    """Mean number of beacons heard per point."""
+    conn = _as_bool_matrix(connectivity)
+    if conn.shape[0] == 0:
+        return float("nan")
+    return float(conn.sum(axis=1).mean())
+
+
+def degree_histogram(connectivity: np.ndarray, max_degree: int | None = None) -> np.ndarray:
+    """Histogram of per-point beacon counts.
+
+    Args:
+        connectivity: ``(P, N)`` boolean matrix.
+        max_degree: histogram length − 1; defaults to the observed maximum.
+
+    Returns:
+        ``(max_degree + 1,)`` integer counts; entry ``k`` is the number of
+        points hearing exactly ``k`` beacons.
+    """
+    conn = _as_bool_matrix(connectivity)
+    degrees = conn.sum(axis=1)
+    top = int(degrees.max(initial=0)) if max_degree is None else int(max_degree)
+    return np.bincount(np.minimum(degrees, top), minlength=top + 1)
+
+
+def beacon_audiences(connectivity: np.ndarray) -> np.ndarray:
+    """Per-beacon audience: how many points hear each beacon, ``(N,)``."""
+    conn = _as_bool_matrix(connectivity)
+    return conn.sum(axis=0)

@@ -1,0 +1,96 @@
+"""Deterministic, counter-based randomness for static noise fields.
+
+The paper's propagation noise is *"location based and static with respect to
+time"*: the connectivity between a point P and a beacon B is decided once per
+field realization and never changes, no matter in what order (or how often)
+the simulator queries it — and crucially it must not change when a new beacon
+is added later.
+
+Sequential RNG streams cannot provide that (the answer would depend on query
+order), so realizations derive every random quantity from a *hash* of
+``(realization seed, beacon id, quantized location, tag)``.  This module
+implements the underlying vectorized hash: SplitMix64 finalization over a
+running 64-bit mix, which passes standard avalanche expectations and is
+plenty for simulation noise.
+
+All functions are pure and vectorized over NumPy ``uint64`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mix64", "hash_uniform", "hash_symmetric", "hash_normal", "quantize_coords"]
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_TWO64 = float(2**64)
+
+
+def mix64(*keys) -> np.ndarray:
+    """Hash one or more ``uint64`` keys (scalars or broadcastable arrays).
+
+    Applies the SplitMix64 finalizer after folding each key into a running
+    state, so every input bit influences every output bit.
+
+    Returns:
+        ``uint64`` array of the broadcast shape of the inputs.
+    """
+    if not keys:
+        raise ValueError("mix64 requires at least one key")
+    with np.errstate(over="ignore"):
+        state = np.uint64(0x243F6A8885A308D3)  # pi digits; arbitrary non-zero
+        state = np.broadcast_to(state, np.broadcast_shapes(*(np.shape(k) for k in keys))).copy()
+        for key in keys:
+            k = np.asarray(key, dtype=np.uint64)
+            state = state + _GAMMA
+            z = state ^ k
+            z = (z ^ (z >> np.uint64(30))) * _MIX1
+            z = (z ^ (z >> np.uint64(27))) * _MIX2
+            state = z ^ (z >> np.uint64(31))
+    return state
+
+
+def hash_uniform(*keys) -> np.ndarray:
+    """Deterministic uniforms in ``[0, 1)`` from integer keys.
+
+    The same keys always yield the same value; distinct keys yield
+    independent-looking values.
+    """
+    bits = mix64(*keys)
+    return bits.astype(np.float64) / _TWO64
+
+
+def hash_symmetric(*keys) -> np.ndarray:
+    """Deterministic uniforms in ``[-1, 1)`` — the paper's ``u`` variate."""
+    return 2.0 * hash_uniform(*keys) - 1.0
+
+
+def hash_normal(*keys) -> np.ndarray:
+    """Deterministic standard normals via Box–Muller on two derived uniforms.
+
+    Used by the log-normal shadowing model's static per-link fades.
+    """
+    u1 = hash_uniform(*keys, np.uint64(0x5BF0A8B1))
+    u2 = hash_uniform(*keys, np.uint64(0x3C6EF372))
+    # Guard against log(0): the hash can produce exactly 0.
+    u1 = np.maximum(u1, 1e-300)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+def quantize_coords(points: np.ndarray, resolution: float = 1e-6) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize ``(P, 2)`` coordinates to integer keys.
+
+    Two queries within ``resolution`` meters of each other see the same
+    noise — this is what makes the noise a *field over locations* rather
+    than a property of query objects.
+
+    Returns:
+        ``(qx, qy)`` int64-as-uint64 arrays of shape ``(P,)``.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected (P, 2) points, got shape {pts.shape}")
+    q = np.round(pts / resolution).astype(np.int64)
+    return q[:, 0].view(np.uint64), q[:, 1].view(np.uint64)

@@ -1,0 +1,58 @@
+"""The idealized radio model of Section 2.1.
+
+Two assumptions: perfect spherical (here: circular) propagation and identical
+transmission range for all radios — a link is up iff the distance is at most
+the nominal range R.  The model is deterministic, so realizations carry no
+state; it is the ``Noise = 0`` end point of the paper's sweep and the setting
+of Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array
+from .base import PropagationModel, PropagationRealization, beacon_rows
+
+__all__ = ["IdealDiskModel", "IdealDiskRealization"]
+
+
+class IdealDiskRealization(PropagationRealization):
+    """The (unique) realization of the ideal disk model."""
+
+    def __init__(self, radio_range: float):
+        self._radio_range = radio_range
+
+    @property
+    def radio_range(self) -> float:
+        """The disk radius R."""
+        return self._radio_range
+
+    def effective_ranges(self, points, beacons) -> np.ndarray:
+        ids, _ = beacon_rows(beacons)
+        pts = as_point_array(points)
+        return np.full((pts.shape[0], ids.shape[0]), self._radio_range)
+
+
+class IdealDiskModel(PropagationModel):
+    """Perfect circular propagation with a shared fixed range.
+
+    Args:
+        radio_range: the nominal range R in meters (15 m in the paper).
+    """
+
+    def __init__(self, radio_range: float):
+        if radio_range <= 0:
+            raise ValueError(f"radio_range must be positive, got {radio_range}")
+        self._radio_range = float(radio_range)
+
+    def __repr__(self) -> str:
+        return f"IdealDiskModel(radio_range={self._radio_range})"
+
+    @property
+    def nominal_range(self) -> float:
+        return self._radio_range
+
+    def realize(self, rng: np.random.Generator) -> IdealDiskRealization:
+        """Return the deterministic realization (``rng`` is unused)."""
+        return IdealDiskRealization(self._radio_range)

@@ -1,0 +1,119 @@
+"""Terrain-aware propagation: occlusion on top of any base model.
+
+The paper's future work (§6) plans simulations *"with a more sophisticated
+terrain map and propagation model ... to analyze the effects of terrain
+commonality"*.  :class:`TerrainAwareModel` composes any base model with a
+:class:`~repro.terrain.Heightmap`: links whose sight-line the terrain blocks
+have their effective range attenuated by a fixed factor (diffraction leaves
+blocked links usable at short distance, not dead).
+
+Because line-of-sight is a deterministic function of the two endpoints, the
+composition preserves the static-field property of the base realization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array
+from ..terrain import Heightmap
+from .base import PropagationModel, PropagationRealization, beacon_rows
+
+__all__ = ["TerrainAwareModel", "TerrainAwareRealization"]
+
+
+class TerrainAwareRealization(PropagationRealization):
+    """A base realization with terrain occlusion applied per link."""
+
+    def __init__(
+        self,
+        base: PropagationRealization,
+        heightmap: Heightmap,
+        blocked_range_factor: float,
+        antenna_height: float,
+        los_samples: int,
+    ):
+        self._base = base
+        self._heightmap = heightmap
+        self._factor = blocked_range_factor
+        self._antenna_height = antenna_height
+        self._los_samples = los_samples
+
+    @property
+    def base(self) -> PropagationRealization:
+        """The wrapped (non-terrain) realization."""
+        return self._base
+
+    def line_of_sight(self, points, beacons) -> np.ndarray:
+        """``(P, N)`` boolean: True where the link's sight-line is clear."""
+        _, positions = beacon_rows(beacons)
+        pts = as_point_array(points)
+        if positions.shape[0] == 0:
+            return np.ones((pts.shape[0], 0), dtype=bool)
+        return self._heightmap.line_of_sight(
+            pts,
+            positions,
+            antenna_height=self._antenna_height,
+            samples=self._los_samples,
+        )
+
+    def effective_ranges(self, points, beacons) -> np.ndarray:
+        ranges = self._base.effective_ranges(points, beacons)
+        if ranges.shape[1] == 0:
+            return ranges
+        clear = self.line_of_sight(points, beacons)
+        return np.where(clear, ranges, ranges * self._factor)
+
+
+class TerrainAwareModel(PropagationModel):
+    """Compose a propagation model with terrain occlusion.
+
+    Args:
+        base: the underlying model (ideal disk, beacon-noise, shadowing …).
+        heightmap: terrain elevation over the same square.
+        blocked_range_factor: multiplier applied to the effective range of
+            links without line of sight, in ``[0, 1]`` (0 = blocked links are
+            dead; the default 0.4 models strong diffraction loss).
+        antenna_height: antenna height above ground, meters.
+        los_samples: interior samples per sight-line test.
+    """
+
+    def __init__(
+        self,
+        base: PropagationModel,
+        heightmap: Heightmap,
+        *,
+        blocked_range_factor: float = 0.4,
+        antenna_height: float = 1.0,
+        los_samples: int = 16,
+    ):
+        if not 0.0 <= blocked_range_factor <= 1.0:
+            raise ValueError(
+                f"blocked_range_factor must be in [0, 1], got {blocked_range_factor}"
+            )
+        if antenna_height < 0:
+            raise ValueError(f"antenna_height must be non-negative, got {antenna_height}")
+        self._base = base
+        self._heightmap = heightmap
+        self._factor = float(blocked_range_factor)
+        self._antenna_height = float(antenna_height)
+        self._los_samples = int(los_samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"TerrainAwareModel(base={self._base!r}, "
+            f"blocked_range_factor={self._factor})"
+        )
+
+    @property
+    def nominal_range(self) -> float:
+        return self._base.nominal_range
+
+    def realize(self, rng: np.random.Generator) -> TerrainAwareRealization:
+        return TerrainAwareRealization(
+            self._base.realize(rng),
+            self._heightmap,
+            self._factor,
+            self._antenna_height,
+            self._los_samples,
+        )

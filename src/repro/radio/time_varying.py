@@ -1,0 +1,106 @@
+"""Time-varying propagation (the §6 "time varying propagation loss").
+
+The paper's noise is static in time; its future work plans models that vary.
+:class:`TimeVaryingModel` supplies them without giving up reproducibility:
+time is discretized into *epochs*, and each epoch is an independent static
+realization of the base model (drawn from hash-derived, epoch-indexed
+seeds).  Querying at epoch t is exact and order-independent, epochs never
+bleed into each other, and epoch 0 of a given realization is always the
+same world.
+
+The temporal correlation knob ``persistence`` blends each epoch's effective
+ranges with epoch 0's: 0 = fully independent epochs, 1 = static (epoch 0
+forever).  That is enough to study the §3 question the paper raises
+implicitly: a survey measured at epoch t is *stale* by the time the beacon
+is placed at epoch t+k — how fast do placement gains decay with staleness?
+(Extension bench E8.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PropagationModel, PropagationRealization
+from .hashrand import mix64
+
+__all__ = ["TimeVaryingModel", "TimeVaryingRealization"]
+
+
+class TimeVaryingRealization(PropagationRealization):
+    """Epoch-indexed sequence of static worlds.
+
+    The realization itself answers queries for its *current* epoch (set via
+    :meth:`at_epoch`, default 0), so it drops into every API that expects a
+    static realization; trial code advances time explicitly.
+    """
+
+    def __init__(self, base_model: PropagationModel, seed: int, persistence: float):
+        self._base_model = base_model
+        self._seed = np.uint64(seed)
+        self._persistence = persistence
+        self._epoch = 0
+        self._cache: dict[int, PropagationRealization] = {}
+
+    @property
+    def epoch(self) -> int:
+        """The epoch queries currently resolve against."""
+        return self._epoch
+
+    def at_epoch(self, epoch: int) -> "TimeVaryingRealization":
+        """A view of this world at another epoch (shares the epoch cache)."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        view = TimeVaryingRealization(self._base_model, int(self._seed), self._persistence)
+        view._cache = self._cache
+        view._epoch = epoch
+        return view
+
+    def _epoch_realization(self, epoch: int) -> PropagationRealization:
+        cached = self._cache.get(epoch)
+        if cached is not None:
+            return cached
+        epoch_seed = int(mix64(self._seed, np.uint64(epoch), np.uint64(0x71D0)))
+        rng = np.random.default_rng(epoch_seed)
+        realization = self._base_model.realize(rng)
+        self._cache[epoch] = realization
+        return realization
+
+    def effective_ranges(self, points, beacons) -> np.ndarray:
+        current = self._epoch_realization(self._epoch).effective_ranges(points, beacons)
+        if self._persistence <= 0.0 or self._epoch == 0:
+            return current
+        anchor = self._epoch_realization(0).effective_ranges(points, beacons)
+        return self._persistence * anchor + (1.0 - self._persistence) * current
+
+
+class TimeVaryingModel(PropagationModel):
+    """Wrap any static model into an epoch-indexed time-varying one.
+
+    Args:
+        base: the per-epoch model (its randomness drives the variation —
+            wrapping the deterministic ideal disk yields a constant world).
+        persistence: temporal correlation in [0, 1]; each epoch's effective
+            ranges are ``persistence·epoch0 + (1 − persistence)·fresh``.
+    """
+
+    def __init__(self, base: PropagationModel, persistence: float = 0.5):
+        if not 0.0 <= persistence <= 1.0:
+            raise ValueError(f"persistence must be in [0, 1], got {persistence}")
+        self._base = base
+        self._persistence = float(persistence)
+
+    def __repr__(self) -> str:
+        return f"TimeVaryingModel(base={self._base!r}, persistence={self._persistence})"
+
+    @property
+    def nominal_range(self) -> float:
+        return self._base.nominal_range
+
+    @property
+    def persistence(self) -> float:
+        """Temporal correlation knob."""
+        return self._persistence
+
+    def realize(self, rng: np.random.Generator) -> TimeVaryingRealization:
+        seed = int(rng.integers(0, 2**63, dtype=np.int64))
+        return TimeVaryingRealization(self._base, seed, self._persistence)

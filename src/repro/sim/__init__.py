@@ -1,0 +1,36 @@
+"""Experiment harness: configuration, RNG streams, trials, sweeps, results."""
+
+from .config import ExperimentConfig, PAPER_NOISE_LEVELS, bench_config, paper_config
+from .io import read_curve_set, write_curve_set
+from .parallel import parallel_mean_error_curve, parallel_placement_improvement_curves
+from .results import Curve, CurveSet
+from .rng import derive_rng, derive_seed_sequence
+from .sweep import (
+    build_world,
+    default_model_factory,
+    mean_error_curve,
+    placement_improvement_curves,
+)
+from .trial import TrialOutcome, TrialWorld, run_placement_trial
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_NOISE_LEVELS",
+    "paper_config",
+    "bench_config",
+    "derive_rng",
+    "derive_seed_sequence",
+    "TrialWorld",
+    "TrialOutcome",
+    "run_placement_trial",
+    "build_world",
+    "default_model_factory",
+    "mean_error_curve",
+    "placement_improvement_curves",
+    "parallel_mean_error_curve",
+    "parallel_placement_improvement_curves",
+    "Curve",
+    "CurveSet",
+    "write_curve_set",
+    "read_curve_set",
+]

@@ -1,0 +1,62 @@
+"""Result persistence: curves ⇄ CSV.
+
+Sweeps at paper fidelity take hours; benches and examples persist their
+curves so figures can be re-rendered (or diffed against EXPERIMENTS.md)
+without recomputation.  The format is a flat CSV with one row per
+(series, density) pair — trivially loadable by any plotting tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .results import Curve, CurveSet
+
+__all__ = ["write_curve_set", "read_curve_set"]
+
+_FIELDS = ["label", "count", "density", "value", "ci_half_width", "num_samples"]
+
+
+def write_curve_set(curve_set: CurveSet, path) -> Path:
+    """Write a curve set to CSV (directories created as needed).
+
+    Returns:
+        The written path.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for row in curve_set.as_rows():
+            writer.writerow(row)
+    return out
+
+
+def read_curve_set(path, title: str | None = None) -> CurveSet:
+    """Read a curve set written by :func:`write_curve_set`.
+
+    Args:
+        path: the CSV path.
+        title: title for the reconstructed set (defaults to the file stem).
+    """
+    src = Path(path)
+    series: dict[str, list[dict]] = {}
+    with src.open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            series.setdefault(row["label"], []).append(row)
+
+    curves = []
+    for label, rows in series.items():
+        curves.append(
+            Curve(
+                label=label,
+                counts=tuple(int(r["count"]) for r in rows),
+                densities=tuple(float(r["density"]) for r in rows),
+                values=tuple(float(r["value"]) for r in rows),
+                ci_half_widths=tuple(float(r["ci_half_width"]) for r in rows),
+                num_samples=tuple(int(r["num_samples"]) for r in rows),
+            )
+        )
+    return CurveSet(title=title or src.stem, curves=curves)

@@ -1,0 +1,158 @@
+"""Result containers for sweeps: labelled curves with confidence intervals.
+
+Every figure in the paper is a set of curves over the beacon-density axis;
+:class:`Curve` is exactly that — x values (both density and raw beacon
+count), point estimates, confidence half-widths and sample counts — plus
+the conversions the paper's dual axes use (beacons per m², beacons per
+nominal coverage area, error as a fraction of range).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Curve", "CurveSet"]
+
+
+@dataclass(frozen=True)
+class Curve:
+    """One labelled series over the density sweep.
+
+    Attributes:
+        label: series label (e.g. ``"grid"``, ``"Noise=0.3"``).
+        counts: beacon counts at each x position.
+        densities: beacons per m² at each x position.
+        values: point estimates (meters unless stated otherwise).
+        ci_half_widths: confidence half-widths matching ``values``.
+        num_samples: replications behind each point.
+    """
+
+    label: str
+    counts: tuple[int, ...]
+    densities: tuple[float, ...]
+    values: tuple[float, ...]
+    ci_half_widths: tuple[float, ...]
+    num_samples: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.counts),
+            len(self.densities),
+            len(self.values),
+            len(self.ci_half_widths),
+            len(self.num_samples),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"curve field lengths disagree: {lengths}")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def coverage_densities(self, radio_range: float) -> tuple[float, ...]:
+        """The paper's secondary x axis: beacons per ``π R²``."""
+        area = math.pi * radio_range**2
+        return tuple(d * area for d in self.densities)
+
+    def values_as_range_fraction(self, radio_range: float) -> tuple[float, ...]:
+        """The paper's secondary y axis: error as a fraction of R."""
+        return tuple(v / radio_range for v in self.values)
+
+    def value_at_count(self, count: int) -> float:
+        """The point estimate at a given beacon count."""
+        try:
+            idx = self.counts.index(count)
+        except ValueError:
+            raise KeyError(f"count {count} not in curve (has {self.counts})") from None
+        return self.values[idx]
+
+    def as_rows(self) -> list[dict]:
+        """Plain dict rows for CSV/tables."""
+        return [
+            {
+                "label": self.label,
+                "count": c,
+                "density": d,
+                "value": v,
+                "ci_half_width": h,
+                "num_samples": n,
+            }
+            for c, d, v, h, n in zip(
+                self.counts,
+                self.densities,
+                self.values,
+                self.ci_half_widths,
+                self.num_samples,
+            )
+        ]
+
+    @classmethod
+    def from_samples(
+        cls,
+        label: str,
+        counts,
+        densities,
+        samples_per_count,
+        *,
+        confidence: float = 0.95,
+    ) -> "Curve":
+        """Aggregate raw per-field samples into a curve.
+
+        Args:
+            label: series label.
+            counts: beacon counts, one per sweep position.
+            densities: matching densities.
+            samples_per_count: iterable of 1-D sample arrays, one per count.
+            confidence: CI level.
+        """
+        from ..stats import mean_ci  # local import to avoid a package cycle
+
+        values, halves, ns = [], [], []
+        for samples in samples_per_count:
+            ci = mean_ci(samples, confidence)
+            values.append(ci.value)
+            halves.append(ci.half_width)
+            ns.append(ci.n)
+        return cls(
+            label=label,
+            counts=tuple(int(c) for c in counts),
+            densities=tuple(float(d) for d in densities),
+            values=tuple(values),
+            ci_half_widths=tuple(halves),
+            num_samples=tuple(ns),
+        )
+
+
+@dataclass
+class CurveSet:
+    """A named family of curves sharing one x axis (one paper figure).
+
+    Attributes:
+        title: figure title.
+        curves: the series, in display order.
+        meta: free-form provenance (config fidelity, noise level, …).
+    """
+
+    title: str
+    curves: list[Curve]
+    meta: dict = field(default_factory=dict)
+
+    def curve(self, label: str) -> Curve:
+        """Look up a series by label."""
+        for c in self.curves:
+            if c.label == label:
+                return c
+        raise KeyError(f"no curve labelled {label!r} in {self.title!r}")
+
+    def labels(self) -> list[str]:
+        """All series labels, in order."""
+        return [c.label for c in self.curves]
+
+    def as_rows(self) -> list[dict]:
+        """All series flattened to dict rows."""
+        rows = []
+        for c in self.curves:
+            rows.extend(c.as_rows())
+        return rows

@@ -1,0 +1,30 @@
+"""Statistics: confidence intervals, bootstrap, solution-space density."""
+
+from .bootstrap import BootstrapCI, bootstrap_ci
+from .distribution import (
+    ErrorCdf,
+    distribution_improvement,
+    error_cdf,
+    quantile_profile,
+)
+from .spatial import SpatialSummary, correlation_length, morans_i, semivariogram
+from .solution_space import SolutionSpaceAnalysis, analyze_solution_space
+from .summary import MeanCI, mean_ci, median_ci
+
+__all__ = [
+    "MeanCI",
+    "mean_ci",
+    "median_ci",
+    "BootstrapCI",
+    "bootstrap_ci",
+    "SolutionSpaceAnalysis",
+    "analyze_solution_space",
+    "SpatialSummary",
+    "morans_i",
+    "semivariogram",
+    "correlation_length",
+    "ErrorCdf",
+    "error_cdf",
+    "quantile_profile",
+    "distribution_improvement",
+]

@@ -1,0 +1,76 @@
+"""Bootstrap confidence intervals.
+
+A nonparametric companion to the t-based intervals in
+:mod:`repro.stats.summary`, used by tests to validate the parametric
+intervals and by analyses whose statistic has no clean sampling
+distribution (e.g. improvement *ratios* between algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BootstrapCI", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap percentile interval.
+
+    Attributes:
+        value: statistic of the original sample.
+        low: lower percentile bound.
+        high: upper percentile bound.
+        resamples: number of bootstrap resamples used.
+        confidence: the confidence level.
+    """
+
+    value: float
+    low: float
+    high: float
+    resamples: int
+    confidence: float
+
+
+def bootstrap_ci(
+    samples,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> BootstrapCI:
+    """Percentile bootstrap interval for an arbitrary statistic.
+
+    Args:
+        samples: 1-D data (NaNs dropped).
+        statistic: function of a 1-D array returning a scalar.
+        confidence: interval coverage.
+        resamples: bootstrap iterations.
+        rng: randomness source (fresh default generator if omitted).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    x = np.asarray(samples, dtype=float)
+    x = x[~np.isnan(x)]
+    if x.size == 0:
+        raise ValueError("bootstrap_ci requires at least one finite sample")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    point = float(statistic(x))
+    idx = rng.integers(0, x.size, size=(resamples, x.size))
+    values = np.array([statistic(x[row]) for row in idx], dtype=float)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        value=point,
+        low=float(np.quantile(values, alpha)),
+        high=float(np.quantile(values, 1.0 - alpha)),
+        resamples=resamples,
+        confidence=confidence,
+    )

@@ -1,0 +1,82 @@
+"""Error-distribution summaries beyond mean and median.
+
+The paper reports the mean and median of the localization-error field; the
+full distribution says more — the tail is what a context-aware application
+actually experiences at its worst moments.  These helpers compute empirical
+CDFs and quantile profiles of error surfaces, and compare two surfaces
+(before/after a placement) across the whole distribution rather than at two
+scalar cuts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ErrorCdf", "error_cdf", "quantile_profile", "distribution_improvement"]
+
+
+@dataclass(frozen=True)
+class ErrorCdf:
+    """Empirical CDF of a (NaN-filtered) error sample.
+
+    Attributes:
+        values: sorted error values, ``(K,)``.
+        probabilities: cumulative probabilities at each value, ``(K,)``.
+    """
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    def at(self, error: float) -> float:
+        """P(LE ≤ error)."""
+        return float(np.searchsorted(self.values, error, side="right") / self.values.size)
+
+    def quantile(self, q: float) -> float:
+        """The error level not exceeded with probability ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        return float(np.quantile(self.values, q))
+
+    def exceedance(self, error: float) -> float:
+        """P(LE > error) — the service-failure rate at a tolerance."""
+        return 1.0 - self.at(error)
+
+
+def error_cdf(errors) -> ErrorCdf:
+    """Empirical CDF of an error sample (NaNs dropped).
+
+    Raises:
+        ValueError: if no finite values remain.
+    """
+    x = np.asarray(errors, dtype=float).ravel()
+    x = x[~np.isnan(x)]
+    if x.size == 0:
+        raise ValueError("error_cdf requires at least one finite value")
+    values = np.sort(x)
+    probabilities = np.arange(1, values.size + 1) / values.size
+    return ErrorCdf(values=values, probabilities=probabilities)
+
+
+def quantile_profile(errors, qs=(0.1, 0.25, 0.5, 0.75, 0.9, 0.99)) -> dict[float, float]:
+    """Named quantiles of an error sample (NaN-aware)."""
+    x = np.asarray(errors, dtype=float).ravel()
+    x = x[~np.isnan(x)]
+    if x.size == 0:
+        raise ValueError("quantile_profile requires at least one finite value")
+    return {float(q): float(np.quantile(x, q)) for q in qs}
+
+
+def distribution_improvement(
+    before, after, qs=(0.5, 0.75, 0.9, 0.99)
+) -> dict[float, float]:
+    """Per-quantile improvement (before − after) between two error samples.
+
+    Generalizes the paper's two §4.1 metrics: entry 0.5 is exactly the
+    improvement-in-median metric; the upper quantiles show whether a
+    placement fixed the tail or just the middle.
+    """
+    profile_before = quantile_profile(before, qs)
+    profile_after = quantile_profile(after, qs)
+    return {q: profile_before[q] - profile_after[q] for q in profile_before}

@@ -1,0 +1,102 @@
+"""Solution-space density analysis (Section 3's enabling concept).
+
+The paper: *"The efficacy of algorithms … designed to work in noisy
+environments is predicated on the assumption that the solution space for the
+problem must be dense in number of satisfying solutions.  For instance, if
+the only way to improve the quality of localization … is to place [the
+beacon] at a single point in the region, then it is difficult to design
+algorithms that can identify that point in the presence of so much noise."*
+
+This module measures that density empirically: sample candidate positions
+uniformly over the terrain, evaluate the true improvement each would yield
+(via the trial world's counterfactual evaluation), and summarize how much of
+the terrain constitutes a "satisfying" placement.  Bench A4 reports the
+analysis across densities and noise levels — the quantitative backing for
+the paper's claim that its algorithms work precisely because low-density
+regimes are improvement-rich.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SolutionSpaceAnalysis", "analyze_solution_space"]
+
+
+@dataclass(frozen=True)
+class SolutionSpaceAnalysis:
+    """Improvements achievable across sampled candidate placements.
+
+    Attributes:
+        candidates: ``(K, 2)`` sampled candidate positions.
+        improvements: ``(K,)`` improvement in mean localization error that a
+            beacon at each candidate would deliver (meters; may be negative —
+            a beacon can hurt).
+    """
+
+    candidates: np.ndarray
+    improvements: np.ndarray
+
+    @property
+    def best(self) -> float:
+        """The best achievable improvement among the sampled candidates."""
+        return float(self.improvements.max())
+
+    @property
+    def mean(self) -> float:
+        """Mean improvement over all candidates (the Random algorithm's
+        expected gain, by definition)."""
+        return float(self.improvements.mean())
+
+    def satisfying_fraction(self, threshold: float) -> float:
+        """Fraction of candidates achieving at least ``threshold`` meters."""
+        if self.improvements.size == 0:
+            return float("nan")
+        return float((self.improvements >= threshold).mean())
+
+    def density_at_fraction_of_best(self, fraction: float = 0.5) -> float:
+        """Fraction of the terrain that is a near-optimal placement.
+
+        Args:
+            fraction: "satisfying" means achieving at least this fraction of
+                the best sampled improvement.
+
+        Returns:
+            The solution-space density in [0, 1]; NaN when even the best
+            candidate yields no improvement (saturated regime).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if self.best <= 0.0:
+            return float("nan")
+        return self.satisfying_fraction(fraction * self.best)
+
+    def quantiles(self, qs=(0.1, 0.5, 0.9)) -> list[float]:
+        """Improvement quantiles across candidates."""
+        return [float(v) for v in np.quantile(self.improvements, qs)]
+
+
+def analyze_solution_space(
+    world,
+    rng: np.random.Generator,
+    *,
+    num_candidates: int = 200,
+) -> SolutionSpaceAnalysis:
+    """Sample the candidate space of one trial world.
+
+    Args:
+        world: a :class:`repro.sim.TrialWorld` (anything exposing
+            ``terrain_side`` and ``evaluate_candidate``).
+        rng: randomness for candidate sampling.
+        num_candidates: how many uniform candidates to evaluate.
+    """
+    if num_candidates < 1:
+        raise ValueError(f"num_candidates must be >= 1, got {num_candidates}")
+    candidates = rng.uniform(0.0, world.terrain_side, size=(num_candidates, 2))
+    gains = np.empty(num_candidates)
+    for k, (x, y) in enumerate(candidates):
+        mean_gain, _ = world.evaluate_candidate((float(x), float(y)))
+        gains[k] = mean_gain
+    return SolutionSpaceAnalysis(candidates=candidates, improvements=gains)

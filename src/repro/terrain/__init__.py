@@ -1,0 +1,12 @@
+"""Terrain substrate: heightmaps, synthetic terrain, line-of-sight."""
+
+from .generators import flat_terrain, fractal_terrain, hill_terrain, ridge_terrain
+from .heightmap import Heightmap
+
+__all__ = [
+    "Heightmap",
+    "flat_terrain",
+    "hill_terrain",
+    "fractal_terrain",
+    "ridge_terrain",
+]

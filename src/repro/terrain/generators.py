@@ -1,0 +1,152 @@
+"""Synthetic terrain generators.
+
+Three families cover the scenarios the paper's introduction motivates:
+
+* :func:`flat_terrain` — the featureless plane of the core evaluation;
+* :func:`hill_terrain` — a Gaussian hilltop (the air-drop story of §1);
+* :func:`fractal_terrain` — diamond-square fractional-Brownian relief for
+  "wide variety of terrain conditions" stress tests (§5/§6).
+* :func:`ridge_terrain` — a linear ridge wall that splits the terrain, the
+  worst case for line-of-sight propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .heightmap import Heightmap
+
+__all__ = ["flat_terrain", "hill_terrain", "fractal_terrain", "ridge_terrain"]
+
+
+def flat_terrain(side: float, *, resolution: int = 33) -> Heightmap:
+    """A perfectly flat terrain (elevation 0 everywhere)."""
+    return Heightmap(np.zeros((resolution, resolution)), side)
+
+
+def hill_terrain(
+    side: float,
+    *,
+    peak_height: float,
+    peak_fraction: tuple[float, float] = (0.5, 0.5),
+    spread_fraction: float = 0.25,
+    resolution: int = 65,
+) -> Heightmap:
+    """A single Gaussian hill.
+
+    Args:
+        side: terrain side length.
+        peak_height: summit elevation in meters.
+        peak_fraction: summit location as fractions of ``side``.
+        spread_fraction: Gaussian σ as a fraction of ``side``.
+        resolution: heightmap samples per axis.
+    """
+    if peak_height < 0:
+        raise ValueError(f"peak_height must be non-negative, got {peak_height}")
+    if spread_fraction <= 0:
+        raise ValueError(f"spread_fraction must be positive, got {spread_fraction}")
+    axis = np.linspace(0.0, side, resolution)
+    xs, ys = np.meshgrid(axis, axis, indexing="ij")
+    cx, cy = peak_fraction[0] * side, peak_fraction[1] * side
+    sigma = spread_fraction * side
+    elev = peak_height * np.exp(-((xs - cx) ** 2 + (ys - cy) ** 2) / (2.0 * sigma**2))
+    return Heightmap(elev, side)
+
+
+def fractal_terrain(
+    side: float,
+    rng: np.random.Generator,
+    *,
+    relief: float,
+    octaves: int = 7,
+    roughness: float = 0.55,
+) -> Heightmap:
+    """Diamond-square fractional-Brownian terrain.
+
+    Args:
+        side: terrain side length.
+        rng: randomness source.
+        relief: final peak-to-valley elevation span in meters.
+        octaves: subdivision depth; resolution is ``2**octaves + 1``.
+        roughness: per-octave amplitude decay in (0, 1); higher = craggier.
+
+    Returns:
+        A heightmap normalized to ``[0, relief]``.
+    """
+    if relief < 0:
+        raise ValueError(f"relief must be non-negative, got {relief}")
+    if not 0.0 < roughness < 1.0:
+        raise ValueError(f"roughness must be in (0, 1), got {roughness}")
+    if octaves < 1:
+        raise ValueError(f"octaves must be >= 1, got {octaves}")
+
+    size = 2**octaves + 1
+    elev = np.zeros((size, size))
+    corners = rng.uniform(-1.0, 1.0, size=4)
+    elev[0, 0], elev[0, -1], elev[-1, 0], elev[-1, -1] = corners
+
+    span = size - 1
+    amplitude = 1.0
+    while span > 1:
+        half = span // 2
+        # Diamond step: centers of each span×span square.
+        ci = np.arange(half, size, span)
+        ci_x, ci_y = np.meshgrid(ci, ci, indexing="ij")
+        avg = (
+            elev[ci_x - half, ci_y - half]
+            + elev[ci_x - half, ci_y + half]
+            + elev[ci_x + half, ci_y - half]
+            + elev[ci_x + half, ci_y + half]
+        ) / 4.0
+        elev[ci_x, ci_y] = avg + amplitude * rng.uniform(-1.0, 1.0, size=avg.shape)
+
+        # Square step: edge midpoints, averaging available neighbours.
+        padded = np.pad(elev, half, mode="edge")
+        all_i = np.arange(0, size, half)
+        gi, gj = np.meshgrid(all_i, all_i, indexing="ij")
+        is_edge_point = ((gi // half) + (gj // half)) % 2 == 1
+        ei = gi[is_edge_point]
+        ej = gj[is_edge_point]
+        pi, pj = ei + half, ej + half  # indices into padded
+        avg = (
+            padded[pi - half, pj]
+            + padded[pi + half, pj]
+            + padded[pi, pj - half]
+            + padded[pi, pj + half]
+        ) / 4.0
+        elev[ei, ej] = avg + amplitude * rng.uniform(-1.0, 1.0, size=avg.shape)
+
+        span = half
+        amplitude *= roughness
+
+    lo, hi = elev.min(), elev.max()
+    if hi - lo > 1e-12:
+        elev = (elev - lo) / (hi - lo) * relief
+    else:
+        elev = np.zeros_like(elev)
+    return Heightmap(elev, side)
+
+
+def ridge_terrain(
+    side: float,
+    *,
+    ridge_height: float,
+    ridge_fraction: float = 0.5,
+    width_fraction: float = 0.08,
+    resolution: int = 65,
+) -> Heightmap:
+    """A vertical ridge wall at ``x = ridge_fraction · side``.
+
+    The canonical line-of-sight obstacle: nodes on opposite sides of the
+    ridge cannot see each other unless near a gap in elevation.
+    """
+    if ridge_height < 0:
+        raise ValueError(f"ridge_height must be non-negative, got {ridge_height}")
+    if width_fraction <= 0:
+        raise ValueError(f"width_fraction must be positive, got {width_fraction}")
+    axis = np.linspace(0.0, side, resolution)
+    xs, _ = np.meshgrid(axis, axis, indexing="ij")
+    center = ridge_fraction * side
+    width = width_fraction * side
+    elev = ridge_height * np.exp(-((xs - center) ** 2) / (2.0 * width**2))
+    return Heightmap(elev, side)

@@ -1,0 +1,125 @@
+"""Terrain heightmaps.
+
+The paper motivates adaptive placement with terrain effects — hilltops that
+shed air-dropped beacons, obstacles that block propagation — and lists *"a
+more sophisticated terrain map"* as future work.  :class:`Heightmap` is that
+map: elevation sampled on a regular grid over the terrain square, with
+bilinear interpolation for off-grid queries and finite-difference gradients
+(used by the air-drop deployment generator to roll beacons downhill).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array
+
+__all__ = ["Heightmap"]
+
+
+class Heightmap:
+    """Elevation over a ``[0, side]²`` terrain, sampled on a regular grid.
+
+    Args:
+        elevations: ``(M, M)`` elevation samples in meters; entry ``[i, j]``
+            is the elevation at ``(i·side/(M-1), j·side/(M-1))``.
+        side: terrain side length in meters.
+    """
+
+    def __init__(self, elevations: np.ndarray, side: float):
+        elev = np.asarray(elevations, dtype=float)
+        if elev.ndim != 2 or elev.shape[0] != elev.shape[1] or elev.shape[0] < 2:
+            raise ValueError(f"elevations must be square (M, M), M >= 2; got {elev.shape}")
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        self._elev = elev.copy()
+        self._elev.setflags(write=False)
+        self._side = float(side)
+        self._cell = self._side / (elev.shape[0] - 1)
+
+    @property
+    def side(self) -> float:
+        """Terrain side length."""
+        return self._side
+
+    @property
+    def resolution(self) -> int:
+        """Grid samples per axis (M)."""
+        return self._elev.shape[0]
+
+    @property
+    def elevations(self) -> np.ndarray:
+        """The raw elevation grid (read-only)."""
+        return self._elev
+
+    def _grid_coords(self, points) -> tuple[np.ndarray, np.ndarray]:
+        pts = as_point_array(points)
+        gx = np.clip(pts[:, 0], 0.0, self._side) / self._cell
+        gy = np.clip(pts[:, 1], 0.0, self._side) / self._cell
+        return gx, gy
+
+    def elevation_at(self, points) -> np.ndarray:
+        """Bilinear elevation at arbitrary points, ``(P,)`` meters."""
+        gx, gy = self._grid_coords(points)
+        m = self.resolution - 1
+        i0 = np.clip(np.floor(gx).astype(int), 0, m - 1)
+        j0 = np.clip(np.floor(gy).astype(int), 0, m - 1)
+        fx = gx - i0
+        fy = gy - j0
+        e = self._elev
+        top = e[i0, j0] * (1 - fx) + e[i0 + 1, j0] * fx
+        bot = e[i0, j0 + 1] * (1 - fx) + e[i0 + 1, j0 + 1] * fx
+        return top * (1 - fy) + bot * fy
+
+    def gradient_at(self, points) -> tuple[np.ndarray, np.ndarray]:
+        """Central-difference slope ``(∂z/∂x, ∂z/∂y)`` at arbitrary points.
+
+        Returns:
+            Two ``(P,)`` arrays of dimensionless slopes (m elevation per m
+            horizontal).  Used to roll air-dropped beacons downhill.
+        """
+        pts = as_point_array(points)
+        h = self._cell / 2.0
+        east = self.elevation_at(np.column_stack([pts[:, 0] + h, pts[:, 1]]))
+        west = self.elevation_at(np.column_stack([pts[:, 0] - h, pts[:, 1]]))
+        north = self.elevation_at(np.column_stack([pts[:, 0], pts[:, 1] + h]))
+        south = self.elevation_at(np.column_stack([pts[:, 0], pts[:, 1] - h]))
+        return (east - west) / (2.0 * h), (north - south) / (2.0 * h)
+
+    def line_of_sight(
+        self,
+        from_points: np.ndarray,
+        to_points: np.ndarray,
+        *,
+        antenna_height: float = 1.0,
+        samples: int = 16,
+    ) -> np.ndarray:
+        """Pairwise line-of-sight between two point sets.
+
+        A sight-line is blocked when the terrain rises above the straight
+        segment joining the two antennas (each mounted ``antenna_height``
+        meters above ground) at any of ``samples`` interior sample points.
+
+        Args:
+            from_points: ``(P, 2)`` observer locations.
+            to_points: ``(N, 2)`` target locations.
+            antenna_height: antenna elevation above local ground, meters.
+            samples: interior samples per segment (more = finer occlusion).
+
+        Returns:
+            ``(P, N)`` boolean array; True where the sight-line is clear.
+        """
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        a = as_point_array(from_points)
+        b = as_point_array(to_points)
+        za = self.elevation_at(a) + antenna_height  # (P,)
+        zb = self.elevation_at(b) + antenna_height  # (N,)
+        clear = np.ones((a.shape[0], b.shape[0]), dtype=bool)
+        ts = (np.arange(samples, dtype=float) + 1.0) / (samples + 1.0)
+        for t in ts:
+            mid = a[:, None, :] * (1.0 - t) + b[None, :, :] * t  # (P, N, 2)
+            ground = self.elevation_at(mid.reshape(-1, 2)).reshape(a.shape[0], b.shape[0])
+            ray = za[:, None] * (1.0 - t) + zb[None, :] * t
+            clear &= ground <= ray + 1e-9
+        return clear

@@ -1,0 +1,16 @@
+"""Text rendering: tables, ASCII charts, heatmaps."""
+
+from .ascii_chart import SERIES_MARKERS, heatmap, line_chart
+from .field_map import field_map
+from .report import ReportBuilder
+from .tables import format_curve_set, format_table
+
+__all__ = [
+    "format_table",
+    "format_curve_set",
+    "line_chart",
+    "heatmap",
+    "field_map",
+    "ReportBuilder",
+    "SERIES_MARKERS",
+]

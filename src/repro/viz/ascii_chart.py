@@ -1,0 +1,149 @@
+"""ASCII line charts and heatmaps.
+
+Good enough to see a figure's *shape* in a terminal or a CI log: multi-series
+scatter/line charts with axes and a legend, and character heatmaps for error
+surfaces.  The benches print these next to the numeric tables so the curves
+of Figures 4–9 are visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["line_chart", "heatmap", "SERIES_MARKERS"]
+
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def _nice_ticks(lo: float, hi: float, count: int) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+
+def line_chart(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    y_min: float | None = None,
+) -> str:
+    """Render labelled (x, y) series as an ASCII chart.
+
+    Args:
+        series: list of ``(label, xs, ys)``; NaN ys are skipped.
+        width: plot-area columns.
+        height: plot-area rows.
+        title: optional title line.
+        x_label: x-axis caption.
+        y_label: y-axis caption (printed above the axis).
+        y_min: force the y-axis lower bound (e.g. 0 for error plots).
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    if width < 8 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+
+    xs_all, ys_all = [], []
+    for _, xs, ys in series:
+        for x, y in zip(xs, ys):
+            if not (math.isnan(float(x)) or math.isnan(float(y))):
+                xs_all.append(float(x))
+                ys_all.append(float(y))
+    if not xs_all:
+        raise ValueError("no finite data points to chart")
+
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo = min(ys_all) if y_min is None else y_min
+    y_hi = max(ys_all)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    cells = [[" "] * width for _ in range(height)]
+    for s_idx, (_, xs, ys) in enumerate(series):
+        marker = SERIES_MARKERS[s_idx % len(SERIES_MARKERS)]
+        for x, y in zip(xs, ys):
+            x, y = float(x), float(y)
+            if math.isnan(x) or math.isnan(y):
+                continue
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            row = height - 1 - row
+            if 0 <= row < height and 0 <= col < width:
+                cells[row][col] = marker
+
+    gutter = 9
+    lines = []
+    if title:
+        lines.append(" " * gutter + title)
+    if y_label:
+        lines.append(" " * gutter + f"[{y_label}]")
+    y_ticks = _nice_ticks(y_lo, y_hi, height)
+    for r in range(height):
+        tick_value = y_ticks[height - 1 - r]
+        label = f"{tick_value:8.3g} " if r % max(height // 6, 1) == 0 or r == height - 1 else " " * gutter
+        lines.append(label + "|" + "".join(cells[r]))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_ticks = _nice_ticks(x_lo, x_hi, 5)
+    tick_line = [" "] * (width + 1)
+    tick_text = ""
+    for i, tv in enumerate(x_ticks):
+        pos = int(round(i * (width - 1) / (len(x_ticks) - 1)))
+        text = f"{tv:.3g}"
+        tick_text += " " * max(pos + gutter + 1 - len(tick_text), 1) + text
+    del tick_line
+    lines.append(tick_text)
+    if x_label:
+        lines.append(" " * gutter + f"[{x_label}]")
+    legend = "   ".join(
+        f"{SERIES_MARKERS[i % len(SERIES_MARKERS)]} {label}"
+        for i, (label, _, _) in enumerate(series)
+    )
+    lines.append(" " * gutter + legend)
+    return "\n".join(lines)
+
+
+def heatmap(
+    image: np.ndarray,
+    *,
+    chars: str = " .:-=+*#%@",
+    title: str = "",
+    v_min: float | None = None,
+    v_max: float | None = None,
+) -> str:
+    """Render a 2-D array as a character heatmap (row 0 at the top).
+
+    NaN cells render as ``?``.
+    """
+    img = np.asarray(image, dtype=float)
+    if img.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D array, got shape {img.shape}")
+    finite = img[~np.isnan(img)]
+    lo = v_min if v_min is not None else (float(finite.min()) if finite.size else 0.0)
+    hi = v_max if v_max is not None else (float(finite.max()) if finite.size else 1.0)
+    if hi <= lo:
+        hi = lo + 1.0
+    scale = (len(chars) - 1) / (hi - lo)
+    lines = [title] if title else []
+    for row in img:
+        cells = []
+        for v in row:
+            if np.isnan(v):
+                cells.append("?")
+            else:
+                idx = int(round((min(max(v, lo), hi) - lo) * scale))
+                cells.append(chars[idx])
+        lines.append("".join(cells))
+    lines.append(f"scale: '{chars[0]}'={lo:.3g} … '{chars[-1]}'={hi:.3g}")
+    return "\n".join(lines)

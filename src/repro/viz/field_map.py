@@ -1,0 +1,90 @@
+"""ASCII terrain maps: beacons, picks, coverage at a glance.
+
+Complements the error heatmap with an *annotated* top-down map of the
+terrain square — beacon positions, a proposed placement, optional coverage
+shading — so examples and CLI output can show *where* things are, not just
+how bad the errors get.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import as_point_array
+
+__all__ = ["field_map"]
+
+
+def field_map(
+    side: float,
+    *,
+    beacons=None,
+    picks=None,
+    coverage: np.ndarray | None = None,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a terrain square as an ASCII map.
+
+    Conventions: ``B`` beacon, ``*`` proposed placement, ``·`` covered
+    ground, space = uncovered; x grows rightward, y grows upward.
+
+    Args:
+        side: terrain side length in meters.
+        beacons: optional ``(N, 2)`` beacon coordinates (or a BeaconField).
+        picks: optional ``(K, 2)`` proposed placements.
+        coverage: optional square boolean image (row-major in x) marking
+            covered lattice cells, e.g. ``conn.any(axis=1)`` reshaped.
+        width: map width in characters (height keeps the aspect ratio at
+            roughly 2:1 character cells).
+        title: optional heading line.
+
+    Returns:
+        The map as a multi-line string, annotated with a legend.
+    """
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    height = max(width // 2, 4)
+
+    cells = [[" "] * width for _ in range(height)]
+
+    if coverage is not None:
+        cov = np.asarray(coverage, dtype=bool)
+        if cov.ndim != 2 or cov.shape[0] != cov.shape[1]:
+            raise ValueError(f"coverage must be a square image, got {cov.shape}")
+        n = cov.shape[0]
+        for r in range(height):
+            for c in range(width):
+                i = min(int(c / width * n), n - 1)
+                j = min(int((height - 1 - r) / height * n), n - 1)
+                if cov[i, j]:
+                    cells[r][c] = "·"
+
+    def plot(points, marker):
+        pts = points.positions() if hasattr(points, "positions") else as_point_array(points)
+        for x, y in pts:
+            c = min(int(x / side * width), width - 1)
+            r = height - 1 - min(int(y / side * height), height - 1)
+            cells[r][c] = marker
+
+    if beacons is not None:
+        plot(beacons, "B")
+    if picks is not None:
+        plot(picks, "*")
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    for row in cells:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    legend = "B beacon"
+    if picks is not None:
+        legend += "   * proposed placement"
+    if coverage is not None:
+        legend += "   · covered"
+    lines.append(legend + f"   ({side:g} m square)")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Markdown report assembly for experiment outputs.
+
+Benches and the CLI collect heterogeneous artifacts — curve sets, plain
+tables, ASCII charts, notes.  :class:`ReportBuilder` stitches them into one
+self-contained markdown document (tables as GitHub pipe tables, charts in
+fenced code blocks), so a whole evaluation run can be reviewed as a single
+file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from .ascii_chart import line_chart
+from .tables import format_curve_set
+
+__all__ = ["ReportBuilder"]
+
+
+class ReportBuilder:
+    """Accumulate sections and render/write a markdown report.
+
+    Args:
+        title: the document title.
+    """
+
+    def __init__(self, title: str):
+        if not title.strip():
+            raise ValueError("title must not be empty")
+        self.title = title
+        self._sections: list[str] = []
+
+    def add_section(self, heading: str, body: str = "") -> "ReportBuilder":
+        """Append a ``## heading`` section with optional prose."""
+        part = f"## {heading}\n"
+        if body.strip():
+            part += f"\n{body.strip()}\n"
+        self._sections.append(part)
+        return self
+
+    def add_table(self, headers: Sequence[str], rows, *, float_digits: int = 3) -> "ReportBuilder":
+        """Append a GitHub pipe table."""
+
+        def fmt(cell):
+            if isinstance(cell, float):
+                return f"{cell:.{float_digits}f}"
+            return str(cell)
+
+        lines = [
+            "| " + " | ".join(headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells but there are {len(headers)} headers"
+                )
+            lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+        self._sections.append("\n".join(lines) + "\n")
+        return self
+
+    def add_curve_set(self, curve_set, *, chart: bool = True) -> "ReportBuilder":
+        """Append a curve set as a fenced table (and optional ASCII chart)."""
+        block = format_curve_set(curve_set)
+        if chart and curve_set.curves and len(curve_set.curves[0]) > 1:
+            series = [(c.label, c.densities, c.values) for c in curve_set.curves]
+            block += "\n\n" + line_chart(
+                series,
+                title=curve_set.title,
+                x_label="beacons per m^2",
+                y_label="meters",
+                y_min=0.0,
+            )
+        self._sections.append(f"```\n{block}\n```\n")
+        return self
+
+    def add_preformatted(self, text: str, *, caption: str = "") -> "ReportBuilder":
+        """Append an arbitrary preformatted block (heatmaps, maps, logs)."""
+        part = ""
+        if caption.strip():
+            part += f"{caption.strip()}\n\n"
+        part += f"```\n{text.rstrip()}\n```\n"
+        self._sections.append(part)
+        return self
+
+    def render(self) -> str:
+        """The full markdown document."""
+        return f"# {self.title}\n\n" + "\n".join(self._sections)
+
+    def write(self, path) -> Path:
+        """Render and write to ``path`` (directories created)."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.render())
+        return out

@@ -1,0 +1,73 @@
+"""Plain-text tables.
+
+The benches print their reproduced figure data as aligned text tables (the
+offline environment has no plotting stack); these helpers do the layout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_curve_set"]
+
+
+def _fmt(value, float_digits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    float_digits: int = 3,
+    indent: str = "",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        headers: column titles.
+        rows: row tuples (mixed str/int/float).
+        float_digits: decimals for float cells.
+        indent: prefix for every line.
+    """
+    rendered = [[_fmt(cell, float_digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        indent + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        indent + "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(indent + "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_curve_set(curve_set, *, float_digits: int = 3) -> str:
+    """Render a :class:`repro.sim.CurveSet` as one table per figure.
+
+    Columns: beacon count, density, then one ``value ± ci`` column per
+    series — the same rows the paper's figures plot.
+    """
+    curves = curve_set.curves
+    if not curves:
+        return f"{curve_set.title}: (empty)"
+    counts = curves[0].counts
+    for c in curves:
+        if c.counts != counts:
+            raise ValueError("curves in a set must share the x axis")
+    headers = ["beacons", "density"] + [c.label for c in curves]
+    rows = []
+    for i, count in enumerate(counts):
+        row = [count, f"{curves[0].densities[i]:.4f}"]
+        for c in curves:
+            row.append(f"{c.values[i]:.{float_digits}f}±{c.ci_half_widths[i]:.{float_digits}f}")
+        rows.append(row)
+    return f"{curve_set.title}\n" + format_table(headers, rows, float_digits=float_digits)

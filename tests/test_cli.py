@@ -1,0 +1,130 @@
+"""Tests for the beaconplace CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table1_parses(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+
+    def test_reproduce_requires_known_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "fig99"])
+
+    def test_counts_parsing(self):
+        args = build_parser().parse_args(["--counts", "20,40,60", "table1"])
+        assert args.counts == [20, 40, 60]
+
+    def test_counts_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--counts", "a,b", "table1"])
+
+    def test_place_defaults(self):
+        args = build_parser().parse_args(["place"])
+        assert args.beacons == 40
+        assert args.algorithm == "all"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Side" in out
+        assert "10201" in out  # P_T
+        assert "30 m" in out  # gridSide
+
+    def test_bounds_output(self, capsys):
+        assert main(["bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "R/d" in out
+        assert "0.5d" in out
+
+    def test_place_all_algorithms(self, capsys):
+        code = main(
+            ["--fields", "2", "--counts", "20", "place", "--beacons", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "random" in out and "max" in out and "grid" in out
+
+    def test_place_single_algorithm(self, capsys):
+        main(["--fields", "2", "--counts", "20", "place", "--beacons", "20",
+              "--algorithm", "grid"])
+        out = capsys.readouterr().out
+        assert "grid" in out
+        assert "random" not in out
+
+    def test_protocol_command(self, capsys):
+        code = main(
+            ["--counts", "20", "protocol", "--beacons", "25", "--stride", "400",
+             "--listen-time", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "agreement with geometric model" in out
+
+    def test_reproduce_fig4_small(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig4.csv"
+        code = main(
+            ["--fields", "2", "--counts", "20,60", "--csv", str(csv_path),
+             "reproduce", "fig4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert csv_path.exists()
+
+    def test_reproduce_fig5_small(self, capsys):
+        code = main(["--fields", "2", "--counts", "20", "reproduce", "fig5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5a" in out and "Figure 5b" in out
+
+    def test_survey_command(self, capsys):
+        code = main(
+            ["--counts", "20", "survey", "--beacons", "20", "--path", "spiral",
+             "--spacing", "8", "--gps-sigma", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "grid pick" in out
+        assert "travel" in out
+
+    def test_activate_command(self, capsys):
+        code = main(["--counts", "20", "activate", "--beacons", "150", "--target", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "duty fraction" in out
+
+    def test_regions_command(self, capsys):
+        code = main(["--counts", "20", "regions", "--beacons", "30", "--split"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "covered regions" in out
+
+    def test_reproduce_fig5_csv_suffixes(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig5.csv"
+        code = main(
+            ["--fields", "1", "--counts", "20", "--csv", str(csv_path),
+             "reproduce", "fig5"]
+        )
+        assert code == 0
+        assert (tmp_path / "fig5_mean.csv").exists()
+        assert (tmp_path / "fig5_median.csv").exists()
+
+    def test_report_command(self, capsys, tmp_path):
+        out_path = tmp_path / "report.md"
+        code = main(
+            ["--fields", "2", "--counts", "20,60", "report", "--output", str(out_path)]
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert text.startswith("# Adaptive Beacon Placement")
+        assert "Figure 4" in text

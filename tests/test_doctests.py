@@ -1,0 +1,18 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.field.density
+import repro.geometry.points
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.geometry.points, repro.field.density],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    failures, _ = doctest.testmod(module, raise_on_error=False, verbose=False)
+    assert failures == 0

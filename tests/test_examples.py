@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Each is run in-process via runpy (cheaper than subprocesses) with stdout
+captured and, where the example writes artifacts, a temp working directory.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "algorithm" in out
+        assert "grid" in out
+        assert "R/d" in out
+
+    def test_airdrop_hilltop(self, capsys):
+        out = run_example("airdrop_hilltop.py", capsys)
+        assert "dead zone" in out
+        assert "Grid pick" in out
+
+    def test_robot_survey(self, capsys):
+        out = run_example("robot_survey.py", capsys)
+        assert "deploying beacon" in out
+        assert "cut the true mean" in out
+
+    def test_protocol_demo(self, capsys):
+        out = run_example("protocol_demo.py", capsys)
+        assert "agreement with geometry" in out
+        assert "collision rate" in out
+
+    def test_self_configuration(self, capsys):
+        out = run_example("self_configuration.py", capsys)
+        assert "duty" in out
+        assert "mean LE" in out
+
+    def test_deployment_workflow(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = run_example("deployment_workflow.py", capsys)
+        assert "report ->" in out
+        assert (tmp_path / "deployment_run" / "report.md").exists()
+        assert (tmp_path / "deployment_run" / "survey.csv").exists()
+
+    def test_every_example_has_a_smoke_test(self):
+        """New examples must be added to this file."""
+        tested = {
+            "quickstart.py",
+            "airdrop_hilltop.py",
+            "robot_survey.py",
+            "protocol_demo.py",
+            "self_configuration.py",
+            "deployment_workflow.py",
+        }
+        on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+        assert on_disk == tested

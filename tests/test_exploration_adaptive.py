@@ -1,0 +1,101 @@
+"""Unit tests for ActiveSurveyPlanner (adaptive exploration)."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import ActiveSurveyPlanner, Survey, SurveyAgent
+from repro.localization import CentroidLocalizer
+
+
+SIDE = 60.0
+
+
+@pytest.fixture
+def planner():
+    return ActiveSurveyPlanner(SIDE, seed_points_per_axis=5, refine_sigma=6.0)
+
+
+@pytest.fixture
+def agent(small_field, ideal_realization):
+    return SurveyAgent(small_field, ideal_realization, CentroidLocalizer(SIDE), SIDE)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ActiveSurveyPlanner(0.0)
+        with pytest.raises(ValueError):
+            ActiveSurveyPlanner(SIDE, seed_points_per_axis=1)
+        with pytest.raises(ValueError):
+            ActiveSurveyPlanner(SIDE, refine_fraction=0.0)
+        with pytest.raises(ValueError):
+            ActiveSurveyPlanner(SIDE, refine_sigma=0.0)
+
+    def test_budget_must_exceed_seed(self, planner, agent, rng):
+        with pytest.raises(ValueError, match="seed round"):
+            planner.run(agent, total_budget=10, rng=rng)
+
+    def test_rounds_validated(self, planner, agent, rng):
+        with pytest.raises(ValueError, match="rounds"):
+            planner.run(agent, total_budget=100, rng=rng, rounds=0)
+
+
+class TestPlanning:
+    def test_seed_lattice_shape(self, planner):
+        seed = planner.seed_points()
+        assert seed.shape == (25, 2)
+        assert seed.min() == 0.0
+        assert seed.max() == SIDE
+
+    def test_refine_points_inside_terrain(self, planner, rng):
+        survey = Survey(
+            points=np.array([[10.0, 10.0], [50.0, 50.0]]),
+            errors=np.array([0.5, 8.0]),
+            terrain_side=SIDE,
+        )
+        fresh = planner.refine_points(survey, 40, rng)
+        assert fresh.shape == (40, 2)
+        assert fresh.min() >= 0.0
+        assert fresh.max() <= SIDE
+
+    def test_refine_points_cluster_near_worst(self, planner, rng):
+        survey = Survey(
+            points=np.array([[10.0, 10.0], [50.0, 50.0]]),
+            errors=np.array([0.5, 8.0]),
+            terrain_side=SIDE,
+        )
+        fresh = planner.refine_points(survey, 200, rng)
+        near_worst = np.linalg.norm(fresh - [50.0, 50.0], axis=1)
+        assert np.median(near_worst) < 15.0
+
+    def test_zero_error_survey_falls_back_to_uniform(self, planner, rng):
+        survey = Survey(
+            points=np.zeros((4, 2)), errors=np.zeros(4), terrain_side=SIDE
+        )
+        fresh = planner.refine_points(survey, 500, rng)
+        assert abs(fresh.mean() - SIDE / 2) < 5.0
+
+
+class TestRun:
+    def test_budget_respected(self, planner, agent, rng):
+        survey = planner.run(agent, total_budget=120, rng=rng, rounds=3)
+        assert survey.num_points == 120
+
+    def test_samples_concentrate_in_bad_regions(self, planner, agent, rng, small_world):
+        survey = planner.run(agent, total_budget=200, rng=rng, rounds=3)
+        truth = small_world.errors()
+        pts = small_world.points()
+        # Error at the nearest lattice point for each sample.
+        from repro.geometry import pairwise_distances
+
+        nearest = np.argmin(pairwise_distances(survey.points, pts), axis=1)
+        sampled_errors = truth[nearest]
+        assert np.nanmean(sampled_errors) > np.nanmean(truth)
+
+    def test_grid_placement_works_on_active_survey(self, planner, agent, rng, small_world):
+        from repro.placement import GridPlacement
+
+        survey = planner.run(agent, total_budget=150, rng=rng)
+        pick = GridPlacement(small_world.layout).propose(survey, rng)
+        gain, _ = small_world.evaluate_candidate(pick)
+        assert gain > 0.0

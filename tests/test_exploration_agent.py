@@ -1,0 +1,111 @@
+"""Unit tests for repro.exploration.agent (the §3 mobile surveyor)."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import GpsErrorModel, SurveyAgent
+from repro.localization import CentroidLocalizer
+
+
+SIDE = 60.0
+
+
+@pytest.fixture
+def agent(small_field, ideal_realization):
+    return SurveyAgent(
+        small_field,
+        ideal_realization,
+        CentroidLocalizer(SIDE),
+        SIDE,
+        carried_beacons=2,
+    )
+
+
+class TestSurveying:
+    def test_lattice_survey_matches_trial_world(self, agent, small_world, small_grid):
+        """The agent's complete sweep equals the vectorized evaluation."""
+        survey = agent.survey_lattice(small_grid)
+        expected = small_world.survey()
+        assert np.allclose(survey.errors, expected.errors, equal_nan=True)
+        assert survey.is_complete
+
+    def test_measure_at_subset(self, agent):
+        pts = np.array([[5.0, 5.0], [30.0, 30.0]])
+        survey = agent.measure_at(pts)
+        assert survey.num_points == 2
+        assert not survey.is_complete
+
+    def test_lattice_side_mismatch_rejected(self, agent):
+        from repro.geometry import MeasurementGrid
+
+        with pytest.raises(ValueError, match="side"):
+            agent.survey_lattice(MeasurementGrid(100.0, 1.0))
+
+    def test_gps_noise_requires_rng(self, small_field, ideal_realization):
+        agent = SurveyAgent(
+            small_field,
+            ideal_realization,
+            CentroidLocalizer(SIDE),
+            SIDE,
+            gps=GpsErrorModel(1.0),
+        )
+        with pytest.raises(ValueError, match="rng"):
+            agent.measure_at(np.zeros((1, 2)))
+
+    def test_gps_noise_shifts_recorded_points(self, small_field, ideal_realization, rng):
+        agent = SurveyAgent(
+            small_field,
+            ideal_realization,
+            CentroidLocalizer(SIDE),
+            SIDE,
+            gps=GpsErrorModel(2.0),
+        )
+        true_pts = np.full((20, 2), 30.0)
+        survey = agent.measure_at(true_pts, rng)
+        assert not np.allclose(survey.points, true_pts)
+        assert np.abs(survey.points - true_pts).mean() < 10.0
+
+    def test_noisy_lattice_survey_not_complete(self, small_field, ideal_realization, small_grid, rng):
+        agent = SurveyAgent(
+            small_field,
+            ideal_realization,
+            CentroidLocalizer(SIDE),
+            SIDE,
+            gps=GpsErrorModel(1.0),
+        )
+        survey = agent.survey_lattice(small_grid, rng)
+        assert not survey.is_complete
+
+
+class TestDeployment:
+    def test_deploy_extends_field(self, agent):
+        n_before = len(agent.field)
+        agent.deploy_beacon((30.0, 30.0))
+        assert len(agent.field) == n_before + 1
+        assert agent.beacons_remaining == 1
+
+    def test_carrier_exhaustion(self, agent):
+        agent.deploy_beacon((10.0, 10.0))
+        agent.deploy_beacon((20.0, 20.0))
+        with pytest.raises(RuntimeError, match="no beacons left"):
+            agent.deploy_beacon((30.0, 30.0))
+
+    def test_deployment_changes_survey(self, agent, small_grid):
+        before = agent.survey_lattice(small_grid)
+        # Deploy where the survey is worst.
+        worst = before.points[int(np.nanargmax(before.errors))]
+        agent.deploy_beacon(worst)
+        after = agent.survey_lattice(small_grid)
+        assert after.mean_error() < before.mean_error()
+
+    def test_validation(self, small_field, ideal_realization):
+        with pytest.raises(ValueError, match="terrain_side"):
+            SurveyAgent(small_field, ideal_realization, CentroidLocalizer(SIDE), 0.0)
+        with pytest.raises(ValueError, match="carried_beacons"):
+            SurveyAgent(
+                small_field,
+                ideal_realization,
+                CentroidLocalizer(SIDE),
+                SIDE,
+                carried_beacons=-1,
+            )

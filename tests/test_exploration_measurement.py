@@ -1,0 +1,42 @@
+"""Unit tests for repro.exploration.measurement (GPS error model)."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import GpsErrorModel
+
+
+class TestGpsErrorModel:
+    def test_zero_sigma_zero_bias_identity(self, rng):
+        model = GpsErrorModel(0.0)
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(model.read(pts, rng), pts)
+
+    def test_bias_applied(self, rng):
+        model = GpsErrorModel(0.0, bias=(1.5, -0.5))
+        out = model.read(np.array([[10.0, 10.0]]), rng)
+        assert np.allclose(out, [[11.5, 9.5]])
+
+    def test_sigma_statistics(self, rng):
+        model = GpsErrorModel(2.0)
+        pts = np.zeros((5000, 2))
+        out = model.read(pts, rng)
+        assert abs(out.std() - 2.0) < 0.1
+        assert abs(out.mean()) < 0.1
+
+    def test_clamping(self, rng):
+        model = GpsErrorModel(5.0, clamp_side=10.0)
+        out = model.read(np.full((500, 2), 9.5), rng)
+        assert out.max() <= 10.0
+        assert out.min() >= 0.0
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            GpsErrorModel(-1.0)
+
+    def test_rejects_bad_clamp(self):
+        with pytest.raises(ValueError, match="clamp_side"):
+            GpsErrorModel(1.0, clamp_side=0.0)
+
+    def test_repr(self):
+        assert "sigma=1.0" in repr(GpsErrorModel(1.0))

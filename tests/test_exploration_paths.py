@@ -1,0 +1,111 @@
+"""Unit tests for repro.exploration.paths."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import (
+    boustrophedon_sweep,
+    lawnmower_path,
+    path_length,
+    random_walk_path,
+    spiral_path,
+)
+from repro.geometry import MeasurementGrid
+
+
+class TestBoustrophedon:
+    def test_visits_every_lattice_point(self, small_grid):
+        path = boustrophedon_sweep(small_grid)
+        assert path.shape == (small_grid.num_points, 2)
+        assert {tuple(p) for p in path} == {tuple(p) for p in small_grid.points()}
+
+    def test_consecutive_points_one_step_apart(self):
+        grid = MeasurementGrid(10.0, 2.0)
+        path = boustrophedon_sweep(grid)
+        gaps = np.linalg.norm(np.diff(path, axis=0), axis=1)
+        assert np.allclose(gaps, grid.step)
+
+    def test_path_length_minimal(self):
+        grid = MeasurementGrid(10.0, 2.0)
+        path = boustrophedon_sweep(grid)
+        assert path_length(path) == pytest.approx((grid.num_points - 1) * grid.step)
+
+
+class TestLawnmower:
+    def test_coarser_spacing_shorter_path(self):
+        fine = lawnmower_path(60.0, 5.0, 5.0)
+        coarse = lawnmower_path(60.0, 20.0, 5.0)
+        assert path_length(coarse) < path_length(fine)
+
+    def test_covers_terrain_extent(self):
+        path = lawnmower_path(60.0, 10.0, 5.0)
+        assert path[:, 0].min() == 0.0
+        assert path[:, 0].max() == pytest.approx(60.0)
+        assert path[:, 1].max() == pytest.approx(60.0)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            lawnmower_path(60.0, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            lawnmower_path(60.0, 5.0, -1.0)
+
+
+class TestSpiral:
+    def test_points_inside_terrain(self):
+        path = spiral_path(60.0, 6.0)
+        assert path.min() >= 0.0
+        assert path.max() <= 60.0
+
+    def test_starts_on_border_ends_near_center(self):
+        path = spiral_path(60.0, 6.0)
+        assert path[0, 1] == 0.0  # first ring starts on the bottom edge
+        center_dist = np.linalg.norm(path - 30.0, axis=1)
+        assert center_dist[-1] < center_dist[0]
+
+    def test_no_consecutive_duplicates(self):
+        path = spiral_path(60.0, 6.0)
+        gaps = np.linalg.norm(np.diff(path, axis=0), axis=1)
+        assert gaps.min() > 1e-9
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError, match="spacing"):
+            spiral_path(60.0, 0.0)
+
+
+class TestRandomWalk:
+    def test_length_and_bounds(self, rng):
+        path = random_walk_path(60.0, 100, 4.0, rng)
+        assert path.shape == (101, 2)
+        assert path.min() >= 0.0
+        assert path.max() <= 60.0
+
+    def test_step_lengths_at_most_nominal(self, rng):
+        path = random_walk_path(60.0, 50, 3.0, rng)
+        gaps = np.linalg.norm(np.diff(path, axis=0), axis=1)
+        # Reflection can shorten the effective displacement but not grow it
+        # beyond sqrt(2) * step (double-corner reflection).
+        assert gaps.max() <= 3.0 * np.sqrt(2) + 1e-9
+
+    def test_custom_start(self, rng):
+        path = random_walk_path(60.0, 5, 2.0, rng, start=(10.0, 20.0))
+        assert np.allclose(path[0], [10.0, 20.0])
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            random_walk_path(60.0, -1, 2.0, rng)
+        with pytest.raises(ValueError):
+            random_walk_path(60.0, 10, 0.0, rng)
+
+
+class TestPathLength:
+    def test_empty_and_single(self):
+        assert path_length(np.zeros((0, 2))) == 0.0
+        assert path_length(np.zeros((1, 2))) == 0.0
+
+    def test_simple_length(self):
+        path = np.array([[0.0, 0.0], [3.0, 4.0], [3.0, 10.0]])
+        assert path_length(path) == pytest.approx(11.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(K, 2\)"):
+            path_length(np.zeros((3, 3)))

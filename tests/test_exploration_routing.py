@@ -1,0 +1,95 @@
+"""Unit tests for repro.exploration.routing (survey tour planning)."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import (
+    nearest_neighbor_tour,
+    path_length,
+    plan_tour,
+    tour_savings,
+    two_opt_improve,
+)
+
+
+class TestNearestNeighbor:
+    def test_is_permutation(self, rng):
+        pts = rng.uniform(0, 100, (30, 2))
+        order = nearest_neighbor_tour(pts)
+        assert sorted(order.tolist()) == list(range(30))
+
+    def test_start_index_respected(self, rng):
+        pts = rng.uniform(0, 100, (10, 2))
+        assert nearest_neighbor_tour(pts, start_index=4)[0] == 4
+
+    def test_bad_start_rejected(self, rng):
+        with pytest.raises(ValueError, match="start_index"):
+            nearest_neighbor_tour(rng.uniform(0, 1, (5, 2)), start_index=5)
+
+    def test_empty_and_single(self):
+        assert nearest_neighbor_tour(np.zeros((0, 2))).shape == (0,)
+        assert nearest_neighbor_tour(np.zeros((1, 2))).tolist() == [0]
+
+    def test_collinear_points_visited_in_order(self):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        order = nearest_neighbor_tour(pts, start_index=0)
+        assert order.tolist() == [0, 2, 3, 1]
+
+
+class TestTwoOpt:
+    def test_never_worse_than_input(self, rng):
+        pts = rng.uniform(0, 100, (40, 2))
+        seed = np.arange(40)
+        improved = two_opt_improve(pts, seed)
+        assert path_length(pts[improved]) <= path_length(pts[seed]) + 1e-9
+
+    def test_is_permutation(self, rng):
+        pts = rng.uniform(0, 100, (25, 2))
+        improved = two_opt_improve(pts, nearest_neighbor_tour(pts))
+        assert sorted(improved.tolist()) == list(range(25))
+
+    def test_untangles_a_crossing(self):
+        # Square visited in a crossing order: 2-opt must fix it.
+        pts = np.array([[0.0, 0.0], [10.0, 10.0], [10.0, 0.0], [0.0, 10.0]])
+        crossed = np.array([0, 1, 2, 3])
+        fixed = two_opt_improve(pts, crossed)
+        assert path_length(pts[fixed]) < path_length(pts[crossed]) - 1.0
+
+    def test_small_tours_passthrough(self, rng):
+        pts = rng.uniform(0, 10, (3, 2))
+        order = np.array([2, 0, 1])
+        assert np.array_equal(two_opt_improve(pts, order), order)
+
+    def test_rejects_bad_rounds(self, rng):
+        pts = rng.uniform(0, 10, (6, 2))
+        with pytest.raises(ValueError, match="max_rounds"):
+            two_opt_improve(pts, np.arange(6), max_rounds=0)
+
+
+class TestPlanTour:
+    def test_returns_reordered_points(self, rng):
+        pts = rng.uniform(0, 100, (20, 2))
+        tour = plan_tour(pts)
+        assert tour.shape == pts.shape
+        assert {tuple(p) for p in tour} == {tuple(p) for p in pts}
+
+    def test_large_savings_on_random_order(self, rng):
+        pts = rng.uniform(0, 100, (80, 2))
+        naive, planned = tour_savings(pts)
+        assert planned < 0.5 * naive
+
+    def test_deterministic(self, rng):
+        pts = rng.uniform(0, 100, (30, 2))
+        assert np.array_equal(plan_tour(pts), plan_tour(pts))
+
+    def test_grid_points_near_optimal(self):
+        """On a k×k lattice the optimal tour is ~k² * spacing; the planner
+        should be within 35 % of that."""
+        axis = np.arange(0, 50, 5.0)
+        xs, ys = np.meshgrid(axis, axis, indexing="ij")
+        pts = np.column_stack([xs.ravel(), ys.ravel()])
+        rng = np.random.default_rng(0)
+        shuffled = pts[rng.permutation(pts.shape[0])]
+        planned = plan_tour(shuffled)
+        optimal = (pts.shape[0] - 1) * 5.0
+        assert path_length(planned) <= 1.35 * optimal

@@ -1,0 +1,76 @@
+"""Unit tests for repro.exploration.survey."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import Survey
+from repro.localization import ErrorSurface
+
+
+class TestSurveyConstruction:
+    def test_basic_fields(self):
+        s = Survey(points=np.zeros((3, 2)), errors=np.ones(3), terrain_side=60.0)
+        assert s.num_points == 3
+        assert not s.is_complete
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="errors shape"):
+            Survey(points=np.zeros((3, 2)), errors=np.ones(2), terrain_side=60.0)
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError, match="terrain_side"):
+            Survey(points=np.zeros((1, 2)), errors=np.zeros(1), terrain_side=0.0)
+
+    def test_grid_requires_full_coverage(self, small_grid):
+        with pytest.raises(ValueError, match="full lattice"):
+            Survey(
+                points=np.zeros((3, 2)),
+                errors=np.zeros(3),
+                terrain_side=small_grid.side,
+                grid=small_grid,
+            )
+
+    def test_from_error_surface(self, small_grid):
+        surface = ErrorSurface(small_grid, np.arange(small_grid.num_points, dtype=float))
+        survey = Survey.from_error_surface(surface)
+        assert survey.is_complete
+        assert survey.num_points == small_grid.num_points
+        assert survey.terrain_side == small_grid.side
+
+
+class TestSurveyStatistics:
+    def test_mean_and_median(self):
+        s = Survey(
+            points=np.zeros((4, 2)),
+            errors=np.array([1.0, 2.0, 3.0, 4.0]),
+            terrain_side=10.0,
+        )
+        assert s.mean_error() == pytest.approx(2.5)
+        assert s.median_error() == pytest.approx(2.5)
+
+    def test_nan_aware(self):
+        s = Survey(
+            points=np.zeros((3, 2)),
+            errors=np.array([np.nan, 2.0, 4.0]),
+            terrain_side=10.0,
+        )
+        assert s.mean_error() == pytest.approx(3.0)
+
+    def test_all_nan_gives_nan(self):
+        s = Survey(points=np.zeros((2, 2)), errors=np.full(2, np.nan), terrain_side=10.0)
+        assert np.isnan(s.mean_error())
+        assert np.isnan(s.median_error())
+
+
+class TestSubsample:
+    def test_subsample_selects_rows(self, small_grid):
+        surface = ErrorSurface(small_grid, np.arange(small_grid.num_points, dtype=float))
+        survey = Survey.from_error_surface(surface)
+        sub = survey.subsample([0, 5, 10])
+        assert sub.num_points == 3
+        assert sub.errors.tolist() == [0.0, 5.0, 10.0]
+
+    def test_subsample_drops_completeness(self, small_grid):
+        surface = ErrorSurface(small_grid, np.zeros(small_grid.num_points))
+        sub = Survey.from_error_surface(surface).subsample(np.arange(10))
+        assert not sub.is_complete

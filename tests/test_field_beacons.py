@@ -1,0 +1,105 @@
+"""Unit tests for repro.field.beacons."""
+
+import numpy as np
+import pytest
+
+from repro.field import Beacon, BeaconField
+from repro.geometry import Point
+
+
+class TestBeacon:
+    def test_fields(self):
+        b = Beacon(3, Point(1.0, 2.0))
+        assert b.beacon_id == 3
+        assert b.position == Point(1.0, 2.0)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError, match="beacon_id"):
+            Beacon(-1, Point(0.0, 0.0))
+
+
+class TestBeaconFieldConstruction:
+    def test_from_positions_assigns_sequential_ids(self):
+        field = BeaconField.from_positions([(0, 0), (1, 1), (2, 2)])
+        assert field.beacon_ids == (0, 1, 2)
+
+    def test_empty(self):
+        field = BeaconField.empty()
+        assert len(field) == 0
+        assert field.positions().shape == (0, 2)
+
+    def test_duplicate_ids_rejected(self):
+        beacons = [Beacon(1, Point(0, 0)), Beacon(1, Point(1, 1))]
+        with pytest.raises(ValueError, match="duplicate"):
+            BeaconField(beacons)
+
+    def test_positions_read_only(self):
+        field = BeaconField.from_positions([(0, 0)])
+        with pytest.raises(ValueError):
+            field.positions()[0, 0] = 5.0
+
+    def test_iteration_and_indexing(self):
+        field = BeaconField.from_positions([(0, 0), (1, 1)])
+        assert [b.beacon_id for b in field] == [0, 1]
+        assert field[1].position == Point(1.0, 1.0)
+
+    def test_repr_mentions_size(self):
+        assert "n=2" in repr(BeaconField.from_positions([(0, 0), (1, 1)]))
+
+
+class TestExtension:
+    def test_with_beacon_at_appends(self):
+        field = BeaconField.from_positions([(0, 0)])
+        extended = field.with_beacon_at((5.0, 5.0))
+        assert len(extended) == 2
+        assert len(field) == 1  # original untouched
+
+    def test_new_beacon_gets_fresh_id(self):
+        field = BeaconField.from_positions([(0, 0), (1, 1)])
+        extended = field.with_beacon_at((2.0, 2.0))
+        assert extended[2].beacon_id == 2
+
+    def test_next_beacon_id_property(self):
+        field = BeaconField.from_positions([(0, 0), (1, 1)])
+        assert field.next_beacon_id == 2
+        assert field.with_beacon_at((3, 3)).next_beacon_id == 3
+
+    def test_ids_stable_after_extension(self):
+        field = BeaconField.from_positions([(0, 0), (1, 1)])
+        extended = field.with_beacon_at((9.0, 9.0))
+        assert extended.beacon_ids[:2] == field.beacon_ids
+
+    def test_with_beacons_at_batch(self):
+        field = BeaconField.empty()
+        extended = field.with_beacons_at([(0, 0), (1, 1), (2, 2)])
+        assert len(extended) == 3
+        assert extended.beacon_ids == (0, 1, 2)
+
+    def test_explicit_next_id_cannot_collide(self):
+        with pytest.raises(ValueError, match="next_id"):
+            BeaconField([Beacon(5, Point(0, 0))], next_id=3)
+
+
+class TestDensityAndDistances:
+    def test_density(self):
+        field = BeaconField.from_positions(np.zeros((50, 2)))
+        assert field.density(100.0) == pytest.approx(0.5)
+
+    def test_density_rejects_bad_area(self):
+        with pytest.raises(ValueError, match="area"):
+            BeaconField.empty().density(0.0)
+
+    def test_beacons_per_coverage_area_paper_values(self):
+        # 20 beacons on 100x100 at R=15: 0.002 * pi * 225 ≈ 1.41
+        field = BeaconField.from_positions(np.zeros((20, 2)))
+        value = field.beacons_per_coverage_area(10000.0, 15.0)
+        assert value == pytest.approx(1.4137, abs=1e-3)
+
+    def test_nearest_beacon_distances(self):
+        field = BeaconField.from_positions([(0.0, 0.0), (10.0, 0.0)])
+        d = field.nearest_beacon_distances([(1.0, 0.0), (9.0, 0.0), (5.0, 0.0)])
+        assert d.tolist() == [1.0, 1.0, 5.0]
+
+    def test_nearest_beacon_empty_field_inf(self):
+        d = BeaconField.empty().nearest_beacon_distances([(0.0, 0.0)])
+        assert np.isinf(d).all()

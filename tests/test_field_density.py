@@ -1,0 +1,69 @@
+"""Unit tests for repro.field.density."""
+
+import math
+
+import pytest
+
+from repro.field import (
+    beacons_per_coverage_area,
+    count_from_density,
+    density_from_count,
+    density_from_coverage,
+    paper_density_sweep,
+)
+
+
+class TestConversions:
+    def test_density_from_count_paper_endpoints(self):
+        assert density_from_count(20, 100.0) == pytest.approx(0.002)
+        assert density_from_count(240, 100.0) == pytest.approx(0.024)
+
+    def test_count_from_density_roundtrip(self):
+        for count in (20, 100, 240):
+            density = density_from_count(count, 100.0)
+            assert count_from_density(density, 100.0) == count
+
+    def test_coverage_area_paper_endpoints(self):
+        # Paper: coverage density runs from 1.41 to 17.
+        assert beacons_per_coverage_area(0.002, 15.0) == pytest.approx(1.41, abs=0.01)
+        assert beacons_per_coverage_area(0.024, 15.0) == pytest.approx(16.96, abs=0.01)
+
+    def test_coverage_roundtrip(self):
+        density = 0.0123
+        per_cov = beacons_per_coverage_area(density, 15.0)
+        assert density_from_coverage(per_cov, 15.0) == pytest.approx(density)
+
+    def test_saturation_density_is_about_seven_per_coverage(self):
+        # The paper calls 0.01 /m^2 ≈ 7 beacons per coverage area.
+        assert beacons_per_coverage_area(0.01, 15.0) == pytest.approx(
+            0.01 * math.pi * 225, rel=1e-12
+        )
+        assert 6.5 < beacons_per_coverage_area(0.01, 15.0) < 7.5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            density_from_count(10, 0.0)
+        with pytest.raises(ValueError):
+            count_from_density(-0.1, 100.0)
+        with pytest.raises(ValueError):
+            beacons_per_coverage_area(0.01, 0.0)
+        with pytest.raises(ValueError):
+            density_from_coverage(1.0, -1.0)
+
+
+class TestPaperSweep:
+    def test_default_sweep(self):
+        sweep = paper_density_sweep()
+        assert sweep[0] == 20
+        assert sweep[-1] == 240
+        assert len(sweep) == 23
+        assert all(b - a == 10 for a, b in zip(sweep, sweep[1:]))
+
+    def test_custom_bounds(self):
+        assert paper_density_sweep(min_beacons=10, max_beacons=30, step=10) == [10, 20, 30]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            paper_density_sweep(min_beacons=50, max_beacons=20)
+        with pytest.raises(ValueError):
+            paper_density_sweep(step=0)

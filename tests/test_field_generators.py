@@ -1,0 +1,151 @@
+"""Unit tests for repro.field.generators."""
+
+import numpy as np
+import pytest
+
+from repro.field import (
+    airdrop_field,
+    clustered_field,
+    perturbed_grid_field,
+    random_uniform_field,
+    regular_grid_field,
+)
+from repro.terrain import hill_terrain
+
+
+class TestRandomUniform:
+    def test_count_and_bounds(self, rng):
+        field = random_uniform_field(50, 80.0, rng)
+        assert len(field) == 50
+        pos = field.positions()
+        assert pos.min() >= 0.0
+        assert pos.max() <= 80.0
+
+    def test_zero_beacons(self, rng):
+        assert len(random_uniform_field(0, 10.0, rng)) == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError, match="num_beacons"):
+            random_uniform_field(-1, 10.0, rng)
+
+    def test_deterministic_given_rng(self):
+        a = random_uniform_field(10, 50.0, np.random.default_rng(7))
+        b = random_uniform_field(10, 50.0, np.random.default_rng(7))
+        assert np.array_equal(a.positions(), b.positions())
+
+
+class TestRegularGrid:
+    def test_count(self):
+        assert len(regular_grid_field(4, 100.0)) == 16
+
+    def test_single_beacon_centered(self):
+        field = regular_grid_field(1, 100.0)
+        assert np.allclose(field.positions(), [[50.0, 50.0]])
+
+    def test_default_margin_equalizes_cells(self):
+        field = regular_grid_field(2, 100.0)
+        pos = sorted(map(tuple, field.positions()))
+        assert pos[0] == (25.0, 25.0)
+        assert pos[-1] == (75.0, 75.0)
+
+    def test_explicit_margin(self):
+        field = regular_grid_field(2, 100.0, margin=10.0)
+        xs = sorted(set(field.positions()[:, 0]))
+        assert xs == [10.0, 90.0]
+
+    def test_separation_uniform(self):
+        field = regular_grid_field(5, 100.0, margin=10.0)
+        xs = np.unique(field.positions()[:, 0])
+        assert np.allclose(np.diff(xs), 20.0)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ValueError, match="margin"):
+            regular_grid_field(3, 100.0, margin=60.0)
+
+    def test_rejects_zero_per_axis(self):
+        with pytest.raises(ValueError, match="per_axis"):
+            regular_grid_field(0, 100.0)
+
+
+class TestPerturbedGrid:
+    def test_zero_sigma_is_exact_grid(self, rng):
+        base = regular_grid_field(3, 60.0)
+        noisy = perturbed_grid_field(3, 60.0, rng, sigma=0.0)
+        assert np.allclose(base.positions(), noisy.positions())
+
+    def test_positions_clamped(self, rng):
+        field = perturbed_grid_field(3, 60.0, rng, sigma=100.0)
+        pos = field.positions()
+        assert pos.min() >= 0.0
+        assert pos.max() <= 60.0
+
+    def test_sigma_moves_beacons(self, rng):
+        base = regular_grid_field(3, 60.0).positions()
+        noisy = perturbed_grid_field(3, 60.0, rng, sigma=2.0).positions()
+        assert not np.allclose(base, noisy)
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ValueError, match="sigma"):
+            perturbed_grid_field(3, 60.0, rng, sigma=-1.0)
+
+
+class TestAirdrop:
+    def test_beacons_roll_off_hilltop(self, rng):
+        side = 100.0
+        hill = hill_terrain(side, peak_height=40.0, spread_fraction=0.2)
+        dropped = airdrop_field(200, side, rng, heightmap=hill, roll_steps=40)
+        # Compare distance-to-peak distribution against a no-roll drop.
+        flat = airdrop_field(200, side, np.random.default_rng(rng.integers(1 << 30)),
+                             heightmap=hill, roll_steps=0)
+        peak = np.array([50.0, 50.0])
+        rolled_dist = np.linalg.norm(dropped.positions() - peak, axis=1).mean()
+        flat_dist = np.linalg.norm(flat.positions() - peak, axis=1).mean()
+        assert rolled_dist > flat_dist + 2.0  # the hilltop is depleted
+
+    def test_zero_roll_steps_keeps_drop_points(self, rng):
+        side = 50.0
+        hill = hill_terrain(side, peak_height=10.0)
+        seed = 42
+        a = airdrop_field(20, side, np.random.default_rng(seed), heightmap=hill, roll_steps=0)
+        b = random_uniform_field(20, side, np.random.default_rng(seed))
+        assert np.allclose(a.positions(), b.positions())
+
+    def test_positions_stay_inside(self, rng):
+        hill = hill_terrain(30.0, peak_height=50.0)
+        field = airdrop_field(50, 30.0, rng, heightmap=hill, roll_steps=60, roll_rate=5.0)
+        pos = field.positions()
+        assert pos.min() >= 0.0
+        assert pos.max() <= 30.0
+
+    def test_negative_roll_steps_rejected(self, rng):
+        hill = hill_terrain(30.0, peak_height=5.0)
+        with pytest.raises(ValueError, match="roll_steps"):
+            airdrop_field(5, 30.0, rng, heightmap=hill, roll_steps=-1)
+
+
+class TestClustered:
+    def test_count_and_bounds(self, rng):
+        field = clustered_field(60, 100.0, rng, num_clusters=4, cluster_sigma=3.0)
+        assert len(field) == 60
+        assert field.positions().min() >= 0.0
+        assert field.positions().max() <= 100.0
+
+    def test_clustering_reduces_nearest_neighbor_distance(self, rng):
+        clustered = clustered_field(80, 100.0, rng, num_clusters=3, cluster_sigma=2.0)
+        uniform = random_uniform_field(80, 100.0, rng)
+
+        def mean_nn(field):
+            pos = field.positions()
+            d = np.linalg.norm(pos[:, None] - pos[None, :], axis=2)
+            np.fill_diagonal(d, np.inf)
+            return d.min(axis=1).mean()
+
+        assert mean_nn(clustered) < mean_nn(uniform)
+
+    def test_rejects_zero_clusters(self, rng):
+        with pytest.raises(ValueError, match="num_clusters"):
+            clustered_field(10, 50.0, rng, num_clusters=0, cluster_sigma=1.0)
+
+    def test_rejects_negative_sigma(self, rng):
+        with pytest.raises(ValueError, match="cluster_sigma"):
+            clustered_field(10, 50.0, rng, num_clusters=2, cluster_sigma=-1.0)

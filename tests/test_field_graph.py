@@ -1,0 +1,99 @@
+"""Unit tests for repro.field.graph (beacon network health)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.field import (
+    BeaconField,
+    beacon_graph,
+    deployment_health,
+    random_uniform_field,
+)
+from repro.radio import BeaconNoiseModel, IdealDiskModel
+
+
+R = 12.0
+
+
+class TestBeaconGraph:
+    def test_nodes_carry_positions(self, small_field, ideal_realization):
+        graph = beacon_graph(small_field, ideal_realization)
+        assert set(graph.nodes) == set(small_field.beacon_ids)
+        bid = small_field[0].beacon_id
+        assert graph.nodes[bid]["pos"] == (
+            small_field[0].position.x,
+            small_field[0].position.y,
+        )
+
+    def test_mutual_edges_match_distance_rule(self, rng):
+        field = BeaconField.from_positions([(0.0, 0.0), (5.0, 0.0), (30.0, 0.0)])
+        real = IdealDiskModel(R).realize(rng)
+        graph = beacon_graph(field, real)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert not graph.has_edge(1, 2)  # 25 m apart > R
+
+    def test_directed_variant(self, rng, small_field):
+        digraph = beacon_graph(small_field, IdealDiskModel(R).realize(rng), mutual=False)
+        assert digraph.is_directed()
+        # Under the symmetric ideal model the digraph is symmetric.
+        for u, v in digraph.edges:
+            assert digraph.has_edge(v, u)
+
+    def test_noise_creates_asymmetric_links(self, rng):
+        field = random_uniform_field(40, 60.0, rng)
+        real = BeaconNoiseModel(R, 0.5).realize(rng)
+        digraph = beacon_graph(field, real, mutual=False)
+        asym = sum(1 for u, v in digraph.edges if not digraph.has_edge(v, u))
+        assert asym > 0
+
+    def test_no_self_loops(self, small_field, ideal_realization):
+        graph = beacon_graph(small_field, ideal_realization)
+        assert nx.number_of_selfloops(graph) == 0
+
+
+class TestDeploymentHealth:
+    def test_empty_field(self, ideal_realization):
+        health = deployment_health(BeaconField.empty(), ideal_realization)
+        assert health.num_beacons == 0
+        assert not health.is_connected
+
+    def test_chain_topology(self, rng):
+        field = BeaconField.from_positions([(x, 0.0) for x in (0.0, 10.0, 20.0, 30.0)])
+        health = deployment_health(field, IdealDiskModel(R).realize(rng))
+        assert health.num_components == 1
+        assert health.is_connected
+        # Interior chain nodes are articulation points.
+        assert set(health.articulation_points) == {1, 2}
+
+    def test_two_clusters(self, rng):
+        positions = [(0.0, 0.0), (5.0, 0.0), (50.0, 50.0), (55.0, 50.0)]
+        health = deployment_health(
+            BeaconField.from_positions(positions), IdealDiskModel(R).realize(rng)
+        )
+        assert health.num_components == 2
+        assert health.largest_component_fraction == pytest.approx(0.5)
+        assert not health.is_connected
+
+    def test_isolated_beacon_detected(self, rng):
+        positions = [(0.0, 0.0), (5.0, 0.0), (59.0, 59.0)]
+        health = deployment_health(
+            BeaconField.from_positions(positions), IdealDiskModel(R).realize(rng)
+        )
+        assert health.isolated_beacons == (2,)
+
+    def test_asymmetric_fraction_zero_under_ideal(self, rng, small_field):
+        health = deployment_health(small_field, IdealDiskModel(R).realize(rng))
+        assert health.asymmetric_link_fraction == 0.0
+
+    def test_asymmetric_fraction_positive_under_noise(self, rng):
+        field = random_uniform_field(50, 60.0, rng)
+        health = deployment_health(field, BeaconNoiseModel(R, 0.5).realize(rng))
+        assert health.asymmetric_link_fraction > 0.0
+
+    def test_dense_field_connected(self, rng):
+        field = random_uniform_field(120, 60.0, rng)
+        health = deployment_health(field, IdealDiskModel(15.0).realize(rng))
+        assert health.is_connected
+        assert health.mean_degree > 4.0

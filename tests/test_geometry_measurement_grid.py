@@ -1,0 +1,113 @@
+"""Unit tests for repro.geometry.measurement_grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MeasurementGrid, Point
+
+
+class TestConstruction:
+    def test_paper_lattice_size(self):
+        grid = MeasurementGrid(100.0, 1.0)
+        assert grid.points_per_axis == 101
+        assert grid.num_points == 10201  # P_T in the paper
+
+    def test_rejects_step_not_dividing_side(self):
+        with pytest.raises(ValueError, match="evenly divide"):
+            MeasurementGrid(100.0, 3.0)
+
+    def test_rejects_step_ge_side(self):
+        with pytest.raises(ValueError, match="smaller than side"):
+            MeasurementGrid(10.0, 10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MeasurementGrid(-5.0, 1.0)
+        with pytest.raises(ValueError):
+            MeasurementGrid(5.0, 0.0)
+
+    def test_fractional_step_accepted(self):
+        grid = MeasurementGrid(10.0, 2.5)
+        assert grid.points_per_axis == 5
+
+
+class TestPoints:
+    def test_points_shape(self, small_grid):
+        assert small_grid.points().shape == (small_grid.num_points, 2)
+
+    def test_points_cached_same_object(self, small_grid):
+        assert small_grid.points() is small_grid.points()
+
+    def test_points_read_only(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.points()[0, 0] = 99.0
+
+    def test_corners_present(self, small_grid):
+        pts = small_grid.points()
+        corners = {(0.0, 0.0), (0.0, small_grid.side), (small_grid.side, 0.0),
+                   (small_grid.side, small_grid.side)}
+        have = {tuple(p) for p in pts}
+        assert corners <= have
+
+    def test_axis_coordinates_spacing(self, small_grid):
+        axis = small_grid.axis_coordinates()
+        assert np.allclose(np.diff(axis), small_grid.step)
+        assert axis[0] == 0.0
+        assert axis[-1] == pytest.approx(small_grid.side)
+
+
+class TestIndexing:
+    def test_roundtrip_all_indices(self):
+        grid = MeasurementGrid(10.0, 2.0)
+        for idx in range(grid.num_points):
+            assert grid.index_of(grid.point_at(idx)) == idx
+
+    def test_index_of_off_lattice_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="not a lattice point"):
+            small_grid.index_of((1.5, 0.0))
+
+    def test_index_of_outside_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="outside"):
+            small_grid.index_of((small_grid.side + small_grid.step, 0.0))
+
+    def test_point_at_out_of_range(self, small_grid):
+        with pytest.raises(IndexError):
+            small_grid.point_at(small_grid.num_points)
+
+    def test_row_major_order(self):
+        grid = MeasurementGrid(4.0, 2.0)
+        # x-major: index = i * n + j with (x, y) = (i*step, j*step)
+        assert grid.point_at(0) == Point(0.0, 0.0)
+        assert grid.point_at(1) == Point(0.0, 2.0)
+        assert grid.point_at(3) == Point(2.0, 0.0)
+
+
+class TestMasksAndContains:
+    def test_contains(self, small_grid):
+        assert small_grid.contains((0.0, 0.0))
+        assert small_grid.contains((small_grid.side, small_grid.side))
+        assert not small_grid.contains((-0.1, 0.0))
+
+    def test_mask_in_square_counts(self):
+        grid = MeasurementGrid(10.0, 1.0)
+        mask = grid.mask_in_square((5.0, 5.0), 2.0)
+        # 5x5 lattice points within |dx|,|dy| <= 2
+        assert mask.sum() == 25
+
+    def test_mask_clipped_at_border(self):
+        grid = MeasurementGrid(10.0, 1.0)
+        mask = grid.mask_in_square((0.0, 0.0), 2.0)
+        assert mask.sum() == 9  # 3x3 quadrant
+
+    def test_mask_negative_half_side_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="half_side"):
+            small_grid.mask_in_square((0.0, 0.0), -1.0)
+
+    def test_cell_area(self, small_grid):
+        assert small_grid.cell_area() == pytest.approx(small_grid.step**2)
+
+    def test_equality_ignores_cache(self):
+        a = MeasurementGrid(10.0, 2.0)
+        b = MeasurementGrid(10.0, 2.0)
+        a.points()  # populate a's cache only
+        assert a == b

@@ -1,0 +1,119 @@
+"""Unit tests for repro.geometry.overlapping_grids (§3.2.3 geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MeasurementGrid, OverlappingGridLayout
+
+
+@pytest.fixture
+def paper_layout():
+    """The exact paper layout: Side=100, gridSide=2R=30, N_G=400."""
+    return OverlappingGridLayout.for_radio_range(100.0, 15.0, 400)
+
+
+class TestConstruction:
+    def test_for_radio_range_sets_grid_side(self, paper_layout):
+        assert paper_layout.grid_side == 30.0
+
+    def test_grids_per_axis(self, paper_layout):
+        assert paper_layout.grids_per_axis == 20
+
+    def test_rejects_non_square_num_grids(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            OverlappingGridLayout(100.0, 30.0, 300)
+
+    def test_rejects_single_grid(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            OverlappingGridLayout(100.0, 30.0, 1)
+
+    def test_rejects_grid_side_exceeding_side(self):
+        with pytest.raises(ValueError, match="grid_side"):
+            OverlappingGridLayout(100.0, 120.0, 4)
+
+
+class TestCenters:
+    def test_paper_center_formula(self, paper_layout):
+        # Xc(i,j) = gridSide/2 + (i-1)(Side - gridSide)/(sqrt(NG)-1)
+        for i in (1, 2, 20):
+            expected = 15.0 + (i - 1) * 70.0 / 19.0
+            assert paper_layout.center(i, 1).x == pytest.approx(expected)
+
+    def test_extreme_grids_flush_with_borders(self, paper_layout):
+        first = paper_layout.center(1, 1)
+        last = paper_layout.center(20, 20)
+        half = paper_layout.grid_side / 2.0
+        assert first.x - half == pytest.approx(0.0)
+        assert last.x + half == pytest.approx(100.0)
+
+    def test_centers_count_and_order(self, paper_layout):
+        centers = paper_layout.centers()
+        assert centers.shape == (400, 2)
+        # Row-major over (i, j): row k <-> G(k//20+1, k%20+1)
+        assert centers[0].tolist() == [15.0, 15.0]
+        assert np.allclose(centers[19], [15.0, 85.0])
+        assert np.allclose(centers[20], paper_layout.center(2, 1).as_array())
+
+    def test_center_rejects_out_of_range_indices(self, paper_layout):
+        with pytest.raises(ValueError):
+            paper_layout.center(0, 1)
+        with pytest.raises(ValueError):
+            paper_layout.center(1, 21)
+
+    def test_centers_cached(self, paper_layout):
+        assert paper_layout.centers() is paper_layout.centers()
+
+
+class TestMembership:
+    def test_masks_shape(self, paper_layout):
+        grid = MeasurementGrid(100.0, 5.0)
+        masks = paper_layout.membership_masks(grid)
+        assert masks.shape == (400, grid.num_points)
+
+    def test_points_per_grid_close_to_paper_formula(self, paper_layout):
+        grid = MeasurementGrid(100.0, 1.0)
+        pg = paper_layout.points_per_grid(grid)
+        # P_G = P_T (2R)^2 / Side^2 = 10201 * 900/10000 ≈ 918; lattice
+        # quantization makes it 900–961 (31^2) depending on alignment.
+        assert pg.min() >= 900
+        assert pg.max() <= 31 * 31
+
+    def test_mask_matches_direct_check(self, paper_layout):
+        grid = MeasurementGrid(100.0, 10.0)
+        masks = paper_layout.membership_masks(grid)
+        centers = paper_layout.centers()
+        pts = grid.points()
+        g = 137
+        expected = (np.abs(pts[:, 0] - centers[g, 0]) <= 15.0 + 1e-9) & (
+            np.abs(pts[:, 1] - centers[g, 1]) <= 15.0 + 1e-9
+        )
+        assert np.array_equal(masks[g], expected)
+
+    def test_masks_cached_per_lattice(self, paper_layout):
+        grid = MeasurementGrid(100.0, 10.0)
+        assert paper_layout.membership_masks(grid) is paper_layout.membership_masks(grid)
+
+    def test_rejects_mismatched_side(self, paper_layout):
+        with pytest.raises(ValueError, match="side"):
+            paper_layout.membership_masks(MeasurementGrid(60.0, 3.0))
+
+
+class TestCumulativeValues:
+    def test_uniform_values_give_point_counts(self, small_layout, small_grid):
+        ones = np.ones(small_grid.num_points)
+        cumulative = small_layout.cumulative_values(small_grid, ones)
+        assert np.array_equal(cumulative, small_layout.points_per_grid(small_grid))
+
+    def test_delta_value_hits_containing_grids_only(self, small_layout, small_grid):
+        values = np.zeros(small_grid.num_points)
+        idx = small_grid.index_of((30.0, 30.0))
+        values[idx] = 5.0
+        cumulative = small_layout.cumulative_values(small_grid, values)
+        masks = small_layout.membership_masks(small_grid)
+        containing = masks[:, idx]
+        assert np.all(cumulative[containing] == 5.0)
+        assert np.all(cumulative[~containing] == 0.0)
+
+    def test_rejects_wrong_length(self, small_layout, small_grid):
+        with pytest.raises(ValueError, match="shape"):
+            small_layout.cumulative_values(small_grid, np.ones(3))

@@ -1,0 +1,136 @@
+"""Unit tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Point,
+    as_point,
+    as_point_array,
+    clamp_to_square,
+    distance,
+    distances_to_point,
+    pairwise_distances,
+    points_equal,
+)
+
+
+class TestPoint:
+    def test_distance_to_pythagorean(self):
+        assert Point(3.0, 4.0).distance_to(Point(0.0, 0.0)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_translated(self):
+        assert Point(1.0, 2.0).translated(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_as_array_shape_and_values(self):
+        arr = Point(7.0, 9.0).as_array()
+        assert arr.shape == (2,)
+        assert arr.tolist() == [7.0, 9.0]
+
+    def test_is_tuple_like(self):
+        x, y = Point(1.0, 2.0)
+        assert (x, y) == (1.0, 2.0)
+
+
+class TestAsPoint:
+    def test_from_point_identity(self):
+        p = Point(1.0, 2.0)
+        assert as_point(p) is p
+
+    def test_from_list(self):
+        assert as_point([3, 4]) == Point(3.0, 4.0)
+
+    def test_from_tuple(self):
+        assert as_point((3.5, 4.5)) == Point(3.5, 4.5)
+
+    def test_from_array(self):
+        assert as_point(np.array([1.0, 2.0])) == Point(1.0, 2.0)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="coordinate pair"):
+            as_point([1.0, 2.0, 3.0])
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            as_point(5.0)
+
+
+class TestAsPointArray:
+    def test_from_list_of_pairs(self):
+        arr = as_point_array([(0, 0), (1, 2)])
+        assert arr.shape == (2, 2)
+
+    def test_from_single_point(self):
+        arr = as_point_array(Point(1.0, 2.0))
+        assert arr.shape == (1, 2)
+
+    def test_from_single_pair_1d(self):
+        assert as_point_array(np.array([1.0, 2.0])).shape == (1, 2)
+
+    def test_empty_gives_zero_by_two(self):
+        assert as_point_array([]).shape == (0, 2)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match=r"\(P, 2\)"):
+            as_point_array(np.zeros((3, 3)))
+
+    def test_rejects_bad_1d_length(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_point_array(np.array([1.0, 2.0, 3.0]))
+
+    def test_passthrough_preserves_values(self):
+        src = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(as_point_array(src), src)
+
+
+class TestDistances:
+    def test_distance_mixed_types(self):
+        assert distance((0, 0), Point(6.0, 8.0)) == 10.0
+
+    def test_pairwise_shape(self):
+        a = np.zeros((3, 2))
+        b = np.ones((5, 2))
+        assert pairwise_distances(a, b).shape == (3, 5)
+
+    def test_pairwise_values(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0], [0.0, 1.0]])
+        out = pairwise_distances(a, b)
+        assert out[0, 0] == pytest.approx(5.0)
+        assert out[0, 1] == pytest.approx(1.0)
+
+    def test_pairwise_empty_b(self):
+        out = pairwise_distances(np.zeros((4, 2)), np.zeros((0, 2)))
+        assert out.shape == (4, 0)
+
+    def test_pairwise_symmetry(self, rng):
+        a = rng.uniform(0, 10, (6, 2))
+        b = rng.uniform(0, 10, (4, 2))
+        assert np.allclose(pairwise_distances(a, b), pairwise_distances(b, a).T)
+
+    def test_distances_to_point(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        out = distances_to_point(pts, (0.0, 0.0))
+        assert out.tolist() == [0.0, 5.0]
+
+
+class TestClampAndEquality:
+    def test_clamp_inside_unchanged(self):
+        assert clamp_to_square((5.0, 5.0), 10.0) == Point(5.0, 5.0)
+
+    def test_clamp_outside(self):
+        assert clamp_to_square((-1.0, 12.0), 10.0) == Point(0.0, 10.0)
+
+    def test_clamp_rejects_nonpositive_side(self):
+        with pytest.raises(ValueError, match="side"):
+            clamp_to_square((0.0, 0.0), 0.0)
+
+    def test_points_equal_within_tolerance(self):
+        assert points_equal((1.0, 1.0), (1.0, 1.0 + 1e-12))
+
+    def test_points_not_equal(self):
+        assert not points_equal((0.0, 0.0), (0.0, 0.1))

@@ -1,0 +1,155 @@
+"""Unit tests for repro.geometry.regions (localization regions / loci)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MeasurementGrid, decompose_regions
+from repro.field import regular_grid_field
+from repro.radio import IdealDiskModel
+
+
+@pytest.fixture
+def grid10():
+    return MeasurementGrid(10.0, 1.0)
+
+
+class TestDecomposeBasics:
+    def test_no_beacons_single_region(self, grid10):
+        conn = np.zeros((grid10.num_points, 0), dtype=bool)
+        regions = decompose_regions(conn, grid10)
+        assert regions.num_regions == 1
+        assert regions.num_covered_regions == 0
+        assert regions.region_point_counts[0] == grid10.num_points
+
+    def test_one_beacon_two_regions(self, grid10):
+        pts = grid10.points()
+        conn = (np.linalg.norm(pts - np.array([5.0, 5.0]), axis=1) <= 3.0)[:, None]
+        regions = decompose_regions(conn, grid10)
+        assert regions.num_regions == 2
+        assert regions.num_covered_regions == 1
+
+    def test_labels_partition_points(self, grid10):
+        pts = grid10.points()
+        conn = np.column_stack(
+            [
+                np.linalg.norm(pts - np.array([2.0, 2.0]), axis=1) <= 3.0,
+                np.linalg.norm(pts - np.array([8.0, 8.0]), axis=1) <= 3.0,
+            ]
+        )
+        regions = decompose_regions(conn, grid10)
+        assert regions.labels.shape == (grid10.num_points,)
+        assert regions.region_point_counts.sum() == grid10.num_points
+
+    def test_region_areas_scale_with_cell(self, grid10):
+        conn = np.zeros((grid10.num_points, 1), dtype=bool)
+        conn[:5, 0] = True
+        regions = decompose_regions(conn, grid10)
+        assert regions.region_areas.sum() == pytest.approx(
+            grid10.num_points * grid10.cell_area()
+        )
+
+    def test_beacon_counts_match_signatures(self, grid10):
+        pts = grid10.points()
+        near_a = np.linalg.norm(pts - np.array([5.0, 5.0]), axis=1) <= 4.0
+        near_b = np.linalg.norm(pts - np.array([6.0, 5.0]), axis=1) <= 4.0
+        conn = np.column_stack([near_a, near_b])
+        regions = decompose_regions(conn, grid10)
+        for region_id in range(regions.num_regions):
+            member = np.flatnonzero(regions.labels == region_id)[0]
+            assert regions.region_beacon_counts[region_id] == conn[member].sum()
+
+    def test_rejects_mismatched_rows(self, grid10):
+        with pytest.raises(ValueError, match="rows"):
+            decompose_regions(np.zeros((5, 2), dtype=bool), grid10)
+
+    def test_rejects_1d(self, grid10):
+        with pytest.raises(ValueError, match="2-D"):
+            decompose_regions(np.zeros(grid10.num_points, dtype=bool), grid10)
+
+
+class TestRegionQueries:
+    def test_centroids_inside_terrain(self, grid10):
+        pts = grid10.points()
+        conn = (np.linalg.norm(pts - np.array([5.0, 5.0]), axis=1) <= 4.0)[:, None]
+        regions = decompose_regions(conn, grid10)
+        assert np.all(regions.region_centroids >= 0.0)
+        assert np.all(regions.region_centroids <= 10.0)
+
+    def test_largest_covered_region(self, grid10):
+        pts = grid10.points()
+        big = np.linalg.norm(pts - np.array([5.0, 5.0]), axis=1) <= 4.0
+        small = np.linalg.norm(pts - np.array([0.0, 0.0]), axis=1) <= 1.0
+        conn = np.column_stack([big & ~small, small])
+        regions = decompose_regions(conn, grid10)
+        winner = regions.largest_covered_region()
+        assert regions.region_beacon_counts[winner] > 0
+        covered = regions.covered_region_areas()
+        assert regions.region_areas[winner] == covered.max()
+
+    def test_largest_covered_raises_when_uncovered(self, grid10):
+        conn = np.zeros((grid10.num_points, 1), dtype=bool)
+        regions = decompose_regions(conn, grid10)
+        with pytest.raises(ValueError, match="no covered region"):
+            regions.largest_covered_region()
+
+    def test_mean_covered_area_nan_when_uncovered(self, grid10):
+        conn = np.zeros((grid10.num_points, 2), dtype=bool)
+        regions = decompose_regions(conn, grid10)
+        assert np.isnan(regions.mean_covered_region_area())
+
+
+class TestSpatialSplitting:
+    def test_disjoint_patches_same_signature_split(self, grid10):
+        """Two disks of the same beacon count in opposite corners share a
+        signature class but are distinct loci."""
+        pts = grid10.points()
+        near_a = np.linalg.norm(pts - np.array([1.0, 1.0]), axis=1) <= 2.0
+        near_b = np.linalg.norm(pts - np.array([9.0, 9.0]), axis=1) <= 2.0
+        conn = (near_a | near_b)[:, None]
+        merged = decompose_regions(conn, grid10)
+        split = decompose_regions(conn, grid10, split_spatially=True)
+        assert merged.num_covered_regions == 1
+        assert split.num_covered_regions == 2
+
+    def test_split_preserves_partition(self, grid10, rng):
+        pts = grid10.points()
+        beacons = rng.uniform(0, 10, (4, 2))
+        conn = np.linalg.norm(
+            pts[:, None, :] - beacons[None, :, :], axis=2
+        ) <= 3.0
+        split = decompose_regions(conn, grid10, split_spatially=True)
+        assert split.region_point_counts.sum() == grid10.num_points
+        assert split.num_regions >= decompose_regions(conn, grid10).num_regions
+
+    def test_split_centroids_inside_their_region_bbox(self, grid10, rng):
+        pts = grid10.points()
+        beacons = rng.uniform(0, 10, (3, 2))
+        conn = np.linalg.norm(
+            pts[:, None, :] - beacons[None, :, :], axis=2
+        ) <= 3.0
+        split = decompose_regions(conn, grid10, split_spatially=True)
+        for r in range(split.num_regions):
+            members = pts[split.labels == r]
+            cx, cy = split.region_centroids[r]
+            assert members[:, 0].min() - 1e-9 <= cx <= members[:, 0].max() + 1e-9
+            assert members[:, 1].min() - 1e-9 <= cy <= members[:, 1].max() + 1e-9
+
+
+class TestFigure1Claim:
+    """Figure 1: denser beacon grids → more, smaller localization regions."""
+
+    def test_3x3_grid_has_more_smaller_regions_than_2x2(self, rng):
+        side = 60.0
+        grid = MeasurementGrid(side, 2.0)
+        model = IdealDiskModel(20.0)
+        real = model.realize(rng)
+
+        def regions_for(per_axis):
+            field = regular_grid_field(per_axis, side)
+            conn = real.connectivity(grid.points(), field)
+            return decompose_regions(conn, grid)
+
+        coarse = regions_for(2)
+        fine = regions_for(3)
+        assert fine.num_covered_regions > coarse.num_covered_regions
+        assert fine.mean_covered_region_area() < coarse.mean_covered_region_area()

@@ -1,0 +1,206 @@
+"""Integration tests: the paper's qualitative claims at reduced scale.
+
+These run the same code paths as the figure benches, at a fidelity chosen to
+keep the suite fast while leaving the claims statistically unambiguous.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CentroidLocalizer,
+    ExperimentConfig,
+    GridPlacement,
+    MaxPlacement,
+    RandomPlacement,
+    SurveyAgent,
+    build_world,
+    mean_error_curve,
+    placement_improvement_curves,
+)
+from repro.protocol import ProtocolConnectivityEstimator
+
+
+@pytest.fixture(scope="module")
+def config():
+    """Paper geometry, coarsened lattice (step 2) and few replications."""
+    return ExperimentConfig(
+        side=100.0,
+        radio_range=15.0,
+        step=2.0,
+        num_grids=400,
+        beacon_counts=(20, 60, 120, 240),
+        fields_per_density=8,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def algorithms(config):
+    return [
+        RandomPlacement(),
+        MaxPlacement(),
+        GridPlacement(config.grid_layout()),
+    ]
+
+
+@pytest.fixture(scope="module")
+def ideal_curves(config, algorithms):
+    return placement_improvement_curves(config, 0.0, algorithms)
+
+
+class TestFigure4Claims:
+    def test_error_falls_then_saturates(self, config):
+        curve = mean_error_curve(config, 0.0)
+        values = curve.values
+        assert values[0] > 2.5 * values[2]  # sharp fall to saturation
+        assert abs(values[2] - values[3]) < 0.2 * values[2]  # flat tail
+
+    def test_saturation_error_near_a_third_of_range(self, config):
+        curve = mean_error_curve(config, 0.0)
+        fraction = curve.values[-1] / config.radio_range
+        # Paper: saturates around 4 m ≈ 0.3R (coarser lattice shifts it a bit).
+        assert 0.15 <= fraction <= 0.4
+
+
+class TestFigure5Claims:
+    def test_random_is_worst_at_low_density(self, ideal_curves):
+        mean_set, _ = ideal_curves
+        low = {label: mean_set.curve(label).values[0] for label in mean_set.labels()}
+        assert low["random"] < low["max"]
+        assert low["random"] < low["grid"]
+
+    def test_grid_at_least_twice_max_at_low_density(self, ideal_curves):
+        mean_set, _ = ideal_curves
+        grid = mean_set.curve("grid").values[0]
+        maxv = mean_set.curve("max").values[0]
+        assert grid >= 1.8 * maxv  # paper: "at least twice"
+
+    def test_all_algorithms_converge_at_saturation(self, ideal_curves):
+        mean_set, _ = ideal_curves
+        top = [mean_set.curve(label).values[-1] for label in mean_set.labels()]
+        assert max(abs(v) for v in top) < 0.25
+
+    def test_median_improvements_smaller_than_mean(self, ideal_curves):
+        mean_set, median_set = ideal_curves
+        grid_mean = mean_set.curve("grid").values[0]
+        grid_median = median_set.curve("grid").values[0]
+        assert 0.0 < grid_median < grid_mean
+
+
+class TestNoiseClaims:
+    def test_noise_raises_mean_error(self, config):
+        ideal = mean_error_curve(config, 0.0)
+        noisy = mean_error_curve(config, 0.5)
+        diffs = np.array(noisy.values) - np.array(ideal.values)
+        assert (diffs > 0).sum() >= 3  # steady increase across densities
+
+    def test_random_improvement_roughly_noise_invariant(self, config):
+        ideal, _ = placement_improvement_curves(config, 0.0, [RandomPlacement()])
+        noisy, _ = placement_improvement_curves(config, 0.5, [RandomPlacement()])
+        a = np.array(ideal.curve("random").values)
+        b = np.array(noisy.curve("random").values)
+        assert np.abs(a - b).max() < 0.5
+
+    def test_grid_still_best_under_noise(self, config, algorithms):
+        low_density = config.with_counts([20])
+        mean_set, _ = placement_improvement_curves(low_density, 0.5, algorithms)
+        values = {label: mean_set.curve(label).values[0] for label in mean_set.labels()}
+        assert values["grid"] > values["max"] > values["random"]
+
+
+class TestAgentPipelineMatchesSweep:
+    def test_agent_survey_equals_world_survey(self, config):
+        world = build_world(config, 0.3, 60, 0)
+        agent = SurveyAgent(
+            world.field,
+            world.realization,
+            CentroidLocalizer(config.side, config.policy),
+            config.side,
+        )
+        agent_survey = agent.survey_lattice(config.measurement_grid())
+        assert np.allclose(
+            agent_survey.errors, world.survey().errors, equal_nan=True
+        )
+
+    def test_full_story_improves_localization(self, config, rng):
+        """Robot surveys, Grid proposes, robot deploys, error drops."""
+        world = build_world(config, 0.3, 30, 1)
+        agent = SurveyAgent(
+            world.field,
+            world.realization,
+            CentroidLocalizer(config.side, config.policy),
+            config.side,
+            carried_beacons=1,
+        )
+        grid = config.measurement_grid()
+        before = agent.survey_lattice(grid)
+        pick = GridPlacement(config.grid_layout()).propose(before, rng)
+        agent.deploy_beacon(pick)
+        after = agent.survey_lattice(grid)
+        assert after.mean_error() < before.mean_error()
+
+
+class TestProtocolConsistency:
+    def test_protocol_connectivity_reproduces_geometric_survey(self, config, rng):
+        """§2.2 executed as a DES agrees with the geometric shortcut."""
+        world = build_world(config, 0.0, 40, 0)
+        points = world.points()[::40]
+        estimator = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=25.0, message_duration=0.002, cm_thresh=0.7
+        )
+        proto = estimator.estimate(points, world.field, world.realization, rng)
+        geo = world.realization.connectivity(points, world.field)
+        assert (proto == geo).mean() > 0.98
+
+    def test_protocol_driven_placement_matches_geometric_placement(self, config, rng):
+        """The whole §2.2→§3.2 stack with NO geometric shortcut: survey
+        errors computed from protocol-estimated connectivity still lead Grid
+        to a placement whose true gain is close to the geometric pipeline's."""
+        import numpy as np
+
+        from repro import CentroidLocalizer, GridPlacement, Survey, localization_errors
+
+        world = build_world(config, 0.0, 25, 3)
+        # Coarse survey lattice to keep the DES affordable.
+        points = world.points()[::8]
+        estimator = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=25.0, message_duration=0.002, cm_thresh=0.7
+        )
+        conn = estimator.estimate(points, world.field, world.realization, rng)
+        localizer = CentroidLocalizer(config.side, config.policy)
+        estimates = localizer.estimate(conn, world.field.positions(), points)
+        errors = localization_errors(estimates, points)
+        protocol_survey = Survey(
+            points=points, errors=errors, terrain_side=config.side
+        )
+
+        algorithm = GridPlacement(config.grid_layout())
+        proto_pick = algorithm.propose(protocol_survey, rng)
+        geo_pick = algorithm.propose(world.survey(), rng)
+        proto_gain, _ = world.evaluate_candidate(proto_pick)
+        geo_gain, _ = world.evaluate_candidate(geo_pick)
+        assert proto_gain > 0.0
+        assert proto_gain >= 0.5 * geo_gain
+
+
+class TestWorkflowRoundTrip:
+    def test_persisted_world_resumes_identically(self, config, tmp_path, rng):
+        """Field and survey survive a save/load cycle with placement intact."""
+        import numpy as np
+
+        from repro import GridPlacement
+        from repro.io import load_field, load_survey, save_field, save_survey
+
+        world = build_world(config, 0.3, 30, 2)
+        survey = world.survey()
+        save_field(world.field, tmp_path / "field.json")
+        save_survey(survey, tmp_path / "survey.csv")
+
+        field2 = load_field(tmp_path / "field.json")
+        survey2 = load_survey(tmp_path / "survey.csv")
+        algorithm = GridPlacement(config.grid_layout())
+        pick_before = algorithm.propose(survey, rng)
+        pick_after = algorithm.propose(survey2, rng)
+        assert pick_before == pick_after
+        assert np.array_equal(field2.positions(), world.field.positions())

@@ -1,0 +1,114 @@
+"""Unit tests for repro.io.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import Survey
+from repro.field import BeaconField
+from repro.geometry import MeasurementGrid
+from repro.io import (
+    load_error_surface,
+    load_field,
+    load_heightmap,
+    load_survey,
+    save_error_surface,
+    save_field,
+    save_heightmap,
+    save_survey,
+)
+from repro.localization import ErrorSurface
+from repro.terrain import hill_terrain
+
+
+class TestFieldRoundTrip:
+    def test_positions_and_ids_preserved(self, small_field, tmp_path):
+        path = save_field(small_field, tmp_path / "field.json")
+        loaded = load_field(path)
+        assert loaded.beacon_ids == small_field.beacon_ids
+        assert np.allclose(loaded.positions(), small_field.positions())
+
+    def test_next_id_preserved_after_extension(self, tmp_path):
+        field = BeaconField.from_positions([(0, 0), (1, 1)]).with_beacon_at((2, 2))
+        loaded = load_field(save_field(field, tmp_path / "f.json"))
+        assert loaded.next_beacon_id == field.next_beacon_id
+        assert loaded.with_beacon_at((3, 3)).beacon_ids == field.with_beacon_at((3, 3)).beacon_ids
+
+    def test_empty_field(self, tmp_path):
+        loaded = load_field(save_field(BeaconField.empty(), tmp_path / "e.json"))
+        assert len(loaded) == 0
+
+    def test_wrong_format_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "something.else", "beacons": [], "next_id": 0}')
+        with pytest.raises(ValueError, match="format"):
+            load_field(bad)
+
+    def test_noise_identity_preserved(self, small_field, tmp_path, rng):
+        """A reloaded field sees the exact same world — ids are the key."""
+        from repro.radio import BeaconNoiseModel
+
+        real = BeaconNoiseModel(12.0, 0.5).realize(rng)
+        pts = np.random.default_rng(0).uniform(0, 60, (40, 2))
+        before = real.connectivity(pts, small_field)
+        loaded = load_field(save_field(small_field, tmp_path / "f.json"))
+        assert np.array_equal(real.connectivity(pts, loaded), before)
+
+
+class TestSurveyRoundTrip:
+    def test_partial_survey(self, tmp_path):
+        survey = Survey(
+            points=np.array([[1.5, 2.5], [3.25, 4.75]]),
+            errors=np.array([0.5, np.nan]),
+            terrain_side=60.0,
+        )
+        loaded = load_survey(save_survey(survey, tmp_path / "s.csv"))
+        assert np.allclose(loaded.points, survey.points)
+        assert np.isnan(loaded.errors[1])
+        assert loaded.terrain_side == 60.0
+        assert not loaded.is_complete
+
+    def test_complete_survey_restores_grid(self, tmp_path):
+        grid = MeasurementGrid(10.0, 5.0)
+        survey = Survey.from_error_surface(
+            ErrorSurface(grid, np.arange(grid.num_points, dtype=float))
+        )
+        loaded = load_survey(save_survey(survey, tmp_path / "c.csv"))
+        assert loaded.is_complete
+        assert loaded.grid == grid
+
+    def test_exact_float_round_trip(self, tmp_path):
+        survey = Survey(
+            points=np.array([[1 / 3, 2 / 7]]), errors=np.array([np.pi]), terrain_side=1.0
+        )
+        loaded = load_survey(save_survey(survey, tmp_path / "f.csv"))
+        assert loaded.points[0, 0] == survey.points[0, 0]  # repr round-trips
+        assert loaded.errors[0] == survey.errors[0]
+
+    def test_bad_header_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x,y,error\n1,2,3\n")
+        with pytest.raises(ValueError, match="not a"):
+            load_survey(bad)
+
+
+class TestHeightmapRoundTrip:
+    def test_round_trip(self, tmp_path):
+        hm = hill_terrain(50.0, peak_height=10.0, resolution=17)
+        loaded = load_heightmap(save_heightmap(hm, tmp_path / "h.npz"))
+        assert loaded.side == hm.side
+        assert np.allclose(loaded.elevations, hm.elevations)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, format="wrong", side=1.0, elevations=np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="format"):
+            load_heightmap(path)
+
+
+class TestErrorSurfaceRoundTrip:
+    def test_round_trip(self, tmp_path, small_world):
+        surface = small_world.error_surface()
+        loaded = load_error_surface(save_error_surface(surface, tmp_path / "e.npz"))
+        assert loaded.grid == surface.grid
+        assert np.allclose(loaded.errors, surface.errors, equal_nan=True)
+        assert loaded.mean_error() == pytest.approx(surface.mean_error())

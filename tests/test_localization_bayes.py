@@ -1,0 +1,132 @@
+"""Unit tests for repro.localization.bayes (grid-Bayes ceiling)."""
+
+import numpy as np
+import pytest
+
+from repro.field import BeaconField
+from repro.geometry import MeasurementGrid, pairwise_distances
+from repro.localization import (
+    CentroidLocalizer,
+    GridBayesLocalizer,
+    localization_errors,
+)
+from repro.radio import BeaconNoiseModel
+
+
+SIDE = 40.0
+R = 12.0
+
+
+@pytest.fixture
+def grid():
+    return MeasurementGrid(SIDE, 2.0)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self, grid):
+        with pytest.raises(ValueError):
+            GridBayesLocalizer(grid, 0.0)
+        with pytest.raises(ValueError):
+            GridBayesLocalizer(grid, R, noise=1.0)
+        with pytest.raises(ValueError):
+            GridBayesLocalizer(grid, R, epsilon=0.6)
+        with pytest.raises(ValueError):
+            GridBayesLocalizer(grid, R, chunk_size=0)
+
+
+class TestLinkProbability:
+    def test_hard_disk_when_noise_zero(self, grid):
+        loc = GridBayesLocalizer(grid, R, noise=0.0, epsilon=0.01)
+        p = loc.link_probability(np.array([0.0, R - 0.1, R + 0.1]))
+        assert p[0] == pytest.approx(0.99)
+        assert p[1] == pytest.approx(0.99)
+        assert p[2] == pytest.approx(0.01)
+
+    def test_ramp_monotone_under_noise(self, grid):
+        loc = GridBayesLocalizer(grid, R, noise=0.4)
+        d = np.linspace(0.0, 2 * R, 50)
+        p = loc.link_probability(d)
+        assert np.all(np.diff(p) <= 1e-12)
+
+    def test_half_probability_at_nominal_range(self, grid):
+        loc = GridBayesLocalizer(grid, R, noise=0.4, epsilon=0.001)
+        assert loc.link_probability(np.array([R]))[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_saturates_outside_band(self, grid):
+        loc = GridBayesLocalizer(grid, R, noise=0.3, epsilon=0.01)
+        p = loc.link_probability(np.array([R * 0.69, R * 1.31]))
+        assert p[0] == pytest.approx(0.99)
+        assert p[1] == pytest.approx(0.01)
+
+
+class TestPosterior:
+    def test_posterior_normalized(self, grid, rng):
+        field = BeaconField.from_positions(rng.uniform(0, SIDE, (5, 2)))
+        loc = GridBayesLocalizer(grid, R, noise=0.3)
+        post = loc.posterior(np.array([True, False, True, False, False]), field.positions())
+        assert post.shape == (grid.num_points,)
+        assert post.sum() == pytest.approx(1.0)
+        assert post.min() >= 0.0
+
+    def test_posterior_concentrates_in_consistent_region(self, grid):
+        field = BeaconField.from_positions([(10.0, 10.0), (30.0, 30.0)])
+        loc = GridBayesLocalizer(grid, R, noise=0.0)
+        post = loc.posterior(np.array([True, False]), field.positions())
+        lattice = grid.points()
+        inside = pairwise_distances(lattice, field.positions()[:1]) [:, 0] <= R
+        assert post[inside].sum() > 0.95
+
+
+class TestAccuracy:
+    def test_ideal_model_beats_centroid(self, grid, rng):
+        field = BeaconField.from_positions(rng.uniform(0, SIDE, (8, 2)))
+        pts = grid.points()
+        conn = pairwise_distances(pts, field.positions()) <= R
+        bayes = GridBayesLocalizer(grid, R, noise=0.0)
+        cen = CentroidLocalizer(SIDE)
+        err_b = np.nanmean(
+            localization_errors(bayes.estimate(conn, field.positions(), pts), pts)
+        )
+        err_c = np.nanmean(
+            localization_errors(cen.estimate(conn, field.positions(), pts), pts)
+        )
+        assert err_b <= err_c + 1e-9
+
+    def test_noisy_model_beats_centroid(self, grid, rng):
+        field = BeaconField.from_positions(rng.uniform(0, SIDE, (8, 2)))
+        realization = BeaconNoiseModel(R, 0.4).realize(rng)
+        pts = grid.points()
+        conn = realization.connectivity(pts, field)
+        bayes = GridBayesLocalizer(grid, R, noise=0.4)
+        cen = CentroidLocalizer(SIDE)
+        err_b = np.nanmean(
+            localization_errors(bayes.estimate(conn, field.positions(), pts), pts)
+        )
+        err_c = np.nanmean(
+            localization_errors(cen.estimate(conn, field.positions(), pts), pts)
+        )
+        assert err_b < err_c
+
+    def test_chunking_invariant(self, grid, rng):
+        field = BeaconField.from_positions(rng.uniform(0, SIDE, (6, 2)))
+        pts = rng.uniform(0, SIDE, (40, 2))
+        conn = pairwise_distances(pts, field.positions()) <= R
+        big = GridBayesLocalizer(grid, R, noise=0.2, chunk_size=1000)
+        tiny = GridBayesLocalizer(grid, R, noise=0.2, chunk_size=2)
+        assert np.allclose(
+            big.estimate(conn, field.positions(), pts),
+            tiny.estimate(conn, field.positions(), pts),
+        )
+
+    def test_unheard_policy(self, grid):
+        field = BeaconField.from_positions([(0.0, 0.0)])
+        loc = GridBayesLocalizer(grid, R, noise=0.0)
+        est = loc.estimate(
+            np.array([[False]]), field.positions(), np.array([[39.0, 39.0]])
+        )
+        assert np.allclose(est, [[SIDE / 2, SIDE / 2]])
+
+    def test_shape_mismatch_rejected(self, grid):
+        loc = GridBayesLocalizer(grid, R)
+        with pytest.raises(ValueError, match="connectivity"):
+            loc.estimate(np.ones((2, 3), dtype=bool), np.zeros((2, 2)), np.zeros((2, 2)))

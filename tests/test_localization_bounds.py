@@ -1,0 +1,41 @@
+"""Tests reproducing the §2.2 uniform-grid error-bound analysis."""
+
+import pytest
+
+from repro.localization import max_error_for_overlap_ratio, overlap_ratio_sweep
+
+
+class TestOverlapRatioBounds:
+    def test_ratio_one_near_half_separation(self):
+        result = max_error_for_overlap_ratio(1.0)
+        # Paper: maximum error bound 0.5·d at R/d = 1.
+        assert 0.35 <= result.max_error_fraction <= 0.5
+
+    def test_ratio_four_near_quarter_separation(self):
+        result = max_error_for_overlap_ratio(4.0)
+        # Paper: falls off to 0.25·d by R/d = 4.
+        assert result.max_error_fraction <= 0.3
+
+    def test_error_falls_with_overlap(self):
+        results = overlap_ratio_sweep((1.0, 2.0, 4.0))
+        assert results[0].max_error_fraction > results[-1].max_error_fraction
+        assert results[0].mean_error_fraction > results[-1].mean_error_fraction
+
+    def test_result_metadata(self):
+        result = max_error_for_overlap_ratio(2.0, separation=8.0)
+        assert result.separation == 8.0
+        assert result.radio_range == pytest.approx(16.0)
+        assert result.overlap_ratio == 2.0
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ValueError, match="overlap_ratio"):
+            max_error_for_overlap_ratio(0.0)
+
+    def test_rejects_tiny_per_axis(self):
+        with pytest.raises(ValueError, match="per_axis"):
+            max_error_for_overlap_ratio(1.0, per_axis=3)
+
+    def test_scale_invariance(self):
+        a = max_error_for_overlap_ratio(2.0, separation=5.0)
+        b = max_error_for_overlap_ratio(2.0, separation=20.0)
+        assert a.max_error_fraction == pytest.approx(b.max_error_fraction, rel=0.05)

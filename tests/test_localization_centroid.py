@@ -1,0 +1,145 @@
+"""Unit tests for repro.localization.centroid (§2.2 localizer + incremental)."""
+
+import numpy as np
+import pytest
+
+from repro.localization import (
+    CentroidLocalizer,
+    CentroidState,
+    UnlocalizedPolicy,
+    localization_errors,
+)
+
+
+class TestCentroidLocalizer:
+    def test_single_beacon_estimate_is_beacon(self):
+        loc = CentroidLocalizer(100.0)
+        conn = np.array([[True]])
+        est = loc.estimate(conn, np.array([[10.0, 20.0]]), np.array([[12.0, 20.0]]))
+        assert np.allclose(est, [[10.0, 20.0]])
+
+    def test_centroid_of_three(self):
+        loc = CentroidLocalizer(100.0)
+        beacons = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+        conn = np.array([[True, True, True]])
+        est = loc.estimate(conn, beacons, np.array([[1.0, 1.0]]))
+        assert np.allclose(est, [[2.0, 2.0]])
+
+    def test_disconnected_beacons_ignored(self):
+        loc = CentroidLocalizer(100.0)
+        beacons = np.array([[0.0, 0.0], [100.0, 100.0]])
+        conn = np.array([[True, False]])
+        est = loc.estimate(conn, beacons, np.array([[1.0, 1.0]]))
+        assert np.allclose(est, [[0.0, 0.0]])
+
+    def test_unheard_terrain_center_policy(self):
+        loc = CentroidLocalizer(100.0, UnlocalizedPolicy.TERRAIN_CENTER)
+        conn = np.array([[False]])
+        est = loc.estimate(conn, np.array([[0.0, 0.0]]), np.array([[10.0, 10.0]]))
+        assert np.allclose(est, [[50.0, 50.0]])
+
+    def test_rejects_bad_terrain_side(self):
+        with pytest.raises(ValueError, match="terrain_side"):
+            CentroidLocalizer(0.0)
+
+    def test_estimate_shape_mismatch_rejected(self):
+        loc = CentroidLocalizer(100.0)
+        with pytest.raises(ValueError):
+            loc.estimate(np.ones((3, 2), dtype=bool), np.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_repr(self):
+        assert "terrain_center" in repr(CentroidLocalizer(50.0))
+
+    def test_estimate_inside_convex_hull(self, rng):
+        """The centroid of connected beacons is inside their bounding box."""
+        loc = CentroidLocalizer(100.0)
+        beacons = rng.uniform(0, 100, (10, 2))
+        conn = rng.random((25, 10)) < 0.5
+        pts = rng.uniform(0, 100, (25, 2))
+        est = loc.estimate(conn, beacons, pts)
+        for p in range(25):
+            heard = np.flatnonzero(conn[p])
+            if heard.size == 0:
+                continue
+            sub = beacons[heard]
+            assert sub[:, 0].min() - 1e-9 <= est[p, 0] <= sub[:, 0].max() + 1e-9
+            assert sub[:, 1].min() - 1e-9 <= est[p, 1] <= sub[:, 1].max() + 1e-9
+
+
+class TestCentroidState:
+    @pytest.fixture
+    def setup(self, rng):
+        beacons = rng.uniform(0, 100, (8, 2))
+        conn = rng.random((30, 8)) < 0.4
+        pts = rng.uniform(0, 100, (30, 2))
+        return beacons, conn, pts
+
+    def test_from_connectivity_counts(self, setup):
+        beacons, conn, _ = setup
+        state = CentroidState.from_connectivity(conn, beacons)
+        assert np.array_equal(state.counts, conn.sum(axis=1))
+
+    def test_estimates_match_batch_localizer(self, setup):
+        beacons, conn, pts = setup
+        loc = CentroidLocalizer(100.0)
+        batch = loc.estimate(conn, beacons, pts)
+        state = CentroidState.from_connectivity(conn, beacons)
+        incremental = state.estimates(
+            loc.policy, points=pts, beacon_positions=beacons, terrain_side=100.0
+        )
+        assert np.allclose(batch, incremental)
+
+    def test_with_beacon_matches_recompute(self, setup, rng):
+        beacons, conn, pts = setup
+        new_pos = np.array([33.0, 44.0])
+        new_col = rng.random(30) < 0.5
+        state = CentroidState.from_connectivity(conn, beacons)
+        updated = state.with_beacon(new_col, new_pos)
+
+        full_conn = np.column_stack([conn, new_col])
+        full_beacons = np.vstack([beacons, new_pos])
+        recomputed = CentroidState.from_connectivity(full_conn, full_beacons)
+        assert np.allclose(updated.coord_sums, recomputed.coord_sums)
+        assert np.array_equal(updated.counts, recomputed.counts)
+
+    def test_with_beacon_does_not_mutate(self, setup, rng):
+        beacons, conn, _ = setup
+        state = CentroidState.from_connectivity(conn, beacons)
+        sums_before = state.coord_sums.copy()
+        state.with_beacon(rng.random(30) < 0.5, (1.0, 2.0))
+        assert np.array_equal(state.coord_sums, sums_before)
+
+    def test_with_beacon_shape_mismatch(self, setup):
+        beacons, conn, _ = setup
+        state = CentroidState.from_connectivity(conn, beacons)
+        with pytest.raises(ValueError, match="column"):
+            state.with_beacon(np.zeros(5, dtype=bool), (0.0, 0.0))
+
+    def test_copy_independent(self, setup):
+        beacons, conn, _ = setup
+        state = CentroidState.from_connectivity(conn, beacons)
+        clone = state.copy()
+        clone.coord_sums[0] = 999.0
+        assert state.coord_sums[0, 0] != 999.0
+
+    def test_connectivity_shape_mismatch(self):
+        with pytest.raises(ValueError, match="connectivity"):
+            CentroidState.from_connectivity(np.ones((3, 4), dtype=bool), np.zeros((2, 2)))
+
+
+class TestLocalizationErrors:
+    def test_zero_when_exact(self):
+        est = np.array([[1.0, 2.0]])
+        assert localization_errors(est, est)[0] == 0.0
+
+    def test_euclidean(self):
+        err = localization_errors(np.array([[3.0, 4.0]]), np.array([[0.0, 0.0]]))
+        assert err[0] == pytest.approx(5.0)
+
+    def test_nan_propagates(self):
+        err = localization_errors(np.array([[np.nan, np.nan]]), np.array([[0.0, 0.0]]))
+        assert np.isnan(err[0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            localization_errors(np.zeros((2, 2)), np.zeros((3, 2)))

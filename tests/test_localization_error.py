@@ -1,0 +1,81 @@
+"""Unit tests for repro.localization.error (ErrorSurface, §4.1 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MeasurementGrid, Point
+from repro.localization import ErrorSurface
+
+
+@pytest.fixture
+def grid():
+    return MeasurementGrid(10.0, 5.0)  # 3x3 = 9 points
+
+
+class TestErrorSurface:
+    def test_rejects_wrong_length(self, grid):
+        with pytest.raises(ValueError, match="errors shape"):
+            ErrorSurface(grid, np.zeros(5))
+
+    def test_mean_median_max(self, grid):
+        errors = np.arange(9, dtype=float)
+        surface = ErrorSurface(grid, errors)
+        assert surface.mean_error() == pytest.approx(4.0)
+        assert surface.median_error() == pytest.approx(4.0)
+        assert surface.max_error() == pytest.approx(8.0)
+
+    def test_nan_aware_statistics(self, grid):
+        errors = np.array([1.0, np.nan, 3.0, np.nan, 5.0, np.nan, 7.0, np.nan, 9.0])
+        surface = ErrorSurface(grid, errors)
+        assert surface.mean_error() == pytest.approx(5.0)
+        assert surface.summary().num_points == 5
+
+    def test_all_nan_gives_nan(self, grid):
+        surface = ErrorSurface(grid, np.full(9, np.nan))
+        assert np.isnan(surface.mean_error())
+        assert np.isnan(surface.median_error())
+        assert np.isnan(surface.max_error())
+
+    def test_argmax_point(self, grid):
+        errors = np.zeros(9)
+        errors[4] = 10.0  # index 4 ↔ point (5, 5) on the 3x3 lattice
+        surface = ErrorSurface(grid, errors)
+        assert surface.argmax_point() == Point(5.0, 5.0)
+
+    def test_argmax_tie_breaks_to_first(self, grid):
+        errors = np.zeros(9)
+        errors[2] = 7.0
+        errors[6] = 7.0
+        surface = ErrorSurface(grid, errors)
+        assert surface.argmax_point() == grid.point_at(2)
+
+    def test_argmax_all_nan_raises(self, grid):
+        with pytest.raises(ValueError, match="no measured points"):
+            ErrorSurface(grid, np.full(9, np.nan)).argmax_point()
+
+    def test_as_image_layout(self, grid):
+        errors = np.arange(9, dtype=float)
+        image = ErrorSurface(grid, errors).as_image()
+        assert image.shape == (3, 3)
+        # x-major flattening: image[i, j] = errors[i*3 + j]
+        assert image[1, 2] == 5.0
+
+    def test_improvement_over(self, grid):
+        before = ErrorSurface(grid, np.full(9, 4.0))
+        after = ErrorSurface(grid, np.full(9, 2.5))
+        gain_mean, gain_median = after.improvement_over(before)
+        assert gain_mean == pytest.approx(1.5)
+        assert gain_median == pytest.approx(1.5)
+
+    def test_improvement_requires_same_grid(self, grid):
+        other = MeasurementGrid(10.0, 2.0)
+        with pytest.raises(ValueError, match="different lattices"):
+            ErrorSurface(grid, np.zeros(9)).improvement_over(
+                ErrorSurface(other, np.zeros(other.num_points))
+            )
+
+    def test_summary_fields(self, grid):
+        summary = ErrorSurface(grid, np.arange(9, dtype=float)).summary()
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.maximum == pytest.approx(8.0)
+        assert summary.num_points == 9

@@ -1,0 +1,114 @@
+"""Unit tests for repro.localization.fingerprint (the RADAR baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MeasurementGrid
+from repro.localization import (
+    CentroidLocalizer,
+    FingerprintLocalizer,
+    localization_errors,
+)
+
+
+SIDE = 60.0
+
+
+@pytest.fixture
+def calibrated(small_field, ideal_realization):
+    loc = FingerprintLocalizer(SIDE, ideal_realization, k=3)
+    calibration = MeasurementGrid(SIDE, 4.0).points()
+    loc.calibrate(calibration, small_field)
+    return loc
+
+
+class TestValidation:
+    def test_rejects_bad_params(self, ideal_realization):
+        with pytest.raises(ValueError):
+            FingerprintLocalizer(0.0, ideal_realization)
+        with pytest.raises(ValueError):
+            FingerprintLocalizer(SIDE, ideal_realization, k=0)
+        with pytest.raises(ValueError):
+            FingerprintLocalizer(SIDE, ideal_realization, floor_db=5.0)
+        with pytest.raises(ValueError):
+            FingerprintLocalizer(SIDE, ideal_realization, calibration_noise_db=1.0)
+
+    def test_estimate_before_calibrate_raises(self, small_field, ideal_realization):
+        loc = FingerprintLocalizer(SIDE, ideal_realization)
+        with pytest.raises(RuntimeError, match="calibrate"):
+            loc.estimate(np.zeros((1, len(small_field)), dtype=bool),
+                         small_field.positions(), np.zeros((1, 2)))
+
+    def test_beacon_count_mismatch_detected(self, calibrated, small_field):
+        extended = small_field.with_beacon_at((1.0, 1.0))
+        with pytest.raises(ValueError, match="recalibrate"):
+            calibrated.estimate(
+                np.zeros((1, len(extended)), dtype=bool),
+                extended.positions(),
+                np.zeros((1, 2)),
+            )
+
+
+class TestSignatures:
+    def test_signature_shape_and_floor(self, calibrated, small_field):
+        pts = np.random.default_rng(0).uniform(0, SIDE, (10, 2))
+        sigs = calibrated.signatures_at(pts, small_field)
+        assert sigs.shape == (10, len(small_field))
+        assert sigs.min() >= calibrated.floor_db
+
+    def test_detected_iff_above_floor(self, calibrated, small_field, ideal_realization):
+        pts = np.random.default_rng(1).uniform(0, SIDE, (30, 2))
+        sigs = calibrated.signatures_at(pts, small_field)
+        conn = ideal_realization.connectivity(pts, small_field)
+        assert np.array_equal(sigs > calibrated.floor_db + 1e-9, sigs > calibrated.floor_db)
+        # In-range links have RSS ≥ 0 dB > floor.
+        assert np.all(sigs[conn] >= -1e-9)
+
+
+class TestAccuracy:
+    def test_calibration_point_recovered(self, calibrated, small_field, ideal_realization):
+        """Querying exactly at a database point with k=1 returns that point."""
+        loc = FingerprintLocalizer(SIDE, ideal_realization, k=1)
+        calibration = MeasurementGrid(SIDE, 4.0).points()
+        loc.calibrate(calibration, small_field)
+        query = calibration[37:38]
+        conn = ideal_realization.connectivity(query, small_field)
+        est = loc.estimate(conn, small_field.positions(), query)
+        if conn.any():
+            assert np.allclose(est, query, atol=1e-6)
+
+    def test_beats_centroid_on_average(self, small_field, ideal_realization):
+        loc = FingerprintLocalizer(SIDE, ideal_realization, k=3)
+        loc.calibrate(MeasurementGrid(SIDE, 3.0).points(), small_field)
+        pts = np.random.default_rng(5).uniform(0, SIDE, (300, 2))
+        conn = ideal_realization.connectivity(pts, small_field)
+        heard = conn.any(axis=1)
+        fp = loc.estimate(conn, small_field.positions(), pts)
+        cen = CentroidLocalizer(SIDE).estimate(conn, small_field.positions(), pts)
+        err_fp = localization_errors(fp, pts)[heard].mean()
+        err_cen = localization_errors(cen, pts)[heard].mean()
+        assert err_fp < err_cen
+
+    def test_noisy_calibration_degrades_but_works(self, small_field, ideal_realization, rng):
+        clean = FingerprintLocalizer(SIDE, ideal_realization, k=3)
+        clean.calibrate(MeasurementGrid(SIDE, 3.0).points(), small_field)
+        noisy = FingerprintLocalizer(
+            SIDE, ideal_realization, k=3, calibration_noise_db=5.0, rng=rng
+        )
+        noisy.calibrate(MeasurementGrid(SIDE, 3.0).points(), small_field)
+        pts = np.random.default_rng(6).uniform(0, SIDE, (200, 2))
+        conn = ideal_realization.connectivity(pts, small_field)
+        heard = conn.any(axis=1)
+        err_clean = localization_errors(
+            clean.estimate(conn, small_field.positions(), pts), pts
+        )[heard].mean()
+        err_noisy = localization_errors(
+            noisy.estimate(conn, small_field.positions(), pts), pts
+        )[heard].mean()
+        assert err_clean <= err_noisy + 0.5
+        assert err_noisy < 20.0  # still sane
+
+    def test_unheard_points_use_policy(self, calibrated, small_field):
+        conn = np.zeros((1, len(small_field)), dtype=bool)
+        est = calibrated.estimate(conn, small_field.positions(), np.array([[1.0, 1.0]]))
+        assert np.allclose(est, [[SIDE / 2, SIDE / 2]])

@@ -1,0 +1,87 @@
+"""Unit tests for repro.localization.locus (full-locus estimator, §6)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MeasurementGrid, pairwise_distances
+from repro.field import BeaconField
+from repro.localization import CentroidLocalizer, LocusLocalizer, localization_errors
+
+
+R = 12.0
+
+
+@pytest.fixture
+def grid():
+    return MeasurementGrid(40.0, 2.0)
+
+
+class TestLocusEstimates:
+    def test_single_beacon_estimate_is_disk_centroid(self, grid):
+        field = BeaconField.from_positions([(20.0, 20.0)])
+        loc = LocusLocalizer(grid, R)
+        conn = np.array([[True]])
+        est = loc.estimate(conn, field.positions(), np.array([[15.0, 20.0]]))
+        # Interior disk: lattice centroid ≈ beacon position.
+        assert np.allclose(est, [[20.0, 20.0]], atol=0.5)
+
+    def test_estimate_lies_inside_all_connected_disks(self, grid, rng):
+        field = BeaconField.from_positions(rng.uniform(5, 35, (6, 2)))
+        pts = rng.uniform(0, 40, (30, 2))
+        dist = pairwise_distances(pts, field.positions())
+        conn = dist <= R
+        loc = LocusLocalizer(grid, R)
+        est = loc.estimate(conn, field.positions(), pts)
+        for p in range(30):
+            heard = np.flatnonzero(conn[p])
+            if heard.size == 0:
+                continue
+            d = np.linalg.norm(field.positions()[heard] - est[p], axis=1)
+            # Within lattice resolution of every connected disk.
+            assert np.all(d <= R + 2.0 * grid.step)
+
+    def test_beats_plain_centroid_under_ideal_model(self, grid, rng):
+        field = BeaconField.from_positions(rng.uniform(0, 40, (10, 2)))
+        pts = grid.points()
+        conn = pairwise_distances(pts, field.positions()) <= R
+        locus = LocusLocalizer(grid, R).estimate(conn, field.positions(), pts)
+        plain = CentroidLocalizer(40.0).estimate(conn, field.positions(), pts)
+        err_locus = np.nanmean(localization_errors(locus, pts))
+        err_plain = np.nanmean(localization_errors(plain, pts))
+        assert err_locus <= err_plain + 1e-9
+
+    def test_infeasible_signature_falls_back_to_centroid(self, grid):
+        # Two beacons farther apart than 2R: hearing both is geometrically
+        # impossible, so the locus is empty.
+        field = BeaconField.from_positions([(0.0, 0.0), (40.0, 40.0)])
+        loc = LocusLocalizer(grid, R)
+        conn = np.array([[True, True]])
+        est = loc.estimate(conn, field.positions(), np.array([[20.0, 20.0]]))
+        assert np.allclose(est, [[20.0, 20.0]])  # centroid of the two beacons
+
+    def test_unheard_uses_policy(self, grid):
+        field = BeaconField.from_positions([(0.0, 0.0)])
+        loc = LocusLocalizer(grid, R)
+        est = loc.estimate(
+            np.array([[False]]), field.positions(), np.array([[39.0, 39.0]])
+        )
+        assert np.allclose(est, [[20.0, 20.0]])  # terrain center of side 40
+
+    def test_chunking_matches_unchunked(self, grid, rng):
+        field = BeaconField.from_positions(rng.uniform(0, 40, (8, 2)))
+        pts = rng.uniform(0, 40, (60, 2))
+        conn = pairwise_distances(pts, field.positions()) <= R
+        big = LocusLocalizer(grid, R, chunk_size=1024).estimate(conn, field.positions(), pts)
+        tiny = LocusLocalizer(grid, R, chunk_size=3).estimate(conn, field.positions(), pts)
+        assert np.allclose(big, tiny)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            LocusLocalizer(grid, 0.0)
+        with pytest.raises(ValueError):
+            LocusLocalizer(grid, R, chunk_size=0)
+
+    def test_shape_mismatch_rejected(self, grid):
+        loc = LocusLocalizer(grid, R)
+        with pytest.raises(ValueError, match="connectivity"):
+            loc.estimate(np.ones((2, 3), dtype=bool), np.zeros((2, 2)), np.zeros((2, 2)))

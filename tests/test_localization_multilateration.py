@@ -1,0 +1,90 @@
+"""Unit tests for repro.localization.multilateration."""
+
+import numpy as np
+import pytest
+
+from repro.localization import MultilaterationLocalizer, gdop
+
+
+class TestGdop:
+    def test_good_geometry_low_gdop(self):
+        anchors = np.array([[0.0, 10.0], [10.0, -5.0], [-10.0, -5.0]])
+        value = gdop(anchors, (0.0, 0.0))
+        assert 1.0 <= value <= 2.5
+
+    def test_collinear_infinite(self):
+        anchors = np.array([[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]])
+        assert gdop(anchors, (3.0, 0.0)) == float("inf")
+
+    def test_too_few_anchors_infinite(self):
+        assert gdop(np.array([[1.0, 1.0]]), (0.0, 0.0)) == float("inf")
+
+    def test_wider_geometry_beats_narrow(self):
+        point = (0.0, 0.0)
+        wide = np.array([[10.0, 0.0], [-5.0, 8.66], [-5.0, -8.66]])
+        narrow = np.array([[10.0, 0.0], [10.0, 1.0], [9.0, -1.0]])
+        assert gdop(wide, point) < gdop(narrow, point)
+
+
+class TestMultilateration:
+    def test_exact_fix_with_noiseless_ranges(self):
+        loc = MultilaterationLocalizer(100.0)
+        beacons = np.array([[0.0, 0.0], [40.0, 0.0], [0.0, 40.0]])
+        truth = np.array([[13.0, 21.0]])
+        conn = np.ones((1, 3), dtype=bool)
+        est = loc.estimate(conn, beacons, truth)
+        assert np.allclose(est, truth, atol=1e-6)
+
+    def test_four_anchor_overdetermined(self):
+        loc = MultilaterationLocalizer(100.0)
+        beacons = np.array([[0.0, 0.0], [40.0, 0.0], [0.0, 40.0], [40.0, 40.0]])
+        truth = np.array([[25.0, 14.0]])
+        est = loc.estimate(np.ones((1, 4), dtype=bool), beacons, truth)
+        assert np.allclose(est, truth, atol=1e-6)
+
+    def test_under_three_falls_back_to_centroid(self):
+        loc = MultilaterationLocalizer(100.0)
+        beacons = np.array([[0.0, 0.0], [10.0, 0.0]])
+        est = loc.estimate(np.ones((1, 2), dtype=bool), beacons, np.array([[5.0, 3.0]]))
+        assert np.allclose(est, [[5.0, 0.0]])
+
+    def test_collinear_falls_back_to_centroid(self):
+        loc = MultilaterationLocalizer(100.0)
+        beacons = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        est = loc.estimate(np.ones((1, 3), dtype=bool), beacons, np.array([[10.0, 5.0]]))
+        assert np.allclose(est, [[10.0, 0.0]])
+
+    def test_unheard_uses_policy(self):
+        loc = MultilaterationLocalizer(100.0)
+        est = loc.estimate(
+            np.zeros((1, 2), dtype=bool),
+            np.array([[0.0, 0.0], [1.0, 1.0]]),
+            np.array([[10.0, 10.0]]),
+        )
+        assert np.allclose(est, [[50.0, 50.0]])
+
+    def test_noise_degrades_gracefully(self, rng):
+        noisy = MultilaterationLocalizer(100.0, range_noise=0.05, rng=rng)
+        beacons = np.array([[0.0, 0.0], [40.0, 0.0], [0.0, 40.0], [40.0, 40.0]])
+        truth = np.array([[20.0, 20.0]])
+        est = noisy.estimate(np.ones((1, 4), dtype=bool), beacons, truth)
+        error = np.linalg.norm(est - truth)
+        assert 0.0 < error < 10.0
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            MultilaterationLocalizer(100.0, range_noise=0.1)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError, match="range_noise"):
+            MultilaterationLocalizer(100.0, range_noise=-0.1)
+
+    def test_shape_mismatch_rejected(self):
+        loc = MultilaterationLocalizer(100.0)
+        with pytest.raises(ValueError, match="connectivity"):
+            loc.estimate(np.ones((2, 3), dtype=bool), np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_empty_field_policy_everywhere(self):
+        loc = MultilaterationLocalizer(100.0)
+        est = loc.estimate(np.zeros((2, 0), dtype=bool), np.zeros((0, 2)), np.zeros((2, 2)))
+        assert np.allclose(est, 50.0)

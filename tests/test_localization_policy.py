@@ -1,0 +1,89 @@
+"""Unit tests for the unlocalizable-point policy (repro.localization.base)."""
+
+import numpy as np
+import pytest
+
+from repro.localization import UnlocalizedPolicy, apply_unlocalized_policy
+
+
+@pytest.fixture
+def scenario():
+    estimates = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+    unheard = np.array([False, True, False])
+    points = np.array([[10.0, 10.0], [20.0, 30.0], [40.0, 40.0]])
+    beacons = np.array([[0.0, 0.0], [25.0, 25.0]])
+    return estimates, unheard, points, beacons
+
+
+class TestPolicies:
+    def test_heard_rows_untouched(self, scenario):
+        est, unheard, pts, beacons = scenario
+        out = apply_unlocalized_policy(
+            est, unheard, UnlocalizedPolicy.TERRAIN_CENTER,
+            points=pts, beacon_positions=beacons, terrain_side=100.0,
+        )
+        assert np.allclose(out[0], est[0])
+        assert np.allclose(out[2], est[2])
+
+    def test_terrain_center(self, scenario):
+        est, unheard, pts, beacons = scenario
+        out = apply_unlocalized_policy(
+            est, unheard, UnlocalizedPolicy.TERRAIN_CENTER,
+            points=pts, beacon_positions=beacons, terrain_side=100.0,
+        )
+        assert np.allclose(out[1], [50.0, 50.0])
+
+    def test_nearest_beacon(self, scenario):
+        est, unheard, pts, beacons = scenario
+        out = apply_unlocalized_policy(
+            est, unheard, UnlocalizedPolicy.NEAREST_BEACON,
+            points=pts, beacon_positions=beacons, terrain_side=100.0,
+        )
+        assert np.allclose(out[1], [25.0, 25.0])  # closer to (20, 30)
+
+    def test_nearest_beacon_empty_field_falls_back_to_center(self, scenario):
+        est, unheard, pts, _ = scenario
+        out = apply_unlocalized_policy(
+            est, unheard, UnlocalizedPolicy.NEAREST_BEACON,
+            points=pts, beacon_positions=np.zeros((0, 2)), terrain_side=100.0,
+        )
+        assert np.allclose(out[1], [50.0, 50.0])
+
+    def test_exclude_gives_nan(self, scenario):
+        est, unheard, pts, beacons = scenario
+        out = apply_unlocalized_policy(
+            est, unheard, UnlocalizedPolicy.EXCLUDE,
+            points=pts, beacon_positions=beacons, terrain_side=100.0,
+        )
+        assert np.isnan(out[1]).all()
+        assert not np.isnan(out[0]).any()
+
+    def test_zero_error_copies_truth(self, scenario):
+        est, unheard, pts, beacons = scenario
+        out = apply_unlocalized_policy(
+            est, unheard, UnlocalizedPolicy.ZERO_ERROR,
+            points=pts, beacon_positions=beacons, terrain_side=100.0,
+        )
+        assert np.allclose(out[1], pts[1])
+
+    def test_input_not_mutated(self, scenario):
+        est, unheard, pts, beacons = scenario
+        original = est.copy()
+        apply_unlocalized_policy(
+            est, unheard, UnlocalizedPolicy.TERRAIN_CENTER,
+            points=pts, beacon_positions=beacons, terrain_side=100.0,
+        )
+        assert np.array_equal(est, original)
+
+    def test_no_unheard_fast_path(self, scenario):
+        est, _, pts, beacons = scenario
+        none_unheard = np.zeros(3, dtype=bool)
+        out = apply_unlocalized_policy(
+            est, none_unheard, UnlocalizedPolicy.EXCLUDE,
+            points=pts, beacon_positions=beacons, terrain_side=100.0,
+        )
+        assert np.array_equal(out, est)
+
+    def test_policy_enum_values(self):
+        assert UnlocalizedPolicy("terrain_center") is UnlocalizedPolicy.TERRAIN_CENTER
+        assert len(UnlocalizedPolicy) == 4

@@ -1,0 +1,113 @@
+"""Unit tests for repro.localization.tracking (alpha–beta mobile tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.localization import (
+    AlphaBetaTracker,
+    CentroidLocalizer,
+    track_path,
+)
+
+
+class TestAlphaBetaTracker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlphaBetaTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            AlphaBetaTracker(alpha=0.5, beta=0.6)
+        with pytest.raises(ValueError):
+            AlphaBetaTracker(dt=0.0)
+
+    def test_first_fix_initializes(self):
+        tracker = AlphaBetaTracker()
+        out = tracker.update((3.0, 4.0))
+        assert np.allclose(out, [3.0, 4.0])
+        assert np.allclose(tracker.velocity, 0.0)
+
+    def test_first_nan_fix_rejected(self):
+        with pytest.raises(ValueError, match="first fix"):
+            AlphaBetaTracker().update((np.nan, 0.0))
+
+    def test_stationary_fixes_converge(self):
+        tracker = AlphaBetaTracker(alpha=0.5, beta=0.1)
+        for _ in range(50):
+            out = tracker.update((10.0, 10.0))
+        assert np.allclose(out, [10.0, 10.0], atol=1e-6)
+        assert np.linalg.norm(tracker.velocity) < 1e-6
+
+    def test_learns_constant_velocity(self):
+        tracker = AlphaBetaTracker(alpha=0.5, beta=0.2, dt=1.0)
+        for t in range(60):
+            tracker.update((float(t), 0.0))
+        assert tracker.velocity[0] == pytest.approx(1.0, abs=0.05)
+
+    def test_nan_fix_coasts_on_motion_model(self):
+        tracker = AlphaBetaTracker(alpha=0.5, beta=0.2, dt=1.0)
+        for t in range(30):
+            tracker.update((float(t), 0.0))
+        before = tracker.position
+        coasted = tracker.update((np.nan, np.nan))
+        assert coasted[0] > before[0]  # kept moving
+
+    def test_reset(self):
+        tracker = AlphaBetaTracker()
+        tracker.update((1.0, 1.0))
+        tracker.reset()
+        assert tracker.position is None
+
+    def test_smoothing_reduces_noise_variance(self, rng):
+        truth = np.column_stack([np.arange(200, dtype=float), np.zeros(200)])
+        noisy = truth + rng.normal(0, 3.0, truth.shape)
+        tracker = AlphaBetaTracker(alpha=0.3, beta=0.05)
+        smoothed = tracker.filter(noisy)
+        raw_err = np.linalg.norm(noisy[50:] - truth[50:], axis=1).mean()
+        smooth_err = np.linalg.norm(smoothed[50:] - truth[50:], axis=1).mean()
+        assert smooth_err < raw_err
+
+
+class TestTrackPath:
+    def test_requires_two_positions(self, small_field, ideal_realization):
+        with pytest.raises(ValueError, match="two positions"):
+            track_path(
+                np.array([[1.0, 1.0]]),
+                small_field,
+                ideal_realization,
+                CentroidLocalizer(60.0),
+            )
+
+    def test_result_shapes(self, small_field, ideal_realization):
+        path = np.column_stack([np.linspace(5, 55, 40), np.full(40, 30.0)])
+        result = track_path(
+            path, small_field, ideal_realization, CentroidLocalizer(60.0)
+        )
+        assert result.raw_fixes.shape == (40, 2)
+        assert result.smoothed.shape == (40, 2)
+        assert result.raw_errors.shape == (40,)
+
+    def test_smoothing_helps_under_noise(self, small_field, noisy_realization):
+        """Noise makes fixes flap at region boundaries — exactly what the
+        motion model irons out."""
+        path = np.column_stack([np.linspace(5, 55, 120), np.linspace(10, 50, 120)])
+        result = track_path(
+            path,
+            small_field,
+            noisy_realization,
+            CentroidLocalizer(60.0),
+            tracker=AlphaBetaTracker(alpha=0.3, beta=0.05),
+        )
+        assert result.smoothed_mean_error < result.raw_mean_error
+        assert result.improvement > 0.0
+
+    def test_smoothing_harmless_under_ideal_model(self, small_field, ideal_realization):
+        """Ideal-model fixes carry systematic (not random) error, so the
+        filter cannot help — but it must not hurt materially either."""
+        path = np.column_stack([np.linspace(5, 55, 120), np.linspace(10, 50, 120)])
+        result = track_path(
+            path,
+            small_field,
+            ideal_realization,
+            CentroidLocalizer(60.0),
+            tracker=AlphaBetaTracker(alpha=0.3, beta=0.05),
+        )
+        assert result.smoothed_mean_error <= 1.05 * result.raw_mean_error

@@ -1,0 +1,73 @@
+"""Unit tests for repro.localization.weighted."""
+
+import numpy as np
+import pytest
+
+from repro.localization import CentroidLocalizer, WeightedCentroidLocalizer
+
+
+class TestWeightedCentroid:
+    def test_alpha_zero_equals_plain_centroid(self, rng):
+        beacons = rng.uniform(0, 100, (6, 2))
+        conn = rng.random((20, 6)) < 0.5
+        pts = rng.uniform(0, 100, (20, 2))
+        weighted = WeightedCentroidLocalizer(100.0, 15.0, alpha=0.0)
+        plain = CentroidLocalizer(100.0)
+        assert np.allclose(
+            weighted.estimate(conn, beacons, pts), plain.estimate(conn, beacons, pts)
+        )
+
+    def test_pulls_toward_near_beacon(self):
+        beacons = np.array([[0.0, 0.0], [10.0, 0.0]])
+        conn = np.ones((1, 2), dtype=bool)
+        truth = np.array([[2.0, 0.0]])
+        weighted = WeightedCentroidLocalizer(100.0, 15.0, alpha=2.0)
+        plain = CentroidLocalizer(100.0)
+        w_est = weighted.estimate(conn, beacons, truth)
+        p_est = plain.estimate(conn, beacons, truth)
+        assert w_est[0, 0] < p_est[0, 0]  # pulled toward beacon at x=0
+
+    def test_improves_over_plain_centroid_on_average(self, rng, small_field, ideal_realization, small_grid):
+        pts = small_grid.points()
+        conn = ideal_realization.connectivity(pts, small_field)
+        positions = small_field.positions()
+        plain = CentroidLocalizer(60.0).estimate(conn, positions, pts)
+        weighted = WeightedCentroidLocalizer(60.0, 12.0, alpha=1.5).estimate(
+            conn, positions, pts
+        )
+        err_plain = np.linalg.norm(plain - pts, axis=1).mean()
+        err_weighted = np.linalg.norm(weighted - pts, axis=1).mean()
+        assert err_weighted < err_plain
+
+    def test_unheard_policy(self):
+        loc = WeightedCentroidLocalizer(100.0, 15.0)
+        est = loc.estimate(
+            np.zeros((1, 1), dtype=bool), np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]])
+        )
+        assert np.allclose(est, [[50.0, 50.0]])
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            WeightedCentroidLocalizer(100.0, 15.0, strength_noise=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedCentroidLocalizer(0.0, 15.0)
+        with pytest.raises(ValueError):
+            WeightedCentroidLocalizer(100.0, 0.0)
+        with pytest.raises(ValueError):
+            WeightedCentroidLocalizer(100.0, 15.0, alpha=-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        loc = WeightedCentroidLocalizer(100.0, 15.0)
+        with pytest.raises(ValueError, match="connectivity"):
+            loc.estimate(np.ones((2, 3), dtype=bool), np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_estimate_within_heard_bounding_box(self, rng):
+        beacons = rng.uniform(0, 50, (5, 2))
+        conn = np.ones((1, 5), dtype=bool)
+        est = WeightedCentroidLocalizer(50.0, 10.0, alpha=1.0).estimate(
+            conn, beacons, np.array([[25.0, 25.0]])
+        )
+        assert beacons[:, 0].min() <= est[0, 0] <= beacons[:, 0].max()
+        assert beacons[:, 1].min() <= est[0, 1] <= beacons[:, 1].max()

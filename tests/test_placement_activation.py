@@ -1,0 +1,84 @@
+"""Unit tests for DensityAdaptiveActivation (§6 beacon-based extension)."""
+
+import numpy as np
+import pytest
+
+from repro.field import BeaconField, random_uniform_field
+from repro.placement import DensityAdaptiveActivation
+from repro.radio import IdealDiskModel
+
+
+class TestActivation:
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError, match="target_neighbors"):
+            DensityAdaptiveActivation(0)
+
+    def test_empty_field(self, rng, ideal_realization):
+        result = DensityAdaptiveActivation().run(BeaconField.empty(), ideal_realization, rng)
+        assert result.num_active == 0
+        assert np.isnan(result.duty_fraction)
+
+    def test_sparse_field_stays_fully_active(self, rng):
+        # Beacons farther apart than R never hear each other → all stay on.
+        field = BeaconField.from_positions([(0.0, 0.0), (50.0, 0.0), (0.0, 50.0)])
+        real = IdealDiskModel(10.0).realize(rng)
+        result = DensityAdaptiveActivation(target_neighbors=1).run(field, real, rng)
+        assert result.num_active == 3
+
+    def test_dense_field_sheds_beacons(self, rng):
+        field = random_uniform_field(200, 60.0, rng)
+        real = IdealDiskModel(15.0).realize(rng)
+        result = DensityAdaptiveActivation(target_neighbors=4).run(field, real, rng)
+        assert result.num_active < 200
+        assert result.duty_fraction < 0.8
+
+    def test_passive_beacons_hear_enough_active_ones(self, rng):
+        field = random_uniform_field(150, 60.0, rng)
+        real = IdealDiskModel(15.0).realize(rng)
+        activation = DensityAdaptiveActivation(target_neighbors=3)
+        result = activation.run(field, real, rng)
+        hears = real.connectivity(field.positions(), field)
+        np.fill_diagonal(hears, False)
+        for i in np.flatnonzero(~result.active_mask):
+            heard_active = np.count_nonzero(hears[i] & result.active_mask)
+            assert heard_active >= activation.target_neighbors
+
+    def test_active_field_preserves_ids(self, rng):
+        field = random_uniform_field(50, 60.0, rng)
+        real = IdealDiskModel(15.0).realize(rng)
+        result = DensityAdaptiveActivation(target_neighbors=2).run(field, real, rng)
+        active_ids = {b.beacon_id for b in result.active_field}
+        parent_ids = {b.beacon_id for b in field}
+        assert active_ids <= parent_ids
+
+    def test_mask_matches_active_field_size(self, rng):
+        field = random_uniform_field(80, 60.0, rng)
+        real = IdealDiskModel(15.0).realize(rng)
+        result = DensityAdaptiveActivation().run(field, real, rng)
+        assert result.num_active == len(result.active_field)
+        assert result.active_mask.sum() == result.num_active
+
+    def test_deterministic_given_rng(self):
+        field = random_uniform_field(100, 60.0, np.random.default_rng(1))
+        real = IdealDiskModel(15.0).realize(np.random.default_rng(2))
+        a = DensityAdaptiveActivation().run(field, real, np.random.default_rng(3))
+        b = DensityAdaptiveActivation().run(field, real, np.random.default_rng(3))
+        assert np.array_equal(a.active_mask, b.active_mask)
+
+    def test_higher_target_keeps_more_active(self, rng):
+        field = random_uniform_field(150, 60.0, np.random.default_rng(4))
+        real = IdealDiskModel(15.0).realize(np.random.default_rng(5))
+        low = DensityAdaptiveActivation(target_neighbors=2).run(
+            field, real, np.random.default_rng(6)
+        )
+        high = DensityAdaptiveActivation(target_neighbors=8).run(
+            field, real, np.random.default_rng(6)
+        )
+        assert high.num_active >= low.num_active
+
+    def test_mask_shape_validation(self, rng):
+        field = random_uniform_field(5, 60.0, rng)
+        from repro.placement import ActivationResult
+
+        with pytest.raises(ValueError, match="mask"):
+            ActivationResult(field, np.zeros(3, dtype=bool))

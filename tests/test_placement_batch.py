@@ -1,0 +1,100 @@
+"""Unit tests for batch placement (§6 extension E1)."""
+
+import numpy as np
+import pytest
+
+from repro.placement import (
+    GridPlacement,
+    MaxPlacement,
+    plan_batch_independent,
+    plan_batch_sequential,
+)
+
+
+class TestIndependentBatch:
+    def test_returns_k_picks(self, small_world, rng):
+        picks = plan_batch_independent(
+            MaxPlacement(), small_world.survey(), rng, 3, suppression_radius=12.0
+        )
+        assert len(picks) == 3
+
+    def test_suppression_spreads_max_picks(self, small_world, rng):
+        picks = plan_batch_independent(
+            MaxPlacement(), small_world.survey(), rng, 3, suppression_radius=12.0
+        )
+        for i in range(3):
+            for j in range(i + 1, 3):
+                d = np.hypot(picks[i].x - picks[j].x, picks[i].y - picks[j].y)
+                assert d > 12.0  # suppressed neighbourhoods cannot re-win
+
+    def test_zero_suppression_repeats_deterministic_pick(self, small_world, rng):
+        picks = plan_batch_independent(
+            MaxPlacement(), small_world.survey(), rng, 2, suppression_radius=0.0
+        )
+        # Radius 0 only zeroes the picked lattice point itself, so the second
+        # pick differs from the first but is still a valid point.
+        assert picks[0] != picks[1] or small_world.survey().errors.max() == 0.0
+
+    def test_survey_not_mutated(self, small_world, rng):
+        survey = small_world.survey()
+        errors_before = survey.errors.copy()
+        plan_batch_independent(MaxPlacement(), survey, rng, 2, suppression_radius=10.0)
+        assert np.array_equal(survey.errors, errors_before)
+
+    def test_rejects_bad_k(self, small_world, rng):
+        with pytest.raises(ValueError, match="k"):
+            plan_batch_independent(
+                MaxPlacement(), small_world.survey(), rng, 0, suppression_radius=5.0
+            )
+
+    def test_rejects_negative_radius(self, small_world, rng):
+        with pytest.raises(ValueError, match="suppression_radius"):
+            plan_batch_independent(
+                MaxPlacement(), small_world.survey(), rng, 1, suppression_radius=-1.0
+            )
+
+    def test_works_with_grid_algorithm(self, small_world, rng):
+        picks = plan_batch_independent(
+            GridPlacement(small_world.layout),
+            small_world.survey(),
+            rng,
+            2,
+            suppression_radius=12.0,
+        )
+        assert len(picks) == 2
+        assert picks[0] != picks[1]
+
+
+class TestSequentialBatch:
+    def test_resurvey_called_per_pick(self, small_world, rng):
+        calls = []
+        state = {"world": small_world}
+
+        def resurvey(pick):
+            calls.append(pick)
+            state["world"] = state["world"].with_beacon(pick)
+            return state["world"].survey()
+
+        picks = plan_batch_sequential(
+            MaxPlacement(), small_world.survey(), rng, 3, resurvey
+        )
+        assert len(picks) == 3
+        assert calls == picks
+
+    def test_sequential_improves_more_than_repeating_first_pick(self, small_world, rng):
+        state = {"world": small_world}
+
+        def resurvey(pick):
+            state["world"] = state["world"].with_beacon(pick)
+            return state["world"].survey()
+
+        base_mean, _ = small_world.base_stats()
+        plan_batch_sequential(MaxPlacement(), small_world.survey(), rng, 3, resurvey)
+        seq_mean, _ = state["world"].base_stats()
+        assert seq_mean < base_mean  # three greedy beacons help overall
+
+    def test_rejects_bad_k(self, small_world, rng):
+        with pytest.raises(ValueError, match="k"):
+            plan_batch_sequential(
+                MaxPlacement(), small_world.survey(), rng, 0, lambda p: None
+            )

@@ -1,0 +1,92 @@
+"""Unit tests for CoverageHolePlacement."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import Survey
+from repro.placement import CoverageHolePlacement
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CoverageHolePlacement(0.0)
+        with pytest.raises(ValueError):
+            CoverageHolePlacement(10.0, unheard_quantile=0.0)
+
+    def test_empty_survey_raises(self, rng):
+        survey = Survey(points=np.zeros((0, 2)), errors=np.zeros(0), terrain_side=60.0)
+        with pytest.raises(ValueError, match="no measured points"):
+            CoverageHolePlacement(10.0).propose(survey, rng)
+
+
+class TestWithWorld:
+    def test_pick_covers_most_holes(self, small_world, rng):
+        alg = CoverageHolePlacement(12.0)
+        pick = alg.propose(small_world.survey(), rng, small_world)
+        holes = ~small_world.connectivity().any(axis=1)
+        if not holes.any():
+            pytest.skip("field fully covered")
+        pts = small_world.points()
+        hole_pts = pts[holes]
+        covered_by_pick = (
+            np.linalg.norm(hole_pts - np.asarray(pick)[None, :], axis=1) <= 12.0
+        ).sum()
+        # The pick must be at least as good as 90% of alternatives.
+        sample = pts[:: 7]
+        scores = [
+            (np.linalg.norm(hole_pts - p[None, :], axis=1) <= 12.0).sum()
+            for p in sample
+        ]
+        assert covered_by_pick >= np.quantile(scores, 0.9)
+
+    def test_fully_covered_falls_back_to_max(self, small_world, rng):
+        import numpy as np
+
+        survey = small_world.survey()
+
+        class FullWorld:
+            def connectivity(self):
+                return np.ones((survey.num_points, 1), dtype=bool)
+
+        pick = CoverageHolePlacement(12.0).propose(survey, rng, FullWorld())
+        idx = int(np.nanargmax(survey.errors))
+        assert np.allclose(pick, survey.points[idx])
+
+    def test_improves_low_density_world(self, tiny_config, rng):
+        from repro.sim import build_world
+
+        world = build_world(tiny_config, 0.0, 8, 2)
+        pick = CoverageHolePlacement(tiny_config.radio_range).propose(
+            world.survey(), rng, world
+        )
+        gain_mean, _ = world.evaluate_candidate(pick)
+        assert gain_mean > 0.0
+
+
+class TestSurveyOnlyHeuristic:
+    def test_nan_errors_treated_as_holes(self, rng):
+        points = np.array([[0.0, 0.0], [30.0, 30.0], [31.0, 31.0], [60.0, 60.0]])
+        errors = np.array([1.0, np.nan, np.nan, 1.0])
+        survey = Survey(points=points, errors=errors, terrain_side=60.0)
+        pick = CoverageHolePlacement(5.0).propose(survey, rng)
+        # Both NaN points cluster near (30, 30); the pick lands among them.
+        assert 25.0 <= pick.x <= 36.0
+        assert 25.0 <= pick.y <= 36.0
+
+    def test_quantile_heuristic_targets_worst_cluster(self, rng):
+        rng2 = np.random.default_rng(0)
+        points = rng2.uniform(0, 60, (100, 2))
+        errors = np.ones(100)
+        bad = np.linalg.norm(points - np.array([50.0, 10.0]), axis=1) < 10.0
+        errors[bad] = 30.0
+        survey = Survey(points=points, errors=errors, terrain_side=60.0)
+        pick = CoverageHolePlacement(8.0, unheard_quantile=bad.mean()).propose(survey, rng)
+        assert np.linalg.norm(np.asarray(pick) - [50.0, 10.0]) < 15.0
+
+    def test_deterministic(self, small_world):
+        alg = CoverageHolePlacement(12.0)
+        survey = small_world.survey()
+        a = alg.propose(survey, np.random.default_rng(1), small_world)
+        b = alg.propose(survey, np.random.default_rng(2), small_world)
+        assert a == b

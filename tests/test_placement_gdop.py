@@ -1,0 +1,50 @@
+"""Unit tests for GdopPlacement (§6 multilateration recast, extension E3)."""
+
+import numpy as np
+import pytest
+
+from repro.placement import GdopPlacement
+
+
+class TestGdopPlacement:
+    def test_requires_world(self, small_world, rng):
+        with pytest.raises(ValueError, match="world"):
+            GdopPlacement().propose(small_world.survey(), rng, None)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            GdopPlacement(stride=0)
+
+    def test_pick_inside_terrain(self, small_world, rng):
+        pick = GdopPlacement(stride=8).propose(small_world.survey(), rng, small_world)
+        assert 0.0 <= pick.x <= small_world.terrain_side
+        assert 0.0 <= pick.y <= small_world.terrain_side
+
+    def test_prefers_no_fix_points(self, small_world, rng):
+        """The pick must be a point hearing < 3 beacons if any exist."""
+        conn = small_world.connectivity()
+        degrees = conn.sum(axis=1)
+        pick = GdopPlacement(stride=1).propose(small_world.survey(), rng, small_world)
+        idx = small_world.grid.index_of(pick)
+        if (degrees < 3).any():
+            assert degrees[idx] < 3
+
+    def test_among_no_fix_prefers_farthest_from_beacons(self, small_world, rng):
+        conn = small_world.connectivity()
+        degrees = conn.sum(axis=1)
+        if not (degrees < 3).any():
+            pytest.skip("field too dense for no-fix points")
+        pick = GdopPlacement(stride=1).propose(small_world.survey(), rng, small_world)
+        pts = small_world.points()
+        nearest = small_world.field.nearest_beacon_distances(pts)
+        no_fix = degrees < 3
+        best = nearest[no_fix].max()
+        idx = small_world.grid.index_of(pick)
+        assert nearest[idx] == pytest.approx(best)
+
+    def test_deterministic(self, small_world):
+        alg = GdopPlacement(stride=4)
+        survey = small_world.survey()
+        a = alg.propose(survey, np.random.default_rng(0), small_world)
+        b = alg.propose(survey, np.random.default_rng(9), small_world)
+        assert a == b

@@ -1,0 +1,103 @@
+"""Unit tests for GridPlacement (§3.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import Survey
+from repro.geometry import OverlappingGridLayout
+from repro.placement import GridPlacement
+
+
+class TestConstruction:
+    def test_paper_configuration(self):
+        alg = GridPlacement.paper_configuration(100.0, 15.0)
+        assert alg.layout.num_grids == 400
+        assert alg.layout.grid_side == 30.0
+
+    def test_name(self, small_layout):
+        assert GridPlacement(small_layout).name == "grid"
+
+
+class TestCumulativeErrors:
+    def test_uniform_errors_score_by_point_count(self, small_world):
+        survey = small_world.survey()
+        uniform = Survey(
+            points=survey.points,
+            errors=np.ones(survey.num_points),
+            terrain_side=survey.terrain_side,
+            grid=survey.grid,
+        )
+        alg = GridPlacement(small_world.layout)
+        scores = alg.cumulative_errors(uniform)
+        expected = small_world.layout.points_per_grid(small_world.grid)
+        assert np.array_equal(scores, expected)
+
+    def test_nan_errors_contribute_zero(self, small_world):
+        survey = small_world.survey()
+        nan_errors = np.full(survey.num_points, np.nan)
+        s = Survey(
+            points=survey.points,
+            errors=nan_errors,
+            terrain_side=survey.terrain_side,
+            grid=survey.grid,
+        )
+        scores = GridPlacement(small_world.layout).cumulative_errors(s)
+        assert np.all(scores == 0.0)
+
+    def test_partial_survey_path_matches_lattice_path(self, small_world):
+        """Complete-lattice fast path and direct membership agree."""
+        survey = small_world.survey()
+        alg = GridPlacement(small_world.layout)
+        fast = alg.cumulative_errors(survey)
+        slow = alg.cumulative_errors(
+            Survey(
+                points=survey.points,
+                errors=survey.errors,
+                terrain_side=survey.terrain_side,
+                grid=None,
+            )
+        )
+        assert np.allclose(fast, slow)
+
+
+class TestPropose:
+    def test_pick_is_a_grid_center(self, small_world, rng):
+        alg = GridPlacement(small_world.layout)
+        pick = alg.propose(small_world.survey(), rng)
+        centers = small_world.layout.centers()
+        assert any(np.allclose(pick, c) for c in centers)
+
+    def test_pick_is_max_cumulative_center(self, small_world, rng):
+        alg = GridPlacement(small_world.layout)
+        survey = small_world.survey()
+        pick = alg.propose(survey, rng)
+        scores = alg.cumulative_errors(survey)
+        winner = int(np.argmax(scores))
+        assert np.allclose(pick, small_world.layout.centers()[winner])
+
+    def test_concentrated_errors_attract_pick(self, small_layout, small_grid, rng):
+        errors = np.zeros(small_grid.num_points)
+        hot = small_grid.index_of((6.0, 6.0))
+        errors[hot] = 100.0
+        survey = Survey(
+            points=small_grid.points(),
+            errors=errors,
+            terrain_side=small_grid.side,
+            grid=small_grid,
+        )
+        pick = GridPlacement(small_layout).propose(survey, rng)
+        # The winning grid must contain the hot point.
+        assert abs(pick.x - 6.0) <= small_layout.grid_side / 2 + 1e-9
+        assert abs(pick.y - 6.0) <= small_layout.grid_side / 2 + 1e-9
+
+    def test_empty_survey_raises(self, small_layout, rng):
+        survey = Survey(points=np.zeros((0, 2)), errors=np.zeros(0), terrain_side=60.0)
+        with pytest.raises(ValueError, match="no measured points"):
+            GridPlacement(small_layout).propose(survey, rng)
+
+    def test_deterministic(self, small_world):
+        alg = GridPlacement(small_world.layout)
+        survey = small_world.survey()
+        a = alg.propose(survey, np.random.default_rng(1))
+        b = alg.propose(survey, np.random.default_rng(999))
+        assert a == b

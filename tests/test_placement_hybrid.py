@@ -1,0 +1,78 @@
+"""Unit tests for HybridPlacement (coverage-first, error-second)."""
+
+import numpy as np
+import pytest
+
+from repro.placement import CoverageHolePlacement, GridPlacement, HybridPlacement
+from repro.sim import build_world
+
+
+def make_hybrid(layout, threshold=0.1):
+    return HybridPlacement(
+        GridPlacement(layout),
+        CoverageHolePlacement(12.0),
+        hole_threshold=threshold,
+    )
+
+
+class TestHybrid:
+    def test_validation(self, small_layout):
+        with pytest.raises(ValueError, match="hole_threshold"):
+            make_hybrid(small_layout, threshold=1.5)
+
+    def test_hole_fraction_from_world(self, small_world):
+        hybrid = make_hybrid(small_world.layout)
+        fraction = hybrid.hole_fraction(small_world.survey(), small_world)
+        holes = ~small_world.connectivity().any(axis=1)
+        assert fraction == pytest.approx(holes.mean())
+
+    def test_hole_fraction_from_survey_nans(self, small_world):
+        from repro.exploration import Survey
+
+        hybrid = make_hybrid(small_world.layout)
+        errors = np.ones(10)
+        errors[:3] = np.nan
+        survey = Survey(points=np.zeros((10, 2)), errors=errors, terrain_side=60.0)
+        assert hybrid.hole_fraction(survey, None) == pytest.approx(0.3)
+
+    def test_sparse_regime_uses_coverage(self, tiny_config, rng):
+        world = build_world(tiny_config, 0.0, 8, 0)  # very sparse → holes
+        hybrid = HybridPlacement(
+            GridPlacement(world.layout),
+            CoverageHolePlacement(tiny_config.radio_range),
+            hole_threshold=0.05,
+        )
+        assert hybrid.hole_fraction(world.survey(), world) > 0.05
+        pick = hybrid.propose(world.survey(), rng, world)
+        expected = CoverageHolePlacement(tiny_config.radio_range).propose(
+            world.survey(), rng, world
+        )
+        assert pick == expected
+
+    def test_dense_regime_uses_grid(self, tiny_config, rng):
+        world = build_world(tiny_config, 0.0, 40, 0)  # covered → error mode
+        hybrid = HybridPlacement(
+            GridPlacement(world.layout),
+            CoverageHolePlacement(tiny_config.radio_range),
+            hole_threshold=0.2,
+        )
+        pick = hybrid.propose(world.survey(), rng, world)
+        expected = GridPlacement(world.layout).propose(world.survey(), rng)
+        assert pick == expected
+
+    def test_improves_in_both_regimes(self, tiny_config, rng):
+        # Sparse (hole-dominated) regime: clear positive gain.
+        sparse = build_world(tiny_config, 0.0, 8, 1)
+        hybrid = HybridPlacement(
+            GridPlacement(sparse.layout),
+            CoverageHolePlacement(tiny_config.radio_range),
+        )
+        pick = hybrid.propose(sparse.survey(), rng, sparse)
+        sparse_gain, _ = sparse.evaluate_candidate(pick)
+        assert sparse_gain > 0.0
+        # Near-saturated regime: gains shrink toward zero but the hybrid
+        # must not actively hurt.
+        dense = build_world(tiny_config, 0.0, 40, 1)
+        pick = hybrid.propose(dense.survey(), rng, dense)
+        dense_gain, _ = dense.evaluate_candidate(pick)
+        assert dense_gain > -0.05

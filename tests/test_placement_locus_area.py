@@ -1,0 +1,65 @@
+"""Unit tests for LocusAreaPlacement (§6 extension E2)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import decompose_regions
+from repro.placement import LocusAreaPlacement
+
+
+class TestLocusAreaPlacement:
+    def test_requires_world(self, small_world, rng):
+        with pytest.raises(ValueError, match="world"):
+            LocusAreaPlacement().propose(small_world.survey(), rng, None)
+
+    def test_rejects_bad_score(self):
+        with pytest.raises(ValueError, match="score"):
+            LocusAreaPlacement(score="volume")
+
+    def test_pick_is_largest_region_centroid(self, small_world, rng):
+        pick = LocusAreaPlacement(score="area").propose(
+            small_world.survey(), rng, small_world
+        )
+        regions = decompose_regions(
+            small_world.connectivity(), small_world.grid, split_spatially=True
+        )
+        winner = int(np.argmax(regions.region_areas))
+        assert np.allclose(pick, regions.region_centroids[winner])
+
+    def test_exclude_uncovered_picks_covered_region(self, small_world, rng):
+        pick = LocusAreaPlacement(score="area", include_uncovered=False).propose(
+            small_world.survey(), rng, small_world
+        )
+        regions = decompose_regions(
+            small_world.connectivity(), small_world.grid, split_spatially=True
+        )
+        winner = regions.largest_covered_region()
+        assert np.allclose(pick, regions.region_centroids[winner])
+
+    def test_error_score_differs_from_area_score(self, small_world, rng):
+        """With error weighting, a large-but-accurate region can lose."""
+        area_pick = LocusAreaPlacement(score="area").propose(
+            small_world.survey(), rng, small_world
+        )
+        error_pick = LocusAreaPlacement(score="error").propose(
+            small_world.survey(), rng, small_world
+        )
+        # Both are valid proposals inside the terrain.
+        for pick in (area_pick, error_pick):
+            assert 0.0 <= pick.x <= small_world.terrain_side
+            assert 0.0 <= pick.y <= small_world.terrain_side
+
+    def test_pick_improves_localization_at_low_density(self, tiny_config, rng):
+        from repro.sim import build_world
+
+        world = build_world(tiny_config, 0.0, 8, 0)
+        pick = LocusAreaPlacement().propose(world.survey(), rng, world)
+        gain_mean, _ = world.evaluate_candidate(pick)
+        assert gain_mean > 0.0
+
+    def test_deterministic(self, small_world):
+        alg = LocusAreaPlacement()
+        survey = small_world.survey()
+        a = alg.propose(survey, np.random.default_rng(1), small_world)
+        b = alg.propose(survey, np.random.default_rng(2), small_world)
+        assert a == b

@@ -1,0 +1,52 @@
+"""Unit tests for MaxPlacement (§3.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import Survey
+from repro.geometry import Point
+from repro.placement import MaxPlacement
+
+
+class TestMaxPlacement:
+    def test_name_and_no_world(self):
+        alg = MaxPlacement()
+        assert alg.name == "max"
+        assert not alg.requires_world
+
+    def test_picks_highest_error_point(self, rng):
+        points = np.array([[0.0, 0.0], [10.0, 10.0], [20.0, 20.0]])
+        survey = Survey(points=points, errors=np.array([1.0, 9.0, 3.0]), terrain_side=60.0)
+        assert MaxPlacement().propose(survey, rng) == Point(10.0, 10.0)
+
+    def test_tie_breaks_to_first(self, rng):
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        survey = Survey(points=points, errors=np.array([5.0, 5.0]), terrain_side=60.0)
+        assert MaxPlacement().propose(survey, rng) == Point(0.0, 0.0)
+
+    def test_nan_errors_skipped(self, rng):
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        survey = Survey(points=points, errors=np.array([np.nan, 2.0]), terrain_side=60.0)
+        assert MaxPlacement().propose(survey, rng) == Point(10.0, 10.0)
+
+    def test_all_nan_raises(self, rng):
+        points = np.array([[0.0, 0.0]])
+        survey = Survey(points=points, errors=np.array([np.nan]), terrain_side=60.0)
+        with pytest.raises(ValueError, match="no measured points"):
+            MaxPlacement().propose(survey, rng)
+
+    def test_on_complete_lattice_matches_error_surface_argmax(self, small_world, rng):
+        survey = small_world.survey()
+        pick = MaxPlacement().propose(survey, rng)
+        assert pick == small_world.error_surface().argmax_point()
+
+    def test_rng_irrelevant(self, small_world):
+        survey = small_world.survey()
+        a = MaxPlacement().propose(survey, np.random.default_rng(1))
+        b = MaxPlacement().propose(survey, np.random.default_rng(2))
+        assert a == b
+
+    def test_works_on_partial_survey(self, rng):
+        points = np.array([[5.0, 5.0], [50.0, 50.0], [30.0, 10.0]])
+        survey = Survey(points=points, errors=np.array([0.1, 0.7, 0.3]), terrain_side=60.0)
+        assert MaxPlacement().propose(survey, rng) == Point(50.0, 50.0)

@@ -1,0 +1,52 @@
+"""Unit tests for OracleGreedyPlacement (extension E5)."""
+
+import numpy as np
+import pytest
+
+from repro.placement import GridPlacement, OracleGreedyPlacement
+
+
+class TestOracle:
+    def test_requires_world_flag(self):
+        assert OracleGreedyPlacement().requires_world is True
+
+    def test_raises_without_world(self, small_world, rng):
+        with pytest.raises(ValueError, match="world"):
+            OracleGreedyPlacement().propose(small_world.survey(), rng, None)
+
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ValueError, match="objective"):
+            OracleGreedyPlacement(objective="max")
+
+    def test_oracle_at_least_as_good_as_grid_on_centers(self, small_world, rng):
+        survey = small_world.survey()
+        oracle = OracleGreedyPlacement()
+        grid_alg = GridPlacement(small_world.layout)
+        oracle_pick = oracle.propose(survey, rng, small_world)
+        grid_pick = grid_alg.propose(survey, rng)
+        oracle_gain, _ = small_world.evaluate_candidate(oracle_pick)
+        grid_gain, _ = small_world.evaluate_candidate(grid_pick)
+        assert oracle_gain >= grid_gain - 1e-9
+
+    def test_custom_candidates_respected(self, small_world, rng):
+        candidates = np.array([[10.0, 10.0], [50.0, 50.0]])
+        pick = OracleGreedyPlacement(candidates=candidates).propose(
+            small_world.survey(), rng, small_world
+        )
+        assert tuple(pick) in {(10.0, 10.0), (50.0, 50.0)}
+
+    def test_picks_argmax_of_evaluations(self, small_world, rng):
+        candidates = np.array([[10.0, 10.0], [30.0, 30.0], [55.0, 5.0]])
+        gains = [small_world.evaluate_candidate(tuple(c))[0] for c in candidates]
+        pick = OracleGreedyPlacement(candidates=candidates).propose(
+            small_world.survey(), rng, small_world
+        )
+        assert np.allclose(pick, candidates[int(np.argmax(gains))])
+
+    def test_median_objective(self, small_world, rng):
+        candidates = np.array([[10.0, 10.0], [30.0, 30.0], [55.0, 5.0]])
+        gains = [small_world.evaluate_candidate(tuple(c))[1] for c in candidates]
+        pick = OracleGreedyPlacement(candidates=candidates, objective="median").propose(
+            small_world.survey(), rng, small_world
+        )
+        assert np.allclose(pick, candidates[int(np.argmax(gains))])

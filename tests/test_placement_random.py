@@ -1,0 +1,50 @@
+"""Unit tests for RandomPlacement (§3.2.1)."""
+
+import numpy as np
+
+from repro.exploration import Survey
+from repro.placement import RandomPlacement
+
+
+def _survey(side=60.0):
+    points = np.array([[0.0, 0.0], [side, side]])
+    return Survey(points=points, errors=np.array([1.0, 2.0]), terrain_side=side)
+
+
+class TestRandomPlacement:
+    def test_name(self):
+        assert RandomPlacement().name == "random"
+
+    def test_does_not_require_world(self):
+        assert RandomPlacement().requires_world is False
+
+    def test_pick_inside_terrain(self):
+        alg = RandomPlacement()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            pick = alg.propose(_survey(), rng)
+            assert 0.0 <= pick.x <= 60.0
+            assert 0.0 <= pick.y <= 60.0
+
+    def test_deterministic_per_rng(self):
+        a = RandomPlacement().propose(_survey(), np.random.default_rng(5))
+        b = RandomPlacement().propose(_survey(), np.random.default_rng(5))
+        assert a == b
+
+    def test_ignores_errors(self):
+        """Identical rng ⇒ identical pick regardless of the error surface."""
+        s1 = _survey()
+        s2 = Survey(points=s1.points, errors=np.array([99.0, 0.0]), terrain_side=60.0)
+        a = RandomPlacement().propose(s1, np.random.default_rng(3))
+        b = RandomPlacement().propose(s2, np.random.default_rng(3))
+        assert a == b
+
+    def test_uniform_coverage(self):
+        alg = RandomPlacement()
+        rng = np.random.default_rng(1)
+        picks = np.array([alg.propose(_survey(), rng) for _ in range(2000)])
+        assert abs(picks[:, 0].mean() - 30.0) < 1.5
+        assert abs(picks[:, 1].mean() - 30.0) < 1.5
+
+    def test_repr(self):
+        assert "random" in repr(RandomPlacement())

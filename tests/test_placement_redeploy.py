@@ -1,0 +1,99 @@
+"""Unit tests for WeightedRedeployment (full-redeployment comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.field import BeaconField
+from repro.placement import WeightedRedeployment
+from repro.sim import TrialWorld, build_world
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            WeightedRedeployment(iterations=0)
+        with pytest.raises(ValueError):
+            WeightedRedeployment(mass_floor=-0.1)
+
+    def test_empty_field_passthrough(self, small_world, rng):
+        out = WeightedRedeployment().redeploy(BeaconField.empty(), small_world.survey(), rng)
+        assert len(out) == 0
+
+    def test_empty_survey_raises(self, small_field, rng):
+        from repro.exploration import Survey
+
+        empty = Survey(points=np.zeros((0, 2)), errors=np.zeros(0), terrain_side=60.0)
+        with pytest.raises(ValueError, match="no measured points"):
+            WeightedRedeployment().redeploy(small_field, empty, rng)
+
+
+class TestRedeployment:
+    def test_preserves_count_and_bounds(self, small_world, rng):
+        out = WeightedRedeployment().redeploy(
+            small_world.field, small_world.survey(), rng
+        )
+        assert len(out) == len(small_world.field)
+        assert out.positions().min() >= 0.0
+        assert out.positions().max() <= small_world.terrain_side
+
+    def test_improves_mean_error(self, tiny_config, rng):
+        world = build_world(tiny_config, 0.0, 20, 0)
+        before, _ = world.base_stats()
+        redeployed = WeightedRedeployment(iterations=30).redeploy(
+            world.field, world.survey(), rng
+        )
+        new_world = TrialWorld(
+            redeployed, world.realization, world.grid, world.layout, world.localizer
+        )
+        after, _ = new_world.base_stats()
+        assert after < before
+
+    def test_beats_single_adaptive_beacon_but_costs_n_moves(self, tiny_config, rng):
+        """The paper's economics: redeployment wins on error, loses on cost."""
+        from repro.placement import GridPlacement
+
+        world = build_world(tiny_config, 0.0, 20, 1)
+        base, _ = world.base_stats()
+
+        pick = GridPlacement(world.layout).propose(world.survey(), rng)
+        adapted = world.with_beacon(pick)
+        adapted_mean, _ = adapted.base_stats()
+
+        redeployed = WeightedRedeployment(iterations=30).redeploy(
+            world.field, world.survey(), rng
+        )
+        redeploy_world = TrialWorld(
+            redeployed, world.realization, world.grid, world.layout, world.localizer
+        )
+        redeploy_mean, _ = redeploy_world.base_stats()
+
+        assert adapted_mean < base
+        assert redeploy_mean < base
+        # Redeployment moves N beacons; adaptation adds one.  Both help; the
+        # bench (E7) quantifies by how much — here we only pin the signs.
+
+    def test_deterministic_given_rng(self, small_world):
+        a = WeightedRedeployment().redeploy(
+            small_world.field, small_world.survey(), np.random.default_rng(3)
+        )
+        b = WeightedRedeployment().redeploy(
+            small_world.field, small_world.survey(), np.random.default_rng(3)
+        )
+        assert np.allclose(a.positions(), b.positions())
+
+    def test_beacons_concentrate_on_error_mass(self, rng):
+        """All error mass in one corner pulls beacons toward that corner."""
+        from repro.exploration import Survey
+
+        points = np.array([[x, y] for x in range(0, 61, 5) for y in range(0, 61, 5)], float)
+        errors = np.where(
+            np.linalg.norm(points - np.array([55.0, 55.0]), axis=1) < 15.0, 20.0, 0.1
+        )
+        survey = Survey(points=points, errors=errors, terrain_side=60.0)
+        field = BeaconField.from_positions(np.full((6, 2), 5.0) + rng.normal(0, 1, (6, 2)))
+        out = WeightedRedeployment(iterations=40, mass_floor=0.05).redeploy(
+            field, survey, rng
+        )
+        dist_before = np.linalg.norm(field.positions() - [55.0, 55.0], axis=1).mean()
+        dist_after = np.linalg.norm(out.positions() - [55.0, 55.0], axis=1).mean()
+        assert dist_after < dist_before

@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.field import BeaconField
+from repro.geometry import (
+    MeasurementGrid,
+    OverlappingGridLayout,
+    decompose_regions,
+    pairwise_distances,
+)
+from repro.localization import CentroidLocalizer, CentroidState, localization_errors
+from repro.radio import BeaconNoiseModel
+from repro.stats import mean_ci
+
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+point_arrays = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 12), st.just(2)),
+    elements=coords,
+)
+
+
+class TestGeometryProperties:
+    @given(a=point_arrays, b=point_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_pairwise_distances_metric_axioms(self, a, b):
+        d = pairwise_distances(a, b)
+        assert (d >= 0).all()
+        assert np.allclose(d, pairwise_distances(b, a).T)
+
+    @given(pts=point_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_self_distance_zero_diagonal(self, pts):
+        d = pairwise_distances(pts, pts)
+        assert np.allclose(np.diag(d), 0.0)
+
+    @given(
+        a=point_arrays,
+        b=point_arrays,
+        c=point_arrays,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        ab = pairwise_distances(a, b)
+        bc = pairwise_distances(b, c)
+        ac = pairwise_distances(a, c)
+        # d(a,c) <= min_k [ d(a,b_k) + d(b_k,c) ].
+        bound = (ab[:, :, None] + bc[None, :, :]).min(axis=1)
+        assert np.all(ac <= bound + 1e-9)
+
+    @given(
+        side=st.sampled_from([10.0, 20.0, 50.0]),
+        divisions=st.integers(2, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lattice_roundtrip(self, side, divisions):
+        grid = MeasurementGrid(side, side / divisions)
+        idx = grid.num_points // 2
+        assert grid.index_of(grid.point_at(idx)) == idx
+
+    @given(
+        root=st.integers(2, 6),
+        grid_fraction=st.floats(0.2, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_overlapping_grid_centers_inside_terrain(self, root, grid_fraction):
+        side = 60.0
+        layout = OverlappingGridLayout(side, grid_fraction * side, root * root)
+        centers = layout.centers()
+        half = layout.grid_side / 2.0
+        assert centers.min() >= half - 1e-9
+        assert centers.max() <= side - half + 1e-9
+
+
+class TestCentroidProperties:
+    @given(
+        conn=arrays(dtype=bool, shape=st.tuples(st.integers(1, 20), st.integers(1, 8))),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_estimates_in_beacon_bounding_box_or_center(self, conn, data):
+        n = conn.shape[1]
+        beacons = data.draw(
+            arrays(dtype=float, shape=(n, 2), elements=coords), label="beacons"
+        )
+        pts = data.draw(
+            arrays(dtype=float, shape=(conn.shape[0], 2), elements=coords), label="pts"
+        )
+        loc = CentroidLocalizer(100.0)
+        est = loc.estimate(conn, beacons, pts)
+        for p in range(conn.shape[0]):
+            heard = np.flatnonzero(conn[p])
+            if heard.size == 0:
+                assert np.allclose(est[p], 50.0)
+            else:
+                sub = beacons[heard]
+                assert sub[:, 0].min() - 1e-9 <= est[p, 0] <= sub[:, 0].max() + 1e-9
+                assert sub[:, 1].min() - 1e-9 <= est[p, 1] <= sub[:, 1].max() + 1e-9
+
+    @given(
+        conn=arrays(dtype=bool, shape=st.tuples(st.integers(1, 15), st.integers(1, 6))),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_incremental_state_equals_batch(self, conn, data):
+        n = conn.shape[1]
+        beacons = data.draw(arrays(dtype=float, shape=(n, 2), elements=coords))
+        new_pos = data.draw(arrays(dtype=float, shape=(2,), elements=coords))
+        new_col = data.draw(arrays(dtype=bool, shape=(conn.shape[0],)))
+
+        state = CentroidState.from_connectivity(conn, beacons).with_beacon(
+            new_col, new_pos
+        )
+        batch = CentroidState.from_connectivity(
+            np.column_stack([conn, new_col]), np.vstack([beacons, new_pos])
+        )
+        assert np.allclose(state.coord_sums, batch.coord_sums)
+        assert np.array_equal(state.counts, batch.counts)
+
+    @given(
+        est=arrays(dtype=float, shape=st.tuples(st.integers(1, 30), st.just(2)), elements=coords),
+        actual=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_localization_error_nonnegative_and_zero_iff_exact(self, est, actual):
+        errors = localization_errors(est, est)
+        assert np.allclose(errors, 0.0)
+        shifted = est + 1.0
+        assert (localization_errors(est, shifted) > 0).all()
+
+
+class TestNoiseModelProperties:
+    @given(
+        seed=st.integers(0, 2**31),
+        noise=st.floats(0.0, 0.9),
+        n=st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_effective_ranges_within_envelope(self, seed, noise, n):
+        rng = np.random.default_rng(seed)
+        field = BeaconField.from_positions(rng.uniform(0, 100, (n, 2)))
+        real = BeaconNoiseModel(15.0, noise).realize(rng)
+        pts = rng.uniform(0, 100, (20, 2))
+        ranges = real.effective_ranges(pts, field)
+        assert ranges.min() >= 15.0 * (1 - noise) - 1e-9
+        assert ranges.max() <= 15.0 * (1 + noise) + 1e-9
+
+    @given(seed=st.integers(0, 2**31), n=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_extension_invariance(self, seed, n):
+        """Adding any beacon never changes existing connectivity."""
+        rng = np.random.default_rng(seed)
+        field = BeaconField.from_positions(rng.uniform(0, 100, (n, 2)))
+        real = BeaconNoiseModel(15.0, 0.5).realize(rng)
+        pts = rng.uniform(0, 100, (25, 2))
+        before = real.connectivity(pts, field)
+        extended = field.with_beacon_at(rng.uniform(0, 100, 2))
+        after = real.connectivity(pts, extended)
+        assert np.array_equal(after[:, :n], before)
+
+
+class TestRegionProperties:
+    @given(
+        conn=arrays(dtype=bool, shape=st.tuples(st.just(36), st.integers(0, 6))),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_regions_partition_lattice(self, conn):
+        grid = MeasurementGrid(10.0, 2.0)  # 36 points
+        regions = decompose_regions(conn, grid)
+        assert regions.region_point_counts.sum() == 36
+        assert regions.labels.min() >= 0
+        assert regions.labels.max() == regions.num_regions - 1
+        # Every region's points share the signature of its representative.
+        for r in range(regions.num_regions):
+            members = np.flatnonzero(regions.labels == r)
+            assert (conn[members] == conn[members[0]]).all()
+
+
+class TestStatsProperties:
+    @given(
+        data=arrays(
+            dtype=float,
+            shape=st.integers(2, 60),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mean_ci_contains_sample_mean(self, data):
+        ci = mean_ci(data)
+        assert ci.low - 1e-9 <= data.mean() <= ci.high + 1e-9
+        assert ci.half_width >= 0.0

@@ -1,0 +1,93 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exploration import path_length, plan_tour
+from repro.localization import AlphaBetaTracker
+from repro.stats import distribution_improvement, error_cdf, quantile_profile
+
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+class TestRoutingProperties:
+    @given(pts=arrays(dtype=float, shape=st.tuples(st.integers(1, 25), st.just(2)), elements=coords))
+    @settings(max_examples=40, deadline=None)
+    def test_plan_tour_is_permutation(self, pts):
+        tour = plan_tour(pts)
+        assert tour.shape == pts.shape
+        assert sorted(map(tuple, tour)) == sorted(map(tuple, pts))
+
+    @given(pts=arrays(dtype=float, shape=st.tuples(st.integers(4, 20), st.just(2)), elements=coords))
+    @settings(max_examples=40, deadline=None)
+    def test_plan_tour_never_longer_than_input_order(self, pts):
+        assert path_length(plan_tour(pts)) <= path_length(pts) + 1e-6
+
+
+class TestTrackerProperties:
+    @given(
+        fixes=arrays(dtype=float, shape=st.tuples(st.integers(2, 40), st.just(2)), elements=coords),
+        alpha=st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_filter_output_finite_and_shaped(self, fixes, alpha):
+        tracker = AlphaBetaTracker(alpha=alpha, beta=alpha / 2)
+        out = tracker.filter(fixes)
+        assert out.shape == fixes.shape
+        assert np.isfinite(out).all()
+
+    @given(point=arrays(dtype=float, shape=(2,), elements=coords), n=st.integers(5, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_fix_is_fixed_point(self, point, n):
+        tracker = AlphaBetaTracker(alpha=0.5, beta=0.1)
+        for _ in range(n):
+            out = tracker.update(point)
+        assert np.allclose(out, point, atol=1e-6)
+
+
+class TestDistributionProperties:
+    @given(
+        data=arrays(
+            dtype=float,
+            shape=st.integers(1, 200),
+            elements=st.floats(0, 1000, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_monotone_and_bounded(self, data):
+        cdf = error_cdf(data)
+        assert (np.diff(cdf.probabilities) >= 0).all()
+        assert cdf.probabilities[0] > 0.0
+        assert cdf.probabilities[-1] == 1.0
+        assert (np.diff(cdf.values) >= 0).all()
+
+    @given(
+        data=arrays(
+            dtype=float,
+            shape=st.integers(2, 100),
+            elements=st.floats(0, 100, allow_nan=False),
+        ),
+        shift=st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_shift_improves_every_quantile_equally(self, data, shift):
+        gains = distribution_improvement(data, data - shift)
+        for gain in gains.values():
+            assert gain == pytest.approx(shift, abs=1e-9)
+
+    @given(
+        data=arrays(
+            dtype=float,
+            shape=st.integers(1, 100),
+            elements=st.floats(0, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quantile_profile_monotone(self, data):
+        profile = quantile_profile(data)
+        ordered = [profile[q] for q in sorted(profile)]
+        assert ordered == sorted(ordered)

@@ -1,0 +1,155 @@
+"""Unit tests for the radio channel (repro.protocol.channel)."""
+
+import numpy as np
+import pytest
+
+from repro.field import BeaconField
+from repro.protocol import RadioChannel, Simulator
+from repro.radio import IdealDiskModel
+
+
+R = 10.0
+
+
+def make_channel(beacon_positions, listener_positions, rng=None, **kwargs):
+    sim = Simulator()
+    field = BeaconField.from_positions(beacon_positions)
+    real = IdealDiskModel(R).realize(np.random.default_rng(0))
+    channel = RadioChannel(
+        sim,
+        field,
+        real,
+        np.asarray(listener_positions, dtype=float),
+        rng or np.random.default_rng(1),
+        **kwargs,
+    )
+    return sim, channel, field
+
+
+class TestDelivery:
+    def test_in_range_message_received(self):
+        sim, channel, field = make_channel([(0.0, 0.0)], [(5.0, 0.0)])
+        channel.transmit(0, 0.01)
+        sim.run()
+        assert channel.received_matrix(1)[0, 0] == 1
+
+    def test_out_of_range_not_received(self):
+        sim, channel, field = make_channel([(0.0, 0.0)], [(50.0, 0.0)])
+        channel.transmit(0, 0.01)
+        sim.run()
+        assert channel.received_matrix(1)[0, 0] == 0
+
+    def test_sequential_messages_all_received(self):
+        sim, channel, _ = make_channel([(0.0, 0.0)], [(5.0, 0.0)])
+        channel.transmit(0, 0.01)
+        sim.run()
+        channel.transmit(0, 0.01)
+        sim.run()
+        assert channel.received_matrix(1)[0, 0] == 2
+
+    def test_rejects_nonpositive_duration(self):
+        _, channel, _ = make_channel([(0.0, 0.0)], [(5.0, 0.0)])
+        with pytest.raises(ValueError, match="duration"):
+            channel.transmit(0, 0.0)
+
+
+class TestCollisions:
+    def test_overlapping_audible_messages_collide(self):
+        sim, channel, _ = make_channel([(0.0, 0.0), (3.0, 0.0)], [(1.0, 0.0)])
+        channel.transmit(0, 0.1)
+        channel.transmit(1, 0.1)  # same instant, overlapping airtime
+        sim.run()
+        received = channel.received_matrix(2)
+        assert received.sum() == 0
+        assert channel.listeners[0].collisions == 2
+
+    def test_hidden_terminal_collision(self):
+        # Beacons 16 m apart (out of range of each other at R=10) still
+        # collide at a listener midway between them.
+        sim, channel, _ = make_channel([(0.0, 0.0), (16.0, 0.0)], [(8.0, 0.0)])
+        channel.transmit(0, 0.1)
+        channel.transmit(1, 0.1)
+        sim.run()
+        assert channel.received_matrix(2).sum() == 0
+
+    def test_inaudible_transmission_does_not_collide(self):
+        sim, channel, _ = make_channel([(0.0, 0.0), (50.0, 0.0)], [(1.0, 0.0)])
+        channel.transmit(0, 0.1)
+        channel.transmit(1, 0.1)  # far beacon: inaudible here
+        sim.run()
+        assert channel.received_matrix(2)[0, 0] == 1
+
+    def test_non_overlapping_no_collision(self):
+        sim, channel, _ = make_channel([(0.0, 0.0), (3.0, 0.0)], [(1.0, 0.0)])
+        channel.transmit(0, 0.1)
+        sim.run()
+        channel.transmit(1, 0.1)
+        sim.run()
+        assert channel.received_matrix(2).sum() == 2
+
+    def test_partial_overlap_collides(self):
+        sim, channel, _ = make_channel([(0.0, 0.0), (3.0, 0.0)], [(1.0, 0.0)])
+        channel.transmit(0, 0.1)
+        sim.schedule_at(0.05, channel.transmit, 1, 0.1)
+        sim.run()
+        assert channel.received_matrix(2).sum() == 0
+
+    def test_collision_affects_only_shared_listeners(self):
+        sim, channel, _ = make_channel(
+            [(0.0, 0.0), (20.0, 0.0)], [(1.0, 0.0), (10.0, 0.0), (19.0, 0.0)]
+        )
+        channel.transmit(0, 0.1)
+        channel.transmit(1, 0.1)
+        sim.run()
+        received = channel.received_matrix(2)
+        assert received[0, 0] == 1  # hears only beacon 0
+        assert received[2, 1] == 1  # hears only beacon 1
+        assert received[1].sum() == 0  # midpoint hears both → collision
+
+
+class TestCapture:
+    def test_capture_lets_stronger_signal_through(self):
+        from repro.radio import LogNormalShadowingModel
+
+        sim = Simulator()
+        field = BeaconField.from_positions([(0.0, 0.0), (14.0, 0.0)])
+        real = LogNormalShadowingModel(R, sigma_db=0.0, fast_fading_db=3.0).realize(
+            np.random.default_rng(0)
+        )
+        # Listener very close to beacon 0, far from beacon 1.
+        channel = RadioChannel(
+            sim,
+            field,
+            real,
+            np.array([[1.0, 0.0]]),
+            np.random.default_rng(42),
+            capture=True,
+            capture_margin=0.2,
+        )
+        for _ in range(40):
+            channel.transmit(0, 0.01)
+            channel.transmit(1, 0.01)
+            sim.run()
+        received = channel.received_matrix(2)
+        assert received[0, 0] > 0  # near beacon captured at least once
+
+    def test_no_capture_by_default(self):
+        sim, channel, _ = make_channel([(0.0, 0.0), (9.0, 0.0)], [(1.0, 0.0)])
+        channel.transmit(0, 0.1)
+        channel.transmit(1, 0.1)
+        sim.run()
+        assert channel.received_matrix(2).sum() == 0
+
+
+class TestBookkeeping:
+    def test_messages_sent_counter(self):
+        sim, channel, _ = make_channel([(0.0, 0.0)], [(5.0, 0.0)])
+        channel.transmit(0, 0.01)
+        sim.run()
+        channel.transmit(0, 0.01)
+        sim.run()
+        assert channel.messages_sent == 2
+
+    def test_audible_listeners(self):
+        _, channel, _ = make_channel([(0.0, 0.0)], [(5.0, 0.0), (50.0, 0.0)])
+        assert channel.audible_listeners(0).tolist() == [0]

@@ -1,0 +1,124 @@
+"""Unit tests for duty-cycled beacon transmitters."""
+
+import numpy as np
+import pytest
+
+from repro.field import BeaconField
+from repro.protocol import (
+    DutyCycledTransmitter,
+    RadioChannel,
+    Simulator,
+    start_duty_cycled_processes,
+)
+from repro.radio import IdealDiskModel
+
+
+def make_setup(listener=(3.0, 0.0)):
+    sim = Simulator()
+    field = BeaconField.from_positions([(0.0, 0.0)])
+    real = IdealDiskModel(10.0).realize(np.random.default_rng(0))
+    channel = RadioChannel(
+        sim, field, real, np.array([listener]), np.random.default_rng(1)
+    )
+    return sim, channel
+
+
+class TestValidation:
+    def test_rejects_bad_cycle(self):
+        sim, channel = make_setup()
+        with pytest.raises(ValueError, match="cycle_length"):
+            DutyCycledTransmitter(
+                sim, channel, 0, 1.0, 0.01, 0.0, np.random.default_rng(2),
+                cycle_length=0.0, awake_fraction=0.5,
+            )
+
+    def test_rejects_bad_fraction(self):
+        sim, channel = make_setup()
+        with pytest.raises(ValueError, match="awake_fraction"):
+            DutyCycledTransmitter(
+                sim, channel, 0, 1.0, 0.01, 0.0, np.random.default_rng(2),
+                cycle_length=10.0, awake_fraction=0.0,
+            )
+
+
+class TestSchedule:
+    def test_full_duty_equals_plain_transmitter(self):
+        sim, channel = make_setup()
+        tx = DutyCycledTransmitter(
+            sim, channel, 0, 1.0, 0.01, 0.0, np.random.default_rng(3),
+            cycle_length=10.0, awake_fraction=1.0,
+        )
+        tx.start()
+        sim.run(until=50.0)
+        tx.stop()
+        sim.run()
+        assert tx.messages_suppressed == 0
+        assert tx.messages_sent >= 45
+
+    def test_sent_fraction_tracks_awake_fraction(self):
+        sim, channel = make_setup()
+        tx = DutyCycledTransmitter(
+            sim, channel, 0, 1.0, 0.01, 0.0, np.random.default_rng(4),
+            cycle_length=20.0, awake_fraction=0.3,
+        )
+        tx.start()
+        sim.run(until=400.0)
+        tx.stop()
+        sim.run()
+        total = tx.messages_sent + tx.messages_suppressed
+        assert total >= 350
+        assert tx.messages_sent / total == pytest.approx(0.3, abs=0.07)
+
+    def test_is_awake_periodic(self):
+        sim, channel = make_setup()
+        tx = DutyCycledTransmitter(
+            sim, channel, 0, 1.0, 0.01, 0.0, np.random.default_rng(5),
+            cycle_length=10.0, awake_fraction=0.5,
+        )
+        for t in np.linspace(0, 29.9, 300):
+            assert tx.is_awake(t) == tx.is_awake(t + 10.0)
+
+    def test_clock_keeps_running_while_asleep(self):
+        """Suppressed slots still advance the schedule (no event starvation)."""
+        sim, channel = make_setup()
+        tx = DutyCycledTransmitter(
+            sim, channel, 0, 1.0, 0.01, 0.0, np.random.default_rng(6),
+            cycle_length=4.0, awake_fraction=0.25,
+        )
+        tx.start()
+        sim.run(until=40.0)
+        tx.stop()
+        sim.run()
+        assert tx.messages_sent > 0
+        assert tx.messages_suppressed > 0
+
+
+class TestThresholdInteraction:
+    def _received_fraction(self, awake_fraction, listen_time=60.0):
+        sim, channel = make_setup()
+        txs = start_duty_cycled_processes(
+            sim, channel, 1,
+            period=1.0, message_duration=0.005, jitter=0.0,
+            rng=np.random.default_rng(7),
+            cycle_length=6.0, awake_fraction=awake_fraction,
+        )
+        sim.run(until=listen_time)
+        for tx in txs:
+            tx.stop()
+        sim.run()
+        total = txs[0].messages_sent + txs[0].messages_suppressed
+        received = channel.received_matrix(1)[0, 0]
+        return received / max(total, 1)
+
+    def test_received_fraction_scales_with_duty(self):
+        high = self._received_fraction(0.9)
+        low = self._received_fraction(0.3)
+        assert high > low
+        assert low == pytest.approx(0.3, abs=0.12)
+
+    def test_cm_thresh_connectivity_flips_with_duty(self):
+        """§2.2 rule: below CM_thresh the duty-cycled beacon reads as
+        disconnected even though it is in range."""
+        cm = 0.75
+        assert self._received_fraction(0.9) >= cm
+        assert self._received_fraction(0.3) < cm

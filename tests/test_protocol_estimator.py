@@ -1,0 +1,93 @@
+"""Unit tests for ProtocolConnectivityEstimator (§2.2 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.field import random_uniform_field
+from repro.protocol import ProtocolConnectivityEstimator
+from repro.radio import IdealDiskModel
+
+
+R = 12.0
+SIDE = 60.0
+
+
+class TestValidation:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError, match="period"):
+            ProtocolConnectivityEstimator(period=0.0)
+
+    def test_rejects_bad_cm_thresh(self):
+        with pytest.raises(ValueError, match="cm_thresh"):
+            ProtocolConnectivityEstimator(cm_thresh=0.0)
+
+    def test_rejects_short_listen_time(self):
+        with pytest.raises(ValueError, match="listen_time"):
+            ProtocolConnectivityEstimator(period=1.0, listen_time=1.5)
+
+    def test_default_listen_time_is_twenty_periods(self):
+        est = ProtocolConnectivityEstimator(period=0.5)
+        assert est.listen_time == pytest.approx(10.0)
+
+
+class TestAgreementWithGeometry:
+    def test_benign_regime_matches_geometric_model(self, rng, small_field, ideal_realization):
+        pts = np.random.default_rng(7).uniform(0, SIDE, (40, 2))
+        est = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=30.0, message_duration=0.002, cm_thresh=0.7
+        )
+        proto = est.estimate(pts, small_field, ideal_realization, rng)
+        geo = ideal_realization.connectivity(pts, small_field)
+        assert (proto == geo).mean() > 0.99
+
+    def test_received_fractions_near_one_for_connected(self, rng, small_field, ideal_realization):
+        pts = np.random.default_rng(8).uniform(0, SIDE, (20, 2))
+        est = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=30.0, message_duration=0.002
+        )
+        result = est.run(pts, small_field, ideal_realization, rng)
+        geo = ideal_realization.connectivity(pts, small_field)
+        connected_fracs = result.received_fraction[geo]
+        if connected_fracs.size:
+            assert connected_fracs.mean() > 0.9
+
+    def test_empty_field(self, rng, ideal_realization):
+        from repro.field import BeaconField
+
+        est = ProtocolConnectivityEstimator(period=1.0, listen_time=5.0)
+        result = est.run(np.zeros((3, 2)), BeaconField.empty(), ideal_realization, rng)
+        assert result.connectivity.shape == (3, 0)
+        assert result.messages_sent == 0
+
+
+class TestSelfInterference:
+    def test_dense_long_airtime_degrades_connectivity(self, rng, ideal_realization):
+        """§1: at very high densities collisions destroy the service."""
+        field = random_uniform_field(250, SIDE, np.random.default_rng(5))
+        pts = np.random.default_rng(6).uniform(0, SIDE, (25, 2))
+        busy = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=20.0, message_duration=0.08, cm_thresh=0.75
+        )
+        result = busy.run(pts, field, ideal_realization, rng)
+        geo = ideal_realization.connectivity(pts, field)
+        assert result.collision_rate > 0.3
+        assert result.connectivity.sum() < geo.sum()
+
+    def test_collision_rate_grows_with_airtime(self, rng, small_field, ideal_realization):
+        pts = np.random.default_rng(9).uniform(0, SIDE, (20, 2))
+        quiet = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=20.0, message_duration=0.001
+        ).run(pts, small_field, ideal_realization, np.random.default_rng(1))
+        busy = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=20.0, message_duration=0.1
+        ).run(pts, small_field, ideal_realization, np.random.default_rng(1))
+        assert busy.collision_rate > quiet.collision_rate
+
+    def test_result_accounting_consistent(self, rng, small_field, ideal_realization):
+        pts = np.random.default_rng(10).uniform(0, SIDE, (15, 2))
+        result = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=10.0, message_duration=0.01
+        ).run(pts, small_field, ideal_realization, rng)
+        assert result.decoded_messages >= 0
+        assert result.collision_losses >= 0
+        assert 0.0 <= result.collision_rate <= 1.0

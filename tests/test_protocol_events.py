@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event kernel (repro.protocol.events)."""
+
+import pytest
+
+from repro.protocol import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(2.0, log.append, "b")
+        sim.schedule_at(1.0, log.append, "a")
+        sim.schedule_at(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, log.append, "first")
+        sim.schedule_at(1.0, log.append, "second")
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_schedule_in_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.0, lambda: sim.schedule_in(3.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="cannot schedule"):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, log.append, "early")
+        sim.schedule_at(10.0, log.append, "late")
+        executed = sim.run(until=5.0)
+        assert executed == 1
+        assert log == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.schedule_at(float(t), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending == 6
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule_at(1.0, log.append, "cancelled")
+        sim.schedule_at(2.0, log.append, "kept")
+        event.cancel()
+        sim.run()
+        assert log == ["kept"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_self_scheduling_process(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 5:
+                sim.schedule_in(1.0, tick)
+
+        sim.schedule_at(0.0, tick)
+        sim.run()
+        assert ticks == [0.0, 1.0, 2.0, 3.0, 4.0]

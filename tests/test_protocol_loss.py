@@ -1,0 +1,130 @@
+"""Unit tests for GilbertElliottLoss and its channel integration."""
+
+import numpy as np
+import pytest
+
+from repro.field import BeaconField
+from repro.protocol import (
+    GilbertElliottLoss,
+    ProtocolConnectivityEstimator,
+    RadioChannel,
+    Simulator,
+)
+from repro.radio import IdealDiskModel
+
+
+class TestValidation:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(good_loss=-0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(bad_loss=1.1)
+
+    def test_rejects_bad_sojourns(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(mean_good_time=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(mean_bad_time=-1.0)
+
+
+class TestChain:
+    def test_steady_state_loss_formula(self):
+        model = GilbertElliottLoss(
+            good_loss=0.1, bad_loss=0.9, mean_good_time=8.0, mean_bad_time=2.0
+        )
+        assert model.steady_state_loss == pytest.approx((0.1 * 8 + 0.9 * 2) / 10)
+
+    def test_degenerate_always_good(self):
+        model = GilbertElliottLoss(
+            good_loss=0.0, bad_loss=0.0, rng=np.random.default_rng(0)
+        )
+        assert not any(model.message_lost(0, 0, t) for t in np.linspace(0, 100, 200))
+
+    def test_degenerate_always_bad(self):
+        model = GilbertElliottLoss(
+            good_loss=1.0, bad_loss=1.0, rng=np.random.default_rng(0)
+        )
+        assert all(model.message_lost(0, 0, t) for t in np.linspace(0, 100, 200))
+
+    def test_empirical_rate_matches_steady_state(self):
+        model = GilbertElliottLoss(
+            good_loss=0.05,
+            bad_loss=0.8,
+            mean_good_time=5.0,
+            mean_bad_time=5.0,
+            rng=np.random.default_rng(1),
+        )
+        times = np.arange(0, 8000, 0.5)
+        losses = sum(model.message_lost(0, 0, t) for t in times)
+        assert losses / len(times) == pytest.approx(model.steady_state_loss, abs=0.05)
+
+    def test_burstiness_consecutive_correlation(self):
+        """Losses at adjacent times are positively correlated (bursts)."""
+        model = GilbertElliottLoss(
+            good_loss=0.0,
+            bad_loss=1.0,
+            mean_good_time=20.0,
+            mean_bad_time=20.0,
+            rng=np.random.default_rng(2),
+        )
+        outcomes = np.array(
+            [model.message_lost(0, 0, t) for t in np.arange(0, 4000, 1.0)], dtype=float
+        )
+        corr = np.corrcoef(outcomes[:-1], outcomes[1:])[0, 1]
+        assert corr > 0.5
+
+    def test_links_independent(self):
+        model = GilbertElliottLoss(
+            good_loss=0.0,
+            bad_loss=1.0,
+            mean_good_time=10.0,
+            mean_bad_time=10.0,
+            rng=np.random.default_rng(3),
+        )
+        a = np.array([model.message_lost(0, 0, t) for t in np.arange(0, 2000, 1.0)], float)
+        b = np.array([model.message_lost(1, 0, t) for t in np.arange(0, 2000, 1.0)], float)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.2
+
+
+class TestChannelIntegration:
+    def test_burst_loss_reduces_delivery(self):
+        sim = Simulator()
+        field = BeaconField.from_positions([(0.0, 0.0)])
+        real = IdealDiskModel(10.0).realize(np.random.default_rng(0))
+        loss = GilbertElliottLoss(
+            good_loss=0.0,
+            bad_loss=1.0,
+            mean_good_time=1.0,
+            mean_bad_time=1.0,
+            rng=np.random.default_rng(5),
+        )
+        channel = RadioChannel(
+            sim, field, real, np.array([[3.0, 0.0]]),
+            np.random.default_rng(6), burst_loss=loss,
+        )
+        for k in range(200):
+            sim.schedule_at(float(k), channel.transmit, 0, 0.01)
+        sim.run()
+        received = channel.received_matrix(1)[0, 0]
+        assert 40 < received < 160  # roughly half lost to bursts
+
+    def test_estimator_passthrough_flaps_connectivity(self, rng):
+        field = BeaconField.from_positions([(0.0, 0.0)])
+        real = IdealDiskModel(10.0).realize(rng)
+        clients = np.array([[3.0, 0.0]])
+        estimator = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=20.0, message_duration=0.005, cm_thresh=0.9
+        )
+        bursty = GilbertElliottLoss(
+            good_loss=0.0,
+            bad_loss=1.0,
+            mean_good_time=4.0,
+            mean_bad_time=4.0,
+            rng=np.random.default_rng(9),
+        )
+        clean = estimator.run(clients, field, real, np.random.default_rng(1))
+        noisy = estimator.run(
+            clients, field, real, np.random.default_rng(1), burst_loss=bursty
+        )
+        assert clean.connectivity[0, 0]
+        assert noisy.received_fraction[0, 0] < clean.received_fraction[0, 0]

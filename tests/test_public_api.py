@@ -1,0 +1,61 @@
+"""Public-API hygiene: exports resolve, docstrings exist, version sane."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.geometry",
+    "repro.field",
+    "repro.radio",
+    "repro.terrain",
+    "repro.localization",
+    "repro.placement",
+    "repro.exploration",
+    "repro.protocol",
+    "repro.sim",
+    "repro.stats",
+    "repro.viz",
+    "repro.io",
+]
+
+
+class TestRootPackage:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    def test_no_duplicates_in_all(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_module_docstring_mentions_paper(self):
+        assert "Adaptive Beacon Placement" in repro.__doc__
+        assert "ICDCS 2001" in repro.__doc__
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_imports(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a docstring"
+
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize(
+        "obj_name",
+        [n for n in repro.__all__ if n != "__version__"],
+    )
+    def test_every_export_documented(self, obj_name):
+        obj = getattr(repro, obj_name)
+        doc = getattr(obj, "__doc__", None)
+        assert doc and doc.strip(), f"repro.{obj_name} has no docstring"

@@ -1,0 +1,160 @@
+"""Unit tests for repro.radio.beacon_noise (§4.2.1 noise model)."""
+
+import numpy as np
+import pytest
+
+from repro.field import Beacon, BeaconField
+from repro.geometry import Point
+from repro.radio import BeaconNoiseModel, IdealDiskModel
+
+
+R = 15.0
+
+
+class TestModelValidation:
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError, match="noise"):
+            BeaconNoiseModel(R, 1.0)
+        with pytest.raises(ValueError, match="noise"):
+            BeaconNoiseModel(R, -0.1)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError, match="u_granularity"):
+            BeaconNoiseModel(R, 0.3, u_granularity="nope")
+
+    def test_rejects_bad_cm_thresh(self):
+        with pytest.raises(ValueError, match="cm_thresh"):
+            BeaconNoiseModel(R, 0.3, cm_thresh=0.4)
+        with pytest.raises(ValueError, match="cm_thresh"):
+            BeaconNoiseModel(R, 0.3, cm_thresh=1.1)
+
+    def test_repr_mentions_parameters(self):
+        text = repr(BeaconNoiseModel(R, 0.3, cm_thresh=0.9))
+        assert "0.3" in text and "0.9" in text
+
+
+class TestZeroNoiseDegeneratesToIdeal:
+    @pytest.mark.parametrize("cm_thresh", [None, 0.75, 1.0])
+    def test_matches_ideal_disk(self, rng, small_field, cm_thresh):
+        pts = np.random.default_rng(5).uniform(0, 60, (200, 2))
+        noisy = BeaconNoiseModel(R, 0.0, cm_thresh=cm_thresh).realize(rng)
+        ideal = IdealDiskModel(R).realize(rng)
+        assert np.array_equal(
+            noisy.connectivity(pts, small_field), ideal.connectivity(pts, small_field)
+        )
+
+
+class TestStaticness:
+    def test_repeat_queries_identical(self, rng, small_field):
+        real = BeaconNoiseModel(R, 0.5).realize(rng)
+        pts = np.random.default_rng(2).uniform(0, 60, (100, 2))
+        a = real.connectivity(pts, small_field)
+        b = real.connectivity(pts, small_field)
+        assert np.array_equal(a, b)
+
+    def test_query_order_irrelevant(self, rng, small_field):
+        real = BeaconNoiseModel(R, 0.5).realize(rng)
+        pts = np.random.default_rng(2).uniform(0, 60, (50, 2))
+        full = real.connectivity(pts, small_field)
+        flipped = real.connectivity(pts[::-1], small_field)
+        assert np.array_equal(full, flipped[::-1])
+
+    def test_adding_beacon_preserves_existing_links(self, rng, small_field):
+        real = BeaconNoiseModel(R, 0.5).realize(rng)
+        pts = np.random.default_rng(3).uniform(0, 60, (100, 2))
+        before = real.connectivity(pts, small_field)
+        extended = small_field.with_beacon_at((30.0, 30.0))
+        after = real.connectivity(pts, extended)
+        assert np.array_equal(after[:, : len(small_field)], before)
+
+    def test_subset_of_beacons_consistent(self, rng, small_field):
+        real = BeaconNoiseModel(R, 0.5).realize(rng)
+        pts = np.random.default_rng(4).uniform(0, 60, (30, 2))
+        full = real.connectivity(pts, small_field)
+        subset = [small_field[3], small_field[7]]
+        partial = real.connectivity(pts, subset)
+        assert np.array_equal(partial[:, 0], full[:, 3])
+        assert np.array_equal(partial[:, 1], full[:, 7])
+
+    def test_same_seed_same_world(self, small_field):
+        model = BeaconNoiseModel(R, 0.5)
+        a = model.realize(np.random.default_rng(10))
+        b = model.realize(np.random.default_rng(10))
+        pts = np.random.default_rng(1).uniform(0, 60, (50, 2))
+        assert np.array_equal(a.connectivity(pts, small_field), b.connectivity(pts, small_field))
+
+    def test_different_seed_different_world(self, small_field):
+        model = BeaconNoiseModel(R, 0.5)
+        a = model.realize(np.random.default_rng(10))
+        b = model.realize(np.random.default_rng(11))
+        pts = np.random.default_rng(1).uniform(0, 60, (400, 2))
+        assert not np.array_equal(
+            a.connectivity(pts, small_field), b.connectivity(pts, small_field)
+        )
+
+
+class TestNoiseSemantics:
+    def test_noise_factors_within_bounds(self, rng, small_field):
+        real = BeaconNoiseModel(R, 0.5).realize(rng)
+        nf = real.noise_factors(small_field)
+        assert nf.shape == (len(small_field),)
+        assert nf.min() >= 0.0
+        assert nf.max() <= 0.5
+
+    def test_pair_u_in_range(self, rng, small_field):
+        real = BeaconNoiseModel(R, 0.5).realize(rng)
+        pts = np.random.default_rng(6).uniform(0, 60, (50, 2))
+        u = real.pair_u(pts, small_field)
+        assert u.min() >= -1.0
+        assert u.max() < 1.0
+
+    def test_effective_ranges_bounded_by_noise(self, rng, small_field):
+        real = BeaconNoiseModel(R, 0.5).realize(rng)
+        pts = np.random.default_rng(7).uniform(0, 60, (100, 2))
+        ranges = real.effective_ranges(pts, small_field)
+        assert ranges.min() >= R * 0.5 - 1e-9
+        assert ranges.max() <= R * 1.5 + 1e-9
+
+    def test_beacon_granularity_constant_per_beacon(self, rng, small_field):
+        real = BeaconNoiseModel(R, 0.5, u_granularity="beacon").realize(rng)
+        pts = np.random.default_rng(8).uniform(0, 60, (40, 2))
+        ranges = real.effective_ranges(pts, small_field)
+        assert np.allclose(ranges, ranges[0][None, :])
+
+    def test_pair_granularity_varies_per_point(self, rng, small_field):
+        real = BeaconNoiseModel(R, 0.5, u_granularity="pair").realize(rng)
+        pts = np.random.default_rng(8).uniform(0, 60, (40, 2))
+        ranges = real.effective_ranges(pts, small_field)
+        assert not np.allclose(ranges, ranges[0][None, :])
+
+    def test_cm_thresh_shrinks_ranges(self, rng, small_field):
+        seed_rng = lambda: np.random.default_rng(55)  # noqa: E731
+        plain = BeaconNoiseModel(R, 0.5).realize(seed_rng())
+        shrunk = BeaconNoiseModel(R, 0.5, cm_thresh=0.9).realize(seed_rng())
+        pts = np.random.default_rng(9).uniform(0, 60, (100, 2))
+        assert np.all(
+            shrunk.effective_ranges(pts, small_field)
+            <= plain.effective_ranges(pts, small_field) + 1e-9
+        )
+
+    def test_cm_thresh_half_is_neutral(self, rng, small_field):
+        seed_rng = lambda: np.random.default_rng(56)  # noqa: E731
+        plain = BeaconNoiseModel(R, 0.5).realize(seed_rng())
+        neutral = BeaconNoiseModel(R, 0.5, cm_thresh=0.5).realize(seed_rng())
+        pts = np.random.default_rng(9).uniform(0, 60, (50, 2))
+        assert np.allclose(
+            plain.effective_ranges(pts, small_field),
+            neutral.effective_ranges(pts, small_field),
+        )
+
+    def test_candidate_evaluation_matches_deployment(self, rng, small_field):
+        """A candidate evaluated under next_beacon_id behaves identically
+        once actually deployed — the invariant trial code relies on."""
+        real = BeaconNoiseModel(R, 0.5).realize(rng)
+        pts = np.random.default_rng(12).uniform(0, 60, (60, 2))
+        position = Point(31.0, 17.0)
+        candidate = Beacon(small_field.next_beacon_id, position)
+        col = real.connectivity(pts, [candidate])[:, 0]
+        deployed = small_field.with_beacon_at(position)
+        full = real.connectivity(pts, deployed)
+        assert np.array_equal(full[:, -1], col)

@@ -1,0 +1,59 @@
+"""Unit tests for repro.radio.connectivity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    beacon_audiences,
+    coverage_fraction,
+    degree_histogram,
+    mean_degree,
+    unheard_fraction,
+)
+
+
+@pytest.fixture
+def conn():
+    # 4 points × 3 beacons
+    return np.array(
+        [
+            [True, False, False],
+            [True, True, False],
+            [False, False, False],
+            [True, True, True],
+        ]
+    )
+
+
+class TestCoverage:
+    def test_coverage_fraction(self, conn):
+        assert coverage_fraction(conn) == pytest.approx(0.75)
+
+    def test_unheard_fraction_complements(self, conn):
+        assert coverage_fraction(conn) + unheard_fraction(conn) == pytest.approx(1.0)
+
+    def test_empty_points_nan(self):
+        assert np.isnan(coverage_fraction(np.zeros((0, 3), dtype=bool)))
+
+    def test_zero_beacons_all_unheard(self):
+        assert coverage_fraction(np.zeros((5, 0), dtype=bool)) == 0.0
+
+
+class TestDegrees:
+    def test_mean_degree(self, conn):
+        assert mean_degree(conn) == pytest.approx(6 / 4)
+
+    def test_degree_histogram(self, conn):
+        hist = degree_histogram(conn)
+        assert hist.tolist() == [1, 1, 1, 1]
+
+    def test_degree_histogram_with_cap(self, conn):
+        hist = degree_histogram(conn, max_degree=1)
+        assert hist.tolist() == [1, 3]  # degrees ≥ 1 collapse into the cap
+
+    def test_beacon_audiences(self, conn):
+        assert beacon_audiences(conn).tolist() == [3, 2, 1]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            mean_degree(np.zeros(5, dtype=bool))

@@ -1,0 +1,64 @@
+"""Unit tests for repro.radio.ideal (§2.1 idealized radio model)."""
+
+import numpy as np
+import pytest
+
+from repro.field import BeaconField
+from repro.radio import IdealDiskModel
+
+
+@pytest.fixture
+def model():
+    return IdealDiskModel(10.0)
+
+
+class TestModel:
+    def test_nominal_range(self, model):
+        assert model.nominal_range == 10.0
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ValueError, match="radio_range"):
+            IdealDiskModel(0.0)
+
+    def test_repr(self, model):
+        assert "10.0" in repr(model)
+
+
+class TestConnectivity:
+    def test_disk_rule_exact(self, model, rng):
+        real = model.realize(rng)
+        field = BeaconField.from_positions([(0.0, 0.0)])
+        pts = np.array([[5.0, 0.0], [10.0, 0.0], [10.01, 0.0]])
+        conn = real.connectivity(pts, field)
+        assert conn[:, 0].tolist() == [True, True, False]
+
+    def test_boundary_inclusive(self, model, rng):
+        real = model.realize(rng)
+        field = BeaconField.from_positions([(0.0, 0.0)])
+        conn = real.connectivity(np.array([[6.0, 8.0]]), field)  # dist exactly 10
+        assert bool(conn[0, 0])
+
+    def test_empty_field(self, model, rng):
+        real = model.realize(rng)
+        conn = real.connectivity(np.zeros((3, 2)), BeaconField.empty())
+        assert conn.shape == (3, 0)
+
+    def test_effective_ranges_constant(self, model, rng, small_field):
+        real = model.realize(rng)
+        ranges = real.effective_ranges(np.zeros((4, 2)), small_field)
+        assert np.all(ranges == 10.0)
+
+    def test_realizations_identical_regardless_of_rng(self, model, small_field):
+        a = model.realize(np.random.default_rng(1))
+        b = model.realize(np.random.default_rng(999))
+        pts = np.array([[1.0, 2.0], [30.0, 40.0]])
+        assert np.array_equal(
+            a.connectivity(pts, small_field), b.connectivity(pts, small_field)
+        )
+
+    def test_message_success_is_hard(self, model, rng, small_field):
+        real = model.realize(rng)
+        pts = np.array([[0.0, 0.0], [30.0, 30.0]])
+        probs = real.message_success_probability(pts, small_field)
+        assert set(np.unique(probs)) <= {0.0, 1.0}
+        assert np.array_equal(probs.astype(bool), real.connectivity(pts, small_field))

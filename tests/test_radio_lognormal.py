@@ -1,0 +1,90 @@
+"""Unit tests for repro.radio.lognormal."""
+
+import numpy as np
+import pytest
+
+from repro.radio import LogNormalShadowingModel
+
+
+R = 15.0
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormalShadowingModel(0.0)
+        with pytest.raises(ValueError):
+            LogNormalShadowingModel(R, path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            LogNormalShadowingModel(R, sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            LogNormalShadowingModel(R, fast_fading_db=-1.0)
+
+    def test_properties(self):
+        model = LogNormalShadowingModel(R, sigma_db=6.0)
+        assert model.nominal_range == R
+        assert model.sigma_db == 6.0
+
+
+class TestZeroShadowingIsDisk:
+    def test_effective_ranges_constant(self, rng, small_field):
+        real = LogNormalShadowingModel(R, sigma_db=0.0).realize(rng)
+        pts = np.random.default_rng(1).uniform(0, 60, (50, 2))
+        assert np.allclose(real.effective_ranges(pts, small_field), R)
+
+
+class TestShadowing:
+    def test_static_and_order_independent(self, rng, small_field):
+        real = LogNormalShadowingModel(R, sigma_db=6.0).realize(rng)
+        pts = np.random.default_rng(2).uniform(0, 60, (40, 2))
+        a = real.effective_ranges(pts, small_field)
+        b = real.effective_ranges(pts[::-1], small_field)[::-1]
+        assert np.allclose(a, b)
+
+    def test_median_effective_range_near_nominal(self, rng, small_field):
+        real = LogNormalShadowingModel(R, sigma_db=6.0).realize(rng)
+        pts = np.random.default_rng(3).uniform(0, 60, (500, 2))
+        ranges = real.effective_ranges(pts, small_field)
+        # X_sigma has median 0 → median r_eff = R.
+        assert np.median(ranges) == pytest.approx(R, rel=0.1)
+
+    def test_higher_sigma_spreads_ranges(self, small_field):
+        pts = np.random.default_rng(4).uniform(0, 60, (300, 2))
+        lo = LogNormalShadowingModel(R, sigma_db=2.0).realize(np.random.default_rng(9))
+        hi = LogNormalShadowingModel(R, sigma_db=8.0).realize(np.random.default_rng(9))
+        assert np.log(hi.effective_ranges(pts, small_field)).std() > np.log(
+            lo.effective_ranges(pts, small_field)
+        ).std()
+
+    def test_link_margin_sign_matches_connectivity(self, rng, small_field):
+        real = LogNormalShadowingModel(R, sigma_db=4.0).realize(rng)
+        pts = np.random.default_rng(5).uniform(0, 60, (80, 2))
+        margin = real.link_margin_db(pts, small_field)
+        conn = real.connectivity(pts, small_field)
+        assert np.array_equal(margin >= 0.0, conn)
+
+
+class TestFastFading:
+    def test_no_fading_gives_hard_probabilities(self, rng, small_field):
+        real = LogNormalShadowingModel(R, sigma_db=3.0, fast_fading_db=0.0).realize(rng)
+        pts = np.random.default_rng(6).uniform(0, 60, (50, 2))
+        probs = real.message_success_probability(pts, small_field)
+        assert set(np.unique(probs)) <= {0.0, 1.0}
+
+    def test_fading_gives_smooth_ramp(self, rng, small_field):
+        real = LogNormalShadowingModel(R, sigma_db=3.0, fast_fading_db=4.0).realize(rng)
+        pts = np.random.default_rng(7).uniform(0, 60, (200, 2))
+        probs = real.message_success_probability(pts, small_field)
+        assert probs.min() >= 0.0
+        assert probs.max() <= 1.0
+        interior = (probs > 0.01) & (probs < 0.99)
+        assert interior.any()  # genuinely soft somewhere
+
+    def test_probability_half_at_zero_margin(self, rng):
+        from repro.field import BeaconField
+
+        model = LogNormalShadowingModel(R, sigma_db=0.0, fast_fading_db=5.0)
+        real = model.realize(rng)
+        field = BeaconField.from_positions([(0.0, 0.0)])
+        probs = real.message_success_probability(np.array([[R, 0.0]]), field)
+        assert probs[0, 0] == pytest.approx(0.5, abs=1e-6)

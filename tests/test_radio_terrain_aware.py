@@ -1,0 +1,81 @@
+"""Unit tests for repro.radio.terrain_aware."""
+
+import numpy as np
+import pytest
+
+from repro.field import BeaconField
+from repro.radio import IdealDiskModel, TerrainAwareModel
+from repro.terrain import flat_terrain, ridge_terrain
+
+
+R = 20.0
+SIDE = 60.0
+
+
+class TestValidation:
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError, match="blocked_range_factor"):
+            TerrainAwareModel(IdealDiskModel(R), flat_terrain(SIDE), blocked_range_factor=1.5)
+
+    def test_rejects_negative_antenna(self):
+        with pytest.raises(ValueError, match="antenna_height"):
+            TerrainAwareModel(IdealDiskModel(R), flat_terrain(SIDE), antenna_height=-1.0)
+
+    def test_nominal_range_delegates(self):
+        model = TerrainAwareModel(IdealDiskModel(R), flat_terrain(SIDE))
+        assert model.nominal_range == R
+
+
+class TestFlatTerrainIsTransparent:
+    def test_matches_base_model(self, rng):
+        base = IdealDiskModel(R)
+        wrapped = TerrainAwareModel(base, flat_terrain(SIDE))
+        field = BeaconField.from_positions([(10.0, 10.0), (50.0, 50.0)])
+        pts = np.random.default_rng(1).uniform(0, SIDE, (100, 2))
+        a = wrapped.realize(rng).connectivity(pts, field)
+        b = base.realize(rng).connectivity(pts, field)
+        assert np.array_equal(a, b)
+
+
+class TestRidgeBlocksLinks:
+    @pytest.fixture
+    def ridge_realization(self, rng):
+        terrain = ridge_terrain(SIDE, ridge_height=30.0, ridge_fraction=0.5)
+        model = TerrainAwareModel(
+            IdealDiskModel(R), terrain, blocked_range_factor=0.3, antenna_height=1.0
+        )
+        return model.realize(rng)
+
+    def test_cross_ridge_link_blocked(self, ridge_realization):
+        field = BeaconField.from_positions([(40.0, 30.0)])
+        # Point and beacon straddle the ridge at x=30, distance 16 < R.
+        conn = ridge_realization.connectivity(np.array([[24.0, 30.0]]), field)
+        assert not conn[0, 0]
+
+    def test_same_side_link_intact(self, ridge_realization):
+        field = BeaconField.from_positions([(40.0, 30.0)])
+        conn = ridge_realization.connectivity(np.array([[52.0, 30.0]]), field)
+        assert conn[0, 0]
+
+    def test_blocked_links_survive_at_short_distance(self, ridge_realization):
+        field = BeaconField.from_positions([(33.0, 30.0)])
+        # Cross-ridge but within 0.3·R = 6 m.
+        conn = ridge_realization.connectivity(np.array([[28.0, 30.0]]), field)
+        assert conn[0, 0]
+
+    def test_line_of_sight_matrix_shape(self, ridge_realization, small_field):
+        pts = np.zeros((7, 2))
+        los = ridge_realization.line_of_sight(pts, small_field)
+        assert los.shape == (7, len(small_field))
+
+    def test_factor_zero_kills_blocked_links(self, rng):
+        terrain = ridge_terrain(SIDE, ridge_height=30.0)
+        model = TerrainAwareModel(IdealDiskModel(R), terrain, blocked_range_factor=0.0)
+        real = model.realize(rng)
+        field = BeaconField.from_positions([(40.0, 30.0)])
+        conn = real.connectivity(np.array([[22.0, 30.0]]), field)
+        assert not conn[0, 0]
+
+    def test_empty_field(self, ridge_realization):
+        conn = ridge_realization.connectivity(np.zeros((3, 2)), BeaconField.empty())
+        assert conn.shape == (3, 0)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.radio.time_varying."""
+
+import numpy as np
+import pytest
+
+from repro.radio import BeaconNoiseModel, IdealDiskModel, TimeVaryingModel
+
+
+R = 12.0
+
+
+class TestValidation:
+    def test_rejects_bad_persistence(self):
+        with pytest.raises(ValueError, match="persistence"):
+            TimeVaryingModel(IdealDiskModel(R), persistence=1.5)
+
+    def test_nominal_range_delegates(self):
+        assert TimeVaryingModel(IdealDiskModel(R)).nominal_range == R
+
+    def test_negative_epoch_rejected(self, rng):
+        real = TimeVaryingModel(IdealDiskModel(R)).realize(rng)
+        with pytest.raises(ValueError, match="epoch"):
+            real.at_epoch(-1)
+
+
+class TestEpochSemantics:
+    @pytest.fixture
+    def noisy_tv(self, rng):
+        return TimeVaryingModel(BeaconNoiseModel(R, 0.5), persistence=0.0).realize(rng)
+
+    def test_epoch_queries_deterministic(self, noisy_tv, small_field):
+        pts = np.random.default_rng(0).uniform(0, 60, (30, 2))
+        a = noisy_tv.at_epoch(3).connectivity(pts, small_field)
+        b = noisy_tv.at_epoch(3).connectivity(pts, small_field)
+        assert np.array_equal(a, b)
+
+    def test_epochs_differ(self, noisy_tv, small_field):
+        pts = np.random.default_rng(1).uniform(0, 60, (200, 2))
+        a = noisy_tv.at_epoch(0).connectivity(pts, small_field)
+        b = noisy_tv.at_epoch(5).connectivity(pts, small_field)
+        assert not np.array_equal(a, b)
+
+    def test_epoch_order_independent(self, noisy_tv, small_field):
+        pts = np.random.default_rng(2).uniform(0, 60, (50, 2))
+        later_first = noisy_tv.at_epoch(7).connectivity(pts, small_field)
+        _ = noisy_tv.at_epoch(2).connectivity(pts, small_field)
+        again = noisy_tv.at_epoch(7).connectivity(pts, small_field)
+        assert np.array_equal(later_first, again)
+
+    def test_default_epoch_zero(self, noisy_tv, small_field):
+        pts = np.random.default_rng(3).uniform(0, 60, (40, 2))
+        assert np.array_equal(
+            noisy_tv.connectivity(pts, small_field),
+            noisy_tv.at_epoch(0).connectivity(pts, small_field),
+        )
+
+    def test_ideal_base_is_constant_in_time(self, rng, small_field):
+        real = TimeVaryingModel(IdealDiskModel(R), persistence=0.0).realize(rng)
+        pts = np.random.default_rng(4).uniform(0, 60, (60, 2))
+        assert np.array_equal(
+            real.at_epoch(0).connectivity(pts, small_field),
+            real.at_epoch(9).connectivity(pts, small_field),
+        )
+
+
+class TestPersistence:
+    def test_full_persistence_freezes_epoch_zero(self, rng, small_field):
+        real = TimeVaryingModel(BeaconNoiseModel(R, 0.5), persistence=1.0).realize(rng)
+        pts = np.random.default_rng(5).uniform(0, 60, (100, 2))
+        a = real.at_epoch(0).effective_ranges(pts, small_field)
+        b = real.at_epoch(6).effective_ranges(pts, small_field)
+        assert np.allclose(a, b)
+
+    def test_partial_persistence_interpolates(self, small_field):
+        def ranges(persistence, epoch):
+            model = TimeVaryingModel(BeaconNoiseModel(R, 0.5), persistence=persistence)
+            real = model.realize(np.random.default_rng(77))
+            pts = np.random.default_rng(6).uniform(0, 60, (80, 2))
+            return real.at_epoch(epoch).effective_ranges(pts, small_field)
+
+        anchor = ranges(1.0, 4)
+        fresh = ranges(0.0, 4)
+        blended = ranges(0.5, 4)
+        assert np.allclose(blended, 0.5 * anchor + 0.5 * fresh)
+
+    def test_staleness_decorrelates_less_with_high_persistence(self, small_field):
+        def corr(persistence):
+            model = TimeVaryingModel(BeaconNoiseModel(R, 0.5), persistence=persistence)
+            real = model.realize(np.random.default_rng(88))
+            pts = np.random.default_rng(7).uniform(0, 60, (300, 2))
+            a = real.at_epoch(0).effective_ranges(pts, small_field).ravel()
+            b = real.at_epoch(8).effective_ranges(pts, small_field).ravel()
+            return np.corrcoef(a, b)[0, 1]
+
+        assert corr(0.9) > corr(0.1)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.sim.config."""
+
+import pytest
+
+from repro.localization import UnlocalizedPolicy
+from repro.sim import ExperimentConfig, bench_config, paper_config
+
+
+class TestPaperConfig:
+    def test_table1_values(self):
+        config = paper_config()
+        assert config.side == 100.0
+        assert config.radio_range == 15.0
+        assert config.step == 1.0
+        assert config.num_grids == 400
+        assert config.fields_per_density == 1000
+
+    def test_derived_quantities(self):
+        config = paper_config()
+        assert config.num_measurement_points == 10201  # P_T
+        assert config.grid_side == 30.0  # 2R
+        assert config.points_per_grid == pytest.approx(918.09)  # P_G formula
+
+    def test_density_sweep(self):
+        config = paper_config()
+        assert config.beacon_counts[0] == 20
+        assert config.beacon_counts[-1] == 240
+        densities = config.densities()
+        assert densities[0] == pytest.approx(0.002)
+        assert densities[-1] == pytest.approx(0.024)
+
+    def test_coverage_densities_paper_range(self):
+        config = paper_config()
+        cov = config.coverage_densities()
+        assert cov[0] == pytest.approx(1.41, abs=0.01)
+        assert cov[-1] == pytest.approx(16.96, abs=0.01)
+
+    def test_noise_levels(self):
+        assert paper_config().noise_levels == (0.0, 0.1, 0.3, 0.5)
+
+    def test_default_policy_and_cm_thresh(self):
+        config = paper_config()
+        assert config.policy is UnlocalizedPolicy.TERRAIN_CENTER
+        assert config.cm_thresh == 0.9
+
+
+class TestModifiers:
+    def test_with_counts(self):
+        config = paper_config().with_counts([10, 20])
+        assert config.beacon_counts == (10, 20)
+        assert config.side == 100.0
+
+    def test_with_fields(self):
+        assert paper_config().with_fields(5).fields_per_density == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(fields_per_density=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(confidence=1.5)
+        with pytest.raises(ValueError):
+            ExperimentConfig(beacon_counts=())
+
+
+class TestBenchConfig:
+    def test_default_reduced_fidelity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_FIELDS", raising=False)
+        monkeypatch.delenv("REPRO_DENSITIES", raising=False)
+        config = bench_config()
+        assert config.fields_per_density == 40
+        assert len(config.beacon_counts) < 23
+        assert config.beacon_counts[0] == 20
+        assert config.beacon_counts[-1] == 240
+
+    def test_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        config = bench_config()
+        assert config.fields_per_density == 1000
+        assert len(config.beacon_counts) == 23
+
+    def test_env_fields(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_FIELDS", "7")
+        assert bench_config().fields_per_density == 7
+
+    def test_env_densities(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_DENSITIES", "4")
+        counts = bench_config().beacon_counts
+        assert 3 <= len(counts) <= 6
+
+    def test_grid_objects_consistent(self):
+        config = paper_config()
+        assert config.measurement_grid().num_points == config.num_measurement_points
+        assert config.grid_layout().grid_side == config.grid_side

@@ -1,0 +1,40 @@
+"""Unit tests for repro.sim.io (CSV persistence)."""
+
+import pytest
+
+from repro.sim import Curve, CurveSet, read_curve_set, write_curve_set
+
+
+@pytest.fixture
+def curve_set():
+    return CurveSet(
+        "Figure X",
+        [
+            Curve("grid", (20, 40), (0.002, 0.004), (1.5, 0.8), (0.2, 0.1), (10, 10)),
+            Curve("max", (20, 40), (0.002, 0.004), (1.0, 0.6), (0.3, 0.2), (10, 10)),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_write_creates_file(self, curve_set, tmp_path):
+        path = write_curve_set(curve_set, tmp_path / "out" / "fig.csv")
+        assert path.exists()
+        header = path.read_text().splitlines()[0]
+        assert header == "label,count,density,value,ci_half_width,num_samples"
+
+    def test_roundtrip_preserves_data(self, curve_set, tmp_path):
+        path = write_curve_set(curve_set, tmp_path / "fig.csv")
+        loaded = read_curve_set(path, title="Figure X")
+        assert loaded.title == "Figure X"
+        assert set(loaded.labels()) == {"grid", "max"}
+        original = curve_set.curve("grid")
+        restored = loaded.curve("grid")
+        assert restored.counts == original.counts
+        assert restored.values == pytest.approx(original.values)
+        assert restored.ci_half_widths == pytest.approx(original.ci_half_widths)
+        assert restored.num_samples == original.num_samples
+
+    def test_default_title_from_stem(self, curve_set, tmp_path):
+        path = write_curve_set(curve_set, tmp_path / "figure9.csv")
+        assert read_curve_set(path).title == "figure9"

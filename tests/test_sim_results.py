@@ -1,0 +1,75 @@
+"""Unit tests for repro.sim.results (Curve / CurveSet)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Curve, CurveSet
+
+
+@pytest.fixture
+def curve():
+    return Curve(
+        label="grid",
+        counts=(20, 40),
+        densities=(0.002, 0.004),
+        values=(1.5, 0.8),
+        ci_half_widths=(0.2, 0.1),
+        num_samples=(10, 10),
+    )
+
+
+class TestCurve:
+    def test_length(self, curve):
+        assert len(curve) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths"):
+            Curve("x", (1,), (0.1, 0.2), (1.0,), (0.0,), (1,))
+
+    def test_coverage_densities(self, curve):
+        cov = curve.coverage_densities(15.0)
+        assert cov[0] == pytest.approx(0.002 * math.pi * 225)
+
+    def test_values_as_range_fraction(self, curve):
+        frac = curve.values_as_range_fraction(15.0)
+        assert frac[0] == pytest.approx(0.1)
+
+    def test_value_at_count(self, curve):
+        assert curve.value_at_count(40) == 0.8
+
+    def test_value_at_missing_count(self, curve):
+        with pytest.raises(KeyError):
+            curve.value_at_count(99)
+
+    def test_as_rows(self, curve):
+        rows = curve.as_rows()
+        assert len(rows) == 2
+        assert rows[0]["label"] == "grid"
+        assert rows[1]["value"] == 0.8
+
+    def test_from_samples_aggregates(self):
+        samples = [np.array([1.0, 2.0, 3.0]), np.array([4.0, 4.0, 4.0])]
+        curve = Curve.from_samples("m", (10, 20), (0.1, 0.2), samples)
+        assert curve.values[0] == pytest.approx(2.0)
+        assert curve.values[1] == pytest.approx(4.0)
+        assert curve.ci_half_widths[1] == pytest.approx(0.0)
+        assert curve.num_samples == (3, 3)
+
+
+class TestCurveSet:
+    def test_lookup(self, curve):
+        cs = CurveSet("fig", [curve])
+        assert cs.curve("grid") is curve
+        with pytest.raises(KeyError):
+            cs.curve("nope")
+
+    def test_labels(self, curve):
+        assert CurveSet("fig", [curve]).labels() == ["grid"]
+
+    def test_as_rows_flattens(self, curve):
+        other = Curve("max", (20, 40), (0.002, 0.004), (1.0, 0.5), (0.1, 0.1), (10, 10))
+        rows = CurveSet("fig", [curve, other]).as_rows()
+        assert len(rows) == 4
+        assert {r["label"] for r in rows} == {"grid", "max"}

@@ -1,0 +1,124 @@
+"""Unit tests for repro.sim.trial (TrialWorld and placement trials)."""
+
+import numpy as np
+import pytest
+
+from repro.localization import (
+    CentroidLocalizer,
+    MultilaterationLocalizer,
+    localization_errors,
+)
+from repro.placement import GridPlacement, MaxPlacement, RandomPlacement
+from repro.sim import TrialWorld, derive_rng, run_placement_trial
+
+
+class TestErrorEvaluation:
+    def test_errors_match_direct_localizer(self, small_world):
+        conn = small_world.connectivity()
+        loc = small_world.localizer
+        est = loc.estimate(conn, small_world.field.positions(), small_world.points())
+        direct = localization_errors(est, small_world.points())
+        assert np.allclose(small_world.errors(), direct, equal_nan=True)
+
+    def test_errors_cached(self, small_world):
+        assert small_world.errors() is small_world.errors()
+
+    def test_base_stats_match_surface(self, small_world):
+        mean, median = small_world.base_stats()
+        surface = small_world.error_surface()
+        assert mean == surface.mean_error()
+        assert median == surface.median_error()
+
+    def test_survey_is_complete(self, small_world):
+        survey = small_world.survey()
+        assert survey.is_complete
+        assert survey.num_points == small_world.grid.num_points
+
+
+class TestCandidateEvaluation:
+    def test_incremental_matches_full_recompute(self, small_world):
+        """The O(P) centroid fast path equals a from-scratch evaluation."""
+        candidate = (31.0, 17.0)
+        fast = small_world.errors_with_candidate(candidate)
+
+        extended = small_world.field.with_beacon_at(candidate)
+        conn = small_world.realization.connectivity(small_world.points(), extended)
+        est = small_world.localizer.estimate(
+            conn, extended.positions(), small_world.points()
+        )
+        slow = localization_errors(est, small_world.points())
+        assert np.allclose(fast, slow, equal_nan=True)
+
+    def test_evaluate_candidate_does_not_mutate(self, small_world):
+        base_before = small_world.base_stats()
+        small_world.evaluate_candidate((10.0, 10.0))
+        assert small_world.base_stats() == base_before
+        assert len(small_world.field) == 20
+
+    def test_evaluate_candidate_sign_convention(self, small_world):
+        """Placing at the worst point must give a positive mean improvement."""
+        worst = small_world.error_surface().argmax_point()
+        gain_mean, _ = small_world.evaluate_candidate(worst)
+        assert gain_mean > 0.0
+
+    def test_generic_localizer_path(self, small_world):
+        """Non-centroid localizers take the full-recompute path."""
+        world = TrialWorld(
+            field=small_world.field,
+            realization=small_world.realization,
+            grid=small_world.grid,
+            layout=small_world.layout,
+            localizer=MultilaterationLocalizer(small_world.terrain_side),
+        )
+        gain_mean, gain_median = world.evaluate_candidate((30.0, 30.0))
+        assert np.isfinite(gain_mean)
+        assert np.isfinite(gain_median)
+
+    def test_with_beacon_advances_world(self, small_world):
+        new_world = small_world.with_beacon((30.0, 30.0))
+        assert len(new_world.field) == len(small_world.field) + 1
+        # Cached connectivity was extended, not recomputed: verify correct.
+        fresh = new_world.realization.connectivity(new_world.points(), new_world.field)
+        assert np.array_equal(new_world.connectivity(), fresh)
+
+    def test_with_beacon_errors_match_candidate_errors(self, small_world):
+        candidate = (12.0, 48.0)
+        predicted = small_world.errors_with_candidate(candidate)
+        actual = small_world.with_beacon(candidate).errors()
+        assert np.allclose(predicted, actual, equal_nan=True)
+
+
+class TestRunPlacementTrial:
+    def test_outcomes_per_algorithm(self, small_world):
+        algorithms = [RandomPlacement(), MaxPlacement(), GridPlacement(small_world.layout)]
+
+        def rng_for(name):
+            return derive_rng(7, name)
+
+        outcomes = run_placement_trial(small_world, algorithms, rng_for)
+        assert [o.algorithm for o in outcomes] == ["random", "max", "grid"]
+
+    def test_base_stats_shared(self, small_world):
+        outcomes = run_placement_trial(
+            small_world, [RandomPlacement(), MaxPlacement()], lambda n: derive_rng(1, n)
+        )
+        assert outcomes[0].base_mean == outcomes[1].base_mean
+        assert outcomes[0].base_median == outcomes[1].base_median
+
+    def test_outcome_consistency(self, small_world):
+        (outcome,) = run_placement_trial(
+            small_world, [MaxPlacement()], lambda n: derive_rng(2, n)
+        )
+        gain_mean, gain_median = small_world.evaluate_candidate(outcome.pick)
+        assert outcome.improvement_mean == pytest.approx(gain_mean)
+        assert outcome.improvement_median == pytest.approx(gain_median)
+
+    def test_deterministic_given_streams(self, small_world):
+        def runner():
+            return run_placement_trial(
+                small_world,
+                [RandomPlacement()],
+                lambda n: derive_rng(3, n),
+            )[0]
+
+        assert runner().pick == runner().pick

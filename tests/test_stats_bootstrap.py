@@ -1,0 +1,50 @@
+"""Unit tests for repro.stats.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_ci, mean_ci
+
+
+class TestBootstrap:
+    def test_point_estimate_is_statistic_of_data(self, rng):
+        data = [1.0, 2.0, 3.0, 4.0]
+        ci = bootstrap_ci(data, np.mean, rng=rng)
+        assert ci.value == pytest.approx(2.5)
+
+    def test_interval_contains_estimate(self, rng):
+        data = np.random.default_rng(0).normal(5, 1, 50)
+        ci = bootstrap_ci(data, np.mean, rng=rng)
+        assert ci.low <= ci.value <= ci.high
+
+    def test_custom_statistic(self, rng):
+        data = np.array([1.0, 2.0, 3.0, 100.0])
+        ci = bootstrap_ci(data, np.median, rng=rng)
+        assert ci.value == pytest.approx(2.5)
+
+    def test_agrees_with_t_interval_for_normal_mean(self):
+        data = np.random.default_rng(5).normal(10, 2, 200)
+        boot = bootstrap_ci(data, np.mean, rng=np.random.default_rng(6), resamples=4000)
+        t_ci = mean_ci(data)
+        assert boot.low == pytest.approx(t_ci.low, abs=0.15)
+        assert boot.high == pytest.approx(t_ci.high, abs=0.15)
+
+    def test_nan_dropped(self, rng):
+        ci = bootstrap_ci([1.0, np.nan, 3.0], np.mean, rng=rng)
+        assert ci.value == pytest.approx(2.0)
+
+    def test_all_nan_raises(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_ci([np.nan], rng=rng)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=2.0, rng=rng)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=0, rng=rng)
+
+    def test_reproducible_with_rng(self):
+        data = np.arange(30, dtype=float)
+        a = bootstrap_ci(data, rng=np.random.default_rng(9))
+        b = bootstrap_ci(data, rng=np.random.default_rng(9))
+        assert (a.low, a.high) == (b.low, b.high)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.stats.distribution (error CDFs and quantiles)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    distribution_improvement,
+    error_cdf,
+    quantile_profile,
+)
+
+
+class TestErrorCdf:
+    def test_sorted_and_normalized(self):
+        cdf = error_cdf([3.0, 1.0, 2.0])
+        assert cdf.values.tolist() == [1.0, 2.0, 3.0]
+        assert cdf.probabilities[-1] == pytest.approx(1.0)
+
+    def test_at(self):
+        cdf = error_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(2.0) == pytest.approx(0.5)
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(10.0) == 1.0
+
+    def test_exceedance_complements(self):
+        cdf = error_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(2.5) + cdf.exceedance(2.5) == pytest.approx(1.0)
+
+    def test_quantile(self):
+        cdf = error_cdf(np.arange(101, dtype=float))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_nan_dropped(self):
+        cdf = error_cdf([1.0, np.nan, 3.0])
+        assert cdf.values.size == 2
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            error_cdf([np.nan])
+
+    def test_matches_empirical_on_surface(self, small_world):
+        errors = small_world.errors()
+        cdf = error_cdf(errors)
+        median = cdf.quantile(0.5)
+        assert median == pytest.approx(float(np.nanmedian(errors)), rel=0.02)
+
+
+class TestQuantileProfile:
+    def test_keys_and_monotonicity(self):
+        profile = quantile_profile(np.arange(100, dtype=float))
+        values = [profile[q] for q in sorted(profile)]
+        assert values == sorted(values)
+
+    def test_custom_quantiles(self):
+        profile = quantile_profile([1.0, 2.0, 3.0], qs=(0.0, 1.0))
+        assert profile[0.0] == 1.0
+        assert profile[1.0] == 3.0
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            quantile_profile([np.nan, np.nan])
+
+
+class TestDistributionImprovement:
+    def test_uniform_shift(self):
+        before = np.arange(100, dtype=float)
+        after = before - 2.0
+        gains = distribution_improvement(before, after)
+        for q, gain in gains.items():
+            assert gain == pytest.approx(2.0)
+
+    def test_median_entry_matches_paper_metric(self, small_world):
+        before = small_world.errors()
+        after = small_world.errors_with_candidate((30.0, 30.0))
+        gains = distribution_improvement(before, after, qs=(0.5,))
+        expected = float(np.nanmedian(before) - np.nanmedian(after))
+        assert gains[0.5] == pytest.approx(expected)
+
+    def test_tail_vs_middle_distinguished(self):
+        before = np.concatenate([np.full(90, 1.0), np.full(10, 50.0)])
+        after = np.concatenate([np.full(90, 1.0), np.full(10, 10.0)])  # tail fixed
+        gains = distribution_improvement(before, after, qs=(0.5, 0.99))
+        assert gains[0.5] == pytest.approx(0.0)
+        assert gains[0.99] > 10.0

@@ -1,0 +1,65 @@
+"""Unit tests for repro.stats.solution_space (§3 concept)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import build_world
+from repro.stats import SolutionSpaceAnalysis, analyze_solution_space
+
+
+class TestAnalysis:
+    @pytest.fixture
+    def analysis(self, tiny_config, rng):
+        world = build_world(tiny_config, 0.0, 8, 0)
+        return analyze_solution_space(world, rng, num_candidates=60)
+
+    def test_shapes(self, analysis):
+        assert analysis.candidates.shape == (60, 2)
+        assert analysis.improvements.shape == (60,)
+
+    def test_best_ge_mean(self, analysis):
+        assert analysis.best >= analysis.mean
+
+    def test_satisfying_fraction_monotone(self, analysis):
+        lo = analysis.satisfying_fraction(0.0)
+        hi = analysis.satisfying_fraction(analysis.best)
+        assert lo >= hi
+
+    def test_density_at_fraction_in_unit_interval(self, analysis):
+        density = analysis.density_at_fraction_of_best(0.5)
+        if not np.isnan(density):
+            assert 0.0 <= density <= 1.0
+
+    def test_quantiles_ordered(self, analysis):
+        q10, q50, q90 = analysis.quantiles()
+        assert q10 <= q50 <= q90
+
+    def test_low_density_world_is_improvement_rich(self, tiny_config, rng):
+        """The paper's §3 premise: at low density, many placements help."""
+        world = build_world(tiny_config, 0.0, 8, 1)
+        analysis = analyze_solution_space(world, rng, num_candidates=80)
+        assert analysis.satisfying_fraction(0.0) > 0.5
+
+    def test_saturated_world_less_improvable(self, tiny_config, rng):
+        sparse = analyze_solution_space(
+            build_world(tiny_config, 0.0, 8, 0), np.random.default_rng(1), num_candidates=60
+        )
+        dense = analyze_solution_space(
+            build_world(tiny_config, 0.0, 60, 0), np.random.default_rng(1), num_candidates=60
+        )
+        assert dense.best < sparse.best
+
+    def test_rejects_bad_fraction(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.density_at_fraction_of_best(0.0)
+
+    def test_rejects_bad_candidate_count(self, tiny_config, rng):
+        world = build_world(tiny_config, 0.0, 8, 0)
+        with pytest.raises(ValueError):
+            analyze_solution_space(world, rng, num_candidates=0)
+
+    def test_saturated_density_returns_nan(self):
+        analysis = SolutionSpaceAnalysis(
+            candidates=np.zeros((3, 2)), improvements=np.array([-1.0, -0.5, 0.0])
+        )
+        assert np.isnan(analysis.density_at_fraction_of_best(0.5))

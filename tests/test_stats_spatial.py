@@ -1,0 +1,92 @@
+"""Unit tests for repro.stats.spatial (Max's spatial-correlation premise)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import SpatialSummary, correlation_length, morans_i, semivariogram
+
+
+def smooth_field(n=40, scale=8.0, rng=None):
+    rng = rng or np.random.default_rng(0)
+    raw = rng.normal(size=(n, n))
+    # Moving-average smoothing to inject spatial correlation.
+    k = int(scale)
+    kernel = np.ones((k, k)) / k**2
+    from scipy.signal import convolve2d
+
+    return convolve2d(raw, kernel, mode="same", boundary="symm")
+
+
+class TestMoransI:
+    def test_random_field_near_zero(self):
+        rng = np.random.default_rng(1)
+        value = morans_i(rng.normal(size=(50, 50)))
+        assert abs(value) < 0.1
+
+    def test_smooth_field_positive(self):
+        assert morans_i(smooth_field()) > 0.5
+
+    def test_checkerboard_negative(self):
+        board = np.indices((20, 20)).sum(axis=0) % 2
+        assert morans_i(board.astype(float)) < -0.5
+
+    def test_constant_field_zero(self):
+        assert morans_i(np.ones((10, 10))) == 0.0
+
+    def test_nan_tolerated(self):
+        field = smooth_field()
+        field[3, 4] = np.nan
+        assert np.isfinite(morans_i(field))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            morans_i(np.zeros(10))
+
+
+class TestSemivariogram:
+    def test_shapes(self):
+        lags, gamma = semivariogram(smooth_field(), max_lag=10)
+        assert lags.shape == (10,)
+        assert gamma.shape == (10,)
+
+    def test_gamma_increases_for_correlated_field(self):
+        lags, gamma = semivariogram(smooth_field(scale=10), max_lag=15)
+        assert gamma[0] < gamma[-1]
+
+    def test_random_field_flat(self):
+        rng = np.random.default_rng(2)
+        _, gamma = semivariogram(rng.normal(size=(60, 60)), max_lag=10)
+        assert gamma.max() < 1.5 * gamma.min()
+
+    def test_rejects_bad_max_lag(self):
+        with pytest.raises(ValueError, match="max_lag"):
+            semivariogram(np.zeros((10, 10)), max_lag=0)
+
+
+class TestCorrelationLength:
+    def test_smoother_field_longer_length(self):
+        short = correlation_length(smooth_field(n=60, scale=3))
+        long = correlation_length(smooth_field(n=60, scale=12))
+        assert long > short
+
+    def test_cell_size_scales_result(self):
+        field = smooth_field(n=60, scale=6)
+        assert correlation_length(field, cell_size=2.0) == pytest.approx(
+            2.0 * correlation_length(field, cell_size=1.0)
+        )
+
+    def test_random_field_short_length(self):
+        rng = np.random.default_rng(3)
+        assert correlation_length(rng.normal(size=(60, 60))) <= 2.0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            correlation_length(smooth_field(), threshold=1.5)
+
+
+class TestOnErrorSurfaces:
+    def test_error_surface_is_spatially_correlated(self, small_world):
+        """The Max algorithm's premise, verified on a simulated surface."""
+        summary = SpatialSummary.of_error_surface(small_world.error_surface())
+        assert summary.morans_i > 0.3
+        assert summary.correlation_length > small_world.grid.step

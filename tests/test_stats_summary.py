@@ -1,0 +1,92 @@
+"""Unit tests for repro.stats.summary."""
+
+import numpy as np
+import pytest
+
+from repro.stats import mean_ci, median_ci
+
+
+class TestMeanCI:
+    def test_point_estimate(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.value == pytest.approx(2.0)
+        assert ci.n == 3
+
+    def test_single_sample_zero_width(self):
+        ci = mean_ci([5.0])
+        assert ci.value == 5.0
+        assert ci.half_width == 0.0
+
+    def test_constant_samples_zero_width(self):
+        ci = mean_ci([4.0] * 10)
+        assert ci.half_width == pytest.approx(0.0)
+
+    def test_bounds(self):
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.low == pytest.approx(ci.value - ci.half_width)
+        assert ci.high == pytest.approx(ci.value + ci.half_width)
+
+    def test_nan_dropped(self):
+        ci = mean_ci([1.0, np.nan, 3.0])
+        assert ci.value == pytest.approx(2.0)
+        assert ci.n == 2
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError, match="finite sample"):
+            mean_ci([np.nan, np.nan])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            mean_ci([1.0], confidence=1.0)
+
+    def test_coverage_calibration(self):
+        """~95% of 95% CIs over normal samples should contain the mean."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            ci = mean_ci(rng.normal(10.0, 2.0, size=20))
+            hits += ci.low <= 10.0 <= ci.high
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        small = mean_ci(rng.normal(0, 1, 10))
+        large = mean_ci(rng.normal(0, 1, 1000))
+        assert large.half_width < small.half_width
+
+    def test_higher_confidence_wider(self):
+        data = np.random.default_rng(2).normal(0, 1, 30)
+        assert mean_ci(data, 0.99).half_width > mean_ci(data, 0.9).half_width
+
+
+class TestMedianCI:
+    def test_point_estimate(self):
+        ci = median_ci([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert ci.value == pytest.approx(3.0)
+
+    def test_robust_to_outliers(self):
+        base = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert median_ci(base + [1e6]).value < 10.0
+
+    def test_tiny_sample_uses_range(self):
+        ci = median_ci([1.0, 5.0])
+        assert ci.value == pytest.approx(3.0)
+        assert ci.half_width == pytest.approx(2.0)
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            median_ci([np.nan])
+
+    def test_coverage_calibration(self):
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            ci = median_ci(rng.normal(5.0, 1.0, size=31))
+            hits += ci.low - 1e-12 <= 5.0 <= ci.high + 1e-12
+        assert hits / trials >= 0.9
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            median_ci([1.0, 2.0], confidence=0.0)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.terrain.generators."""
+
+import numpy as np
+import pytest
+
+from repro.terrain import flat_terrain, fractal_terrain, hill_terrain, ridge_terrain
+
+
+class TestFlat:
+    def test_all_zero(self):
+        hm = flat_terrain(50.0)
+        assert np.all(hm.elevations == 0.0)
+
+    def test_custom_resolution(self):
+        assert flat_terrain(50.0, resolution=17).resolution == 17
+
+
+class TestHill:
+    def test_peak_at_center(self):
+        hm = hill_terrain(100.0, peak_height=30.0)
+        assert hm.elevation_at([(50.0, 50.0)])[0] == pytest.approx(30.0, rel=0.01)
+
+    def test_edges_low(self):
+        hm = hill_terrain(100.0, peak_height=30.0, spread_fraction=0.15)
+        assert hm.elevation_at([(0.0, 0.0)])[0] < 1.0
+
+    def test_off_center_peak(self):
+        hm = hill_terrain(100.0, peak_height=20.0, peak_fraction=(0.25, 0.75))
+        assert hm.elevation_at([(25.0, 75.0)])[0] == pytest.approx(20.0, rel=0.02)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            hill_terrain(100.0, peak_height=-1.0)
+        with pytest.raises(ValueError):
+            hill_terrain(100.0, peak_height=5.0, spread_fraction=0.0)
+
+
+class TestFractal:
+    def test_resolution_from_octaves(self, rng):
+        hm = fractal_terrain(100.0, rng, relief=10.0, octaves=5)
+        assert hm.resolution == 2**5 + 1
+
+    def test_relief_normalization(self, rng):
+        hm = fractal_terrain(100.0, rng, relief=12.0)
+        assert hm.elevations.min() == pytest.approx(0.0)
+        assert hm.elevations.max() == pytest.approx(12.0)
+
+    def test_zero_relief_flat(self, rng):
+        hm = fractal_terrain(100.0, rng, relief=0.0)
+        assert np.all(hm.elevations == 0.0)
+
+    def test_deterministic_per_seed(self):
+        a = fractal_terrain(100.0, np.random.default_rng(3), relief=5.0)
+        b = fractal_terrain(100.0, np.random.default_rng(3), relief=5.0)
+        assert np.array_equal(a.elevations, b.elevations)
+
+    def test_rough_terrain_has_more_local_variation(self):
+        smooth = fractal_terrain(100.0, np.random.default_rng(1), relief=10.0, roughness=0.35)
+        rough = fractal_terrain(100.0, np.random.default_rng(1), relief=10.0, roughness=0.8)
+
+        def local_variation(hm):
+            return np.abs(np.diff(hm.elevations, axis=0)).mean()
+
+        assert local_variation(rough) > local_variation(smooth)
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            fractal_terrain(100.0, rng, relief=-1.0)
+        with pytest.raises(ValueError):
+            fractal_terrain(100.0, rng, relief=1.0, roughness=1.5)
+        with pytest.raises(ValueError):
+            fractal_terrain(100.0, rng, relief=1.0, octaves=0)
+
+
+class TestRidge:
+    def test_ridge_tall_at_line(self):
+        hm = ridge_terrain(100.0, ridge_height=25.0, ridge_fraction=0.5)
+        assert hm.elevation_at([(50.0, 30.0)])[0] == pytest.approx(25.0, rel=0.02)
+
+    def test_flat_away_from_ridge(self):
+        hm = ridge_terrain(100.0, ridge_height=25.0, width_fraction=0.05)
+        assert hm.elevation_at([(5.0, 50.0)])[0] < 0.5
+
+    def test_ridge_uniform_along_y(self):
+        hm = ridge_terrain(100.0, ridge_height=25.0)
+        values = hm.elevation_at([(50.0, y) for y in (10.0, 50.0, 90.0)])
+        assert np.allclose(values, values[0])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ridge_terrain(100.0, ridge_height=-5.0)
+        with pytest.raises(ValueError):
+            ridge_terrain(100.0, ridge_height=5.0, width_fraction=0.0)

@@ -1,0 +1,104 @@
+"""Unit tests for repro.terrain.heightmap."""
+
+import numpy as np
+import pytest
+
+from repro.terrain import Heightmap
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            Heightmap(np.zeros((3, 4)), 10.0)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError, match="square"):
+            Heightmap(np.zeros((1, 1)), 10.0)
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError, match="side"):
+            Heightmap(np.zeros((3, 3)), -1.0)
+
+    def test_elevations_read_only_copy(self):
+        src = np.zeros((3, 3))
+        hm = Heightmap(src, 10.0)
+        src[0, 0] = 99.0  # mutating the source must not leak in
+        assert hm.elevations[0, 0] == 0.0
+        with pytest.raises(ValueError):
+            hm.elevations[0, 0] = 1.0
+
+    def test_properties(self):
+        hm = Heightmap(np.zeros((5, 5)), 20.0)
+        assert hm.side == 20.0
+        assert hm.resolution == 5
+
+
+class TestElevationSampling:
+    @pytest.fixture
+    def ramp(self):
+        # Elevation = x (linear ramp): grid [i, j] at x = i * 5
+        grid = np.tile(np.arange(5, dtype=float)[:, None] * 5.0, (1, 5))
+        return Heightmap(grid, 20.0)
+
+    def test_exact_grid_points(self, ramp):
+        assert ramp.elevation_at([(0.0, 0.0)])[0] == pytest.approx(0.0)
+        assert ramp.elevation_at([(20.0, 10.0)])[0] == pytest.approx(20.0)
+
+    def test_bilinear_midpoint(self, ramp):
+        assert ramp.elevation_at([(2.5, 7.0)])[0] == pytest.approx(2.5)
+
+    def test_out_of_bounds_clamped(self, ramp):
+        assert ramp.elevation_at([(-5.0, 0.0)])[0] == pytest.approx(0.0)
+        assert ramp.elevation_at([(25.0, 0.0)])[0] == pytest.approx(20.0)
+
+    def test_gradient_of_ramp(self, ramp):
+        gx, gy = ramp.gradient_at([(10.0, 10.0)])
+        assert gx[0] == pytest.approx(1.0, abs=1e-6)
+        assert gy[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_vectorized_shape(self, ramp):
+        gx, gy = ramp.gradient_at(np.random.default_rng(0).uniform(0, 20, (7, 2)))
+        assert gx.shape == (7,)
+        assert gy.shape == (7,)
+
+
+class TestLineOfSight:
+    def test_flat_terrain_all_clear(self):
+        hm = Heightmap(np.zeros((5, 5)), 40.0)
+        a = np.array([[0.0, 0.0], [10.0, 10.0]])
+        b = np.array([[40.0, 40.0]])
+        assert hm.line_of_sight(a, b).all()
+
+    def test_wall_blocks(self):
+        grid = np.zeros((9, 9))
+        grid[4, :] = 50.0  # wall at x = side/2
+        hm = Heightmap(grid, 40.0)
+        clear = hm.line_of_sight(
+            np.array([[5.0, 20.0]]), np.array([[35.0, 20.0]]), samples=32
+        )
+        assert not clear[0, 0]
+
+    def test_wall_does_not_block_same_side(self):
+        grid = np.zeros((9, 9))
+        grid[4, :] = 50.0
+        hm = Heightmap(grid, 40.0)
+        clear = hm.line_of_sight(np.array([[2.0, 20.0]]), np.array([[12.0, 20.0]]))
+        assert clear[0, 0]
+
+    def test_antenna_height_sees_over_low_wall(self):
+        grid = np.zeros((9, 9))
+        grid[4, :] = 1.5
+        hm = Heightmap(grid, 40.0)
+        low = hm.line_of_sight(
+            np.array([[5.0, 20.0]]), np.array([[35.0, 20.0]]), antenna_height=0.5
+        )
+        high = hm.line_of_sight(
+            np.array([[5.0, 20.0]]), np.array([[35.0, 20.0]]), antenna_height=3.0
+        )
+        assert not low[0, 0]
+        assert high[0, 0]
+
+    def test_rejects_zero_samples(self):
+        hm = Heightmap(np.zeros((3, 3)), 10.0)
+        with pytest.raises(ValueError, match="samples"):
+            hm.line_of_sight(np.zeros((1, 2)), np.zeros((1, 2)), samples=0)

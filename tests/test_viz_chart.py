@@ -1,0 +1,77 @@
+"""Unit tests for repro.viz.ascii_chart."""
+
+import numpy as np
+import pytest
+
+from repro.viz import heatmap, line_chart
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        text = line_chart(
+            [("grid", [0, 1, 2], [3.0, 2.0, 1.0])], title="Fig", x_label="x", y_label="y"
+        )
+        assert "Fig" in text
+        assert "grid" in text
+        assert "[x]" in text and "[y]" in text
+
+    def test_markers_distinct_per_series(self):
+        text = line_chart(
+            [("a", [0, 1], [0.0, 1.0]), ("b", [0, 1], [1.0, 0.0])]
+        )
+        assert "o a" in text
+        assert "x b" in text
+
+    def test_nan_points_skipped(self):
+        text = line_chart([("s", [0, 1, 2], [1.0, float("nan"), 3.0])])
+        assert "s" in text  # renders without error
+
+    def test_y_min_forced(self):
+        text = line_chart([("s", [0, 1], [5.0, 6.0])], y_min=0.0)
+        assert "0 |" in text.replace("0.000", "0")
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            line_chart([])
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            line_chart([("s", [0.0], [float("nan")])])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            line_chart([("s", [0], [1.0])], width=2, height=2)
+
+    def test_dimensions(self):
+        text = line_chart([("s", [0, 1], [0.0, 1.0])], width=30, height=8)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == 8
+
+
+class TestHeatmap:
+    def test_extremes_use_extreme_chars(self):
+        img = np.array([[0.0, 10.0]])
+        text = heatmap(img, chars=" @")
+        row = text.splitlines()[0]
+        assert row == " @"
+
+    def test_nan_rendered_as_question_mark(self):
+        text = heatmap(np.array([[np.nan, 1.0]]))
+        assert "?" in text
+
+    def test_title_and_scale_line(self):
+        text = heatmap(np.zeros((2, 2)), title="Errors")
+        assert text.splitlines()[0] == "Errors"
+        assert "scale:" in text.splitlines()[-1]
+
+    def test_custom_bounds_clamp(self):
+        text = heatmap(np.array([[100.0]]), chars=" @", v_min=0.0, v_max=1.0)
+        assert text.splitlines()[0] == "@"
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            heatmap(np.zeros(4))
+
+    def test_row_count(self):
+        text = heatmap(np.zeros((3, 5)))
+        assert len(text.splitlines()) == 4  # 3 rows + scale

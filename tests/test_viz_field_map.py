@@ -1,0 +1,50 @@
+"""Unit tests for repro.viz.field_map."""
+
+import numpy as np
+import pytest
+
+from repro.viz import field_map
+
+
+class TestFieldMap:
+    def test_beacons_rendered(self):
+        text = field_map(100.0, beacons=np.array([[50.0, 50.0]]))
+        assert "B" in text
+        assert "B beacon" in text
+
+    def test_picks_rendered_with_legend(self):
+        text = field_map(100.0, picks=np.array([[10.0, 10.0]]))
+        assert "*" in text
+        assert "proposed placement" in text
+
+    def test_coverage_shading(self):
+        cov = np.zeros((10, 10), dtype=bool)
+        cov[:5, :] = True
+        text = field_map(100.0, coverage=cov, width=20)
+        assert "·" in text
+
+    def test_title_and_frame(self):
+        text = field_map(50.0, title="Map")
+        lines = text.splitlines()
+        assert lines[0] == "Map"
+        assert lines[1].startswith("+")
+        assert lines[-2].startswith("+")
+
+    def test_corner_positions(self):
+        text = field_map(100.0, beacons=np.array([[0.0, 0.0], [100.0, 100.0]]), width=20)
+        lines = text.splitlines()
+        body = [l for l in lines if l.startswith("|")]
+        assert body[0][-2] == "B" or body[0][1:-1].rstrip().endswith("B")  # top-right
+        assert body[-1][1] == "B"  # bottom-left
+
+    def test_accepts_beacon_field(self, small_field):
+        text = field_map(60.0, beacons=small_field)
+        assert text.count("B") >= 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            field_map(0.0)
+        with pytest.raises(ValueError):
+            field_map(10.0, width=4)
+        with pytest.raises(ValueError, match="square"):
+            field_map(10.0, coverage=np.zeros((3, 4), dtype=bool))

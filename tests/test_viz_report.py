@@ -1,0 +1,68 @@
+"""Unit tests for repro.viz.report (markdown report builder)."""
+
+import pytest
+
+from repro.sim import Curve, CurveSet
+from repro.viz import ReportBuilder
+
+
+@pytest.fixture
+def curve_set():
+    return CurveSet(
+        "Fig",
+        [Curve("grid", (20, 40), (0.002, 0.004), (1.0, 0.5), (0.1, 0.1), (5, 5))],
+    )
+
+
+class TestReportBuilder:
+    def test_title_required(self):
+        with pytest.raises(ValueError, match="title"):
+            ReportBuilder("  ")
+
+    def test_render_contains_title_and_sections(self):
+        doc = (
+            ReportBuilder("My Report")
+            .add_section("Setup", "Some prose.")
+            .render()
+        )
+        assert doc.startswith("# My Report")
+        assert "## Setup" in doc
+        assert "Some prose." in doc
+
+    def test_pipe_table(self):
+        doc = (
+            ReportBuilder("R")
+            .add_table(("a", "b"), [(1, 2.5), ("x", 3.14159)])
+            .render()
+        )
+        assert "| a | b |" in doc
+        assert "| 1 | 2.500 |" in doc
+        assert "| x | 3.142 |" in doc
+
+    def test_table_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            ReportBuilder("R").add_table(("a", "b"), [(1,)])
+
+    def test_curve_set_block(self, curve_set):
+        doc = ReportBuilder("R").add_curve_set(curve_set).render()
+        assert "```" in doc
+        assert "grid" in doc
+        assert "±" in doc
+
+    def test_preformatted_with_caption(self):
+        doc = ReportBuilder("R").add_preformatted("xx\nyy", caption="A map").render()
+        assert "A map" in doc
+        assert "```\nxx\nyy\n```" in doc
+
+    def test_chaining_returns_builder(self):
+        builder = ReportBuilder("R")
+        assert builder.add_section("s") is builder
+
+    def test_write_creates_file(self, tmp_path, curve_set):
+        out = (
+            ReportBuilder("R")
+            .add_curve_set(curve_set, chart=False)
+            .write(tmp_path / "sub" / "report.md")
+        )
+        assert out.exists()
+        assert out.read_text().startswith("# R")

@@ -1,0 +1,71 @@
+"""Unit tests for repro.viz.tables."""
+
+import pytest
+
+from repro.sim import Curve, CurveSet
+from repro.viz import format_curve_set, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_alignment(self):
+        text = format_table(("name", "value"), [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(1.23456,)], float_digits=2)
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_indent(self):
+        text = format_table(("x",), [(1,)], indent="  ")
+        assert all(line.startswith("  ") for line in text.splitlines())
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(("a", "b"), [(1,)])
+
+    def test_mixed_types(self):
+        text = format_table(("a", "b", "c"), [("s", 3, 2.5)])
+        assert "s" in text and "3" in text and "2.500" in text
+
+
+class TestFormatCurveSet:
+    @pytest.fixture
+    def curve_set(self):
+        return CurveSet(
+            "Figure 5",
+            [
+                Curve("grid", (20, 40), (0.002, 0.004), (1.5, 0.8), (0.2, 0.1), (10, 10)),
+                Curve("max", (20, 40), (0.002, 0.004), (1.0, 0.6), (0.3, 0.2), (10, 10)),
+            ],
+        )
+
+    def test_contains_title_and_labels(self, curve_set):
+        text = format_curve_set(curve_set)
+        assert "Figure 5" in text
+        assert "grid" in text and "max" in text
+
+    def test_contains_ci_notation(self, curve_set):
+        assert "±" in format_curve_set(curve_set)
+
+    def test_one_row_per_count(self, curve_set):
+        text = format_curve_set(curve_set)
+        data_lines = [l for l in text.splitlines() if l.strip() and l.lstrip()[0].isdigit()]
+        assert len(data_lines) == 2
+
+    def test_empty_set(self):
+        assert "(empty)" in format_curve_set(CurveSet("fig", []))
+
+    def test_mismatched_axes_rejected(self):
+        cs = CurveSet(
+            "bad",
+            [
+                Curve("a", (20,), (0.002,), (1.0,), (0.1,), (5,)),
+                Curve("b", (30,), (0.003,), (1.0,), (0.1,), (5,)),
+            ],
+        )
+        with pytest.raises(ValueError, match="share"):
+            format_curve_set(cs)
