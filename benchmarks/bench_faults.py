@@ -1,0 +1,97 @@
+"""Extension E13 — placement value under beacon failure.
+
+The paper's premise is that beacon deployments degrade in the field
+(battery exhaustion, node death) and that adaptive placement is how the
+system recovers.  This bench quantifies that story: a low-density field
+decays under a crash-fault model (exponential lifetimes) and at each
+snapshot we measure what remains — surviving beacons, base localization
+error — and what one adaptively-placed beacon buys back (Random / Max /
+Grid), against a full weighted-k-means redeployment of the survivors as
+the expensive comparator.
+
+Expected shape: alive fraction falls, base error climbs, and the gain
+from a single adaptive placement *grows* as the field degrades — exactly
+the regime the paper argues adaptation is for.
+"""
+
+import numpy as np
+
+from repro.faults import CrashFault
+from repro.placement import WeightedRedeployment
+from repro.sim import TrialWorld, build_world, derive_rng, run_placement_trial
+
+LIFETIME = 60.0
+
+
+def test_fault_degradation_and_placement_recovery(
+    benchmark, config, paper_algorithms, emit_table
+):
+    count = config.beacon_counts[0]
+    fields = min(config.fields_per_density, 6)
+    times = [0.0, LIFETIME / 2, LIFETIME, 2 * LIFETIME]
+    model = CrashFault(LIFETIME)
+
+    def run():
+        rows = []
+        for t in times:
+            alive: list[float] = []
+            base: list[float] = []
+            gains: dict[str, list[float]] = {a.name: [] for a in paper_algorithms}
+            redeploy: list[float] = []
+            for i in range(fields):
+                world = build_world(config, 0.0, count, i, faults=model, fault_time=t)
+                alive.append(len(world.field) / count)
+
+                def rng_for(name, t=t, i=i):
+                    return derive_rng(config.seed, "bench-faults", name, t, i)
+
+                outcomes = run_placement_trial(world, paper_algorithms, rng_for)
+                base.append(outcomes[0].base_mean)
+                for o in outcomes:
+                    gains[o.algorithm].append(o.improvement_mean)
+
+                if len(world.field) == 0:
+                    redeploy.append(float("nan"))
+                    continue
+                moved = WeightedRedeployment(iterations=20).redeploy(
+                    world.field,
+                    world.survey(),
+                    derive_rng(config.seed, "bench-faults-rd", t, i),
+                )
+                new_world = TrialWorld(
+                    moved, world.realization, world.grid, world.layout, world.localizer
+                )
+                redeploy.append(outcomes[0].base_mean - new_world.base_stats()[0])
+            rows.append(
+                (
+                    f"{t:g}",
+                    float(np.mean(alive)),
+                    float(np.mean(base)),
+                    *(float(np.mean(gains[a.name])) for a in paper_algorithms),
+                    float(np.nanmean(redeploy)) if np.any(np.isfinite(redeploy)) else float("nan"),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "extension_faults",
+        (
+            "time",
+            "alive frac",
+            "mean LE (m)",
+            *(f"{a.name} gain (m)" for a in paper_algorithms),
+            "redeploy-all gain (m)",
+        ),
+        rows,
+    )
+
+    alive_fracs = [r[1] for r in rows]
+    base_errors = [r[2] for r in rows]
+    # Crash faults are permanent: the surviving set only shrinks.
+    assert all(a >= b for a, b in zip(alive_fracs, alive_fracs[1:]))
+    # Losing ~86 % of the field must hurt localization.
+    assert base_errors[-1] > base_errors[0]
+    # On the degraded field, at least one adaptive algorithm still helps.
+    worst = rows[-1]
+    assert max(worst[3 : 3 + len(paper_algorithms)]) > 0.0

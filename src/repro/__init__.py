@@ -45,6 +45,19 @@ from .exploration import (
     random_walk_path,
     spiral_path,
 )
+from .faults import (
+    BatteryFault,
+    CompositeFault,
+    CrashFault,
+    DegradedField,
+    DriftFault,
+    FaultModel,
+    FaultRealization,
+    IntermittentFault,
+    NoFaults,
+    apply_faults,
+    fault_timeline,
+)
 from .field import (
     Beacon,
     BeaconField,
@@ -119,6 +132,8 @@ from .sim import (
     Curve,
     CurveSet,
     ExperimentConfig,
+    RetryPolicy,
+    SweepJournal,
     TrialOutcome,
     TrialWorld,
     bench_config,
@@ -128,6 +143,8 @@ from .sim import (
     paper_config,
     placement_improvement_curves,
     read_curve_set,
+    resilient_mean_error_curve,
+    resilient_placement_improvement_curves,
     run_placement_trial,
     write_curve_set,
 )
@@ -237,6 +254,18 @@ __all__ = [
     "random_walk_path",
     "path_length",
     "plan_tour",
+    # faults
+    "FaultModel",
+    "FaultRealization",
+    "NoFaults",
+    "CrashFault",
+    "IntermittentFault",
+    "BatteryFault",
+    "DriftFault",
+    "CompositeFault",
+    "DegradedField",
+    "apply_faults",
+    "fault_timeline",
     # sim
     "ExperimentConfig",
     "paper_config",
@@ -248,6 +277,10 @@ __all__ = [
     "build_world",
     "mean_error_curve",
     "placement_improvement_curves",
+    "RetryPolicy",
+    "SweepJournal",
+    "resilient_mean_error_curve",
+    "resilient_placement_improvement_curves",
     "Curve",
     "CurveSet",
     "write_curve_set",

@@ -14,6 +14,12 @@ Subcommands:
 * ``activate`` — density-adaptive beacon self-scheduling on a dense field.
 * ``regions`` — localization-region (locus) statistics of a deployment.
 * ``report`` — run a compact evaluation and write a markdown report.
+* ``faults`` — degrade a deployment over time under a fault model and
+  measure how localization and adaptive placement hold up.
+
+Long sweeps are resilient: ``--workers N`` fans cells across processes and
+``--journal PATH`` checkpoints every completed cell to a JSONL file, so an
+interrupted ``reproduce`` resumes instead of recomputing.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import sys
 
 import numpy as np
 
+from .faults import BatteryFault, CompositeFault, CrashFault, DriftFault, IntermittentFault
 from .localization import overlap_ratio_sweep
 from .placement import GridPlacement, MaxPlacement, RandomPlacement
 from .protocol import ProtocolConnectivityEstimator
@@ -33,6 +40,8 @@ from .sim import (
     derive_rng,
     mean_error_curve,
     placement_improvement_curves,
+    resilient_mean_error_curve,
+    resilient_placement_improvement_curves,
     run_placement_trial,
     write_curve_set,
 )
@@ -101,24 +110,50 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _mean_curve(config, noise, args):
+    """A figure 4/6 series, resilient when --workers/--journal ask for it.
+
+    One journal file serves a whole multi-noise figure: the fingerprint
+    covers (kind, config) while each cell key carries its noise level.
+    """
+    if args.workers > 1 or args.journal is not None:
+        return resilient_mean_error_curve(
+            config,
+            noise,
+            workers=args.workers,
+            journal_path=args.journal,
+            progress=_progress(args),
+        )
+    return mean_error_curve(config, noise, progress=_progress(args))
+
+
+def _improvement(config, noise, algorithms, args):
+    """Figure 5/7–9 curve sets, resilient when --workers/--journal ask."""
+    if args.workers > 1 or args.journal is not None:
+        return resilient_placement_improvement_curves(
+            config,
+            noise,
+            algorithms,
+            workers=args.workers,
+            journal_path=args.journal,
+            progress=_progress(args),
+        )
+    return placement_improvement_curves(config, noise, algorithms, progress=_progress(args))
+
+
 def _cmd_reproduce(args) -> int:
     config = _config_from_args(args)
     figure = args.figure
     if figure == "fig4":
-        curve = mean_error_curve(config, 0.0, progress=_progress(args))
+        curve = _mean_curve(config, 0.0, args)
         _emit(CurveSet("Figure 4: mean localization error vs density (Ideal)", [curve]), args)
         return 0
     if figure == "fig6":
-        curves = [
-            mean_error_curve(config, noise, progress=_progress(args))
-            for noise in PAPER_NOISE_LEVELS
-        ]
+        curves = [_mean_curve(config, noise, args) for noise in PAPER_NOISE_LEVELS]
         _emit(CurveSet("Figure 6: mean localization error vs density (Noise)", curves), args)
         return 0
     if figure == "fig5":
-        mean_set, median_set = placement_improvement_curves(
-            config, 0.0, _paper_algorithms(config), progress=_progress(args)
-        )
+        mean_set, median_set = _improvement(config, 0.0, _paper_algorithms(config), args)
         mean_set.title = "Figure 5a: improvement in mean error (Ideal)"
         median_set.title = "Figure 5b: improvement in median error (Ideal)"
         _emit(mean_set, args, csv_suffix="_mean")
@@ -132,9 +167,7 @@ def _cmd_reproduce(args) -> int:
         )
     mean_curves, median_curves = [], []
     for noise in PAPER_NOISE_LEVELS:
-        mean_set, median_set = placement_improvement_curves(
-            config, noise, [algorithm], progress=_progress(args)
-        )
+        mean_set, median_set = _improvement(config, noise, [algorithm], args)
         label = "Ideal" if noise == 0.0 else f"Noise={noise:g}"
         mean_curves.append(_relabel(mean_set.curves[0], label))
         median_curves.append(_relabel(median_set.curves[0], label))
@@ -245,6 +278,16 @@ def _cmd_bounds(args) -> int:
     )
     print("\npaper (§2.2): max error 0.5d at R/d=1, falling to 0.25d by R/d=4")
     return 0
+
+
+def _parse_workers(text: str) -> int:
+    try:
+        workers = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid worker count {text!r}") from exc
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {workers}")
+    return workers
 
 
 def _parse_counts(text: str) -> list[int]:
@@ -376,6 +419,76 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _parse_floats(text: str) -> list[float]:
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid float list {text!r}") from exc
+    if not values:
+        raise argparse.ArgumentTypeError("float list must not be empty")
+    return values
+
+
+def _fault_model_from_args(args):
+    if args.mode == "crash":
+        return CrashFault(args.lifetime)
+    if args.mode == "battery":
+        return BatteryFault(args.lifetime, spread=args.spread)
+    if args.mode == "flap":
+        return IntermittentFault(args.up_time, args.down_time)
+    if args.mode == "drift":
+        return DriftFault(args.drift_rate, args.max_drift)
+    return CompositeFault(
+        [CrashFault(args.lifetime), DriftFault(args.drift_rate, args.max_drift)]
+    )
+
+
+def _cmd_faults(args) -> int:
+    config = _config_from_args(args)
+    model = _fault_model_from_args(args)
+    algorithms = _paper_algorithms(config)
+    rows = []
+    for t in args.times:
+        alive: list[float] = []
+        base_errors: list[float] = []
+        gains: dict[str, list[float]] = {a.name: [] for a in algorithms}
+        for index in range(config.fields_per_density):
+            world = build_world(
+                config, args.noise, args.beacons, index, faults=model, fault_time=t
+            )
+            alive.append(len(world.field))
+
+            def rng_for(name, t=t, index=index):
+                return derive_rng(
+                    config.seed, "cli-faults", name, t, args.beacons, index
+                )
+
+            outcomes = run_placement_trial(world, algorithms, rng_for)
+            base_errors.append(outcomes[0].base_mean)
+            for o in outcomes:
+                gains[o.algorithm].append(o.improvement_mean)
+        rows.append(
+            (
+                f"{t:g}",
+                f"{float(np.mean(alive)):.1f}/{args.beacons}",
+                float(np.nanmean(base_errors)),
+                *(float(np.nanmean(gains[a.name])) for a in algorithms),
+            )
+        )
+    header = (
+        "time",
+        "alive",
+        "mean LE (m)",
+        *(f"{a.name} gain (m)" for a in algorithms),
+    )
+    print(
+        f"fault mode {args.mode}, {args.beacons} beacons, noise {args.noise:g}, "
+        f"{config.fields_per_density} field(s) per point"
+    )
+    print(format_table(header, rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -393,6 +506,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="beacon-count sweep override, comma-separated (e.g. 20,60,120)",
     )
     parser.add_argument("--csv", default=None, help="also write results to this CSV path")
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=1,
+        help="worker processes for reproduce sweeps (1 = in-process)",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        help=(
+            "JSONL checkpoint journal for reproduce sweeps; an interrupted "
+            "run resumes from it instead of recomputing"
+        ),
+    )
     parser.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -450,6 +577,47 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="write a markdown evaluation report")
     report.add_argument("--output", default="beaconplace-report.md")
 
+    faults = sub.add_parser(
+        "faults", help="degrade a deployment under a fault model over time"
+    )
+    faults.add_argument("--beacons", type=int, default=40)
+    faults.add_argument("--noise", type=float, default=0.0)
+    faults.add_argument(
+        "--mode",
+        choices=["crash", "flap", "battery", "drift", "mixed"],
+        default="crash",
+    )
+    faults.add_argument(
+        "--lifetime",
+        type=float,
+        default=50.0,
+        help="mean beacon lifetime (crash/battery/mixed)",
+    )
+    faults.add_argument(
+        "--spread", type=float, default=0.1, help="battery lifetime spread fraction"
+    )
+    faults.add_argument(
+        "--up-time", type=float, default=30.0, help="flap mean up-time"
+    )
+    faults.add_argument(
+        "--down-time", type=float, default=10.0, help="flap mean down-time"
+    )
+    faults.add_argument(
+        "--drift-rate",
+        type=float,
+        default=0.5,
+        help="drift magnitude in m per unit sqrt(time) (drift/mixed)",
+    )
+    faults.add_argument(
+        "--max-drift", type=float, default=10.0, help="drift displacement cap in m"
+    )
+    faults.add_argument(
+        "--times",
+        type=_parse_floats,
+        default=[0.0, 25.0, 50.0, 100.0],
+        help="snapshot times, comma-separated",
+    )
+
     return parser
 
 
@@ -463,6 +631,7 @@ _COMMANDS = {
     "activate": _cmd_activate,
     "regions": _cmd_regions,
     "report": _cmd_report,
+    "faults": _cmd_faults,
 }
 
 

@@ -1,0 +1,35 @@
+"""Fault injection: deterministic beacon failure, flapping, depletion, drift.
+
+Fault models mirror the propagation-model contract (describe statistics,
+``realize(rng)`` one immutable world keyed on beacon ids) so the same seed
+produces the same outage pattern in the numeric §4 pipeline
+(:func:`repro.sim.build_world` with ``faults=``) and in the discrete-event
+protocol simulation (:func:`repro.protocol.start_beacon_processes` with
+``faults=``).  See DESIGN.md §"Fault injection & resilient sweeps".
+"""
+
+from .inject import DegradedField, apply_faults, fault_timeline
+from .models import (
+    BatteryFault,
+    CompositeFault,
+    CrashFault,
+    DriftFault,
+    FaultModel,
+    FaultRealization,
+    IntermittentFault,
+    NoFaults,
+)
+
+__all__ = [
+    "FaultModel",
+    "FaultRealization",
+    "NoFaults",
+    "CrashFault",
+    "IntermittentFault",
+    "BatteryFault",
+    "DriftFault",
+    "CompositeFault",
+    "DegradedField",
+    "apply_faults",
+    "fault_timeline",
+]

@@ -1,0 +1,101 @@
+"""Applying fault realizations to beacon fields.
+
+:func:`apply_faults` is the single bridge between the fault models and the
+numeric §4 pipeline: it snapshots a :class:`~repro.field.BeaconField` at a
+point in time, dropping beacons that are down and displacing drifted ones.
+Surviving beacons **keep their identifiers** (and the field keeps its
+``next_beacon_id``), so the static propagation realization — keyed on beacon
+ids and locations — stays consistent with the pristine world: links of
+surviving, undrifted beacons are bit-identical, and a candidate beacon
+evaluated on the degraded field receives the same identity (hence the same
+noise) it would have in the healthy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..field import Beacon, BeaconField
+from ..geometry import Point
+from .models import FaultRealization
+
+__all__ = ["DegradedField", "apply_faults", "fault_timeline"]
+
+
+@dataclass(frozen=True)
+class DegradedField:
+    """One time-snapshot of a beacon field under faults.
+
+    Attributes:
+        field: the surviving beacons at their (possibly drifted) positions;
+            ids and ``next_beacon_id`` carry over from the source field.
+        alive: boolean mask over the *source* field order.
+        source_size: beacon count of the pristine field.
+        time: the snapshot time (seconds since deployment).
+    """
+
+    field: BeaconField
+    alive: np.ndarray
+    source_size: int
+    time: float
+
+    @property
+    def num_alive(self) -> int:
+        """Surviving beacon count."""
+        return int(self.alive.sum())
+
+    @property
+    def num_failed(self) -> int:
+        """Beacons down at the snapshot time."""
+        return self.source_size - self.num_alive
+
+    @property
+    def alive_fraction(self) -> float:
+        """Surviving fraction (1.0 for an empty source field)."""
+        if self.source_size == 0:
+            return 1.0
+        return self.num_alive / self.source_size
+
+
+def apply_faults(
+    field: BeaconField, realization: FaultRealization, time: float
+) -> DegradedField:
+    """Snapshot ``field`` under ``realization`` at ``time``.
+
+    Args:
+        field: the pristine deployment.
+        realization: a drawn fault world (see :mod:`repro.faults.models`).
+        time: seconds since deployment; ``0`` applies only faults active at
+            deployment time (none, for the built-in models).
+
+    Returns:
+        A :class:`DegradedField`; its ``field`` may be empty if every beacon
+        is down (downstream code handles empty fields explicitly).
+    """
+    ids = np.asarray(field.beacon_ids, dtype=np.uint64)
+    if ids.size == 0:
+        return DegradedField(field=field, alive=np.zeros(0, dtype=bool), source_size=0, time=float(time))
+    alive = realization.up_mask(ids, time)
+    offsets = realization.position_offsets(ids, time)
+    beacons = [
+        Beacon(b.beacon_id, Point(b.position.x + float(dx), b.position.y + float(dy)))
+        for b, up, (dx, dy) in zip(field.beacons, alive, offsets)
+        if up
+    ]
+    degraded = BeaconField(beacons, next_id=field.next_beacon_id)
+    return DegradedField(
+        field=degraded, alive=alive, source_size=len(field), time=float(time)
+    )
+
+
+def fault_timeline(
+    field: BeaconField, realization: FaultRealization, times
+) -> list[DegradedField]:
+    """Snapshot ``field`` at several times (monotone input not required).
+
+    Returns:
+        One :class:`DegradedField` per entry of ``times``, in input order.
+    """
+    return [apply_faults(field, realization, t) for t in times]

@@ -1,0 +1,381 @@
+"""Beacon fault models: deterministic, seed-derived failure schedules.
+
+The paper's premise is that real deployments degrade — beacons die, links
+flap, batteries drain, nodes get nudged — and that placement must adapt.
+These models make that degradation *simulable* with the same reproducibility
+contract as the propagation noise (:mod:`repro.radio`): a
+:class:`FaultModel` describes failure statistics; :meth:`FaultModel.realize`
+draws one immutable :class:`FaultRealization` whose every per-beacon random
+quantity is a hash of ``(realization seed, beacon id, tag)``.  Consequences:
+
+* whether beacon B is up at time t never depends on query order or on which
+  other beacons exist (faults are a *field over beacon identities*),
+* adding a beacon later leaves every existing beacon's fault schedule
+  untouched, and
+* the same seed reproduces the same outage pattern in both the numeric §4
+  pipeline (:func:`repro.sim.build_world`) and the discrete-event protocol
+  simulation (:mod:`repro.protocol`).
+
+Four models cover the regimes the robustness literature evaluates:
+:class:`CrashFault` (memoryless permanent death), :class:`IntermittentFault`
+(Gilbert–Elliott-style on/off flapping, the per-beacon analogue of
+:class:`repro.protocol.GilbertElliottLoss`), :class:`BatteryFault`
+(near-deterministic depletion deadlines) and :class:`DriftFault` (bounded
+position drift).  :class:`CompositeFault` stacks them.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..radio.hashrand import hash_uniform
+
+__all__ = [
+    "FaultModel",
+    "FaultRealization",
+    "NoFaults",
+    "CrashFault",
+    "IntermittentFault",
+    "BatteryFault",
+    "DriftFault",
+    "CompositeFault",
+]
+
+# Domain-separation tags (arbitrary, fixed forever).
+_CRASH_TAG = np.uint64(0xFA01)
+_BATTERY_TAG = np.uint64(0xFA02)
+_FLAP_STATE_TAG = np.uint64(0xFA03)
+_FLAP_SOJOURN_TAG = np.uint64(0xFA04)
+_DRIFT_ANGLE_TAG = np.uint64(0xFA05)
+
+
+def _as_id_array(beacon_ids) -> np.ndarray:
+    ids = np.asarray(beacon_ids, dtype=np.uint64)
+    if ids.ndim != 1:
+        raise ValueError(f"beacon_ids must be 1-D, got shape {ids.shape}")
+    return ids
+
+
+def _check_time(time: float) -> float:
+    t = float(time)
+    if t < 0.0:
+        raise ValueError(f"time must be non-negative, got {t}")
+    return t
+
+
+class FaultRealization(ABC):
+    """One drawn outage pattern: up/down state and drift per (beacon, time).
+
+    Subclasses implement :meth:`up_mask`; :meth:`position_offsets` defaults
+    to no drift.  All methods are pure functions of ``(beacon id, time)``.
+    """
+
+    @abstractmethod
+    def up_mask(self, beacon_ids, time: float) -> np.ndarray:
+        """Boolean ``(N,)`` array: which of the beacons are up at ``time``.
+
+        Args:
+            beacon_ids: ``(N,)`` stable beacon identifiers.
+            time: seconds since deployment (``t = 0`` is pristine).
+        """
+
+    def position_offsets(self, beacon_ids, time: float) -> np.ndarray:
+        """Per-beacon position displacement ``(N, 2)`` at ``time`` (meters)."""
+        ids = _as_id_array(beacon_ids)
+        _check_time(time)
+        return np.zeros((ids.size, 2))
+
+    def is_up(self, beacon_id: int, time: float) -> bool:
+        """Scalar convenience for event-driven consumers (protocol sim)."""
+        return bool(self.up_mask(np.asarray([beacon_id], dtype=np.uint64), time)[0])
+
+
+class FaultModel(ABC):
+    """A family of fault worlds, parameterized and seedable."""
+
+    @abstractmethod
+    def realize(self, rng: np.random.Generator) -> FaultRealization:
+        """Draw one static fault realization.
+
+        Args:
+            rng: source of the realization's identity; the realization
+                captures a seed, not the generator.
+        """
+
+
+def _draw_seed(rng: np.random.Generator) -> np.uint64:
+    return np.uint64(int(rng.integers(0, 2**63, dtype=np.int64)))
+
+
+class NoFaults(FaultModel, FaultRealization):
+    """The reliable baseline: every beacon is up forever, nothing drifts."""
+
+    def realize(self, rng: np.random.Generator) -> "NoFaults":
+        return self
+
+    def up_mask(self, beacon_ids, time: float) -> np.ndarray:
+        ids = _as_id_array(beacon_ids)
+        _check_time(time)
+        return np.ones(ids.size, dtype=bool)
+
+
+class _LifetimeRealization(FaultRealization):
+    """Permanent death at a per-beacon lifetime (shared by crash/battery)."""
+
+    def __init__(self, seed: np.uint64, lifetimes_fn):
+        self._seed = seed
+        self._lifetimes_fn = lifetimes_fn
+
+    def lifetimes(self, beacon_ids) -> np.ndarray:
+        """Per-beacon death times (seconds), deterministic per id."""
+        return self._lifetimes_fn(self._seed, _as_id_array(beacon_ids))
+
+    def up_mask(self, beacon_ids, time: float) -> np.ndarray:
+        t = _check_time(time)
+        return t < self.lifetimes(beacon_ids)
+
+
+class CrashFault(FaultModel):
+    """Memoryless permanent crashes: lifetimes are i.i.d. exponential.
+
+    At time ``t`` the expected surviving fraction is ``exp(-t / mean_lifetime)``
+    — sweep ``t`` to sweep degradation severity.
+
+    Args:
+        mean_lifetime: mean time to permanent failure (seconds).
+    """
+
+    def __init__(self, mean_lifetime: float):
+        if mean_lifetime <= 0:
+            raise ValueError(f"mean_lifetime must be positive, got {mean_lifetime}")
+        self.mean_lifetime = float(mean_lifetime)
+
+    def realize(self, rng: np.random.Generator) -> FaultRealization:
+        mean = self.mean_lifetime
+
+        def lifetimes(seed, ids):
+            u = hash_uniform(seed, ids, _CRASH_TAG)
+            return -mean * np.log1p(-u)
+
+        return _LifetimeRealization(_draw_seed(rng), lifetimes)
+
+
+class BatteryFault(FaultModel):
+    """Battery depletion: near-deterministic per-beacon deadlines.
+
+    Unlike :class:`CrashFault`, depletion is concentrated — every beacon dies
+    within ``mean_lifetime · (1 ± spread)`` — which models a fleet deployed
+    with the same battery chemistry.
+
+    Args:
+        mean_lifetime: mean time to depletion (seconds).
+        spread: half-width of the uniform lifetime band, as a fraction of the
+            mean (0 = all beacons die at the exact same instant).
+    """
+
+    def __init__(self, mean_lifetime: float, spread: float = 0.1):
+        if mean_lifetime <= 0:
+            raise ValueError(f"mean_lifetime must be positive, got {mean_lifetime}")
+        if not 0.0 <= spread < 1.0:
+            raise ValueError(f"spread must be in [0, 1), got {spread}")
+        self.mean_lifetime = float(mean_lifetime)
+        self.spread = float(spread)
+
+    def realize(self, rng: np.random.Generator) -> FaultRealization:
+        mean, spread = self.mean_lifetime, self.spread
+
+        def lifetimes(seed, ids):
+            u = 2.0 * hash_uniform(seed, ids, _BATTERY_TAG) - 1.0
+            return mean * (1.0 + spread * u)
+
+        return _LifetimeRealization(_draw_seed(rng), lifetimes)
+
+
+class IntermittentFault(FaultModel):
+    """Gilbert–Elliott-style per-beacon flapping (alternating up/down).
+
+    Each beacon runs an independent two-state continuous-time Markov chain
+    with exponential sojourns — the beacon-level analogue of the per-link
+    :class:`repro.protocol.GilbertElliottLoss` burst process.  The chain is
+    replayed deterministically from hashed sojourn draws, so the state at any
+    query time is a pure function of ``(seed, beacon id, time)``.
+
+    ``mean_down_time = inf`` gives the permanent-crash limiting case: the
+    first down-transition is final (a :class:`CrashFault` with exponential
+    lifetime ``mean_up_time``).
+
+    Args:
+        mean_up_time: mean sojourn in the up state (seconds).
+        mean_down_time: mean sojourn in the down state (seconds; ``inf``
+            makes the first outage permanent).
+        start_up: initial state; ``None`` draws it from the chain's steady
+            state (up with probability ``up/(up+down)``; with an infinite
+            ``mean_down_time`` beacons start alive).
+    """
+
+    _MAX_TRANSITIONS = 100_000
+
+    def __init__(
+        self,
+        mean_up_time: float,
+        mean_down_time: float,
+        start_up: bool | None = True,
+    ):
+        if mean_up_time <= 0:
+            raise ValueError(f"mean_up_time must be positive, got {mean_up_time}")
+        if mean_down_time <= 0:
+            raise ValueError(f"mean_down_time must be positive, got {mean_down_time}")
+        self.mean_up_time = float(mean_up_time)
+        self.mean_down_time = float(mean_down_time)
+        self.start_up = start_up
+
+    @property
+    def steady_state_up(self) -> float:
+        """Long-run fraction of time a beacon spends up."""
+        if math.isinf(self.mean_down_time):
+            return 0.0
+        return self.mean_up_time / (self.mean_up_time + self.mean_down_time)
+
+    def realize(self, rng: np.random.Generator) -> "IntermittentRealization":
+        return IntermittentRealization(
+            _draw_seed(rng), self.mean_up_time, self.mean_down_time, self.start_up
+        )
+
+
+class IntermittentRealization(FaultRealization):
+    """Deterministic replay of per-beacon on/off renewal chains."""
+
+    def __init__(
+        self,
+        seed: np.uint64,
+        mean_up_time: float,
+        mean_down_time: float,
+        start_up: bool | None,
+    ):
+        self._seed = seed
+        self._up = mean_up_time
+        self._down = mean_down_time
+        self._start_up = start_up
+
+    def _initial_state(self, beacon_id: np.uint64) -> bool:
+        if self._start_up is not None:
+            return bool(self._start_up)
+        if math.isinf(self._down):
+            return True  # steady state is degenerate; start alive
+        p_up = self._up / (self._up + self._down)
+        return bool(hash_uniform(self._seed, beacon_id, _FLAP_STATE_TAG) < p_up)
+
+    def _state_at(self, beacon_id: np.uint64, time: float) -> bool:
+        up = self._initial_state(beacon_id)
+        elapsed = 0.0
+        for k in range(IntermittentFault._MAX_TRANSITIONS):
+            mean = self._up if up else self._down
+            if math.isinf(mean):
+                return up
+            u = float(hash_uniform(self._seed, beacon_id, np.uint64(k), _FLAP_SOJOURN_TAG))
+            elapsed += -mean * math.log1p(-u)
+            if elapsed > time:
+                return up
+            up = not up
+        raise RuntimeError(
+            f"intermittent fault chain for beacon {int(beacon_id)} exceeded "
+            f"{IntermittentFault._MAX_TRANSITIONS} transitions by t={time}"
+        )
+
+    def up_mask(self, beacon_ids, time: float) -> np.ndarray:
+        ids = _as_id_array(beacon_ids)
+        t = _check_time(time)
+        return np.fromiter(
+            (self._state_at(b, t) for b in ids), dtype=bool, count=ids.size
+        )
+
+
+class DriftFault(FaultModel):
+    """Bounded position drift: beacons creep from their surveyed positions.
+
+    Each beacon drifts along a fixed per-beacon direction with random-walk
+    scaling ``rate · sqrt(t)``, saturating at ``max_drift`` — terrain
+    settling or repeated knocks, not teleportation.  Drift moves the beacon's
+    *true* position; since the static propagation noise is a field over
+    locations, a drifted beacon also samples new link noise, exactly as a
+    physically moved radio would.
+
+    Args:
+        rate: drift scale in meters per sqrt-second.
+        max_drift: hard cap on total displacement (meters).
+    """
+
+    def __init__(self, rate: float, max_drift: float):
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        if max_drift < 0:
+            raise ValueError(f"max_drift must be non-negative, got {max_drift}")
+        self.rate = float(rate)
+        self.max_drift = float(max_drift)
+
+    def realize(self, rng: np.random.Generator) -> "DriftRealization":
+        return DriftRealization(_draw_seed(rng), self.rate, self.max_drift)
+
+
+class DriftRealization(FaultRealization):
+    """Deterministic per-beacon drift; never kills anything."""
+
+    def __init__(self, seed: np.uint64, rate: float, max_drift: float):
+        self._seed = seed
+        self._rate = rate
+        self._max = max_drift
+
+    def up_mask(self, beacon_ids, time: float) -> np.ndarray:
+        ids = _as_id_array(beacon_ids)
+        _check_time(time)
+        return np.ones(ids.size, dtype=bool)
+
+    def position_offsets(self, beacon_ids, time: float) -> np.ndarray:
+        ids = _as_id_array(beacon_ids)
+        t = _check_time(time)
+        theta = 2.0 * np.pi * hash_uniform(self._seed, ids, _DRIFT_ANGLE_TAG)
+        magnitude = min(self._rate * math.sqrt(t), self._max)
+        return magnitude * np.stack([np.cos(theta), np.sin(theta)], axis=1)
+
+
+class CompositeFault(FaultModel):
+    """Several fault processes acting at once (e.g. crashes + drift).
+
+    A beacon is up iff every component says it is up; drifts add.
+
+    Args:
+        models: the component fault models (independent realizations).
+    """
+
+    def __init__(self, models: Sequence[FaultModel]):
+        if not models:
+            raise ValueError("CompositeFault requires at least one model")
+        self.models = tuple(models)
+
+    def realize(self, rng: np.random.Generator) -> "CompositeRealization":
+        return CompositeRealization([m.realize(rng) for m in self.models])
+
+
+class CompositeRealization(FaultRealization):
+    """Conjunction of component realizations."""
+
+    def __init__(self, parts: Sequence[FaultRealization]):
+        self._parts = tuple(parts)
+
+    def up_mask(self, beacon_ids, time: float) -> np.ndarray:
+        ids = _as_id_array(beacon_ids)
+        mask = np.ones(ids.size, dtype=bool)
+        for part in self._parts:
+            mask &= part.up_mask(ids, time)
+        return mask
+
+    def position_offsets(self, beacon_ids, time: float) -> np.ndarray:
+        ids = _as_id_array(beacon_ids)
+        total = np.zeros((ids.size, 2))
+        for part in self._parts:
+            total += part.position_offsets(ids, time)
+        return total

@@ -29,6 +29,12 @@ class BeaconTransmitter:
         jitter: uniform per-message phase jitter as a fraction of the period
             (0 = strictly periodic).
         rng: randomness for the initial phase and per-message jitter.
+        faults: optional fault realization (any object with
+            ``is_up(beacon_index, time) -> bool``, e.g. a
+            :class:`repro.faults.FaultRealization`).  A beacon that is down
+            at a scheduled transmission skips it — permanently-crashed
+            beacons fall silent, flapping beacons transmit in bursts — but
+            keeps its schedule so it resumes if the fault clears.
     """
 
     def __init__(
@@ -40,6 +46,7 @@ class BeaconTransmitter:
         message_duration: float,
         jitter: float,
         rng: np.random.Generator,
+        faults=None,
     ):
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
@@ -56,7 +63,9 @@ class BeaconTransmitter:
         self._duration = float(message_duration)
         self._jitter = float(jitter)
         self._rng = rng
+        self._faults = faults
         self.messages_sent = 0
+        self.messages_suppressed = 0
         self._stopped = False
 
     def start(self) -> None:
@@ -71,8 +80,11 @@ class BeaconTransmitter:
     def _fire(self) -> None:
         if self._stopped:
             return
-        self._channel.transmit(self._index, self._duration)
-        self.messages_sent += 1
+        if self._faults is not None and not self._faults.is_up(self._index, self._sim.now):
+            self.messages_suppressed += 1
+        else:
+            self._channel.transmit(self._index, self._duration)
+            self.messages_sent += 1
         delay = self._period
         if self._jitter > 0:
             delay += self._period * self._rng.uniform(-self._jitter, self._jitter)
@@ -89,8 +101,14 @@ def start_beacon_processes(
     message_duration: float,
     jitter: float,
     rng: np.random.Generator,
+    faults=None,
 ) -> list[BeaconTransmitter]:
     """Create and start one transmitter per beacon.
+
+    Args:
+        faults: optional fault realization gating every transmitter (see
+            :class:`BeaconTransmitter`); beacon index is used as beacon id,
+            matching fields built with :meth:`BeaconField.from_positions`.
 
     Returns:
         The transmitters, indexed like the beacon field.
@@ -98,7 +116,7 @@ def start_beacon_processes(
     transmitters = []
     for b in range(num_beacons):
         tx = BeaconTransmitter(
-            simulator, channel, b, period, message_duration, jitter, rng
+            simulator, channel, b, period, message_duration, jitter, rng, faults=faults
         )
         tx.start()
         transmitters.append(tx)

@@ -105,6 +105,7 @@ class ProtocolConnectivityEstimator:
         rng: np.random.Generator,
         *,
         burst_loss=None,
+        faults=None,
     ) -> ProtocolRunResult:
         """Simulate one listening window for every client point at once.
 
@@ -115,6 +116,9 @@ class ProtocolConnectivityEstimator:
             rng: per-run randomness (phases, jitter, loss draws).
             burst_loss: optional bursty loss process (see
                 :class:`~repro.protocol.GilbertElliottLoss`).
+            faults: optional beacon fault realization (see
+                :class:`repro.faults.FaultRealization`); down beacons skip
+                scheduled transmissions.
         """
         pts = as_point_array(points)
         sim = Simulator()
@@ -127,6 +131,7 @@ class ProtocolConnectivityEstimator:
             message_duration=self.message_duration,
             jitter=self.jitter,
             rng=rng,
+            faults=faults,
         )
         sim.run(until=self.listen_time)
         for tx in transmitters:

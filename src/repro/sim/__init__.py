@@ -2,7 +2,20 @@
 
 from .config import ExperimentConfig, PAPER_NOISE_LEVELS, bench_config, paper_config
 from .io import read_curve_set, write_curve_set
-from .parallel import parallel_mean_error_curve, parallel_placement_improvement_curves
+from .parallel import (
+    parallel_mean_error_curve,
+    parallel_placement_improvement_curves,
+    spawn_context,
+    validate_workers,
+)
+from .resilient import (
+    RetryPolicy,
+    SweepJournal,
+    resilient_mean_error_curve,
+    resilient_placement_improvement_curves,
+    run_cells,
+    sweep_fingerprint,
+)
 from .results import Curve, CurveSet
 from .rng import derive_rng, derive_seed_sequence
 from .sweep import (
@@ -29,6 +42,14 @@ __all__ = [
     "placement_improvement_curves",
     "parallel_mean_error_curve",
     "parallel_placement_improvement_curves",
+    "spawn_context",
+    "validate_workers",
+    "RetryPolicy",
+    "SweepJournal",
+    "run_cells",
+    "sweep_fingerprint",
+    "resilient_mean_error_curve",
+    "resilient_placement_improvement_curves",
     "Curve",
     "CurveSet",
     "write_curve_set",

@@ -3,7 +3,10 @@
 Sweeps at paper fidelity take hours; benches and examples persist their
 curves so figures can be re-rendered (or diffed against EXPERIMENTS.md)
 without recomputation.  The format is a flat CSV with one row per
-(series, density) pair — trivially loadable by any plotting tool.
+(series, density) pair — trivially loadable by any plotting tool.  Degraded
+sweeps carry a ``coverage`` column (fraction of scheduled replications that
+produced a finite sample; 1.0 for clean runs) which round-trips into
+``Curve.meta["coverage"]``.
 """
 
 from __future__ import annotations
@@ -15,7 +18,17 @@ from .results import Curve, CurveSet
 
 __all__ = ["write_curve_set", "read_curve_set"]
 
-_FIELDS = ["label", "count", "density", "value", "ci_half_width", "num_samples"]
+_FIELDS = ["label", "count", "density", "value", "ci_half_width", "num_samples", "coverage"]
+
+#: column -> converter; ``coverage`` is optional for pre-coverage CSVs.
+_REQUIRED = {
+    "label": str,
+    "count": int,
+    "density": float,
+    "value": float,
+    "ci_half_width": float,
+    "num_samples": int,
+}
 
 
 def write_curve_set(curve_set: CurveSet, path) -> Path:
@@ -34,29 +47,75 @@ def write_curve_set(curve_set: CurveSet, path) -> Path:
     return out
 
 
+def _parse_row(src: Path, line: int, row: dict) -> dict:
+    parsed = {}
+    for column, convert in _REQUIRED.items():
+        raw = row.get(column)
+        if raw is None or raw == "":
+            raise ValueError(
+                f"{src}: row {line} is missing column {column!r} "
+                f"(expected columns {_FIELDS})"
+            )
+        try:
+            parsed[column] = convert(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{src}: row {line} has malformed value {raw!r} in column "
+                f"{column!r} (expected {convert.__name__})"
+            ) from None
+    raw_coverage = row.get("coverage")
+    if raw_coverage in (None, ""):
+        parsed["coverage"] = 1.0  # pre-coverage CSVs
+    else:
+        try:
+            parsed["coverage"] = float(raw_coverage)
+        except ValueError:
+            raise ValueError(
+                f"{src}: row {line} has malformed value {raw_coverage!r} in "
+                f"column 'coverage' (expected float)"
+            ) from None
+    return parsed
+
+
 def read_curve_set(path, title: str | None = None) -> CurveSet:
     """Read a curve set written by :func:`write_curve_set`.
 
     Args:
         path: the CSV path.
         title: title for the reconstructed set (defaults to the file stem).
+
+    Raises:
+        ValueError: naming the file and the missing/malformed column, if the
+            CSV does not parse as a curve set.
     """
     src = Path(path)
     series: dict[str, list[dict]] = {}
     with src.open(newline="") as handle:
-        for row in csv.DictReader(handle):
-            series.setdefault(row["label"], []).append(row)
+        reader = csv.DictReader(handle)
+        header = reader.fieldnames or []
+        missing = [c for c in _REQUIRED if c not in header]
+        if missing:
+            raise ValueError(
+                f"{src}: header {header} is missing required "
+                f"column(s) {missing} — not a curve-set CSV?"
+            )
+        for line, row in enumerate(reader, start=2):
+            parsed = _parse_row(src, line, row)
+            series.setdefault(parsed["label"], []).append(parsed)
 
     curves = []
     for label, rows in series.items():
+        coverage = tuple(r["coverage"] for r in rows)
+        meta = {} if all(c == 1.0 for c in coverage) else {"coverage": coverage}
         curves.append(
             Curve(
                 label=label,
-                counts=tuple(int(r["count"]) for r in rows),
-                densities=tuple(float(r["density"]) for r in rows),
-                values=tuple(float(r["value"]) for r in rows),
-                ci_half_widths=tuple(float(r["ci_half_width"]) for r in rows),
-                num_samples=tuple(int(r["num_samples"]) for r in rows),
+                counts=tuple(r["count"] for r in rows),
+                densities=tuple(r["density"] for r in rows),
+                values=tuple(r["value"] for r in rows),
+                ci_half_widths=tuple(r["ci_half_width"] for r in rows),
+                num_samples=tuple(r["num_samples"] for r in rows),
+                meta=meta,
             )
         )
     return CurveSet(title=title or src.stem, curves=curves)

@@ -14,6 +14,9 @@ supported in parallel mode — parameterize via ``config`` instead.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
@@ -26,7 +29,12 @@ from .rng import derive_rng
 from .sweep import build_world
 from .trial import run_placement_trial
 
-__all__ = ["parallel_mean_error_curve", "parallel_placement_improvement_curves"]
+__all__ = [
+    "parallel_mean_error_curve",
+    "parallel_placement_improvement_curves",
+    "spawn_context",
+    "validate_workers",
+]
 
 
 def _mean_error_cell(args) -> float:
@@ -48,10 +56,42 @@ def _improvement_cell(args) -> dict:
     }
 
 
+def spawn_context() -> multiprocessing.context.BaseContext:
+    """The start method every sweep pool uses.
+
+    Pinned to ``spawn`` so results (and failure behavior) are identical
+    across platforms: fork would silently share parent state on POSIX while
+    macOS/Windows spawn, and forked workers can inherit locks mid-acquire.
+    Determinism never relied on fork — every cell derives its own named RNG
+    streams — so spawn only costs worker start-up time.
+    """
+    return multiprocessing.get_context("spawn")
+
+
+def validate_workers(workers: int) -> int:
+    """Check a worker count: reject non-positive, warn on oversubscription.
+
+    Returns:
+        ``workers`` unchanged — oversubscription is allowed (it can still
+        help on I/O-stalled hosts) but never silent.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cpus = os.cpu_count()
+    if cpus is not None and workers > cpus:
+        warnings.warn(
+            f"workers={workers} oversubscribes this host ({cpus} CPU(s)); "
+            "expect slowdown, not speedup",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return workers
+
+
 def _map(fn, jobs, workers: int):
     if workers <= 1:
         return [fn(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers, mp_context=spawn_context()) as pool:
         return list(pool.map(fn, jobs, chunksize=max(len(jobs) // (workers * 4), 1)))
 
 
@@ -67,8 +107,7 @@ def parallel_mean_error_curve(
     Identical output to :func:`repro.sim.mean_error_curve` (same streams),
     just faster.  ``workers <= 1`` degrades to the serial loop.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    validate_workers(workers)
     if label is None:
         label = "Ideal" if noise == 0.0 else f"Noise={noise:g}"
     samples_per_count = []
@@ -97,8 +136,7 @@ def parallel_placement_improvement_curves(
 
     Identical output to :func:`repro.sim.placement_improvement_curves`.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    validate_workers(workers)
     names = [a.name for a in algorithms]
     if len(set(names)) != len(names):
         raise ValueError(f"algorithm names must be unique, got {names}")

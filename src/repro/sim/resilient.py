@@ -1,0 +1,589 @@
+"""Resilient sweep execution: checkpoints, retries, degraded aggregation.
+
+Paper-fidelity sweeps are hours of work; a single stuck or crashing worker
+must not discard them.  This module wraps the per-cell fan-out of
+:mod:`repro.sim.parallel` in three layers of protection:
+
+* **Checkpoint journal** (:class:`SweepJournal`) — an append-only JSONL file
+  next to the CSV outputs.  Every completed cell is one flushed line, so a
+  killed sweep resumes from the journal and recomputes only missing cells.
+  Cells are pure functions of the config seed, so a resumed sweep is
+  *identical* to an uninterrupted one.  The journal header carries a
+  fingerprint of (sweep kind, config, algorithms); resuming against a
+  journal written for different parameters is refused loudly.
+* **Bounded retry with backoff** (:class:`RetryPolicy`) — a cell that
+  raises is retried up to ``max_attempts`` times with exponential backoff;
+  in pool mode a per-cell ``timeout`` additionally catches stuck workers
+  (the tainted pool is discarded and rebuilt, pending cells are requeued).
+* **Degraded aggregation** — a cell that exhausts its retries degrades to
+  NaN instead of aborting the sweep.  :meth:`Curve.from_samples` drops NaNs
+  and records per-point sample coverage in ``Curve.meta["coverage"]``; the
+  returned curve sets record the failed-cell count in their ``meta``.
+
+The timeout in pool mode is approximate: results are collected per batch of
+``workers`` cells, and each in-flight batch member gets the full timeout
+from the moment its result is awaited.  A stuck worker therefore delays
+detection by at most ``workers × timeout`` — acceptable for sweeps whose
+cells are seconds long.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..placement import PlacementAlgorithm
+from .config import ExperimentConfig
+from .parallel import spawn_context, validate_workers
+from .results import Curve, CurveSet
+from .rng import derive_rng
+from .sweep import build_world
+from .trial import run_placement_trial
+
+__all__ = [
+    "RetryPolicy",
+    "SweepJournal",
+    "run_cells",
+    "sweep_fingerprint",
+    "resilient_mean_error_curve",
+    "resilient_placement_improvement_curves",
+]
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before degrading a cell to NaN.
+
+    Attributes:
+        max_attempts: total tries per cell (1 = no retry).
+        timeout: per-cell wall-clock limit in seconds (pool mode only; the
+            serial path cannot preempt a running cell).  ``None`` disables.
+        backoff: sleep before retry k is ``backoff · 2^(k-1)`` seconds
+            (0 disables sleeping — used by tests).
+    """
+
+    max_attempts: int = 3
+    timeout: float | None = None
+    backoff: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {self.backoff}")
+
+    def sleep_before(self, attempt: int) -> None:
+        """Back off before retry ``attempt`` (2, 3, …)."""
+        if self.backoff > 0:
+            _time.sleep(self.backoff * 2 ** (attempt - 2))
+
+
+def _canon_key(key) -> tuple:
+    """Canonicalize a cell key for dict lookup and JSON round-tripping."""
+    out = []
+    for part in key:
+        if isinstance(part, bool):
+            raise TypeError("cell keys must be str/int/float")
+        if isinstance(part, (int, np.integer)):
+            out.append(int(part))
+        elif isinstance(part, (float, np.floating)):
+            out.append(float(part))
+        elif isinstance(part, str):
+            out.append(part)
+        else:
+            raise TypeError(f"unsupported cell-key part {part!r}")
+    return tuple(out)
+
+
+def sweep_fingerprint(kind: str, config: ExperimentConfig, extra=None) -> str:
+    """A stable identity for one sweep's parameter set.
+
+    Two runs share a journal iff their fingerprints match — same kind of
+    sweep, same config (seed included), same extras (e.g. algorithm names).
+    """
+    payload = {
+        "kind": kind,
+        "config": asdict(config),
+        "extra": extra,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint journal for sweep cells.
+
+    Line 1 is a header ``{"kind": "header", "fingerprint": …, "version": 1}``;
+    every further line is one cell:
+    ``{"kind": "cell", "key": [...], "ok": true, "attempts": 1, "value": …}``
+    (failed cells carry ``"ok": false`` and an ``"error"`` string instead of
+    a value).  Lines are flushed as written, so a crashed run loses at most
+    the line being written; a trailing partial line is ignored on load.
+
+    Use :meth:`open` — it validates the fingerprint of an existing journal
+    and creates a fresh one otherwise.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Path, fingerprint: str, entries: dict):
+        self.path = path
+        self.fingerprint = fingerprint
+        self._entries = entries
+        self._handle = None
+
+    @classmethod
+    def open(cls, path, fingerprint: str) -> "SweepJournal":
+        """Open (resuming) or create the journal at ``path``.
+
+        Raises:
+            ValueError: if an existing journal's fingerprint does not match
+                — the journal belongs to a different sweep; delete it or
+                pick another path.
+        """
+        p = Path(path)
+        entries: dict = {}
+        if p.exists():
+            header, cells = cls._load(p)
+            if header.get("fingerprint") != fingerprint:
+                raise ValueError(
+                    f"journal {p} was written for a different sweep "
+                    f"(fingerprint {header.get('fingerprint')!r} != {fingerprint!r}); "
+                    "delete it or choose another --journal path"
+                )
+            entries = cells
+        else:
+            p.parent.mkdir(parents=True, exist_ok=True)
+            with p.open("w") as handle:
+                handle.write(
+                    json.dumps(
+                        {"kind": "header", "fingerprint": fingerprint, "version": cls.VERSION}
+                    )
+                    + "\n"
+                )
+        return cls(p, fingerprint, entries)
+
+    @staticmethod
+    def _load(path: Path) -> tuple[dict, dict]:
+        header: dict = {}
+        cells: dict = {}
+        with path.open() as handle:
+            for i, line in enumerate(handle):
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Partial trailing line from a killed run; everything
+                    # before it is intact (one line per flushed cell).
+                    break
+                if i == 0:
+                    if record.get("kind") != "header":
+                        raise ValueError(f"journal {path} has no header line")
+                    header = record
+                elif record.get("kind") == "cell":
+                    cells[_canon_key(record["key"])] = record
+        if not header:
+            raise ValueError(f"journal {path} has no header line")
+        return header, cells
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def num_completed(self) -> int:
+        """Cells recorded with a usable value."""
+        return sum(1 for e in self._entries.values() if e["ok"])
+
+    def entry(self, key) -> dict | None:
+        """The recorded entry for ``key``, or None."""
+        return self._entries.get(_canon_key(key))
+
+    def record(self, key, *, ok: bool, value=None, attempts: int, error: str | None = None) -> None:
+        """Append one cell outcome (flushed immediately)."""
+        k = _canon_key(key)
+        entry = {"kind": "cell", "key": list(k), "ok": bool(ok), "attempts": int(attempts)}
+        if ok:
+            entry["value"] = value
+        else:
+            entry["error"] = error or "unknown"
+        if self._handle is None:
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+        self._entries[k] = entry
+
+    def close(self) -> None:
+        """Close the append handle (reopened on the next record)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def run_cells(
+    jobs: Sequence[tuple],
+    fn: Callable,
+    *,
+    workers: int = 1,
+    policy: RetryPolicy | None = None,
+    journal: SweepJournal | None = None,
+    progress: ProgressFn | None = None,
+    mp_context=None,
+) -> dict:
+    """Execute ``fn(args)`` for every ``(key, args)`` job, resiliently.
+
+    Journaled cells with a recorded value are returned without recomputation
+    (previously *failed* cells are retried — a resumed run gets a fresh
+    chance).  Cells that exhaust :class:`RetryPolicy` map to ``None``.
+
+    Args:
+        jobs: ``(key, args)`` pairs; keys must be unique tuples of
+            str/int/float.
+        fn: the cell function; must be picklable (module-level) for pool
+            mode.
+        workers: process count; ``<= 1`` runs in-process (no timeouts).
+        policy: retry/timeout policy (default :class:`RetryPolicy`).
+        journal: optional checkpoint journal.
+        progress: optional callback for per-cell status lines.
+        mp_context: multiprocessing context override (default: spawn).
+
+    Returns:
+        ``{canonical key: value or None}`` for every job.
+    """
+    policy = policy or RetryPolicy()
+    results: dict = {}
+    pending: list[tuple] = []
+    seen = set()
+    for key, args in jobs:
+        k = _canon_key(key)
+        if k in seen:
+            raise ValueError(f"duplicate cell key {k}")
+        seen.add(k)
+        entry = journal.entry(k) if journal is not None else None
+        if entry is not None and entry["ok"]:
+            results[k] = entry["value"]
+        else:
+            pending.append((k, args))
+    if progress is not None and journal is not None and results:
+        progress(f"resumed {len(results)} cell(s) from {journal.path}")
+    if not pending:
+        return results
+    if workers <= 1:
+        _run_serial(pending, fn, policy, journal, results, progress)
+    else:
+        validate_workers(workers)
+        _run_pool(pending, fn, workers, policy, journal, results, progress, mp_context)
+    return results
+
+
+def _note_outcome(results, journal, progress, key, *, ok, value=None, attempts, error=None):
+    results[key] = value if ok else None
+    if journal is not None:
+        journal.record(key, ok=ok, value=value, attempts=attempts, error=error)
+    if progress is not None and not ok:
+        progress(f"cell {key} FAILED after {attempts} attempt(s): {error}")
+
+
+def _run_serial(pending, fn, policy, journal, results, progress):
+    for key, args in pending:
+        last_error = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                policy.sleep_before(attempt)
+            try:
+                value = fn(args)
+            except Exception as exc:  # noqa: BLE001 — degrade, never abort
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            _note_outcome(results, journal, progress, key, ok=True, value=value, attempts=attempt)
+            break
+        else:
+            _note_outcome(
+                results, journal, progress, key,
+                ok=False, attempts=policy.max_attempts, error=last_error,
+            )
+
+
+def _run_pool(pending, fn, workers, policy, journal, results, progress, mp_context):
+    ctx = mp_context if mp_context is not None else spawn_context()
+    queue = [(key, args, 1) for key, args in pending]
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+    def fail_or_requeue(key, args, attempt, error):
+        if attempt < policy.max_attempts:
+            policy.sleep_before(attempt + 1)
+            queue.append((key, args, attempt + 1))
+        else:
+            _note_outcome(
+                results, journal, progress, key,
+                ok=False, attempts=attempt, error=error,
+            )
+
+    try:
+        while queue:
+            batch, queue = queue[:workers], queue[workers:]
+            futures = [
+                (pool.submit(fn, args), key, args, attempt)
+                for key, args, attempt in batch
+            ]
+            pool_broken = False
+            for future, key, args, attempt in futures:
+                if pool_broken:
+                    # Sibling futures died with the pool; requeue at the
+                    # same attempt — the fault was not theirs.
+                    queue.insert(0, (key, args, attempt))
+                    continue
+                try:
+                    value = future.result(timeout=policy.timeout)
+                except FuturesTimeoutError:
+                    pool_broken = True  # worker stuck; pool must be rebuilt
+                    fail_or_requeue(key, args, attempt, f"timeout after {policy.timeout}s")
+                except BrokenProcessPool:
+                    pool_broken = True
+                    fail_or_requeue(key, args, attempt, "worker process died")
+                except Exception as exc:  # noqa: BLE001 — cell raised; pool fine
+                    fail_or_requeue(key, args, attempt, f"{type(exc).__name__}: {exc}")
+                else:
+                    _note_outcome(
+                        results, journal, progress, key,
+                        ok=True, value=value, attempts=attempt,
+                    )
+            if pool_broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+# -- Sweep drivers ----------------------------------------------------------
+
+
+def _mean_error_cell(args) -> float:
+    config, noise, count, index, faults, fault_time = args
+    world = build_world(config, noise, count, index, faults=faults, fault_time=fault_time)
+    return world.error_surface().mean_error()
+
+
+def _improvement_cell(args) -> dict:
+    config, noise, count, index, faults, fault_time, algorithms = args
+
+    def rng_for(name: str):
+        return derive_rng(config.seed, "alg", name, noise, count, index)
+
+    world = build_world(config, noise, count, index, faults=faults, fault_time=fault_time)
+    outcomes = run_placement_trial(world, list(algorithms), rng_for)
+    return {
+        o.algorithm: (o.improvement_mean, o.improvement_median) for o in outcomes
+    }
+
+
+def _open_journal(journal_path, fingerprint) -> SweepJournal | None:
+    if journal_path is None:
+        return None
+    return SweepJournal.open(journal_path, fingerprint)
+
+
+def _stable_describe(obj):
+    """A run-independent JSON-able description of a parameter object.
+
+    ``repr`` would embed object addresses for nested models (breaking
+    fingerprint stability across processes); this recurses into ``__dict__``
+    instead.
+    """
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_stable_describe(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _stable_describe(v) for k, v in obj.items()}
+    if getattr(obj, "__dict__", None):
+        described = {k: _stable_describe(v) for k, v in vars(obj).items()}
+        return {"__type__": type(obj).__name__, **described}
+    return f"{type(obj).__name__}()"
+
+
+def _fault_extra(faults, fault_time) -> dict | None:
+    if faults is None:
+        return None
+    return {"faults": _stable_describe(faults), "time": fault_time}
+
+
+def resilient_mean_error_curve(
+    config: ExperimentConfig,
+    noise: float,
+    *,
+    workers: int = 1,
+    journal_path=None,
+    policy: RetryPolicy | None = None,
+    label: str | None = None,
+    faults=None,
+    fault_time: float = 0.0,
+    progress: ProgressFn | None = None,
+) -> Curve:
+    """Figure 4/6 series with checkpointing, retries and NaN degradation.
+
+    With no journal, no failures and ``workers <= 1`` this is byte-identical
+    to :func:`repro.sim.mean_error_curve`; with a journal it resumes an
+    interrupted run and still produces the identical curve.
+
+    Args:
+        config: experiment parameters.
+        noise: the model's noise level for every cell.
+        workers: process count (``<= 1`` = in-process).
+        journal_path: JSONL checkpoint path (next to your CSV output);
+            ``None`` disables checkpointing.
+        policy: per-cell retry/timeout policy.
+        label: series label override.
+        faults: optional :class:`repro.faults.FaultModel` degrading every
+            world (see :func:`repro.sim.build_world`).
+        fault_time: snapshot time for ``faults``.
+        progress: optional status callback.
+    """
+    if label is None:
+        label = "Ideal" if noise == 0.0 else f"Noise={noise:g}"
+    fingerprint = sweep_fingerprint("mean-error", config, _fault_extra(faults, fault_time))
+    journal = _open_journal(journal_path, fingerprint)
+    jobs = [
+        ((noise, count, index), (config, noise, count, index, faults, fault_time))
+        for count in config.beacon_counts
+        for index in range(config.fields_per_density)
+    ]
+    try:
+        cells = run_cells(
+            jobs, _mean_error_cell,
+            workers=workers, policy=policy, journal=journal, progress=progress,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    samples_per_count = []
+    failed = 0
+    for count in config.beacon_counts:
+        samples = np.empty(config.fields_per_density)
+        for index in range(config.fields_per_density):
+            value = cells[_canon_key((noise, count, index))]
+            if value is None:
+                failed += 1
+                samples[index] = np.nan
+            else:
+                samples[index] = value
+        samples_per_count.append(samples)
+    curve = Curve.from_samples(
+        label,
+        config.beacon_counts,
+        config.densities(),
+        samples_per_count,
+        confidence=config.confidence,
+    )
+    curve.meta["failed_cells"] = failed
+    return curve
+
+
+def resilient_placement_improvement_curves(
+    config: ExperimentConfig,
+    noise: float,
+    algorithms: Sequence[PlacementAlgorithm],
+    *,
+    workers: int = 1,
+    journal_path=None,
+    policy: RetryPolicy | None = None,
+    faults=None,
+    fault_time: float = 0.0,
+    progress: ProgressFn | None = None,
+) -> tuple[CurveSet, CurveSet]:
+    """Figure 5/7–9 series with checkpointing, retries and NaN degradation.
+
+    Failure of a cell degrades that replication to NaN for *every*
+    algorithm (the comparison stays paired); per-point coverage lands in
+    each curve's ``meta["coverage"]`` and the failed-cell total in the
+    curve sets' ``meta["failed_cells"]``.  See
+    :func:`resilient_mean_error_curve` for the argument semantics.
+    """
+    names = [a.name for a in algorithms]
+    if len(set(names)) != len(names):
+        raise ValueError(f"algorithm names must be unique, got {names}")
+    fingerprint = sweep_fingerprint(
+        "improvement", config,
+        {"algorithms": names, **(_fault_extra(faults, fault_time) or {})},
+    )
+    journal = _open_journal(journal_path, fingerprint)
+    jobs = [
+        (
+            (noise, count, index),
+            (config, noise, count, index, faults, fault_time, tuple(algorithms)),
+        )
+        for count in config.beacon_counts
+        for index in range(config.fields_per_density)
+    ]
+    try:
+        cells = run_cells(
+            jobs, _improvement_cell,
+            workers=workers, policy=policy, journal=journal, progress=progress,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    mean_samples = {n: [] for n in names}
+    median_samples = {n: [] for n in names}
+    failed = 0
+    for count in config.beacon_counts:
+        cell_mean = {n: np.empty(config.fields_per_density) for n in names}
+        cell_median = {n: np.empty(config.fields_per_density) for n in names}
+        for index in range(config.fields_per_density):
+            value = cells[_canon_key((noise, count, index))]
+            if value is None:
+                failed += 1
+                for n in names:
+                    cell_mean[n][index] = np.nan
+                    cell_median[n][index] = np.nan
+            else:
+                for n in names:
+                    pair = value[n]
+                    cell_mean[n][index] = pair[0]
+                    cell_median[n][index] = pair[1]
+        for n in names:
+            mean_samples[n].append(cell_mean[n])
+            median_samples[n].append(cell_median[n])
+
+    def to_set(samples: dict, metric: str) -> CurveSet:
+        curves = [
+            Curve.from_samples(
+                n,
+                config.beacon_counts,
+                config.densities(),
+                samples[n],
+                confidence=config.confidence,
+            )
+            for n in names
+        ]
+        return CurveSet(
+            title=f"Improvement in {metric} error (noise={noise:g})",
+            curves=curves,
+            meta={
+                "noise": noise,
+                "fields_per_density": config.fields_per_density,
+                "metric": metric,
+                "workers": workers,
+                "failed_cells": failed,
+            },
+        )
+
+    return to_set(mean_samples, "mean"), to_set(median_samples, "median")

@@ -25,9 +25,14 @@ class Curve:
         label: series label (e.g. ``"grid"``, ``"Noise=0.3"``).
         counts: beacon counts at each x position.
         densities: beacons per m² at each x position.
-        values: point estimates (meters unless stated otherwise).
+        values: point estimates (meters unless stated otherwise); NaN marks
+            a point with no usable samples at all.
         ci_half_widths: confidence half-widths matching ``values``.
-        num_samples: replications behind each point.
+        num_samples: replications behind each point (finite samples only).
+        meta: free-form per-curve provenance.  Degraded sweeps record
+            ``meta["coverage"]`` — the per-point fraction of scheduled
+            replications that produced a finite sample (1.0 everywhere for a
+            clean run).  Excluded from equality comparisons.
     """
 
     label: str
@@ -36,6 +41,7 @@ class Curve:
     values: tuple[float, ...]
     ci_half_widths: tuple[float, ...]
     num_samples: tuple[int, ...]
+    meta: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         lengths = {
@@ -68,6 +74,13 @@ class Curve:
             raise KeyError(f"count {count} not in curve (has {self.counts})") from None
         return self.values[idx]
 
+    def coverage(self) -> tuple[float, ...]:
+        """Per-point sample coverage (``meta["coverage"]``; 1.0 by default)."""
+        stored = self.meta.get("coverage")
+        if stored is None:
+            return (1.0,) * len(self)
+        return tuple(float(c) for c in stored)
+
     def as_rows(self) -> list[dict]:
         """Plain dict rows for CSV/tables."""
         return [
@@ -78,13 +91,15 @@ class Curve:
                 "value": v,
                 "ci_half_width": h,
                 "num_samples": n,
+                "coverage": g,
             }
-            for c, d, v, h, n in zip(
+            for c, d, v, h, n, g in zip(
                 self.counts,
                 self.densities,
                 self.values,
                 self.ci_half_widths,
                 self.num_samples,
+                self.coverage(),
             )
         ]
 
@@ -100,6 +115,13 @@ class Curve:
     ) -> "Curve":
         """Aggregate raw per-field samples into a curve.
 
+        NaN samples mark replications that failed or were excluded (e.g. a
+        sweep cell that exhausted its retries); they are dropped from the
+        point estimate and the per-point coverage is recorded in
+        ``meta["coverage"]``.  An all-NaN point degrades to a NaN value with
+        zero samples rather than raising — a degraded sweep never silently
+        drops a series.
+
         Args:
             label: series label.
             counts: beacon counts, one per sweep position.
@@ -109,9 +131,17 @@ class Curve:
         """
         from ..stats import mean_ci  # local import to avoid a package cycle
 
-        values, halves, ns = [], [], []
+        values, halves, ns, coverage = [], [], [], []
         for samples in samples_per_count:
-            ci = mean_ci(samples, confidence)
+            arr = np.asarray(samples, dtype=float)
+            finite = int(np.count_nonzero(~np.isnan(arr)))
+            coverage.append(finite / arr.size if arr.size else 0.0)
+            if finite == 0:
+                values.append(float("nan"))
+                halves.append(float("nan"))
+                ns.append(0)
+                continue
+            ci = mean_ci(arr, confidence)
             values.append(ci.value)
             halves.append(ci.half_width)
             ns.append(ci.n)
@@ -122,6 +152,7 @@ class Curve:
             values=tuple(values),
             ci_half_widths=tuple(halves),
             num_samples=tuple(ns),
+            meta={"coverage": tuple(coverage)},
         )
 
 

@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..faults import FaultModel, apply_faults
 from ..field import random_uniform_field
 from ..localization import CentroidLocalizer
 from ..placement import PlacementAlgorithm
@@ -58,6 +59,8 @@ def build_world(
     *,
     model_factory: Callable[[float], PropagationModel] | None = None,
     localizer=None,
+    faults: FaultModel | None = None,
+    fault_time: float = 0.0,
 ) -> TrialWorld:
     """The deterministic world for one cell replication.
 
@@ -65,11 +68,20 @@ def build_world(
     on noise — so noise levels are compared on identical geometry.  The
     propagation realization depends on all of ``(seed, noise, count,
     field_index)``.
+
+    With ``faults`` set, the field is snapshotted at ``fault_time`` through
+    a fault realization derived from ``(seed, count, field_index)`` — the
+    same degraded world regardless of noise level or which sweep slice runs
+    it.  Surviving beacons keep their ids, so their propagation links are
+    identical to the pristine world's.
     """
     if model_factory is None:
         model_factory = default_model_factory(config)
     field_rng = derive_rng(config.seed, "field", num_beacons, field_index)
     field = random_uniform_field(num_beacons, config.side, field_rng)
+    if faults is not None:
+        fault_rng = derive_rng(config.seed, "faults", num_beacons, field_index)
+        field = apply_faults(field, faults.realize(fault_rng), fault_time).field
     world_rng = derive_rng(config.seed, "world", noise, num_beacons, field_index)
     realization = model_factory(noise).realize(world_rng)
     if localizer is None:

@@ -31,6 +31,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_workers_and_journal_defaults(self):
+        args = build_parser().parse_args(["reproduce", "fig4"])
+        assert args.workers == 1
+        assert args.journal is None
+
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.mode == "crash"
+        assert args.times == [0.0, 25.0, 50.0, 100.0]
+
+    def test_faults_times_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--times", "a,b"])
+
 
 class TestCommands:
     def test_table1_output(self, capsys):
@@ -118,6 +132,35 @@ class TestCommands:
         assert code == 0
         assert (tmp_path / "fig5_mean.csv").exists()
         assert (tmp_path / "fig5_median.csv").exists()
+
+    def test_faults_command(self, capsys):
+        code = main(
+            ["--fields", "1", "--counts", "8", "faults", "--beacons", "12",
+             "--mode", "crash", "--lifetime", "30", "--times", "0,60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault mode crash" in out
+        assert "alive" in out and "grid gain" in out
+
+    def test_faults_mixed_mode(self, capsys):
+        code = main(
+            ["--fields", "1", "--counts", "8", "faults", "--beacons", "12",
+             "--mode", "mixed", "--times", "0,40"]
+        )
+        assert code == 0
+        assert "fault mode mixed" in capsys.readouterr().out
+
+    def test_reproduce_fig4_with_journal_resumes(self, capsys, tmp_path):
+        journal = tmp_path / "fig4.jsonl"
+        argv = ["--fields", "2", "--counts", "20", "--journal", str(journal),
+                "reproduce", "fig4"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+        # Second run resumes every cell from the journal — same output.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
 
     def test_report_command(self, capsys, tmp_path):
         out_path = tmp_path / "report.md"

@@ -15,7 +15,7 @@ from repro.geometry import MeasurementGrid, OverlappingGridLayout
 from repro.localization import CentroidLocalizer, localization_errors
 from repro.placement import GridPlacement, MaxPlacement, RandomPlacement
 from repro.radio import BeaconNoiseModel, IdealDiskModel
-from repro.sim import TrialWorld
+from repro.sim import Curve, TrialWorld
 
 
 SIDE = 60.0
@@ -114,6 +114,54 @@ class TestDegenerateSurveys:
             warnings.simplefilter("ignore", RuntimeWarning)
             ci = mean_ci([1.0, np.inf])
         assert not np.isfinite(ci.value) or ci.value > 1e9  # surfaced, not hidden
+
+
+class TestNaNAwareAggregation:
+    """Curve.from_samples under degraded (NaN-bearing) sample sets."""
+
+    def test_partial_nan_cell(self):
+        samples = [np.array([1.0, 2.0, np.nan, 3.0]), np.array([4.0, 5.0, 6.0, 7.0])]
+        curve = Curve.from_samples("c", (8, 20), (0.1, 0.2), samples)
+        assert curve.values[0] == pytest.approx(2.0)  # NaN dropped
+        assert curve.num_samples == (3, 4)
+        assert curve.coverage() == pytest.approx((0.75, 1.0))
+        assert np.isfinite(curve.ci_half_widths).all()
+
+    def test_all_nan_cell_degrades_not_raises(self):
+        samples = [np.full(3, np.nan), np.array([1.0, 2.0, 3.0])]
+        curve = Curve.from_samples("c", (8, 20), (0.1, 0.2), samples)
+        assert np.isnan(curve.values[0])
+        assert np.isnan(curve.ci_half_widths[0])
+        assert curve.num_samples[0] == 0
+        assert curve.coverage()[0] == 0.0
+        # The healthy point is untouched.
+        assert curve.values[1] == pytest.approx(2.0)
+
+    def test_reduced_n_widens_interval(self):
+        rng = np.random.default_rng(5)
+        base = rng.normal(10.0, 2.0, 40)
+        degraded = base.copy()
+        degraded[:20] = np.nan
+        full = Curve.from_samples("c", (8,), (0.1,), [base])
+        half = Curve.from_samples("c", (8,), (0.1,), [degraded])
+        assert half.ci_half_widths[0] > full.ci_half_widths[0]
+        assert half.coverage()[0] == pytest.approx(0.5)
+
+    def test_clean_samples_have_full_coverage(self):
+        curve = Curve.from_samples("c", (8,), (0.1,), [np.array([1.0, 2.0])])
+        assert curve.coverage() == (1.0,)
+
+    def test_all_beacons_failed_world_still_evaluates(self, grid, layout, rng):
+        """A fault snapshot that kills every beacon degrades, not crashes."""
+        from repro.faults import BatteryFault, apply_faults
+
+        field = BeaconField.from_positions(rng.uniform(0, SIDE, (10, 2)))
+        faults = BatteryFault(5.0, spread=0.0).realize(rng)
+        degraded = apply_faults(field, faults, 10.0)
+        assert degraded.num_alive == 0
+        world = make_world(degraded.field, grid, layout, rng)
+        mean, median = world.base_stats()
+        assert np.isfinite(mean) and np.isfinite(median)
 
 
 class TestAdversarialParameters:

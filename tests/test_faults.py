@@ -1,0 +1,274 @@
+"""Unit tests for repro.faults (fault models + injection)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    BatteryFault,
+    CompositeFault,
+    CrashFault,
+    DriftFault,
+    FaultRealization,
+    IntermittentFault,
+    NoFaults,
+    apply_faults,
+    fault_timeline,
+)
+from repro.field import random_uniform_field
+from repro.sim import build_world, derive_rng
+
+SIDE = 60.0
+
+
+@pytest.fixture
+def field(rng):
+    return random_uniform_field(20, SIDE, rng)
+
+
+def realize(model, seed=7):
+    return model.realize(np.random.default_rng(seed))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            CrashFault(40.0),
+            BatteryFault(40.0, spread=0.2),
+            IntermittentFault(20.0, 5.0),
+            DriftFault(0.5, 8.0),
+            CompositeFault([CrashFault(40.0), DriftFault(0.5, 8.0)]),
+        ],
+        ids=["crash", "battery", "flap", "drift", "composite"],
+    )
+    def test_same_seed_same_schedule(self, model, field):
+        ids = field.beacon_ids
+        a, b = realize(model, seed=7), realize(model, seed=7)
+        for t in (0.0, 13.0, 55.0, 200.0):
+            assert np.array_equal(a.up_mask(ids, t), b.up_mask(ids, t))
+            assert np.array_equal(
+                a.position_offsets(ids, t), b.position_offsets(ids, t)
+            )
+
+    def test_different_seeds_differ(self, field):
+        ids = field.beacon_ids
+        a, b = realize(CrashFault(40.0), seed=7), realize(CrashFault(40.0), seed=8)
+        assert not np.array_equal(a.up_mask(ids, 40.0), b.up_mask(ids, 40.0))
+
+    def test_query_order_independent(self, field):
+        """Hashed randomness: asking at t=100 first must not change t=10."""
+        ids = field.beacon_ids
+        a = realize(IntermittentFault(20.0, 5.0))
+        b = realize(IntermittentFault(20.0, 5.0))
+        late_first = a.up_mask(ids, 100.0), a.up_mask(ids, 10.0)
+        early_first = b.up_mask(ids, 10.0), b.up_mask(ids, 100.0)
+        assert np.array_equal(late_first[1], early_first[0])
+        assert np.array_equal(late_first[0], early_first[1])
+
+    def test_schedule_stable_under_beacon_addition(self, field):
+        """Extending the field leaves existing beacons' schedules untouched."""
+        real = realize(CrashFault(30.0))
+        extended = field.with_beacon_at((1.0, 1.0))
+        before = real.up_mask(field.beacon_ids, 45.0)
+        after = real.up_mask(extended.beacon_ids, 45.0)
+        assert np.array_equal(before, after[: len(field)])
+
+
+class TestCrashAndBattery:
+    def test_monotone_decay(self, field):
+        real = realize(CrashFault(30.0))
+        ids = field.beacon_ids
+        previous = np.ones(len(ids), dtype=bool)
+        for t in (0.0, 10.0, 30.0, 90.0, 300.0):
+            mask = real.up_mask(ids, t)
+            # A crashed beacon never comes back.
+            assert not np.any(mask & ~previous)
+            previous = mask
+
+    def test_all_up_at_time_zero(self, field):
+        for model in (CrashFault(30.0), BatteryFault(30.0), IntermittentFault(20.0, 5.0)):
+            assert realize(model).up_mask(field.beacon_ids, 0.0).all()
+
+    def test_battery_band(self, field):
+        """Battery lifetimes live inside mean·(1 ± spread)."""
+        real = realize(BatteryFault(50.0, spread=0.1))
+        ids = field.beacon_ids
+        assert real.up_mask(ids, 50.0 * 0.9 - 1e-6).all()
+        assert not real.up_mask(ids, 50.0 * 1.1 + 1e-6).any()
+
+
+class TestIntermittent:
+    def test_crash_is_limiting_case(self, field):
+        """mean_down_time=inf never recovers — exactly a crash fault."""
+        real = realize(IntermittentFault(30.0, float("inf")))
+        ids = field.beacon_ids
+        previous = np.ones(len(ids), dtype=bool)
+        for t in (0.0, 10.0, 50.0, 200.0, 1000.0):
+            mask = real.up_mask(ids, t)
+            assert not np.any(mask & ~previous)
+            previous = mask
+
+    def test_flapping_recovers(self, field):
+        """With finite down time some beacon that was down comes back up."""
+        real = realize(IntermittentFault(10.0, 3.0))
+        ids = field.beacon_ids
+        was_down = np.zeros(len(ids), dtype=bool)
+        recovered = False
+        for t in np.linspace(0.0, 200.0, 81):
+            mask = real.up_mask(ids, float(t))
+            recovered = recovered or bool(np.any(mask & was_down))
+            was_down |= ~mask
+        assert recovered
+
+    def test_steady_state_up(self):
+        assert IntermittentFault(30.0, 10.0).steady_state_up == pytest.approx(0.75)
+        assert IntermittentFault(30.0, float("inf")).steady_state_up == 0.0
+
+
+class TestDrift:
+    def test_offsets_bounded_and_growing(self, field):
+        real = realize(DriftFault(rate=0.5, max_drift=6.0))
+        ids = field.beacon_ids
+        small = np.linalg.norm(real.position_offsets(ids, 4.0), axis=1)
+        large = np.linalg.norm(real.position_offsets(ids, 400.0), axis=1)
+        assert np.all(small <= large + 1e-12)
+        assert np.all(large <= 6.0 + 1e-9)
+        assert small == pytest.approx(0.5 * 2.0)  # rate·sqrt(4)
+
+    def test_never_kills_beacons(self, field):
+        real = realize(DriftFault(0.5, 6.0))
+        assert real.up_mask(field.beacon_ids, 1e6).all()
+
+
+class TestComposite:
+    def test_semantics_match_parts(self, field):
+        """Composite up = AND of parts; drift offsets add.
+
+        CompositeFault.realize draws part realizations sequentially from one
+        generator, so realizing the same parts by hand from an identically
+        seeded generator reproduces them exactly.
+        """
+        crash, battery, drift = CrashFault(40.0), BatteryFault(40.0), DriftFault(0.5, 8.0)
+        composite_real = CompositeFault([crash, battery, drift]).realize(
+            np.random.default_rng(3)
+        )
+        rng = np.random.default_rng(3)
+        parts = [crash.realize(rng), battery.realize(rng), drift.realize(rng)]
+        ids = field.beacon_ids
+        for t in (0.0, 30.0, 80.0):
+            expected_mask = np.ones(len(ids), dtype=bool)
+            expected_offsets = np.zeros((len(ids), 2))
+            for part in parts:
+                expected_mask &= part.up_mask(ids, t)
+                expected_offsets += part.position_offsets(ids, t)
+            assert np.array_equal(composite_real.up_mask(ids, t), expected_mask)
+            assert np.allclose(
+                composite_real.position_offsets(ids, t), expected_offsets
+            )
+
+
+class TestNoFaults:
+    def test_identity(self, field):
+        real = NoFaults().realize(np.random.default_rng(0))
+        assert isinstance(real, FaultRealization)
+        assert real.up_mask(field.beacon_ids, 1e9).all()
+        assert not real.position_offsets(field.beacon_ids, 1e9).any()
+
+
+class TestApplyFaults:
+    def test_preserves_ids_and_next_id(self, field):
+        real = realize(CrashFault(20.0))
+        degraded = apply_faults(field, real, 40.0)
+        surviving = set(degraded.field.beacon_ids)
+        assert surviving < set(field.beacon_ids)
+        assert degraded.field.next_beacon_id == field.next_beacon_id
+        assert degraded.num_alive + degraded.num_failed == len(field)
+
+    def test_time_zero_is_identity(self, field):
+        degraded = apply_faults(field, realize(CrashFault(20.0)), 0.0)
+        assert degraded.alive_fraction == 1.0
+        assert np.array_equal(degraded.field.positions(), field.positions())
+
+    def test_drift_moves_survivors(self, field):
+        degraded = apply_faults(field, realize(DriftFault(1.0, 5.0)), 25.0)
+        assert degraded.alive_fraction == 1.0
+        moved = np.linalg.norm(
+            degraded.field.positions() - field.positions(), axis=1
+        )
+        assert np.all(moved > 0.0)
+        assert np.all(moved <= 5.0 + 1e-9)
+
+    def test_timeline(self, field):
+        snapshots = fault_timeline(field, realize(CrashFault(20.0)), [0.0, 20.0, 200.0])
+        alive = [s.num_alive for s in snapshots]
+        assert alive == sorted(alive, reverse=True)
+
+    def test_empty_field(self):
+        from repro.field import BeaconField
+
+        degraded = apply_faults(BeaconField.empty(), realize(CrashFault(20.0)), 50.0)
+        assert degraded.source_size == 0
+        assert degraded.alive_fraction == 1.0
+
+
+class TestSweepInjection:
+    def test_build_world_with_faults_degrades(self, tiny_config):
+        clean = build_world(tiny_config, 0.0, 20, 0)
+        degraded = build_world(
+            tiny_config, 0.0, 20, 0, faults=CrashFault(30.0), fault_time=90.0
+        )
+        assert len(degraded.field) < len(clean.field)
+        # Survivors keep their exact positions (links bit-identical).
+        clean_by_id = {b.beacon_id: b for b in clean.field}
+        for beacon in degraded.field:
+            assert beacon.position == clean_by_id[beacon.beacon_id].position
+
+    def test_fault_pattern_same_across_noise(self, tiny_config):
+        """Degradation derives from (seed, count, index) — not the noise."""
+        a = build_world(tiny_config, 0.0, 20, 1, faults=CrashFault(30.0), fault_time=60.0)
+        b = build_world(tiny_config, 0.3, 20, 1, faults=CrashFault(30.0), fault_time=60.0)
+        assert a.field.beacon_ids == b.field.beacon_ids
+
+
+class TestProtocolInjection:
+    def test_crashed_beacons_stop_transmitting(self, tiny_config):
+        from repro.protocol import ProtocolConnectivityEstimator
+
+        world = build_world(tiny_config, 0.0, 8, 0)
+        points = world.points()[::60]
+        estimator = ProtocolConnectivityEstimator(listen_time=10.0)
+        faults = BatteryFault(2.0, spread=0.0).realize(
+            derive_rng(tiny_config.seed, "proto-faults")
+        )
+        clean = estimator.run(
+            points,
+            world.field,
+            world.realization,
+            derive_rng(tiny_config.seed, "proto-run"),
+        )
+        faulty = estimator.run(
+            points,
+            world.field,
+            world.realization,
+            derive_rng(tiny_config.seed, "proto-run"),
+            faults=faults,
+        )
+        assert faulty.messages_sent < clean.messages_sent
+
+
+class TestValidation:
+    def test_constructor_errors(self):
+        with pytest.raises(ValueError):
+            CrashFault(0.0)
+        with pytest.raises(ValueError):
+            IntermittentFault(10.0, -1.0)
+        with pytest.raises(ValueError):
+            DriftFault(-0.5, 5.0)
+        with pytest.raises(ValueError):
+            BatteryFault(10.0, spread=1.5)
+        with pytest.raises(ValueError):
+            CompositeFault([])
+
+    def test_negative_time_rejected(self, field):
+        with pytest.raises(ValueError, match="time"):
+            realize(CrashFault(10.0)).up_mask(field.beacon_ids, -1.0)

@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.localization",
     "repro.placement",
     "repro.exploration",
+    "repro.faults",
     "repro.protocol",
     "repro.sim",
     "repro.stats",

@@ -21,7 +21,7 @@ class TestRoundTrip:
         path = write_curve_set(curve_set, tmp_path / "out" / "fig.csv")
         assert path.exists()
         header = path.read_text().splitlines()[0]
-        assert header == "label,count,density,value,ci_half_width,num_samples"
+        assert header == "label,count,density,value,ci_half_width,num_samples,coverage"
 
     def test_roundtrip_preserves_data(self, curve_set, tmp_path):
         path = write_curve_set(curve_set, tmp_path / "fig.csv")
@@ -38,3 +38,72 @@ class TestRoundTrip:
     def test_default_title_from_stem(self, curve_set, tmp_path):
         path = write_curve_set(curve_set, tmp_path / "figure9.csv")
         assert read_curve_set(path).title == "figure9"
+
+    def test_coverage_round_trips(self, tmp_path):
+        degraded = CurveSet(
+            "Degraded",
+            [
+                Curve(
+                    "grid",
+                    (20, 40),
+                    (0.002, 0.004),
+                    (1.5, 0.8),
+                    (0.2, 0.1),
+                    (8, 10),
+                    meta={"coverage": (0.8, 1.0)},
+                )
+            ],
+        )
+        path = write_curve_set(degraded, tmp_path / "deg.csv")
+        restored = read_curve_set(path).curve("grid")
+        assert restored.coverage() == pytest.approx((0.8, 1.0))
+        assert restored.meta["coverage"] == pytest.approx((0.8, 1.0))
+
+    def test_clean_curves_read_back_without_coverage_meta(self, curve_set, tmp_path):
+        path = write_curve_set(curve_set, tmp_path / "fig.csv")
+        restored = read_curve_set(path).curve("grid")
+        assert "coverage" not in restored.meta
+        assert restored.coverage() == (1.0, 1.0)
+
+
+class TestClearErrors:
+    def test_missing_column_names_file_and_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("label,count,density\n" "grid,20,0.002\n")
+        with pytest.raises(ValueError, match=r"bad\.csv.*value"):
+            read_curve_set(path)
+
+    def test_malformed_value_names_row_and_type(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "label,count,density,value,ci_half_width,num_samples\n"
+            "grid,20,0.002,1.5,0.2,10\n"
+            "grid,forty,0.004,0.8,0.1,10\n"
+        )
+        with pytest.raises(ValueError, match=r"bad\.csv: row 3.*'forty'.*count"):
+            read_curve_set(path)
+
+    def test_empty_cell_reported_as_missing(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "label,count,density,value,ci_half_width,num_samples\n"
+            "grid,20,0.002,,0.2,10\n"
+        )
+        with pytest.raises(ValueError, match=r"row 2 is missing column 'value'"):
+            read_curve_set(path)
+
+    def test_not_a_curve_csv(self, tmp_path):
+        path = tmp_path / "random.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="not a curve-set CSV"):
+            read_curve_set(path)
+
+    def test_pre_coverage_csv_still_reads(self, tmp_path):
+        """CSVs written before the coverage column default to full coverage."""
+        path = tmp_path / "old.csv"
+        path.write_text(
+            "label,count,density,value,ci_half_width,num_samples\n"
+            "grid,20,0.002,1.5,0.2,10\n"
+        )
+        restored = read_curve_set(path).curve("grid")
+        assert restored.coverage() == (1.0,)

@@ -32,6 +32,31 @@ class TestParallelMeanError:
             parallel_mean_error_curve(tiny_config, 0.0, workers=0)
 
 
+class TestWorkerValidation:
+    def test_oversubscription_warns_but_allows(self):
+        import os
+
+        from repro.sim import validate_workers
+
+        too_many = (os.cpu_count() or 1) + 1
+        with pytest.warns(RuntimeWarning, match="oversubscribes"):
+            assert validate_workers(too_many) == too_many
+
+    def test_sane_count_is_silent(self):
+        import warnings
+
+        from repro.sim import validate_workers
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert validate_workers(1) == 1
+
+    def test_spawn_context_pinned(self):
+        from repro.sim import spawn_context
+
+        assert spawn_context().get_start_method() == "spawn"
+
+
 class TestParallelImprovements:
     @pytest.fixture
     def algorithms(self):
