@@ -1,0 +1,97 @@
+"""Overhead budget of the observability layer (not a paper figure).
+
+The instrumentation in :mod:`repro.obs` is designed to cost nothing when
+off (no-op singletons, no branches at record sites) and almost nothing
+when on (per-cell spans against cells that run for tens of milliseconds).
+This bench pins both claims on a real sweep:
+
+* **off vs on** — the same ``mean_error_curve`` sweep runs with
+  observability fully disabled and with metrics + tracing enabled
+  (``--profile``'s cProfile is excluded: the deterministic profiler's
+  interpreter hook is strictly opt-in diagnostics, never a tier-1 mode);
+* **values** — the instrumented sweep must reproduce the uninstrumented
+  curve exactly, point for point;
+* **budget** — min-of-N wall clock with obs on must stay within 3% of
+  obs off (with slack for timer noise on shared CI hosts, see below).
+
+Results land in ``benchmarks/results/obs_overhead.txt``.
+"""
+
+import time
+
+from repro.obs import ObsSession, read_trace
+from repro.sim import ExperimentConfig, mean_error_curve
+
+# Budget from ISSUE/DESIGN: instrumentation may cost at most 3% of sweep
+# wall clock.  Shared CI hosts jitter by a few percent on their own, so the
+# assertion allows the budget plus a fixed noise floor while the recorded
+# numbers stay honest.
+OVERHEAD_BUDGET = 0.03
+TIMER_NOISE_FLOOR = 0.04
+REPEATS = 5
+
+
+def _bench_sweep_config() -> ExperimentConfig:
+    """A sweep big enough to time (~seconds) but far below paper fidelity."""
+    return ExperimentConfig(
+        side=150.0,
+        radio_range=12.0,
+        step=2.0,
+        num_grids=100,
+        beacon_counts=(30, 60, 120),
+        noise_levels=(0.0, 0.3),
+        fields_per_density=5,
+        seed=99,
+    )
+
+
+def _timed(run) -> tuple[float, object]:
+    start = time.perf_counter()
+    value = run()
+    return time.perf_counter() - start, value
+
+
+def test_obs_overhead_within_budget(emit_table, tmp_path):
+    config = _bench_sweep_config()
+    noise = 0.3
+
+    mean_error_curve(config, noise)  # warm imports and allocator
+
+    run_dirs = iter(tmp_path / f"run{i}" for i in range(REPEATS))
+
+    def instrumented():
+        with ObsSession(next(run_dirs)):
+            return mean_error_curve(config, noise)
+
+    # Interleave the two modes so slow host drift (thermal, co-tenants)
+    # hits both equally instead of biasing whichever runs last.
+    off_seconds = on_seconds = float("inf")
+    plain = observed = None
+    for _ in range(REPEATS):
+        seconds, plain = _timed(lambda: mean_error_curve(config, noise))
+        off_seconds = min(off_seconds, seconds)
+        seconds, observed = _timed(instrumented)
+        on_seconds = min(on_seconds, seconds)
+
+    # Instrumentation must not perturb the numbers.
+    assert observed.values == plain.values
+    assert observed.ci_half_widths == plain.ci_half_widths
+
+    # And it must have recorded something real.
+    _, records = read_trace(tmp_path / "run0" / "trace.jsonl")
+    cells = [r for r in records if r.get("name") == "sweep.cell"]
+    assert len(cells) == len(config.beacon_counts) * config.fields_per_density
+
+    overhead = on_seconds / off_seconds - 1.0
+    emit_table(
+        "obs_overhead",
+        ("mode", "best-of-%d (s)" % REPEATS, "overhead"),
+        [
+            ("obs off", f"{off_seconds:.3f}", "—"),
+            ("obs on (metrics+trace)", f"{on_seconds:.3f}", f"{overhead:+.2%}"),
+        ],
+    )
+    assert overhead < OVERHEAD_BUDGET + TIMER_NOISE_FLOOR, (
+        f"observability overhead {overhead:.2%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget (+{TIMER_NOISE_FLOOR:.0%} timer slack)"
+    )

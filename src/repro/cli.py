@@ -16,10 +16,20 @@ Subcommands:
 * ``report`` — run a compact evaluation and write a markdown report.
 * ``faults`` — degrade a deployment over time under a fault model and
   measure how localization and adaptive placement hold up.
+* ``obs`` — summarize the observability artifacts of an instrumented run
+  (top spans by cumulative time, counters, duration histograms).
+* ``journal`` — inspect a sweep checkpoint journal (done/failed/NaN
+  counts) and optionally compact superseded lines out of it.
 
 Long sweeps are resilient: ``--workers N`` fans cells across processes and
 ``--journal PATH`` checkpoints every completed cell to a JSONL file, so an
 interrupted ``reproduce`` resumes instead of recomputing.
+
+Any command can be observed: ``--trace DIR`` writes a JSONL span trace and
+a metrics snapshot into ``DIR`` (render them with ``beaconplace obs DIR``)
+and ``--profile`` prints a per-stage wall-clock breakdown plus the top
+cProfile entries.  Both are off by default and the uninstrumented path is
+byte-identical.
 """
 
 from __future__ import annotations
@@ -31,6 +41,13 @@ import numpy as np
 
 from .faults import BatteryFault, CompositeFault, CrashFault, DriftFault, IntermittentFault
 from .localization import overlap_ratio_sweep
+from .obs import (
+    ObsSession,
+    compact_journal,
+    format_journal_summary,
+    inspect_journal,
+    summarize_run_dir,
+)
 from .placement import GridPlacement, MaxPlacement, RandomPlacement
 from .protocol import ProtocolConnectivityEstimator
 from .sim import (
@@ -489,6 +506,30 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    try:
+        print(summarize_run_dir(args.run_dir))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_journal(args) -> int:
+    try:
+        if args.compact:
+            kept, dropped = compact_journal(args.path)
+            print(f"compacted {args.path}: kept {kept} line(s), dropped {dropped} superseded")
+        print(format_journal_summary(inspect_journal(args.path), keys=args.cells))
+    except FileNotFoundError:
+        print(f"error: no journal at {args.path}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -521,6 +562,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help=(
+            "observability run directory: span trace (trace.jsonl) and "
+            "metrics snapshot (metrics.json) land here; summarize with "
+            "'beaconplace obs DIR'"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile the command (cProfile + per-stage wall-clock "
+            "breakdown, printed at exit; also written to the --trace dir)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="print Table 1 and derived quantities")
@@ -618,6 +677,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot times, comma-separated",
     )
 
+    obs = sub.add_parser("obs", help="summarize an instrumented run directory")
+    obs.add_argument("run_dir", help="directory written by --trace/--profile")
+
+    journal = sub.add_parser(
+        "journal", help="inspect (and optionally compact) a sweep journal"
+    )
+    journal.add_argument("path", help="the JSONL checkpoint journal")
+    journal.add_argument(
+        "--cells", action="store_true", help="list every cell's latest status"
+    )
+    journal.add_argument(
+        "--compact",
+        action="store_true",
+        help="drop superseded lines in place (atomic rewrite) before summarizing",
+    )
+
     return parser
 
 
@@ -632,13 +707,26 @@ _COMMANDS = {
     "regions": _cmd_regions,
     "report": _cmd_report,
     "faults": _cmd_faults,
+    "obs": _cmd_obs,
+    "journal": _cmd_journal,
 }
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    session = ObsSession(args.trace, profile=args.profile)
+    with session:
+        code = _COMMANDS[args.command](args)
+    if session.profile_report is not None:
+        print(f"\n{session.profile_report}")
+    if session.run_dir is not None:
+        print(
+            f"\nobservability artifacts in {session.run_dir} "
+            f"(summarize with: beaconplace obs {session.run_dir})",
+            file=sys.stderr,
+        )
+    return code
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..field import Beacon, BeaconField
 from ..geometry import Point
+from ..obs import get_metrics
 from .models import FaultRealization
 
 __all__ = ["DegradedField", "apply_faults", "fault_timeline"]
@@ -85,6 +86,9 @@ def apply_faults(
         if up
     ]
     degraded = BeaconField(beacons, next_id=field.next_beacon_id)
+    metrics = get_metrics()
+    metrics.counter("faults.snapshots").inc()
+    metrics.counter("faults.beacons_dropped").inc(len(field) - len(beacons))
     return DegradedField(
         field=degraded, alive=alive, source_size=len(field), time=float(time)
     )

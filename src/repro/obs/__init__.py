@@ -1,0 +1,159 @@
+"""repro.obs — dependency-free observability: metrics, tracing, profiling.
+
+The measurement substrate under every perf claim in this repo.  Three
+instruments, all off by default behind no-op singletons so the tier-1
+pipeline stays byte-identical and within a <3% overhead budget
+(``benchmarks/bench_obs_overhead.py`` enforces it):
+
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms with
+  a picklable snapshot/merge protocol, so spawn-pool workers ship their
+  numbers back to the sweep parent;
+* :mod:`repro.obs.trace` — span tracing to append-only JSONL, same
+  conventions as the sweep journal (flushed lines, tolerated partial tail);
+* :mod:`repro.obs.profiling` — opt-in cProfile + per-stage wall-clock
+  breakdown behind the CLI's ``--profile``.
+
+:class:`ObsSession` bundles them for the CLI: ``--trace DIR`` routes spans
+to ``DIR/trace.jsonl`` and the final metrics snapshot to
+``DIR/metrics.json``; ``beaconplace obs DIR`` renders the result
+(:mod:`repro.obs.summary`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    instrumented_call,
+    metrics_enabled,
+)
+from .profiling import (
+    ProfileSession,
+    disable_profiling,
+    enable_profiling,
+    get_profile,
+)
+from .summary import (
+    JournalSummary,
+    METRICS_FILENAME,
+    PROFILE_FILENAME,
+    TRACE_FILENAME,
+    compact_journal,
+    format_journal_summary,
+    format_metrics_snapshot,
+    format_trace_summary,
+    inspect_journal,
+    summarize_run_dir,
+    summarize_spans,
+)
+from .trace import (
+    NULL_TRACER,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    read_trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "instrumented_call",
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "read_trace",
+    "ProfileSession",
+    "get_profile",
+    "enable_profiling",
+    "disable_profiling",
+    "summarize_spans",
+    "summarize_run_dir",
+    "format_trace_summary",
+    "format_metrics_snapshot",
+    "JournalSummary",
+    "inspect_journal",
+    "compact_journal",
+    "format_journal_summary",
+    "TRACE_FILENAME",
+    "METRICS_FILENAME",
+    "PROFILE_FILENAME",
+    "ObsSession",
+]
+
+
+class ObsSession:
+    """One observed CLI command: metrics + trace + optional profile.
+
+    With neither a run directory nor profiling requested the session is a
+    complete no-op — enter/exit install nothing, which is the default CLI
+    path.
+
+    Args:
+        run_dir: directory for artifacts (``trace.jsonl``,
+            ``metrics.json``, and ``profile.txt`` under ``--profile``);
+            created on demand.  ``None`` keeps trace/metrics off unless
+            profiling alone is requested.
+        profile: capture a :class:`ProfileSession` and render the
+            per-stage breakdown (available as :attr:`profile_report`).
+    """
+
+    def __init__(self, run_dir=None, *, profile: bool = False):
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.profile = bool(profile)
+        self.profile_report: str | None = None
+        self._session: ProfileSession | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether this session installs any instrumentation at all."""
+        return self.run_dir is not None or self.profile
+
+    def __enter__(self) -> "ObsSession":
+        if not self.active:
+            return self
+        enable_metrics()
+        if self.run_dir is not None:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            enable_tracing(self.run_dir / TRACE_FILENAME)
+        if self.profile:
+            self._session = enable_profiling()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self.active:
+            return
+        if self._session is not None:
+            disable_profiling()
+            self.profile_report = self._session.render()
+        snapshot = get_metrics().snapshot()
+        if self.run_dir is not None:
+            with (self.run_dir / METRICS_FILENAME).open("w") as handle:
+                json.dump(snapshot, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            if self.profile_report is not None:
+                (self.run_dir / PROFILE_FILENAME).write_text(self.profile_report + "\n")
+        disable_tracing()
+        disable_metrics()

@@ -1,0 +1,248 @@
+"""Span-based tracing to an append-only JSONL event file.
+
+A *span* is one named, timed section of work with free-form attributes::
+
+    with get_tracer().span("sweep.cell", noise=0.3, count=40, index=7):
+        ...
+
+Spans nest (the tracer tracks a per-thread depth so summaries can tell
+self-time from children later if they care) and land in the trace file as
+one flushed JSON line each, following the conventions of the sweep journal
+(:class:`repro.sim.SweepJournal`): line 1 is a header record, every other
+line is self-contained, lines are flushed as written, and a partial
+trailing line from a killed process is tolerated by :func:`read_trace`.
+
+Like metrics, tracing is off by default: :data:`NULL_TRACER` hands out a
+shared no-op context manager, so instrumented code costs one method call
+and an ``with`` block — nanoseconds against cells that run for
+milliseconds to seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "read_trace",
+]
+
+TRACE_VERSION = 1
+
+
+class _Span:
+    """Context manager for one traced section (created by :meth:`Tracer.span`)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start", "_wall")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._wall = time.time()
+        self._start = time.perf_counter()
+        self._tracer._depth.value = getattr(self._tracer._depth, "value", 0) + 1
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        duration = time.perf_counter() - self._start
+        depth = self._tracer._depth.value = self._tracer._depth.value - 1
+        attrs = self._attrs
+        if exc_type is not None:
+            attrs = {**attrs, "error": exc_type.__name__}
+        self._tracer._write(
+            {
+                "kind": "span",
+                "name": self._name,
+                "ts": self._wall,
+                "dur": duration,
+                "depth": depth,
+                **({"attrs": attrs} if attrs else {}),
+            }
+        )
+
+
+class _NullSpan:
+    """Shared no-op span used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class Tracer:
+    """Writes span/event records to one JSONL file.
+
+    Args:
+        path: the trace file.  Created (with a header line) if missing;
+            appended to otherwise, so several sweeps of one session share a
+            file the way resumed runs share a journal.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists()
+        self._handle = self.path.open("a")
+        self._lock = threading.Lock()
+        self._depth = threading.local()
+        self._depth.value = 0
+        if fresh:
+            self._write(
+                {
+                    "kind": "header",
+                    "format": "repro-trace",
+                    "version": TRACE_VERSION,
+                    "pid": os.getpid(),
+                }
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records reach a file (False only for the null tracer)."""
+        return True
+
+    def span(self, name: str, **attrs) -> _Span:
+        """A context manager tracing one named section."""
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instantaneous event."""
+        self._write(
+            {
+                "kind": "event",
+                "name": name,
+                "ts": time.time(),
+                **({"attrs": attrs} if attrs else {}),
+            }
+        )
+
+    def record_span(self, name: str, seconds: float, **attrs) -> None:
+        """Record a span measured elsewhere (e.g. inside a pool worker).
+
+        Pool cells time themselves in the worker; the parent calls this with
+        the reported duration so the trace stays a single-writer file.
+        """
+        self._write(
+            {
+                "kind": "span",
+                "name": name,
+                "ts": time.time() - seconds,
+                "dur": float(seconds),
+                "depth": 0,
+                **({"attrs": attrs} if attrs else {}),
+            }
+        )
+
+    def _write(self, record: dict) -> None:
+        if not hasattr(self._depth, "value"):
+            self._depth.value = 0
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the trace file."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+class _NullTracer(Tracer):
+    """The do-nothing tracer installed by default."""
+
+    _SPAN = _NullSpan()
+
+    def __init__(self):  # noqa: D107 — no file, no state
+        pass
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return self._SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def record_span(self, name: str, seconds: float, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = _NullTracer()
+_active: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (the null tracer by default)."""
+    return _active
+
+
+def tracing_enabled() -> bool:
+    """Whether a real (writing) tracer is installed."""
+    return _active.enabled
+
+
+def enable_tracing(path) -> Tracer:
+    """Install a :class:`Tracer` writing to ``path``."""
+    global _active
+    if _active.enabled:
+        _active.close()
+    _active = Tracer(path)
+    return _active
+
+
+def disable_tracing() -> None:
+    """Close any active tracer and restore the no-op null tracer."""
+    global _active
+    _active.close()
+    _active = NULL_TRACER
+
+
+def read_trace(path) -> tuple[dict, list[dict]]:
+    """Load a trace file: ``(header, records)``.
+
+    A partial trailing line (killed writer) is ignored, mirroring the sweep
+    journal's loader; everything before it is intact because records are
+    flushed line-by-line.
+
+    Raises:
+        ValueError: if the file does not start with a trace header.
+    """
+    header: dict = {}
+    records: list[dict] = []
+    with Path(path).open() as handle:
+        for i, line in enumerate(handle):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if i == 0:
+                if record.get("kind") != "header" or record.get("format") != "repro-trace":
+                    raise ValueError(f"{path} is not a repro trace file (no header)")
+                header = record
+            else:
+                records.append(record)
+    if not header:
+        raise ValueError(f"{path} is not a repro trace file (no header)")
+    return header, records

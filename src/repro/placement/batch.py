@@ -26,6 +26,7 @@ import numpy as np
 
 from ..exploration import Survey
 from ..geometry import Point, distances_to_point
+from ..obs import get_metrics, get_tracer
 from .base import PlacementAlgorithm
 
 __all__ = ["plan_batch_independent", "plan_batch_sequential"]
@@ -63,7 +64,9 @@ def plan_batch_independent(
     current = survey
     picks: list[Point] = []
     for _ in range(k):
-        pick = algorithm.propose(current, rng, world)
+        with get_tracer().span("placement.batch.pick", algorithm=algorithm.name):
+            pick = algorithm.propose(current, rng, world)
+        get_metrics().counter("placement.batch.picks").inc()
         picks.append(pick)
         near = distances_to_point(current.points, pick) <= suppression_radius
         damped = np.where(near, 0.0, current.errors)
@@ -106,7 +109,9 @@ def plan_batch_sequential(
     current = survey
     picks: list[Point] = []
     for _ in range(k):
-        pick = algorithm.propose(current, rng, world)
+        with get_tracer().span("placement.batch.pick", algorithm=algorithm.name):
+            pick = algorithm.propose(current, rng, world)
+        get_metrics().counter("placement.batch.picks").inc()
         picks.append(pick)
         current = resurvey(pick)
     return picks

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..field import BeaconField
+from ..obs import get_metrics
 from ..radio import PropagationRealization
 from .events import Simulator
 
@@ -97,6 +98,13 @@ class RadioChannel:
         self._success_prob = realization.message_success_probability(points, field)
         self.listeners = [Listener(i) for i in range(points.shape[0])]
         self.messages_sent = 0
+        # Instruments bound once here (no registry lookups on the per-message
+        # paths); no-op singletons when observability is off.
+        metrics = get_metrics()
+        self._m_sent = metrics.counter("protocol.messages.sent")
+        self._m_decoded = metrics.counter("protocol.messages.decoded")
+        self._m_collisions = metrics.counter("protocol.messages.collision_lost")
+        self._m_missed = metrics.counter("protocol.messages.propagation_lost")
 
     def audible_listeners(self, beacon_index: int) -> np.ndarray:
         """Listener indices with any chance of hearing a beacon."""
@@ -114,16 +122,19 @@ class RadioChannel:
         now = self._sim.now
         tx = Transmission(beacon_index, now, now + duration)
         self.messages_sent += 1
+        self._m_sent.inc()
         for li in self.audible_listeners(beacon_index):
             listener = self.listeners[li]
             p = self._success_prob[li, beacon_index]
             if p < 1.0 and self._rng.random() >= p:
                 listener.missed += 1
+                self._m_missed.inc()
                 continue
             if self._burst_loss is not None and self._burst_loss.message_lost(
                 int(li), beacon_index, now
             ):
                 listener.missed += 1
+                self._m_missed.inc()
                 continue
             # Overlap check against messages still on the air here.
             overlapping = [t for t in listener._active if t.end > now + 1e-12]
@@ -151,8 +162,10 @@ class RadioChannel:
         if id(tx) in listener._collided:
             listener._collided.discard(id(tx))
             listener.collisions += 1
+            self._m_collisions.inc()
             return
         listener.received[tx.beacon_index] = listener.received.get(tx.beacon_index, 0) + 1
+        self._m_decoded.inc()
 
     def received_matrix(self, num_beacons: int) -> np.ndarray:
         """Per-(listener, beacon) decoded-message counts, ``(L, N)``."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import get_metrics
 from .beacon_process import BeaconTransmitter
 from .channel import RadioChannel
 from .events import Simulator
@@ -82,6 +83,7 @@ class DutyCycledTransmitter(BeaconTransmitter):
             return
         # Asleep: skip this slot, but keep the clock running.
         self.messages_suppressed += 1
+        get_metrics().counter("protocol.messages.suppressed").inc()
         delay = self._period
         if self._jitter > 0:
             delay += self._period * self._rng.uniform(-self._jitter, self._jitter)
@@ -102,6 +104,7 @@ def start_duty_cycled_processes(
     awake_fraction: float,
 ) -> list[DutyCycledTransmitter]:
     """Create and start one duty-cycled transmitter per beacon."""
+    get_metrics().gauge("protocol.duty.awake_fraction").set(awake_fraction)
     transmitters = []
     for b in range(num_beacons):
         tx = DutyCycledTransmitter(

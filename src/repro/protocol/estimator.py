@@ -24,6 +24,7 @@ import numpy as np
 
 from ..field import BeaconField
 from ..geometry import as_point_array
+from ..obs import get_metrics, get_profile, get_tracer
 from ..radio import PropagationRealization
 from .beacon_process import start_beacon_processes
 from .channel import RadioChannel
@@ -133,10 +134,13 @@ class ProtocolConnectivityEstimator:
             rng=rng,
             faults=faults,
         )
-        sim.run(until=self.listen_time)
-        for tx in transmitters:
-            tx.stop()
-        sim.run()  # drain in-flight message completions
+        with get_profile().section("protocol.run"), get_tracer().span(
+            "protocol.run", clients=int(pts.shape[0]), beacons=len(field)
+        ):
+            sim.run(until=self.listen_time)
+            for tx in transmitters:
+                tx.stop()
+            sim.run()  # drain in-flight message completions
 
         sent = np.array([tx.messages_sent for tx in transmitters], dtype=float)
         received = channel.received_matrix(len(field)).astype(float)
@@ -147,6 +151,10 @@ class ProtocolConnectivityEstimator:
         collisions = sum(listener.collisions for listener in channel.listeners)
         missed = sum(listener.missed for listener in channel.listeners)
         decoded = int(received.sum())
+        audible = collisions + decoded
+        get_metrics().gauge("protocol.collision_rate").set(
+            collisions / audible if audible else 0.0
+        )
         return ProtocolRunResult(
             connectivity=connectivity,
             received_fraction=fraction,

@@ -18,6 +18,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..obs import get_metrics
+
 __all__ = ["Simulator", "ScheduledEvent"]
 
 
@@ -110,4 +112,7 @@ class Simulator:
             self._processed += 1
         if until is not None and self._now < until:
             self._now = until
+        # One counter update per run() call, not per event — the kernel's
+        # hot loop stays untouched by observability.
+        get_metrics().counter("protocol.events").inc(executed)
         return executed

@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import get_metrics, instrumented_call, metrics_enabled
 from ..placement import PlacementAlgorithm
 from .config import ExperimentConfig
 from .results import Curve, CurveSet
@@ -91,8 +92,20 @@ def validate_workers(workers: int) -> int:
 def _map(fn, jobs, workers: int):
     if workers <= 1:
         return [fn(job) for job in jobs]
+    chunksize = max(len(jobs) // (workers * 4), 1)
     with ProcessPoolExecutor(max_workers=workers, mp_context=spawn_context()) as pool:
-        return list(pool.map(fn, jobs, chunksize=max(len(jobs) // (workers * 4), 1)))
+        if not metrics_enabled():
+            return list(pool.map(fn, jobs, chunksize=chunksize))
+        # Observability on: run each cell under a worker-local registry and
+        # fold the shipped snapshots into the parent registry (see
+        # repro.obs.instrumented_call).
+        metrics = get_metrics()
+        values = []
+        payloads = [(fn, job) for job in jobs]
+        for wrapped in pool.map(instrumented_call, payloads, chunksize=chunksize):
+            metrics.merge(wrapped["metrics"])
+            values.append(wrapped["value"])
+        return values
 
 
 def parallel_mean_error_curve(

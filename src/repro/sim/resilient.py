@@ -41,6 +41,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..obs import get_metrics, get_tracer, instrumented_call, metrics_enabled
 from ..placement import PlacementAlgorithm
 from .config import ExperimentConfig
 from .parallel import spawn_context, validate_workers
@@ -281,20 +282,26 @@ def run_cells(
             results[k] = entry["value"]
         else:
             pending.append((k, args))
-    if progress is not None and journal is not None and results:
-        progress(f"resumed {len(results)} cell(s) from {journal.path}")
+    if journal is not None and results:
+        get_metrics().counter("sweep.cells.resumed").inc(len(results))
+        if progress is not None:
+            progress(f"resumed {len(results)} cell(s) from {journal.path}")
     if not pending:
         return results
-    if workers <= 1:
-        _run_serial(pending, fn, policy, journal, results, progress)
-    else:
-        validate_workers(workers)
-        _run_pool(pending, fn, workers, policy, journal, results, progress, mp_context)
+    with get_tracer().span(
+        "sweep.run_cells", cells=len(pending), workers=max(workers, 1)
+    ):
+        if workers <= 1:
+            _run_serial(pending, fn, policy, journal, results, progress)
+        else:
+            validate_workers(workers)
+            _run_pool(pending, fn, workers, policy, journal, results, progress, mp_context)
     return results
 
 
 def _note_outcome(results, journal, progress, key, *, ok, value=None, attempts, error=None):
     results[key] = value if ok else None
+    get_metrics().counter("sweep.cells.completed" if ok else "sweep.cells.failed").inc()
     if journal is not None:
         journal.record(key, ok=ok, value=value, attempts=attempts, error=error)
     if progress is not None and not ok:
@@ -302,13 +309,21 @@ def _note_outcome(results, journal, progress, key, *, ok, value=None, attempts, 
 
 
 def _run_serial(pending, fn, policy, journal, results, progress):
+    metrics = get_metrics()
+    cell_seconds = metrics.histogram("sweep.cell.seconds")
+    retries = metrics.counter("sweep.cells.retried")
+    tracer = get_tracer()
     for key, args in pending:
         last_error = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
+                retries.inc()
                 policy.sleep_before(attempt)
             try:
-                value = fn(args)
+                with tracer.span("sweep.cell", key=list(key), attempt=attempt):
+                    start = _time.perf_counter()
+                    value = fn(args)
+                    cell_seconds.observe(_time.perf_counter() - start)
             except Exception as exc:  # noqa: BLE001 — degrade, never abort
                 last_error = f"{type(exc).__name__}: {exc}"
                 continue
@@ -323,11 +338,23 @@ def _run_serial(pending, fn, policy, journal, results, progress):
 
 def _run_pool(pending, fn, workers, policy, journal, results, progress, mp_context):
     ctx = mp_context if mp_context is not None else spawn_context()
+    metrics = get_metrics()
+    tracer = get_tracer()
+    # With observability on, cells run under a worker-local registry whose
+    # snapshot ships back with the value (see obs.instrumented_call); the
+    # parent merges it so per-worker metrics aggregate into one registry.
+    instrument = metrics_enabled()
     queue = [(key, args, 1) for key, args in pending]
     pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
 
+    def submit(args):
+        if instrument:
+            return pool.submit(instrumented_call, (fn, args))
+        return pool.submit(fn, args)
+
     def fail_or_requeue(key, args, attempt, error):
         if attempt < policy.max_attempts:
+            metrics.counter("sweep.cells.retried").inc()
             policy.sleep_before(attempt + 1)
             queue.append((key, args, attempt + 1))
         else:
@@ -340,32 +367,51 @@ def _run_pool(pending, fn, workers, policy, journal, results, progress, mp_conte
         while queue:
             batch, queue = queue[:workers], queue[workers:]
             futures = [
-                (pool.submit(fn, args), key, args, attempt)
+                (submit(args), key, args, attempt)
                 for key, args, attempt in batch
             ]
             pool_broken = False
+            requeued_innocent = 0
             for future, key, args, attempt in futures:
                 if pool_broken:
                     # Sibling futures died with the pool; requeue at the
                     # same attempt — the fault was not theirs.
+                    requeued_innocent += 1
                     queue.insert(0, (key, args, attempt))
                     continue
                 try:
                     value = future.result(timeout=policy.timeout)
                 except FuturesTimeoutError:
                     pool_broken = True  # worker stuck; pool must be rebuilt
+                    metrics.counter("sweep.cells.timeout").inc()
                     fail_or_requeue(key, args, attempt, f"timeout after {policy.timeout}s")
                 except BrokenProcessPool:
                     pool_broken = True
+                    metrics.counter("sweep.cells.worker_death").inc()
                     fail_or_requeue(key, args, attempt, "worker process died")
                 except Exception as exc:  # noqa: BLE001 — cell raised; pool fine
                     fail_or_requeue(key, args, attempt, f"{type(exc).__name__}: {exc}")
                 else:
+                    if instrument:
+                        metrics.merge(value["metrics"])
+                        tracer.record_span(
+                            "sweep.cell", value["seconds"],
+                            key=list(key), attempt=attempt,
+                        )
+                        value = value["value"]
                     _note_outcome(
                         results, journal, progress, key,
                         ok=True, value=value, attempts=attempt,
                     )
             if pool_broken:
+                metrics.counter("sweep.pool.rebuilds").inc()
+                if requeued_innocent:
+                    metrics.counter("sweep.cells.requeued_innocent").inc(requeued_innocent)
+                    if progress is not None:
+                        progress(
+                            f"pool rebuilt; requeued {requeued_innocent} innocent "
+                            "batch-mate(s) at their current attempt"
+                        )
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
     finally:

@@ -25,6 +25,7 @@ import numpy as np
 from ..faults import FaultModel, apply_faults
 from ..field import random_uniform_field
 from ..localization import CentroidLocalizer
+from ..obs import get_metrics, get_profile, get_tracer
 from ..placement import PlacementAlgorithm
 from ..radio import BeaconNoiseModel, PropagationModel
 from .config import ExperimentConfig
@@ -77,22 +78,24 @@ def build_world(
     """
     if model_factory is None:
         model_factory = default_model_factory(config)
-    field_rng = derive_rng(config.seed, "field", num_beacons, field_index)
-    field = random_uniform_field(num_beacons, config.side, field_rng)
-    if faults is not None:
-        fault_rng = derive_rng(config.seed, "faults", num_beacons, field_index)
-        field = apply_faults(field, faults.realize(fault_rng), fault_time).field
-    world_rng = derive_rng(config.seed, "world", noise, num_beacons, field_index)
-    realization = model_factory(noise).realize(world_rng)
-    if localizer is None:
-        localizer = CentroidLocalizer(config.side, config.policy)
-    return TrialWorld(
-        field=field,
-        realization=realization,
-        grid=config.measurement_grid(),
-        layout=config.grid_layout(),
-        localizer=localizer,
-    )
+    with get_profile().section("world.build"):
+        get_metrics().counter("sweep.worlds_built").inc()
+        field_rng = derive_rng(config.seed, "field", num_beacons, field_index)
+        field = random_uniform_field(num_beacons, config.side, field_rng)
+        if faults is not None:
+            fault_rng = derive_rng(config.seed, "faults", num_beacons, field_index)
+            field = apply_faults(field, faults.realize(fault_rng), fault_time).field
+        world_rng = derive_rng(config.seed, "world", noise, num_beacons, field_index)
+        realization = model_factory(noise).realize(world_rng)
+        if localizer is None:
+            localizer = CentroidLocalizer(config.side, config.policy)
+        return TrialWorld(
+            field=field,
+            realization=realization,
+            grid=config.measurement_grid(),
+            layout=config.grid_layout(),
+            localizer=localizer,
+        )
 
 
 def mean_error_curve(
@@ -114,14 +117,18 @@ def mean_error_curve(
     """
     if label is None:
         label = "Ideal" if noise == 0.0 else f"Noise={noise:g}"
+    tracer = get_tracer()
+    cell_seconds = get_metrics().histogram("sweep.cell.seconds")
     samples_per_count = []
     for count in config.beacon_counts:
         samples = np.empty(config.fields_per_density)
         for i in range(config.fields_per_density):
-            world = build_world(
-                config, noise, count, i, model_factory=model_factory
-            )
-            samples[i] = world.error_surface().mean_error()
+            with tracer.span("sweep.cell", noise=noise, count=count, index=i), \
+                    cell_seconds.time():
+                world = build_world(
+                    config, noise, count, i, model_factory=model_factory
+                )
+                samples[i] = world.error_surface().mean_error()
         samples_per_count.append(samples)
         if progress is not None:
             progress(f"{label}: count={count} mean={samples.mean():.2f} m")
@@ -155,22 +162,26 @@ def placement_improvement_curves(
     if len(set(names)) != len(names):
         raise ValueError(f"algorithm names must be unique, got {names}")
 
+    tracer = get_tracer()
+    cell_seconds = get_metrics().histogram("sweep.cell.seconds")
     mean_samples = {n: [] for n in names}
     median_samples = {n: [] for n in names}
     for count in config.beacon_counts:
         cell_mean = {n: np.empty(config.fields_per_density) for n in names}
         cell_median = {n: np.empty(config.fields_per_density) for n in names}
         for i in range(config.fields_per_density):
-            world = build_world(
-                config, noise, count, i, model_factory=model_factory
-            )
+            with tracer.span("sweep.cell", noise=noise, count=count, index=i), \
+                    cell_seconds.time():
+                world = build_world(
+                    config, noise, count, i, model_factory=model_factory
+                )
 
-            def rng_for(alg_name: str, _i=i, _count=count):
-                return derive_rng(config.seed, "alg", alg_name, noise, _count, _i)
+                def rng_for(alg_name: str, _i=i, _count=count):
+                    return derive_rng(config.seed, "alg", alg_name, noise, _count, _i)
 
-            outcomes: list[TrialOutcome] = run_placement_trial(
-                world, list(algorithms), rng_for
-            )
+                outcomes: list[TrialOutcome] = run_placement_trial(
+                    world, list(algorithms), rng_for
+                )
             for outcome in outcomes:
                 cell_mean[outcome.algorithm][i] = outcome.improvement_mean
                 cell_median[outcome.algorithm][i] = outcome.improvement_median

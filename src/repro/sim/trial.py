@@ -43,6 +43,7 @@ from ..localization import (
     Localizer,
     localization_errors,
 )
+from ..obs import get_metrics, get_profile, get_tracer
 from ..placement import PlacementAlgorithm
 from ..radio import PropagationRealization
 
@@ -112,7 +113,8 @@ class TrialWorld:
     def connectivity(self) -> np.ndarray:
         """Cached ``(P_T, N)`` connectivity of the current field."""
         if self._conn is None:
-            self._conn = self.realization.connectivity(self.points(), self.field)
+            with get_profile().section("world.connectivity"):
+                self._conn = self.realization.connectivity(self.points(), self.field)
         return self._conn
 
     # -- Error evaluation ----------------------------------------------------
@@ -233,15 +235,25 @@ def run_placement_trial(
     Returns:
         One :class:`TrialOutcome` per algorithm, in input order.
     """
-    survey = world.survey()
-    base_mean, base_median = world.base_stats()
+    profile = get_profile()
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with profile.section("trial.survey"), tracer.span("trial.survey"):
+        survey = world.survey()
+        base_mean, base_median = world.base_stats()
     outcomes = []
     for algorithm in algorithms:
         rng = rng_for(algorithm.name)
-        pick = algorithm.propose(
-            survey, rng, world if algorithm.requires_world else None
-        )
-        gain_mean, gain_median = world.evaluate_candidate(pick)
+        with profile.section("placement.propose"), \
+                tracer.span("placement.propose", algorithm=algorithm.name), \
+                metrics.histogram(f"placement.propose.seconds.{algorithm.name}").time():
+            pick = algorithm.propose(
+                survey, rng, world if algorithm.requires_world else None
+            )
+        with profile.section("placement.evaluate"), \
+                tracer.span("placement.evaluate", algorithm=algorithm.name):
+            gain_mean, gain_median = world.evaluate_candidate(pick)
+        metrics.counter("placement.proposals").inc()
         outcomes.append(
             TrialOutcome(
                 algorithm=algorithm.name,

@@ -45,6 +45,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["faults", "--times", "a,b"])
 
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.trace is None
+        assert args.profile is False
+
+    def test_trace_and_profile_parse(self):
+        args = build_parser().parse_args(
+            ["--trace", "rundir", "--profile", "reproduce", "fig4"]
+        )
+        assert args.trace == "rundir"
+        assert args.profile is True
+
+    def test_obs_command_requires_run_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_journal_command_parses(self):
+        args = build_parser().parse_args(["journal", "sweep.jsonl", "--compact"])
+        assert args.command == "journal"
+        assert args.compact is True
+        assert args.cells is False
+
 
 class TestCommands:
     def test_table1_output(self, capsys):
@@ -161,6 +183,61 @@ class TestCommands:
         # Second run resumes every cell from the journal — same output.
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+    def test_trace_profile_then_obs_summary(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        code = main(
+            ["--fields", "1", "--counts", "8", "--trace", str(run_dir),
+             "--profile", "reproduce", "fig4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "profiled wall time" in out  # --profile breakdown printed
+        assert (run_dir / "trace.jsonl").exists()
+        assert (run_dir / "metrics.json").exists()
+        assert (run_dir / "profile.txt").exists()
+
+        assert main(["obs", str(run_dir)]) == 0
+        summary = capsys.readouterr().out
+        assert "sweep.cell" in summary
+        assert "sweep.worlds_built" in summary
+
+    def test_trace_off_output_identical(self, capsys, tmp_path):
+        argv = ["--fields", "1", "--counts", "8", "reproduce", "fig4"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        run_dir = tmp_path / "run"
+        assert main(["--trace", str(run_dir), "--profile"] + argv) == 0
+        observed = capsys.readouterr().out
+        # The figure body must be byte-identical; obs only appends a report.
+        assert observed.startswith(plain.rstrip("\n"))
+
+    def test_obs_command_empty_dir_fails(self, capsys, tmp_path):
+        assert main(["obs", str(tmp_path)]) == 1
+        assert "no observability artifacts" in capsys.readouterr().err
+
+    def test_journal_command_inspects_and_compacts(self, capsys, tmp_path):
+        journal = tmp_path / "fig4.jsonl"
+        base = ["--fields", "1", "--counts", "8", "--journal", str(journal)]
+        assert main(base + ["reproduce", "fig4"]) == 0
+        capsys.readouterr()
+
+        assert main(["journal", str(journal), "--cells"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "done" in out
+        assert "cells:" in out
+
+        assert main(["journal", str(journal), "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out
+        # Journal still resumes cleanly after compaction.
+        assert main(base + ["reproduce", "fig4"]) == 0
+
+    def test_journal_command_missing_file_fails(self, capsys, tmp_path):
+        assert main(["journal", str(tmp_path / "nope.jsonl")]) == 1
+        assert capsys.readouterr().err != ""
 
     def test_report_command(self, capsys, tmp_path):
         out_path = tmp_path / "report.md"
