@@ -19,11 +19,19 @@ Subcommands:
 * ``obs`` — summarize the observability artifacts of an instrumented run
   (top spans by cumulative time, counters, duration histograms).
 * ``journal`` — inspect a sweep checkpoint journal (done/failed/NaN
-  counts) and optionally compact superseded lines out of it.
+  counts), compact superseded lines out of it, or ``--merge`` the journals
+  of sharded/distributed runs into one.
+* ``worker`` — join a sweep served on another machine
+  (``--connect HOST:PORT``) and pull cell batches until drained.
+* ``serve`` — reproduce a figure with the socket executor: cells are
+  served to ``worker`` processes instead of computed locally.
 
 Long sweeps are resilient: ``--workers N`` fans cells across processes and
 ``--journal PATH`` checkpoints every completed cell to a JSONL file, so an
-interrupted ``reproduce`` resumes instead of recomputing.
+interrupted ``reproduce`` resumes instead of recomputing.  ``--executor
+{serial,pool,socket}`` picks where cells run (``--chunk`` sets the cells
+per dispatch, ``--bind`` the socket listen address); see
+:mod:`repro.sim.executors`.
 
 Any command can be observed: ``--trace DIR`` writes a JSONL span trace and
 a metrics snapshot into ``DIR`` (render them with ``beaconplace obs DIR``)
@@ -46,20 +54,24 @@ from .obs import (
     compact_journal,
     format_journal_summary,
     inspect_journal,
+    merge_journals,
     summarize_run_dir,
 )
 from .placement import GridPlacement, MaxPlacement, RandomPlacement
 from .protocol import ProtocolConnectivityEstimator
 from .sim import (
     PAPER_NOISE_LEVELS,
+    WorkerRejected,
     bench_config,
     build_world,
     derive_rng,
+    make_executor,
     mean_error_curve,
     placement_improvement_curves,
     resilient_mean_error_curve,
     resilient_placement_improvement_curves,
     run_placement_trial,
+    run_worker,
     write_curve_set,
 )
 from .sim.results import CurveSet
@@ -127,26 +139,68 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _executor_from_args(args):
+    """The CellExecutor requested by --executor/--chunk, built once per run.
+
+    The instance is cached on ``args`` so every sweep of a multi-panel
+    figure shares it — for the socket backend that means workers stay
+    connected across panels; ``main`` closes it when the command finishes.
+    ``None`` means "no explicit choice": the sweep layer's default (serial
+    or pool, from ``--workers``) applies.
+    """
+    executor = getattr(args, "_executor", None)
+    if executor is not None:
+        return executor
+    name = args.executor
+    if name is None and args.chunk is not None and args.workers > 1:
+        name = "pool"  # --chunk alone upgrades the default pool to chunked
+    if name is None:
+        return None
+    executor = make_executor(
+        name, workers=args.workers, chunk=args.chunk,
+        bind=args.bind or ("127.0.0.1", 0),
+    )
+    if name == "socket":
+        host, port = executor.address
+        print(
+            f"serving sweep cells on {host}:{port} — join with: "
+            f"beaconplace worker --connect {host}:{port}",
+            file=sys.stderr,
+        )
+    args._executor = executor
+    return executor
+
+
+def _resilient_requested(args) -> bool:
+    return (
+        args.workers > 1
+        or args.journal is not None
+        or args.executor is not None
+        or args.chunk is not None
+    )
+
+
 def _mean_curve(config, noise, args):
     """A figure 4/6 series, resilient when --workers/--journal ask for it.
 
     One journal file serves a whole multi-noise figure: the fingerprint
     covers (kind, config) while each cell key carries its noise level.
     """
-    if args.workers > 1 or args.journal is not None:
+    if _resilient_requested(args):
         return resilient_mean_error_curve(
             config,
             noise,
             workers=args.workers,
             journal_path=args.journal,
             progress=_progress(args),
+            executor=_executor_from_args(args),
         )
     return mean_error_curve(config, noise, progress=_progress(args))
 
 
 def _improvement(config, noise, algorithms, args):
     """Figure 5/7–9 curve sets, resilient when --workers/--journal ask."""
-    if args.workers > 1 or args.journal is not None:
+    if _resilient_requested(args):
         return resilient_placement_improvement_curves(
             config,
             noise,
@@ -154,6 +208,7 @@ def _improvement(config, noise, algorithms, args):
             workers=args.workers,
             journal_path=args.journal,
             progress=_progress(args),
+            executor=_executor_from_args(args),
         )
     return placement_improvement_curves(config, noise, algorithms, progress=_progress(args))
 
@@ -517,17 +572,70 @@ def _cmd_obs(args) -> int:
 
 def _cmd_journal(args) -> int:
     try:
+        if args.merge is not None:
+            stats = merge_journals(args.merge, args.paths)
+            print(
+                f"merged {stats.inputs} journal(s) into {stats.out}: "
+                f"{stats.cells} cell(s), {stats.superseded} superseded "
+                "line(s) dropped"
+            )
+            print(format_journal_summary(inspect_journal(stats.out), keys=args.cells))
+            return 0
+        if len(args.paths) > 1:
+            print(
+                "error: multiple journals need --merge OUT (inspection takes one)",
+                file=sys.stderr,
+            )
+            return 1
+        path = args.paths[0]
         if args.compact:
-            kept, dropped = compact_journal(args.path)
-            print(f"compacted {args.path}: kept {kept} line(s), dropped {dropped} superseded")
-        print(format_journal_summary(inspect_journal(args.path), keys=args.cells))
-    except FileNotFoundError:
-        print(f"error: no journal at {args.path}", file=sys.stderr)
+            kept, dropped = compact_journal(path)
+            print(f"compacted {path}: kept {kept} line(s), dropped {dropped} superseded")
+        print(format_journal_summary(inspect_journal(path), keys=args.cells))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _parse_hostport(text: str) -> tuple:
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid port in {text!r}") from exc
+
+
+def _cmd_worker(args) -> int:
+    try:
+        cells = run_worker(
+            args.connect,
+            fingerprint=args.fingerprint,
+            max_batches=args.max_batches,
+            connect_timeout=args.connect_timeout,
+            progress=_progress(args),
+        )
+    except WorkerRejected as exc:
+        print(f"error: server rejected this worker: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker done: {cells} cell(s) processed")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """``reproduce`` with cells served to socket workers instead of run here."""
+    args.executor = "socket"
+    return _cmd_reproduce(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -559,6 +667,36 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "JSONL checkpoint journal for reproduce sweeps; an interrupted "
             "run resumes from it instead of recomputing"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "pool", "socket"],
+        default=None,
+        help=(
+            "where sweep cells run: in-process, on a local spawn pool, or "
+            "served over TCP to 'beaconplace worker' processes (default: "
+            "serial, or pool when --workers > 1)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk",
+        type=_parse_workers,
+        default=None,
+        metavar="N",
+        help=(
+            "cells shipped per dispatch to a pool/socket worker "
+            "(default: sized automatically)"
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        type=_parse_hostport,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "listen address for --executor socket (default 127.0.0.1:0 — "
+            "a free port, announced on stderr)"
         ),
     )
     parser.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
@@ -681,9 +819,12 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("run_dir", help="directory written by --trace/--profile")
 
     journal = sub.add_parser(
-        "journal", help="inspect (and optionally compact) a sweep journal"
+        "journal", help="inspect, compact or merge sweep journals"
     )
-    journal.add_argument("path", help="the JSONL checkpoint journal")
+    journal.add_argument(
+        "paths", nargs="+", metavar="path",
+        help="JSONL checkpoint journal(s); several only with --merge",
+    )
     journal.add_argument(
         "--cells", action="store_true", help="list every cell's latest status"
     )
@@ -691,6 +832,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--compact",
         action="store_true",
         help="drop superseded lines in place (atomic rewrite) before summarizing",
+    )
+    journal.add_argument(
+        "--merge",
+        default=None,
+        metavar="OUT",
+        help=(
+            "merge the given journals (shards of one sweep — same "
+            "fingerprint) into OUT; duplicate cells resolve last-writer-"
+            "wins in the order given"
+        ),
+    )
+
+    worker = sub.add_parser(
+        "worker", help="join a served sweep and pull cell batches"
+    )
+    worker.add_argument(
+        "--connect",
+        type=_parse_hostport,
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the serving sweep (see 'serve' / --executor socket)",
+    )
+    worker.add_argument(
+        "--fingerprint",
+        default=None,
+        help=(
+            "expected sweep fingerprint; the server refuses this worker on "
+            "mismatch (guards fleets against joining the wrong sweep)"
+        ),
+    )
+    worker.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="exit after this many batches (testing/chaos tools)",
+    )
+    worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to retry the initial connect (workers may start first)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "reproduce a figure with cells served to socket workers "
+            "(reproduce + --executor socket)"
+        ),
+    )
+    serve.add_argument(
+        "figure", choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
     )
 
     return parser
@@ -709,6 +902,8 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "obs": _cmd_obs,
     "journal": _cmd_journal,
+    "worker": _cmd_worker,
+    "serve": _cmd_serve,
 }
 
 
@@ -717,7 +912,12 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     session = ObsSession(args.trace, profile=args.profile)
     with session:
-        code = _COMMANDS[args.command](args)
+        try:
+            code = _COMMANDS[args.command](args)
+        finally:
+            executor = getattr(args, "_executor", None)
+            if executor is not None:
+                executor.close()
     if session.profile_report is not None:
         print(f"\n{session.profile_report}")
     if session.run_dir is not None:

@@ -44,6 +44,7 @@ from .profiling import (
     get_profile,
 )
 from .summary import (
+    JournalMergeStats,
     JournalSummary,
     METRICS_FILENAME,
     PROFILE_FILENAME,
@@ -53,6 +54,7 @@ from .summary import (
     format_metrics_snapshot,
     format_trace_summary,
     inspect_journal,
+    merge_journals,
     summarize_run_dir,
     summarize_spans,
 )
@@ -94,8 +96,10 @@ __all__ = [
     "format_trace_summary",
     "format_metrics_snapshot",
     "JournalSummary",
+    "JournalMergeStats",
     "inspect_journal",
     "compact_journal",
+    "merge_journals",
     "format_journal_summary",
     "TRACE_FILENAME",
     "METRICS_FILENAME",

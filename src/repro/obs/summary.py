@@ -34,8 +34,10 @@ __all__ = [
     "format_metrics_snapshot",
     "summarize_run_dir",
     "JournalSummary",
+    "JournalMergeStats",
     "inspect_journal",
     "compact_journal",
+    "merge_journals",
     "format_journal_summary",
 ]
 
@@ -282,6 +284,85 @@ def compact_journal(path) -> tuple[int, int]:
             handle.write(json.dumps(entry) + "\n")
     tmp.replace(path)
     return len(kept), len(cells) - len(kept)
+
+
+@dataclass(frozen=True)
+class JournalMergeStats:
+    """What :func:`merge_journals` did.
+
+    Attributes:
+        out: the merged journal path.
+        fingerprint: the (single) sweep identity all inputs shared.
+        inputs: number of input journals read.
+        cells: distinct cell keys in the merged journal.
+        superseded: input cell lines dropped because a later input (or a
+            later line in the same input) recorded the same key —
+            last-writer-wins, in the order the inputs were given.
+    """
+
+    out: Path
+    fingerprint: str
+    inputs: int
+    cells: int
+    superseded: int
+
+
+def merge_journals(out, inputs) -> JournalMergeStats:
+    """Merge sharded/distributed sweep journals into one.
+
+    The shards of one sweep — separate machines each running a slice of the
+    cells, or interrupted runs of the same sweep — share a fingerprint;
+    merging journals from *different* sweeps is refused.  Duplicate cell
+    keys resolve last-writer-wins across the concatenation of the inputs in
+    the order given, matching how a single journal resolves its own
+    superseded lines; the merged file is compact (one line per key, in
+    order of last occurrence) and atomically replaces ``out`` (which may
+    itself be one of the inputs).
+
+    Args:
+        out: destination path for the merged journal.
+        inputs: one or more journal paths to merge.
+
+    Raises:
+        ValueError: no inputs, or the inputs' fingerprints disagree.
+        FileNotFoundError: an input journal does not exist.
+    """
+    paths = [Path(p) for p in inputs]
+    if not paths:
+        raise ValueError("merge needs at least one input journal")
+    loaded = []
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no journal at {path}")
+        loaded.append((path, *_load_journal_lines(path)))
+    fingerprints = {str(header.get("fingerprint", "")) for _, header, _ in loaded}
+    if len(fingerprints) != 1:
+        detail = ", ".join(
+            f"{path}: {header.get('fingerprint')!r}" for path, header, _ in loaded
+        )
+        raise ValueError(
+            f"journals belong to different sweeps ({detail}); "
+            "only shards of one sweep can merge"
+        )
+    header = loaded[0][1]
+    combined = [record for _, _, cells in loaded for record in cells]
+    latest = _latest_entries(combined)
+    kept = [entry for entry in combined if latest[tuple(entry["key"])] is entry]
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_suffix(out.suffix + ".merge")
+    with tmp.open("w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for entry in kept:
+            handle.write(json.dumps(entry) + "\n")
+    tmp.replace(out)
+    return JournalMergeStats(
+        out=out,
+        fingerprint=fingerprints.pop(),
+        inputs=len(paths),
+        cells=len(kept),
+        superseded=len(combined) - len(kept),
+    )
 
 
 def format_journal_summary(summary: JournalSummary, *, keys: bool = False) -> str:

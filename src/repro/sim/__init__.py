@@ -1,12 +1,21 @@
 """Experiment harness: configuration, RNG streams, trials, sweeps, results."""
 
 from .config import ExperimentConfig, PAPER_NOISE_LEVELS, bench_config, paper_config
+from .executors import (
+    CellExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    SocketExecutor,
+    WorkerRejected,
+    make_executor,
+    run_worker,
+    spawn_context,
+    validate_workers,
+)
 from .io import read_curve_set, write_curve_set
 from .parallel import (
     parallel_mean_error_curve,
     parallel_placement_improvement_curves,
-    spawn_context,
-    validate_workers,
 )
 from .resilient import (
     RetryPolicy,
@@ -44,6 +53,13 @@ __all__ = [
     "parallel_placement_improvement_curves",
     "spawn_context",
     "validate_workers",
+    "CellExecutor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "SocketExecutor",
+    "WorkerRejected",
+    "make_executor",
+    "run_worker",
     "RetryPolicy",
     "SweepJournal",
     "run_cells",

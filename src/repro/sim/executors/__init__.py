@@ -1,0 +1,48 @@
+"""Pluggable sweep executors: where resilient sweep cells actually run.
+
+:func:`repro.sim.run_cells` owns *what* runs (jobs, retries, the journal);
+a :class:`CellExecutor` owns *where*:
+
+* :class:`SerialExecutor` — in-process, in order (the reference backend);
+* :class:`PoolExecutor` — local spawn pool with cell chunking and
+  completion-order collection under per-chunk deadlines;
+* :class:`SocketExecutor` — TCP server feeding ``beaconplace worker``
+  processes on any machine (:mod:`repro.sim.executors.wire` documents the
+  frame format).
+
+All three produce bit-identical sweeps: cells are pure functions of the
+config seed, and ordering/retry bookkeeping happens in ``run_cells``
+regardless of backend.
+"""
+
+from .base import (
+    CellExecutor,
+    cell_fn_ref,
+    make_executor,
+    resolve_cell_fn,
+    run_one_cell,
+    spawn_context,
+    validate_workers,
+)
+from .cache import cached_grid, cached_layout, cached_localizer, clear_world_cache
+from .local import PoolExecutor, SerialExecutor
+from .sockets import SocketExecutor, WorkerRejected, run_worker
+
+__all__ = [
+    "CellExecutor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "SocketExecutor",
+    "WorkerRejected",
+    "make_executor",
+    "run_worker",
+    "run_one_cell",
+    "cell_fn_ref",
+    "resolve_cell_fn",
+    "spawn_context",
+    "validate_workers",
+    "cached_grid",
+    "cached_layout",
+    "cached_localizer",
+    "clear_world_cache",
+]

@@ -1,0 +1,214 @@
+"""The executor contract and shared cell-running machinery.
+
+A :class:`CellExecutor` turns a list of pending ``(key, args)`` cells into
+outcome callbacks, nothing more: retry accounting, journaling, metrics on
+completion and result collection all stay in :func:`repro.sim.resilient.run_cells`
+via the ``emit`` callback it passes in.  That keeps journal + retry
+semantics identical across backends — an executor only decides *where* a
+cell runs and *how* its result travels back.
+
+Pool setup (``spawn_context``/``validate_workers``) lives here; both
+``sim.parallel`` and ``sim.resilient`` used to re-derive it and now import
+from this module.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import time
+import warnings
+from abc import ABC, abstractmethod
+from typing import Callable, Protocol, Sequence
+
+from ...obs import MetricsRegistry, disable_metrics, enable_metrics, get_metrics
+
+__all__ = [
+    "CellExecutor",
+    "EmitFn",
+    "ProgressFn",
+    "cell_fn_ref",
+    "make_executor",
+    "resolve_cell_fn",
+    "run_cell_chunk",
+    "run_one_cell",
+    "spawn_context",
+    "validate_workers",
+]
+
+ProgressFn = Callable[[str], None]
+
+
+class EmitFn(Protocol):
+    """Outcome callback handed to :meth:`CellExecutor.execute`.
+
+    One call per finally-settled cell: either ``ok=True`` with a value or
+    ``ok=False`` with an error string.  The caller (``run_cells``) owns the
+    journal, the results dict and the completed/failed counters.
+    """
+
+    def __call__(
+        self, key: tuple, *, ok: bool, value=None, attempts: int, error: str | None = None
+    ) -> None: ...
+
+
+def spawn_context() -> multiprocessing.context.BaseContext:
+    """The start method every sweep pool uses.
+
+    Pinned to ``spawn`` so results (and failure behavior) are identical
+    across platforms: fork would silently share parent state on POSIX while
+    macOS/Windows spawn, and forked workers can inherit locks mid-acquire.
+    Determinism never relied on fork — every cell derives its own named RNG
+    streams — so spawn only costs worker start-up time.
+    """
+    return multiprocessing.get_context("spawn")
+
+
+def validate_workers(workers: int) -> int:
+    """Check a worker count: reject non-positive, warn on oversubscription.
+
+    Returns:
+        ``workers`` unchanged — oversubscription is allowed (it can still
+        help on I/O-stalled hosts) but never silent.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cpus = os.cpu_count()
+    if cpus is not None and workers > cpus:
+        warnings.warn(
+            f"workers={workers} oversubscribes this host ({cpus} CPU(s)); "
+            "expect slowdown, not speedup",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return workers
+
+
+def cell_fn_ref(fn: Callable) -> str:
+    """The ``module:qualname`` wire reference of a module-level cell function."""
+    name = getattr(fn, "__qualname__", getattr(fn, "__name__", None))
+    module = getattr(fn, "__module__", None)
+    if not name or not module or "<locals>" in name:
+        raise ValueError(
+            f"cell function {fn!r} is not module-level; socket workers "
+            "resolve functions by module:qualname"
+        )
+    return f"{module}:{name}"
+
+
+def resolve_cell_fn(ref: str) -> Callable:
+    """Resolve a :func:`cell_fn_ref` string back to the callable."""
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"malformed cell-function reference {ref!r}")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise ValueError(f"cell-function reference {ref!r} is not callable")
+    return obj
+
+
+def run_one_cell(fn: Callable, args, *, instrument: bool = False) -> dict:
+    """Run one cell, catching its exception into a shippable outcome dict.
+
+    Returns ``{"ok": True, "value": …, "seconds": …}`` or ``{"ok": False,
+    "error": "Type: msg", "seconds": …}``; with ``instrument`` the cell runs
+    under a private metrics registry whose snapshot rides along as
+    ``"metrics"`` (the :func:`repro.obs.instrumented_call` protocol, minus
+    the exception-aborts-the-chunk behavior — a chunk must survive one bad
+    cell).
+    """
+    registry = previous = None
+    if instrument:
+        previous = get_metrics()
+        registry = MetricsRegistry()
+        enable_metrics(registry)
+    start = time.perf_counter()
+    try:
+        value = fn(args)
+    except Exception as exc:  # noqa: BLE001 — degrade, never abort the chunk
+        outcome = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    else:
+        outcome = {"ok": True, "value": value}
+    outcome["seconds"] = time.perf_counter() - start
+    if instrument:
+        enable_metrics(previous) if previous.enabled else disable_metrics()
+        if outcome["ok"]:
+            registry.histogram("sweep.cell.seconds").observe(outcome["seconds"])
+        outcome["metrics"] = registry.snapshot()
+    return outcome
+
+
+def run_cell_chunk(payload: tuple) -> list[dict]:
+    """Pool/worker entry point: run a chunk of cells, one outcome dict each.
+
+    ``payload`` is ``(fn, args_list, instrument)``.  Module-level and
+    picklable, so ``ProcessPoolExecutor`` ships it under the pinned
+    ``spawn`` start method; one pickled round-trip carries the whole chunk.
+    """
+    fn, args_list, instrument = payload
+    return [run_one_cell(fn, args, instrument=instrument) for args in args_list]
+
+
+class CellExecutor(ABC):
+    """Where sweep cells run: in-process, on a local pool, or over sockets.
+
+    ``execute`` drives every pending cell to a final ``emit`` call; retry
+    scheduling happens inside the executor (it owns the in-flight state) but
+    the *policy* — attempt budget, timeout, backoff — comes from the caller
+    and the bookkeeping contract is fixed: exactly one ``emit`` per key.
+    """
+
+    @abstractmethod
+    def execute(
+        self,
+        pending: Sequence[tuple],
+        fn: Callable,
+        *,
+        policy,
+        emit: EmitFn,
+        progress: ProgressFn | None = None,
+        fingerprint: str | None = None,
+    ) -> None:
+        """Run every ``(key, args)`` in ``pending`` and emit each outcome."""
+
+    def close(self) -> None:
+        """Release executor resources (listener sockets, pools)."""
+
+    def __enter__(self) -> "CellExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_executor(
+    name: str | None = None,
+    *,
+    workers: int = 1,
+    chunk: int | None = None,
+    bind=None,
+    mp_context=None,
+) -> CellExecutor:
+    """Build a backend by name — the single place pool setup is derived.
+
+    ``None`` picks the legacy default: serial for ``workers <= 1``, a local
+    spawn pool otherwise.  ``bind`` is a ``(host, port)`` pair for the
+    socket backend.
+    """
+    from .local import PoolExecutor, SerialExecutor
+
+    if name is None:
+        name = "serial" if workers <= 1 else "pool"
+    if name == "serial":
+        return SerialExecutor()
+    if name == "pool":
+        validate_workers(workers)
+        return PoolExecutor(workers=workers, chunk=chunk, mp_context=mp_context)
+    if name == "socket":
+        from .sockets import SocketExecutor
+
+        return SocketExecutor(bind=bind or ("127.0.0.1", 0), chunk=chunk)
+    raise ValueError(f"unknown executor {name!r} (expected serial, pool or socket)")

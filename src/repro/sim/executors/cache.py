@@ -1,0 +1,80 @@
+"""Per-worker cache for world components shared by every cell of a sweep.
+
+The measurement lattice, the overlapping-grid layout and the localizer
+depend only on config constants — never on the cell's (noise, count, index)
+— yet :func:`repro.sim.build_world` used to rebuild all three per cell.
+Worse, the layout's membership masks (N_G × P_T booleans, ~4 MB at paper
+fidelity) were recomputed per *instance*, so a fresh layout per cell paid
+the full cost every time.
+
+These caches are process-local module state: each pool/socket worker fills
+them once on its first cell and reuses them for the rest of the sweep (the
+serial path benefits identically).  All cached objects are frozen
+dataclasses the rest of the pipeline already treats as immutable, so
+sharing them across cells cannot change results.
+"""
+
+from __future__ import annotations
+
+from ...geometry import MeasurementGrid, OverlappingGridLayout
+from ...localization import CentroidLocalizer
+from ...obs import get_metrics
+
+__all__ = [
+    "cached_grid",
+    "cached_layout",
+    "cached_localizer",
+    "clear_world_cache",
+]
+
+# A sweep uses one config, so one entry per cache is the steady state; the
+# bound only guards pathological many-config callers from unbounded growth.
+_MAX_ENTRIES = 8
+
+_grids: dict = {}
+_layouts: dict = {}
+_localizers: dict = {}
+
+
+def _lookup(cache: dict, key, build):
+    hit = cache.get(key)
+    if hit is not None:
+        get_metrics().counter("worldcache.hits").inc()
+        return hit
+    get_metrics().counter("worldcache.misses").inc()
+    if len(cache) >= _MAX_ENTRIES:
+        cache.clear()
+    value = cache[key] = build()
+    return value
+
+
+def cached_grid(side: float, step: float) -> MeasurementGrid:
+    """The measurement lattice for ``(side, step)``, built once per process."""
+    return _lookup(_grids, (side, step), lambda: MeasurementGrid(side, step))
+
+
+def cached_layout(side: float, radio_range: float, num_grids: int) -> OverlappingGridLayout:
+    """The overlapping-grid layout, built once per process.
+
+    Reusing one instance also reuses its internal membership-mask cache —
+    the expensive part — across every cell the worker runs.
+    """
+    return _lookup(
+        _layouts,
+        (side, radio_range, num_grids),
+        lambda: OverlappingGridLayout.for_radio_range(side, radio_range, num_grids),
+    )
+
+
+def cached_localizer(side: float, policy) -> CentroidLocalizer:
+    """The (stateless) centroid localizer, built once per process."""
+    return _lookup(
+        _localizers, (side, policy), lambda: CentroidLocalizer(side, policy)
+    )
+
+
+def clear_world_cache() -> None:
+    """Drop every cached component (tests; long-lived multi-config servers)."""
+    _grids.clear()
+    _layouts.clear()
+    _localizers.clear()

@@ -1,0 +1,117 @@
+"""Wire protocol for socket sweeps: length-prefixed JSON frames.
+
+Every frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON — trivially parseable from any language, debuggable
+with a hex dump, and immune to message boundaries drifting on slow links.
+The JSON envelope carries a ``"type"`` plus type-specific fields:
+
+===========  =====  =====================================================
+type         dir    fields
+===========  =====  =====================================================
+hello        w → s  ``protocol``, optional ``fingerprint``
+welcome      s → w  ``protocol``, ``fingerprint``, ``fn`` (module:qualname
+                    reference), ``instrument``, ``heartbeat`` (seconds)
+reject       s → w  ``reason`` — protocol or fingerprint mismatch
+batch        s → w  ``id``, ``cells``: list of ``{"key": […], "args": …}``
+result       w → s  ``batch``, ``index``, ``outcome`` (one cell, streamed
+                    as soon as it finishes — crash accounting stays exact)
+heartbeat    w → s  ``{}`` — liveness while a long cell runs
+drain        s → w  ``{}`` — no more batches; finish and say goodbye
+goodbye      w → s  ``{}`` — clean exit
+===========  =====  =====================================================
+
+Cell ``args``, result values and shipped metrics snapshots are arbitrary
+Python objects (configs, fault models, algorithm instances), so they ride
+inside the JSON as base64-pickled strings (:func:`encode_payload` /
+:func:`decode_payload`) — the same fidelity process pools get from pickled
+task tuples.  Pickle means the socket backend trusts its peers: run it on
+networks you control, exactly like every other cluster job runner.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_payload",
+    "encode_payload",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Bumped whenever frame semantics change; hello/welcome both carry it.
+PROTOCOL_VERSION = 1
+
+#: Refuse frames beyond this size — a corrupt length prefix must not
+#: trigger a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something the wire protocol does not allow."""
+
+
+def encode_payload(obj) -> str:
+    """Pickle an arbitrary object into a JSON-safe base64 string."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def decode_payload(text: str):
+    """Invert :func:`encode_payload`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def send_frame(sock: socket.socket, message: dict) -> int:
+    """Serialize and send one frame; returns bytes put on the wire."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the protocol cap")
+    data = _HEADER.pack(len(payload)) + payload
+    sock.sendall(data)
+    return len(data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None  # orderly shutdown (or death) mid-frame
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict | None, int]:
+    """Receive one frame; ``(message, bytes_read)``.
+
+    ``message`` is ``None`` when the peer closed the connection at a frame
+    boundary (a clean end-of-stream, not an error).  A close *inside* a
+    frame, an oversized length or non-JSON payload raise
+    :exc:`ProtocolError`.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None, 0
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the protocol cap")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"frame is not a typed object: {message!r}")
+    return message, _HEADER.size + length

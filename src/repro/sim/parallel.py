@@ -14,9 +14,6 @@ supported in parallel mode — parameterize via ``config`` instead.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
@@ -25,6 +22,7 @@ import numpy as np
 from ..obs import get_metrics, instrumented_call, metrics_enabled
 from ..placement import PlacementAlgorithm
 from .config import ExperimentConfig
+from .executors import spawn_context, validate_workers
 from .results import Curve, CurveSet
 from .rng import derive_rng
 from .sweep import build_world
@@ -55,38 +53,6 @@ def _improvement_cell(args) -> dict:
     return {
         o.algorithm: (o.improvement_mean, o.improvement_median) for o in outcomes
     }
-
-
-def spawn_context() -> multiprocessing.context.BaseContext:
-    """The start method every sweep pool uses.
-
-    Pinned to ``spawn`` so results (and failure behavior) are identical
-    across platforms: fork would silently share parent state on POSIX while
-    macOS/Windows spawn, and forked workers can inherit locks mid-acquire.
-    Determinism never relied on fork — every cell derives its own named RNG
-    streams — so spawn only costs worker start-up time.
-    """
-    return multiprocessing.get_context("spawn")
-
-
-def validate_workers(workers: int) -> int:
-    """Check a worker count: reject non-positive, warn on oversubscription.
-
-    Returns:
-        ``workers`` unchanged — oversubscription is allowed (it can still
-        help on I/O-stalled hosts) but never silent.
-    """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    cpus = os.cpu_count()
-    if cpus is not None and workers > cpus:
-        warnings.warn(
-            f"workers={workers} oversubscribes this host ({cpus} CPU(s)); "
-            "expect slowdown, not speedup",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-    return workers
 
 
 def _map(fn, jobs, workers: int):

@@ -20,11 +20,16 @@ must not discard them.  This module wraps the per-cell fan-out of
   and records per-point sample coverage in ``Curve.meta["coverage"]``; the
   returned curve sets record the failed-cell count in their ``meta``.
 
-The timeout in pool mode is approximate: results are collected per batch of
-``workers`` cells, and each in-flight batch member gets the full timeout
-from the moment its result is awaited.  A stuck worker therefore delays
-detection by at most ``workers × timeout`` — acceptable for sweeps whose
-cells are seconds long.
+*Where* cells run is delegated to :mod:`repro.sim.executors`: in-process
+(:class:`~repro.sim.executors.SerialExecutor`), on a local spawn pool
+(:class:`~repro.sim.executors.PoolExecutor`), or across machines over TCP
+(:class:`~repro.sim.executors.SocketExecutor`).  Every backend reports cell
+outcomes through the same ``emit`` callback, so journal and retry semantics
+are identical regardless of backend.  Timeouts are enforced per in-flight
+batch deadline, collected in completion order — a stuck worker is detected
+within ``timeout × batch`` of *its own* deadline, not after every earlier
+batch has been awaited (the old batch-ordered collection delayed detection
+by up to ``workers × timeout``).
 """
 
 from __future__ import annotations
@@ -32,19 +37,16 @@ from __future__ import annotations
 import hashlib
 import json
 import time as _time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
-from ..obs import get_metrics, get_tracer, instrumented_call, metrics_enabled
+from ..obs import get_metrics, get_tracer
 from ..placement import PlacementAlgorithm
 from .config import ExperimentConfig
-from .parallel import spawn_context, validate_workers
+from .executors import CellExecutor, make_executor
 from .results import Curve, CurveSet
 from .rng import derive_rng
 from .sweep import build_world
@@ -247,6 +249,7 @@ def run_cells(
     journal: SweepJournal | None = None,
     progress: ProgressFn | None = None,
     mp_context=None,
+    executor: CellExecutor | None = None,
 ) -> dict:
     """Execute ``fn(args)`` for every ``(key, args)`` job, resiliently.
 
@@ -258,12 +261,17 @@ def run_cells(
         jobs: ``(key, args)`` pairs; keys must be unique tuples of
             str/int/float.
         fn: the cell function; must be picklable (module-level) for pool
-            mode.
-        workers: process count; ``<= 1`` runs in-process (no timeouts).
+            mode and importable by reference for socket workers.
+        workers: process count when no ``executor`` is given; ``<= 1`` runs
+            in-process (no timeouts).
         policy: retry/timeout policy (default :class:`RetryPolicy`).
         journal: optional checkpoint journal.
         progress: optional callback for per-cell status lines.
         mp_context: multiprocessing context override (default: spawn).
+        executor: a :class:`~repro.sim.executors.CellExecutor` to run cells
+            on; overrides ``workers``.  The caller keeps ownership (it is
+            not closed here), so one executor — and its connected socket
+            workers — can serve several sweeps.
 
     Returns:
         ``{canonical key: value or None}`` for every job.
@@ -288,14 +296,28 @@ def run_cells(
             progress(f"resumed {len(results)} cell(s) from {journal.path}")
     if not pending:
         return results
-    with get_tracer().span(
-        "sweep.run_cells", cells=len(pending), workers=max(workers, 1)
-    ):
-        if workers <= 1:
-            _run_serial(pending, fn, policy, journal, results, progress)
-        else:
-            validate_workers(workers)
-            _run_pool(pending, fn, workers, policy, journal, results, progress, mp_context)
+
+    def emit(key, *, ok, value=None, attempts, error=None):
+        _note_outcome(
+            results, journal, progress, key,
+            ok=ok, value=value, attempts=attempts, error=error,
+        )
+
+    owned = executor is None
+    if owned:
+        executor = make_executor(workers=workers, mp_context=mp_context)
+    try:
+        with get_tracer().span(
+            "sweep.run_cells", cells=len(pending), workers=max(workers, 1)
+        ):
+            executor.execute(
+                pending, fn,
+                policy=policy, emit=emit, progress=progress,
+                fingerprint=journal.fingerprint if journal is not None else None,
+            )
+    finally:
+        if owned:
+            executor.close()
     return results
 
 
@@ -306,116 +328,6 @@ def _note_outcome(results, journal, progress, key, *, ok, value=None, attempts, 
         journal.record(key, ok=ok, value=value, attempts=attempts, error=error)
     if progress is not None and not ok:
         progress(f"cell {key} FAILED after {attempts} attempt(s): {error}")
-
-
-def _run_serial(pending, fn, policy, journal, results, progress):
-    metrics = get_metrics()
-    cell_seconds = metrics.histogram("sweep.cell.seconds")
-    retries = metrics.counter("sweep.cells.retried")
-    tracer = get_tracer()
-    for key, args in pending:
-        last_error = None
-        for attempt in range(1, policy.max_attempts + 1):
-            if attempt > 1:
-                retries.inc()
-                policy.sleep_before(attempt)
-            try:
-                with tracer.span("sweep.cell", key=list(key), attempt=attempt):
-                    start = _time.perf_counter()
-                    value = fn(args)
-                    cell_seconds.observe(_time.perf_counter() - start)
-            except Exception as exc:  # noqa: BLE001 — degrade, never abort
-                last_error = f"{type(exc).__name__}: {exc}"
-                continue
-            _note_outcome(results, journal, progress, key, ok=True, value=value, attempts=attempt)
-            break
-        else:
-            _note_outcome(
-                results, journal, progress, key,
-                ok=False, attempts=policy.max_attempts, error=last_error,
-            )
-
-
-def _run_pool(pending, fn, workers, policy, journal, results, progress, mp_context):
-    ctx = mp_context if mp_context is not None else spawn_context()
-    metrics = get_metrics()
-    tracer = get_tracer()
-    # With observability on, cells run under a worker-local registry whose
-    # snapshot ships back with the value (see obs.instrumented_call); the
-    # parent merges it so per-worker metrics aggregate into one registry.
-    instrument = metrics_enabled()
-    queue = [(key, args, 1) for key, args in pending]
-    pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
-
-    def submit(args):
-        if instrument:
-            return pool.submit(instrumented_call, (fn, args))
-        return pool.submit(fn, args)
-
-    def fail_or_requeue(key, args, attempt, error):
-        if attempt < policy.max_attempts:
-            metrics.counter("sweep.cells.retried").inc()
-            policy.sleep_before(attempt + 1)
-            queue.append((key, args, attempt + 1))
-        else:
-            _note_outcome(
-                results, journal, progress, key,
-                ok=False, attempts=attempt, error=error,
-            )
-
-    try:
-        while queue:
-            batch, queue = queue[:workers], queue[workers:]
-            futures = [
-                (submit(args), key, args, attempt)
-                for key, args, attempt in batch
-            ]
-            pool_broken = False
-            requeued_innocent = 0
-            for future, key, args, attempt in futures:
-                if pool_broken:
-                    # Sibling futures died with the pool; requeue at the
-                    # same attempt — the fault was not theirs.
-                    requeued_innocent += 1
-                    queue.insert(0, (key, args, attempt))
-                    continue
-                try:
-                    value = future.result(timeout=policy.timeout)
-                except FuturesTimeoutError:
-                    pool_broken = True  # worker stuck; pool must be rebuilt
-                    metrics.counter("sweep.cells.timeout").inc()
-                    fail_or_requeue(key, args, attempt, f"timeout after {policy.timeout}s")
-                except BrokenProcessPool:
-                    pool_broken = True
-                    metrics.counter("sweep.cells.worker_death").inc()
-                    fail_or_requeue(key, args, attempt, "worker process died")
-                except Exception as exc:  # noqa: BLE001 — cell raised; pool fine
-                    fail_or_requeue(key, args, attempt, f"{type(exc).__name__}: {exc}")
-                else:
-                    if instrument:
-                        metrics.merge(value["metrics"])
-                        tracer.record_span(
-                            "sweep.cell", value["seconds"],
-                            key=list(key), attempt=attempt,
-                        )
-                        value = value["value"]
-                    _note_outcome(
-                        results, journal, progress, key,
-                        ok=True, value=value, attempts=attempt,
-                    )
-            if pool_broken:
-                metrics.counter("sweep.pool.rebuilds").inc()
-                if requeued_innocent:
-                    metrics.counter("sweep.cells.requeued_innocent").inc(requeued_innocent)
-                    if progress is not None:
-                        progress(
-                            f"pool rebuilt; requeued {requeued_innocent} innocent "
-                            "batch-mate(s) at their current attempt"
-                        )
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
 
 
 # -- Sweep drivers ----------------------------------------------------------
@@ -482,6 +394,7 @@ def resilient_mean_error_curve(
     faults=None,
     fault_time: float = 0.0,
     progress: ProgressFn | None = None,
+    executor: CellExecutor | None = None,
 ) -> Curve:
     """Figure 4/6 series with checkpointing, retries and NaN degradation.
 
@@ -501,6 +414,9 @@ def resilient_mean_error_curve(
             world (see :func:`repro.sim.build_world`).
         fault_time: snapshot time for ``faults``.
         progress: optional status callback.
+        executor: run cells on this backend instead of ``workers`` local
+            processes (see :mod:`repro.sim.executors`); stays open for the
+            caller to reuse.
     """
     if label is None:
         label = "Ideal" if noise == 0.0 else f"Noise={noise:g}"
@@ -515,6 +431,7 @@ def resilient_mean_error_curve(
         cells = run_cells(
             jobs, _mean_error_cell,
             workers=workers, policy=policy, journal=journal, progress=progress,
+            executor=executor,
         )
     finally:
         if journal is not None:
@@ -553,6 +470,7 @@ def resilient_placement_improvement_curves(
     faults=None,
     fault_time: float = 0.0,
     progress: ProgressFn | None = None,
+    executor: CellExecutor | None = None,
 ) -> tuple[CurveSet, CurveSet]:
     """Figure 5/7–9 series with checkpointing, retries and NaN degradation.
 
@@ -582,6 +500,7 @@ def resilient_placement_improvement_curves(
         cells = run_cells(
             jobs, _improvement_cell,
             workers=workers, policy=policy, journal=journal, progress=progress,
+            executor=executor,
         )
     finally:
         if journal is not None:

@@ -24,11 +24,11 @@ import numpy as np
 
 from ..faults import FaultModel, apply_faults
 from ..field import random_uniform_field
-from ..localization import CentroidLocalizer
 from ..obs import get_metrics, get_profile, get_tracer
 from ..placement import PlacementAlgorithm
 from ..radio import BeaconNoiseModel, PropagationModel
 from .config import ExperimentConfig
+from .executors.cache import cached_grid, cached_layout, cached_localizer
 from .results import Curve, CurveSet
 from .rng import derive_rng
 from .trial import TrialOutcome, TrialWorld, run_placement_trial
@@ -87,13 +87,17 @@ def build_world(
             field = apply_faults(field, faults.realize(fault_rng), fault_time).field
         world_rng = derive_rng(config.seed, "world", noise, num_beacons, field_index)
         realization = model_factory(noise).realize(world_rng)
+        # Lattice, layout and localizer depend only on config constants;
+        # the process-local cache builds them once per worker instead of
+        # once per cell (all three are frozen/immutable, so sharing them
+        # across cells cannot change results).
         if localizer is None:
-            localizer = CentroidLocalizer(config.side, config.policy)
+            localizer = cached_localizer(config.side, config.policy)
         return TrialWorld(
             field=field,
             realization=realization,
-            grid=config.measurement_grid(),
-            layout=config.grid_layout(),
+            grid=cached_grid(config.side, config.step),
+            layout=cached_layout(config.side, config.radio_range, config.num_grids),
             localizer=localizer,
         )
 

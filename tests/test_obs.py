@@ -4,6 +4,7 @@ import json
 import math
 import os
 import pickle
+import time
 
 import pytest
 
@@ -239,20 +240,33 @@ class TestWorkerMerge:
         assert registry.histogram("sweep.cell.seconds").count == 3
 
 
-def _die_or_triple(args):
+def _die_or_wait(args):
     if args == "die":
         os._exit(1)
-    return args * 3
+    value, marker = args
+    if os.path.exists(marker):  # retried attempt, after the pool rebuild
+        return value * 3
+    # First attempt: leave a marker and stay in flight until the pool
+    # rebuild terminates this worker.  Any fixed sleep races — worker-death
+    # detection can be delayed arbitrarily on a loaded host, and this cell
+    # must still be outstanding when the pool breaks to be requeued as
+    # innocent.  The 600 s cap is a failsafe; the policy timeout rebuilds
+    # the pool long before it expires.
+    with open(marker, "w"):
+        pass
+    time.sleep(600.0)
+    return value * 3
 
 
 class TestPoolRebuildSurfacing:
-    def test_innocent_requeues_counted_and_reported(self):
+    def test_innocent_requeues_counted_and_reported(self, tmp_path):
         """A pool death surfaces how many batch-mates were requeued."""
         registry = enable_metrics()
+        marker = tmp_path / "attempted"
         messages = []
         results = run_cells(
-            [(("die",), "die"), (("ok",), 5)],
-            _die_or_triple,
+            [(("die",), "die"), (("ok",), (5, str(marker)))],
+            _die_or_wait,
             workers=2,
             policy=RetryPolicy(max_attempts=2, timeout=60.0, backoff=0.0),
             progress=messages.append,

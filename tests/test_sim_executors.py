@@ -1,0 +1,526 @@
+"""Tests for repro.sim.executors: serial/pool/socket backends, the wire
+protocol, per-worker world caching and journal merging."""
+
+import os
+import socket as socket_mod
+import struct
+import threading
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    merge_journals,
+)
+from repro.placement import MaxPlacement, RandomPlacement
+from repro.sim import (
+    PoolExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    SocketExecutor,
+    SweepJournal,
+    WorkerRejected,
+    make_executor,
+    resilient_mean_error_curve,
+    resilient_placement_improvement_curves,
+    run_cells,
+    run_worker,
+    spawn_context,
+)
+from repro.sim.executors.base import cell_fn_ref, resolve_cell_fn, run_one_cell
+from repro.sim.executors.cache import (
+    cached_grid,
+    cached_layout,
+    clear_world_cache,
+)
+from repro.sim.executors.local import auto_chunk
+from repro.sim.executors.wire import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    recv_frame,
+    send_frame,
+)
+
+
+def _double(args):
+    return args * 2
+
+
+def _exit_on_die(args):
+    # Kills its whole process — only ever run in a subprocess worker.
+    if args == "die":
+        os._exit(1)
+    return args * 10
+
+
+def _worker_process_main(host, port):
+    from repro.sim.executors import run_worker as rw
+
+    rw((host, port), connect_timeout=30.0)
+
+
+class _WorkerThread(threading.Thread):
+    """run_worker on a background thread, capturing its result/exception."""
+
+    def __init__(self, address, **kwargs):
+        super().__init__(daemon=True)
+        self.address = address
+        self.kwargs = kwargs
+        self.result = None
+        self.error = None
+
+    def run(self):
+        try:
+            self.result = run_worker(self.address, **self.kwargs)
+        except BaseException as exc:  # noqa: BLE001 — surfaced by the test
+            self.error = exc
+
+
+# -- Wire protocol -----------------------------------------------------------
+
+
+class TestWire:
+    def test_frame_roundtrip_counts_bytes(self):
+        a, b = socket_mod.socketpair()
+        try:
+            sent = send_frame(a, {"type": "hello", "protocol": 1})
+            message, read = recv_frame(b)
+            assert message == {"type": "hello", "protocol": 1}
+            assert read == sent
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_close_returns_none(self):
+        a, b = socket_mod.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) == (None, 0)
+        finally:
+            b.close()
+
+    def test_mid_frame_close_raises(self):
+        a, b = socket_mod.socketpair()
+        a.sendall(struct.pack(">I", 16) + b"abc")  # promises 16, sends 3
+        a.close()
+        try:
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversize_length_rejected(self):
+        a, b = socket_mod.socketpair()
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        try:
+            with pytest.raises(ProtocolError, match="cap"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_untyped_frame_rejected(self):
+        a, b = socket_mod.socketpair()
+        payload = b'{"no_type": 1}'
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        try:
+            with pytest.raises(ProtocolError, match="typed"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_payload_roundtrip(self):
+        args = (1.5, "stall", (2, 3), {"k": [None, True]})
+        assert decode_payload(encode_payload(args)) == args
+
+
+# -- Executor factory and helpers --------------------------------------------
+
+
+class TestFactory:
+    def test_default_dispatch(self):
+        with make_executor(workers=1) as executor:
+            assert isinstance(executor, SerialExecutor)
+        with make_executor("pool", workers=1) as executor:
+            assert isinstance(executor, PoolExecutor)
+        with make_executor("socket") as executor:
+            assert isinstance(executor, SocketExecutor)
+            assert executor.address[1] != 0  # a real port was bound
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("telepathy")
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError, match="chunk"):
+            PoolExecutor(workers=1, chunk=0)
+        with pytest.raises(ValueError, match="chunk"):
+            SocketExecutor(chunk=0)
+
+    def test_auto_chunk_bounds(self):
+        assert auto_chunk(6, 2) == 1  # tiny sweeps keep per-cell dispatch
+        assert auto_chunk(40, 2) == 5
+        assert auto_chunk(4096, 2) == 16  # capped
+
+    def test_cell_fn_ref_roundtrip(self):
+        ref = cell_fn_ref(_double)
+        assert resolve_cell_fn(ref) is _double
+
+    def test_cell_fn_ref_rejects_locals(self):
+        with pytest.raises(ValueError, match="module-level"):
+            cell_fn_ref(lambda x: x)
+
+    def test_resolve_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            resolve_cell_fn("no-colon-here")
+
+    def test_run_one_cell_catches_exception(self):
+        def boom(args):
+            raise RuntimeError("kapow")
+
+        outcome = run_one_cell(boom, None)
+        assert outcome["ok"] is False
+        assert "kapow" in outcome["error"]
+        assert outcome["seconds"] >= 0.0
+
+    def test_run_one_cell_instrumented_snapshot(self):
+        outcome = run_one_cell(_double, 4, instrument=True)
+        assert outcome == {
+            "ok": True,
+            "value": 8,
+            "seconds": outcome["seconds"],
+            "metrics": outcome["metrics"],
+        }
+        hist = outcome["metrics"]["histograms"]["sweep.cell.seconds"]
+        assert hist["count"] == 1
+
+
+# -- Local backends ----------------------------------------------------------
+
+
+class TestPoolChunking:
+    def test_chunked_matches_unchunked(self):
+        jobs = [((i,), i) for i in range(7)]
+        with PoolExecutor(workers=2, chunk=5) as chunked:
+            coarse = run_cells(jobs, _double, executor=chunked)
+        with PoolExecutor(workers=2, chunk=1) as per_cell:
+            fine = run_cells(jobs, _double, executor=per_cell)
+        assert coarse == fine == {(i,): i * 2 for i in range(7)}
+
+
+# -- Socket backend ----------------------------------------------------------
+
+
+class TestSocketExecutor:
+    def test_loopback_matches_serial(self):
+        jobs = [((i,), i) for i in range(11)]
+        serial = run_cells(jobs, _double)
+        with SocketExecutor(chunk=4) as executor:
+            worker = _WorkerThread(executor.address, connect_timeout=5.0)
+            worker.start()
+            via_socket = run_cells(jobs, _double, executor=executor)
+        worker.join(timeout=15.0)
+        assert not worker.is_alive()
+        assert worker.error is None
+        assert worker.result == len(jobs)
+        assert via_socket == serial
+
+    def test_executor_reused_across_sessions(self):
+        """One executor (and its worker) serves several sweeps, like a
+        multi-panel figure does."""
+        with SocketExecutor(chunk=3) as executor:
+            worker = _WorkerThread(executor.address, connect_timeout=5.0)
+            worker.start()
+            first = run_cells([((i,), i) for i in range(5)], _double, executor=executor)
+            second = run_cells([((i,), i + 100) for i in range(4)], _double, executor=executor)
+        worker.join(timeout=15.0)
+        assert not worker.is_alive()
+        assert worker.error is None
+        assert first == {(i,): i * 2 for i in range(5)}
+        assert second == {(i,): (i + 100) * 2 for i in range(4)}
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        journal = SweepJournal.open(tmp_path / "j.jsonl", "fp-right")
+        jobs = [((i,), i) for i in range(3)]
+        done = threading.Event()
+        results = {}
+
+        def serve():
+            results.update(
+                run_cells(jobs, _double, executor=executor, journal=journal)
+            )
+            done.set()
+
+        with SocketExecutor(chunk=2) as executor:
+            server = threading.Thread(target=serve, daemon=True)
+            server.start()
+            with pytest.raises(WorkerRejected, match="fingerprint"):
+                run_worker(
+                    executor.address, fingerprint="fp-wrong", connect_timeout=5.0
+                )
+            good = _WorkerThread(
+                executor.address, fingerprint="fp-right", connect_timeout=5.0
+            )
+            good.start()
+            server.join(timeout=30.0)
+            assert done.is_set()
+        good.join(timeout=15.0)
+        journal.close()
+        assert good.error is None
+        assert good.result == 3
+        assert results == {(i,): i * 2 for i in range(3)}
+
+    def test_worker_crash_mid_batch_requeues_innocent(self):
+        """A worker dying mid-batch charges only the running cell; its
+        batch-mates requeue and finish on the next worker."""
+        ctx = spawn_context()
+        jobs = [(("die",), "die")] + [((i,), i) for i in range(4)]
+        registry = MetricsRegistry()
+        enable_metrics(registry)
+        try:
+            with SocketExecutor(chunk=8) as executor:
+                host, port = executor.address
+                victim = ctx.Process(
+                    target=_worker_process_main, args=(host, port), daemon=True
+                )
+                victim.start()
+                relief = {}
+
+                def send_relief():
+                    victim.join()
+                    proc = ctx.Process(
+                        target=_worker_process_main, args=(host, port), daemon=True
+                    )
+                    proc.start()
+                    relief["proc"] = proc
+
+                relief_thread = threading.Thread(target=send_relief, daemon=True)
+                relief_thread.start()
+                results = run_cells(
+                    jobs,
+                    _exit_on_die,
+                    executor=executor,
+                    policy=RetryPolicy(max_attempts=1, backoff=0.0),
+                )
+            relief_thread.join(timeout=30.0)
+            relief["proc"].join(timeout=30.0)
+        finally:
+            disable_metrics()
+        assert results[("die",)] is None  # charged, degraded to NaN
+        assert results == {("die",): None, **{(i,): i * 10 for i in range(4)}}
+        assert registry.counter("sweep.cells.worker_death").value == 1
+        assert registry.counter("sweep.cells.requeued_innocent").value == 4
+        assert registry.counter("executor.socket.requeues").value == 4
+
+
+class TestBackendsBitIdentical:
+    def test_mean_error_curve_identical_across_backends(self, tiny_config):
+        config = tiny_config.with_counts([8, 20])
+        serial = resilient_mean_error_curve(config, 0.3)
+        with PoolExecutor(workers=2, chunk=2) as pool:
+            pooled = resilient_mean_error_curve(config, 0.3, executor=pool)
+        with SocketExecutor(chunk=2) as executor:
+            worker = _WorkerThread(executor.address, connect_timeout=5.0)
+            worker.start()
+            socketed = resilient_mean_error_curve(config, 0.3, executor=executor)
+        worker.join(timeout=15.0)
+        assert worker.error is None
+        for got in (pooled, socketed):
+            assert got.values == serial.values
+            assert got.ci_half_widths == serial.ci_half_widths
+            assert got.meta["failed_cells"] == 0
+
+    def test_improvement_curvesets_identical_across_backends(self, tiny_config):
+        config = tiny_config.with_counts([8])
+        algorithms = [RandomPlacement(), MaxPlacement()]
+        serial_sets = resilient_placement_improvement_curves(config, 0.0, algorithms)
+        with PoolExecutor(workers=2, chunk=2) as pool:
+            pool_sets = resilient_placement_improvement_curves(
+                config, 0.0, algorithms, executor=pool
+            )
+        with SocketExecutor(chunk=2) as executor:
+            worker = _WorkerThread(executor.address, connect_timeout=5.0)
+            worker.start()
+            socket_sets = resilient_placement_improvement_curves(
+                config, 0.0, algorithms, executor=executor
+            )
+        worker.join(timeout=15.0)
+        assert worker.error is None
+        for got_sets in (pool_sets, socket_sets):
+            for got_set, want_set in zip(got_sets, serial_sets):
+                for got, want in zip(got_set.curves, want_set.curves):
+                    assert got.values == want.values
+                    assert got.ci_half_widths == want.ci_half_widths
+
+
+# -- World-component cache ---------------------------------------------------
+
+
+class TestWorldCache:
+    def test_identical_objects_and_counters(self):
+        clear_world_cache()
+        registry = MetricsRegistry()
+        enable_metrics(registry)
+        try:
+            first = cached_grid(60.0, 3.0)
+            again = cached_grid(60.0, 3.0)
+            assert first is again
+            layout = cached_layout(60.0, 12.0, 100)
+            assert cached_layout(60.0, 12.0, 100) is layout
+            assert registry.counter("worldcache.misses").value == 2
+            assert registry.counter("worldcache.hits").value == 2
+        finally:
+            disable_metrics()
+            clear_world_cache()
+
+    def test_build_world_shares_components_across_cells(self, tiny_config):
+        from repro.sim.sweep import build_world
+
+        one = build_world(tiny_config, 0.0, 8, 0)
+        two = build_world(tiny_config, 0.0, 8, 1)
+        assert one.grid is two.grid
+        assert one.layout is two.layout
+        assert one.localizer is two.localizer
+        # Distinct per-cell state is still per-cell.
+        assert one.field is not two.field
+
+
+# -- Journal merging ---------------------------------------------------------
+
+
+def _write_journal(path, fingerprint, cells):
+    with SweepJournal.open(path, fingerprint) as journal:
+        for key, value in cells:
+            journal.record(key, ok=True, value=value, attempts=1)
+
+
+class TestJournalMerge:
+    def test_last_writer_wins(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _write_journal(a, "fp", [((0,), 1.0), ((1,), 2.0)])
+        _write_journal(b, "fp", [((1,), 20.0), ((2,), 3.0)])
+        out = tmp_path / "merged.jsonl"
+        stats = merge_journals(out, [a, b])
+        assert stats.inputs == 2
+        assert stats.cells == 3
+        assert stats.superseded == 1
+        merged = SweepJournal.open(out, "fp")
+        assert merged.entry((1,))["value"] == 20.0  # b came last
+        assert merged.entry((0,))["value"] == 1.0
+
+    def test_mismatched_fingerprints_refused(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _write_journal(a, "fp-one", [((0,), 1.0)])
+        _write_journal(b, "fp-two", [((1,), 2.0)])
+        with pytest.raises(ValueError, match="different sweeps"):
+            merge_journals(tmp_path / "merged.jsonl", [a, b])
+
+    def test_output_may_be_an_input(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _write_journal(a, "fp", [((0,), 1.0)])
+        _write_journal(b, "fp", [((1,), 2.0)])
+        stats = merge_journals(a, [a, b])
+        assert stats.cells == 2
+        merged = SweepJournal.open(a, "fp")
+        assert len(merged) == 2
+
+    def test_cli_merge_round_trip(self, capsys, tmp_path, monkeypatch, tiny_config):
+        """Shards of a real sweep merge into a journal that resumes the
+        full sweep without recomputing anything."""
+        config = tiny_config.with_counts([8, 20])
+        path = tmp_path / "full.jsonl"
+        full = resilient_mean_error_curve(config, 0.0, journal_path=path)
+        lines = path.read_text().splitlines()
+        header, cells = lines[0], lines[1:]
+        mid = len(cells) // 2
+        shard_a = tmp_path / "shard_a.jsonl"
+        shard_b = tmp_path / "shard_b.jsonl"
+        shard_a.write_text("\n".join([header] + cells[:mid]) + "\n")
+        shard_b.write_text("\n".join([header] + cells[mid:]) + "\n")
+        merged = tmp_path / "merged.jsonl"
+        assert main(
+            ["journal", "--merge", str(merged), str(shard_a), str(shard_b)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 journal(s)" in out
+
+        def poison(args):
+            raise AssertionError("cell recomputed despite merged journal")
+
+        monkeypatch.setattr("repro.sim.resilient._mean_error_cell", poison)
+        resumed = resilient_mean_error_curve(config, 0.0, journal_path=merged)
+        assert resumed.values == full.values
+
+    def test_cli_merge_mismatch_fails(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _write_journal(a, "fp-one", [((0,), 1.0)])
+        _write_journal(b, "fp-two", [((1,), 2.0)])
+        code = main(["journal", "--merge", str(tmp_path / "out.jsonl"), str(a), str(b)])
+        assert code == 1
+        assert "different sweeps" in capsys.readouterr().err
+
+    def test_cli_multiple_paths_need_merge(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _write_journal(a, "fp", [((0,), 1.0)])
+        _write_journal(b, "fp", [((1,), 2.0)])
+        assert main(["journal", str(a), str(b)]) == 1
+        assert capsys.readouterr().err != ""
+
+
+# -- CLI parsing -------------------------------------------------------------
+
+
+class TestExecutorCLI:
+    def test_executor_flag_parses(self):
+        args = build_parser().parse_args(
+            ["--executor", "socket", "--bind", "0.0.0.0:9000", "reproduce", "fig4"]
+        )
+        assert args.executor == "socket"
+        assert args.bind == ("0.0.0.0", 9000)
+
+    def test_executor_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--executor", "telepathy", "reproduce", "fig4"])
+
+    def test_chunk_flag_parses(self):
+        args = build_parser().parse_args(["--chunk", "5", "reproduce", "fig4"])
+        assert args.chunk == 5
+
+    def test_bad_hostport_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--bind", "no-port", "reproduce", "fig4"])
+
+    def test_worker_parses(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "10.0.0.7:9000", "--fingerprint", "abc"]
+        )
+        assert args.command == "worker"
+        assert args.connect == ("10.0.0.7", 9000)
+        assert args.fingerprint == "abc"
+        assert args.connect_timeout == 10.0
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_serve_parses(self):
+        args = build_parser().parse_args(["serve", "fig4"])
+        assert args.command == "serve"
+        assert args.figure == "fig4"
+
+    def test_worker_against_dead_address_fails(self, capsys):
+        assert main(
+            ["worker", "--connect", "127.0.0.1:1", "--connect-timeout", "0.1"]
+        ) == 1
+        assert "no sweep server" in capsys.readouterr().err
