@@ -1,0 +1,83 @@
+"""Extension E14 — error-vs-time curves through the resilient timeline sweep.
+
+Where E13 (``bench_faults``) asks what adaptive placement buys back on a
+degraded snapshot, this bench produces the degradation curves themselves:
+mean and p90 localization error over time under three fault families —
+permanent crashes, battery exhaustion (near-deterministic lifetimes) and
+intermittent duty-cycling — driven through :func:`repro.sim.fault_error_timeline`,
+i.e. the same journaled/executor-backed cell engine the figure sweeps use.
+
+Expected shape: the crash curve climbs steadily as exponential lifetimes
+thin the field; the battery curve stays near-pristine until the lifetime
+band and then collapses (its spread is a tight uniform window, not a long
+exponential tail); the intermittent curve is roughly flat — beacons flap
+but the population never trends to zero.  Bootstrap CIs are seed-derived,
+so rerunning this bench reproduces the recorded results bit-for-bit at a
+given fidelity.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults import BatteryFault, CrashFault, IntermittentFault
+from repro.sim import TimelineConfig, fault_error_timeline, write_time_curve_set
+from repro.viz import format_timeline_set, line_chart
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+LIFETIME = 60.0
+
+
+def test_error_vs_time_under_fault_models(benchmark, config, emit):
+    timeline = TimelineConfig(
+        times=(0.0, 15.0, 30.0, 45.0, 60.0, 90.0, 120.0),
+        beacons=config.beacon_counts[len(config.beacon_counts) // 2],
+        noise=0.0,
+        trials=min(config.fields_per_density, 6),
+        resamples=200,
+    )
+    models = [
+        ("crash", CrashFault(LIFETIME)),
+        ("battery", BatteryFault(LIFETIME, spread=0.2)),
+        ("intermittent", IntermittentFault(30.0, 10.0)),
+    ]
+
+    def run():
+        return fault_error_timeline(config, timeline, models)
+
+    mean_set, upper_set = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for set_, suffix in ((mean_set, "mean"), (upper_set, "p90")):
+        text = format_timeline_set(set_)
+        series = [(c.label, c.times, c.values) for c in set_.curves]
+        text += "\n\n" + line_chart(
+            series,
+            title=set_.title,
+            x_label="time",
+            y_label="meters",
+            y_min=0.0,
+        )
+        write_time_curve_set(set_, RESULTS_DIR / f"extension_timeline_{suffix}.csv")
+        emit(f"extension_timeline_{suffix}", text)
+
+    assert mean_set.meta["failed_cells"] == 0
+    crash = mean_set.curve("crash")
+    # Crashes only remove beacons: alive falls, error climbs.
+    alive = crash.alive_fraction()
+    assert all(a >= b for a, b in zip(alive, alive[1:]))
+    finite = [v for v in crash.values if not np.isnan(v)]
+    assert finite[-1] > finite[0]
+    # Battery fields are pristine before the lifetime band starts (t=48).
+    battery = mean_set.curve("battery")
+    assert battery.alive_fraction()[0] == 1.0
+    assert battery.values[1] == battery.values[0]
+    # ... and dead after it ends (t >= 72 > 1.2 * lifetime).
+    assert battery.alive_fraction()[-1] == 0.0
+    # Intermittent beacons flap but the field never trends to empty.
+    flap = mean_set.curve("intermittent")
+    assert all(a > 0.0 for a in flap.alive_fraction())
+    # The upper tail bounds the mean wherever both exist.
+    for m, u in zip(crash.values, upper_set.curve("crash").values):
+        if not np.isnan(m):
+            assert u >= m

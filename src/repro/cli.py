@@ -16,6 +16,10 @@ Subcommands:
 * ``report`` — run a compact evaluation and write a markdown report.
 * ``faults`` — degrade a deployment over time under a fault model and
   measure how localization and adaptive placement hold up.
+* ``timeline`` — error-vs-time curves: sweep several fault models through
+  the resilient engine (``--models crash,battery,intermittent --times
+  0:86400:24``), with bootstrap CIs, journal resume and every executor
+  backend.
 * ``obs`` — summarize the observability artifacts of an instrumented run
   (top spans by cumulative time, counters, duration histograms).
 * ``journal`` — inspect a sweep checkpoint journal (done/failed/NaN
@@ -47,7 +51,14 @@ import sys
 
 import numpy as np
 
-from .faults import BatteryFault, CompositeFault, CrashFault, DriftFault, IntermittentFault
+from .faults import (
+    BatteryFault,
+    CompositeFault,
+    CrashFault,
+    DriftFault,
+    IntermittentFault,
+    NoFaults,
+)
 from .localization import overlap_ratio_sweep
 from .obs import (
     ObsSession,
@@ -61,10 +72,12 @@ from .placement import GridPlacement, MaxPlacement, RandomPlacement
 from .protocol import ProtocolConnectivityEstimator
 from .sim import (
     PAPER_NOISE_LEVELS,
+    TimelineConfig,
     WorkerRejected,
     bench_config,
     build_world,
     derive_rng,
+    fault_error_timeline,
     make_executor,
     mean_error_curve,
     placement_improvement_curves,
@@ -73,9 +86,10 @@ from .sim import (
     run_placement_trial,
     run_worker,
     write_curve_set,
+    write_time_curve_set,
 )
 from .sim.results import CurveSet
-from .viz import format_curve_set, format_table, line_chart
+from .viz import format_curve_set, format_table, format_timeline_set, line_chart
 
 __all__ = ["main", "build_parser"]
 
@@ -561,6 +575,121 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _parse_times(text: str) -> list[float]:
+    """A time axis: ``START:STOP:NUM`` (inclusive linspace) or comma floats."""
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise argparse.ArgumentTypeError(
+                f"expected START:STOP:NUM, got {text!r}"
+            )
+        try:
+            start, stop = float(parts[0]), float(parts[1])
+            num = int(parts[2])
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(f"invalid time range {text!r}") from exc
+        if num < 2:
+            raise argparse.ArgumentTypeError(
+                f"time range needs at least 2 points, got {num}"
+            )
+        if stop <= start:
+            raise argparse.ArgumentTypeError(
+                f"time range must be increasing, got {text!r}"
+            )
+        return [float(t) for t in np.linspace(start, stop, num)]
+    return _parse_floats(text)
+
+
+_TIMELINE_MODELS = ["crash", "battery", "intermittent", "flap", "drift", "mixed", "none"]
+
+
+def _parse_model_names(text: str) -> list[str]:
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("model list must not be empty")
+    for name in names:
+        if name not in _TIMELINE_MODELS:
+            raise argparse.ArgumentTypeError(
+                f"unknown fault model {name!r} (choose from {', '.join(_TIMELINE_MODELS)})"
+            )
+    if len(set(names)) != len(names):
+        raise argparse.ArgumentTypeError(f"duplicate fault model in {names}")
+    return names
+
+
+def _timeline_models(args):
+    """The (name, model) list for the timeline sweep, from the fault flags."""
+
+    def build(name):
+        if name == "crash":
+            return CrashFault(args.lifetime)
+        if name == "battery":
+            return BatteryFault(args.lifetime, spread=args.spread)
+        if name in ("intermittent", "flap"):
+            return IntermittentFault(args.up_time, args.down_time)
+        if name == "drift":
+            return DriftFault(args.drift_rate, args.max_drift)
+        if name == "mixed":
+            return CompositeFault(
+                [CrashFault(args.lifetime), DriftFault(args.drift_rate, args.max_drift)]
+            )
+        return NoFaults()
+
+    return [(name, build(name)) for name in args.models]
+
+
+def _emit_timeline(curve_set, args, csv_suffix: str = "") -> None:
+    print(format_timeline_set(curve_set))
+    series = [(c.label, c.times, c.values) for c in curve_set.curves]
+    print()
+    print(
+        line_chart(
+            series,
+            title=curve_set.title,
+            x_label="time",
+            y_label="meters",
+            y_min=0.0,
+        )
+    )
+    if args.csv:
+        target = args.csv
+        if csv_suffix:
+            from pathlib import Path
+
+            p = Path(target)
+            target = p.with_name(p.stem + csv_suffix + p.suffix)
+        path = write_time_curve_set(curve_set, target)
+        print(f"\nwrote {path}")
+
+
+def _cmd_timeline(args) -> int:
+    config = _config_from_args(args)
+    timeline = TimelineConfig(
+        times=tuple(args.times),
+        beacons=args.beacons,
+        noise=args.noise,
+        trials=args.trials,
+        percentile=args.percentile,
+        resamples=args.resamples,
+    )
+    mean_set, upper_set = fault_error_timeline(
+        config,
+        timeline,
+        _timeline_models(args),
+        workers=args.workers,
+        journal_path=args.journal,
+        progress=_progress(args),
+        executor=_executor_from_args(args),
+    )
+    _emit_timeline(mean_set, args, csv_suffix="_mean")
+    print()
+    _emit_timeline(upper_set, args, csv_suffix=f"_p{args.percentile:g}")
+    failed = mean_set.meta.get("failed_cells", 0)
+    if failed:
+        print(f"\nwarning: {failed} cell(s) exhausted retries (NaN-degraded)", file=sys.stderr)
+    return 0
+
+
 def _cmd_obs(args) -> int:
     try:
         print(summarize_run_dir(args.run_dir))
@@ -815,6 +944,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot times, comma-separated",
     )
 
+    timeline = sub.add_parser(
+        "timeline",
+        help=(
+            "error-vs-time curves for several fault models, through the "
+            "resilient sweep engine"
+        ),
+    )
+    timeline.add_argument(
+        "--models",
+        type=_parse_model_names,
+        default=["crash", "battery", "intermittent"],
+        help=(
+            "fault models to sweep, comma-separated from "
+            f"{{{','.join(_TIMELINE_MODELS)}}} ('flap' is an alias for "
+            "'intermittent')"
+        ),
+    )
+    timeline.add_argument(
+        "--times",
+        type=_parse_times,
+        default=[0.0, 25.0, 50.0, 75.0, 100.0],
+        help=(
+            "snapshot times: comma-separated floats, or START:STOP:NUM for "
+            "an inclusive linspace (e.g. 0:86400:24)"
+        ),
+    )
+    timeline.add_argument("--beacons", type=int, default=40)
+    timeline.add_argument("--noise", type=float, default=0.0)
+    timeline.add_argument(
+        "--trials", type=int, default=8, help="random fields per fault model"
+    )
+    timeline.add_argument(
+        "--percentile",
+        type=float,
+        default=90.0,
+        help="upper-tail LE percentile reported alongside the mean",
+    )
+    timeline.add_argument(
+        "--resamples",
+        type=int,
+        default=500,
+        help="bootstrap iterations behind each confidence interval",
+    )
+    timeline.add_argument(
+        "--lifetime", type=float, default=50.0,
+        help="mean beacon lifetime (crash/battery/mixed)",
+    )
+    timeline.add_argument(
+        "--spread", type=float, default=0.1, help="battery lifetime spread fraction"
+    )
+    timeline.add_argument(
+        "--up-time", type=float, default=30.0, help="intermittent mean up-time"
+    )
+    timeline.add_argument(
+        "--down-time", type=float, default=10.0, help="intermittent mean down-time"
+    )
+    timeline.add_argument(
+        "--drift-rate", type=float, default=0.5,
+        help="drift magnitude in m per unit sqrt(time) (drift/mixed)",
+    )
+    timeline.add_argument(
+        "--max-drift", type=float, default=10.0, help="drift displacement cap in m"
+    )
+
     obs = sub.add_parser("obs", help="summarize an instrumented run directory")
     obs.add_argument("run_dir", help="directory written by --trace/--profile")
 
@@ -900,6 +1093,7 @@ _COMMANDS = {
     "regions": _cmd_regions,
     "report": _cmd_report,
     "faults": _cmd_faults,
+    "timeline": _cmd_timeline,
     "obs": _cmd_obs,
     "journal": _cmd_journal,
     "worker": _cmd_worker,

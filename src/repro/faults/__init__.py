@@ -18,6 +18,7 @@ from .models import (
     FaultRealization,
     IntermittentFault,
     NoFaults,
+    fault_model_from_spec,
 )
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "BatteryFault",
     "DriftFault",
     "CompositeFault",
+    "fault_model_from_spec",
     "DegradedField",
     "apply_faults",
     "fault_timeline",

@@ -43,6 +43,7 @@ __all__ = [
     "BatteryFault",
     "DriftFault",
     "CompositeFault",
+    "fault_model_from_spec",
 ]
 
 # Domain-separation tags (arbitrary, fixed forever).
@@ -106,6 +107,22 @@ class FaultModel(ABC):
                 captures a seed, not the generator.
         """
 
+    @abstractmethod
+    def spec(self) -> dict:
+        """JSON-canonical identity of this model: kind tag plus parameters.
+
+        Two models with equal specs draw identical realizations from equal
+        seeds, on any host and in any process — specs are what sweep
+        fingerprints hash and what distributed executors ship over the wire
+        (:func:`fault_model_from_spec` is the inverse).
+        """
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in self.spec().items() if k != "kind"
+        )
+        return f"{type(self).__name__}({params})"
+
 
 def _draw_seed(rng: np.random.Generator) -> np.uint64:
     return np.uint64(int(rng.integers(0, 2**63, dtype=np.int64)))
@@ -116,6 +133,9 @@ class NoFaults(FaultModel, FaultRealization):
 
     def realize(self, rng: np.random.Generator) -> "NoFaults":
         return self
+
+    def spec(self) -> dict:
+        return {"kind": "none"}
 
     def up_mask(self, beacon_ids, time: float) -> np.ndarray:
         ids = _as_id_array(beacon_ids)
@@ -154,6 +174,9 @@ class CrashFault(FaultModel):
             raise ValueError(f"mean_lifetime must be positive, got {mean_lifetime}")
         self.mean_lifetime = float(mean_lifetime)
 
+    def spec(self) -> dict:
+        return {"kind": "crash", "mean_lifetime": self.mean_lifetime}
+
     def realize(self, rng: np.random.Generator) -> FaultRealization:
         mean = self.mean_lifetime
 
@@ -184,6 +207,13 @@ class BatteryFault(FaultModel):
             raise ValueError(f"spread must be in [0, 1), got {spread}")
         self.mean_lifetime = float(mean_lifetime)
         self.spread = float(spread)
+
+    def spec(self) -> dict:
+        return {
+            "kind": "battery",
+            "mean_lifetime": self.mean_lifetime,
+            "spread": self.spread,
+        }
 
     def realize(self, rng: np.random.Generator) -> FaultRealization:
         mean, spread = self.mean_lifetime, self.spread
@@ -232,6 +262,14 @@ class IntermittentFault(FaultModel):
         self.mean_up_time = float(mean_up_time)
         self.mean_down_time = float(mean_down_time)
         self.start_up = start_up
+
+    def spec(self) -> dict:
+        return {
+            "kind": "intermittent",
+            "mean_up_time": self.mean_up_time,
+            "mean_down_time": self.mean_down_time,
+            "start_up": self.start_up,
+        }
 
     @property
     def steady_state_up(self) -> float:
@@ -317,6 +355,9 @@ class DriftFault(FaultModel):
         self.rate = float(rate)
         self.max_drift = float(max_drift)
 
+    def spec(self) -> dict:
+        return {"kind": "drift", "rate": self.rate, "max_drift": self.max_drift}
+
     def realize(self, rng: np.random.Generator) -> "DriftRealization":
         return DriftRealization(_draw_seed(rng), self.rate, self.max_drift)
 
@@ -356,6 +397,9 @@ class CompositeFault(FaultModel):
             raise ValueError("CompositeFault requires at least one model")
         self.models = tuple(models)
 
+    def spec(self) -> dict:
+        return {"kind": "composite", "models": [m.spec() for m in self.models]}
+
     def realize(self, rng: np.random.Generator) -> "CompositeRealization":
         return CompositeRealization([m.realize(rng) for m in self.models])
 
@@ -379,3 +423,36 @@ class CompositeRealization(FaultRealization):
         for part in self._parts:
             total += part.position_offsets(ids, time)
         return total
+
+
+def fault_model_from_spec(spec: dict) -> FaultModel:
+    """Rebuild a fault model from its :meth:`FaultModel.spec` dict.
+
+    This is the wire-format inverse: a sweep cell carries only the spec
+    (plain JSON), and any worker — local or remote — reconstructs an
+    equivalent model with it.
+
+    Raises:
+        ValueError: on an unknown or malformed spec.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"fault-model spec must be a dict, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    try:
+        if kind == "none":
+            return NoFaults()
+        if kind == "crash":
+            return CrashFault(spec["mean_lifetime"])
+        if kind == "battery":
+            return BatteryFault(spec["mean_lifetime"], spread=spec["spread"])
+        if kind == "intermittent":
+            return IntermittentFault(
+                spec["mean_up_time"], spec["mean_down_time"], spec["start_up"]
+            )
+        if kind == "drift":
+            return DriftFault(spec["rate"], spec["max_drift"])
+        if kind == "composite":
+            return CompositeFault([fault_model_from_spec(s) for s in spec["models"]])
+    except KeyError as exc:
+        raise ValueError(f"fault-model spec {spec!r} is missing {exc}") from None
+    raise ValueError(f"unknown fault-model kind {kind!r} in spec {spec!r}")

@@ -12,7 +12,12 @@ from .executors import (
     spawn_context,
     validate_workers,
 )
-from .io import read_curve_set, write_curve_set
+from .io import (
+    read_curve_set,
+    read_time_curve_set,
+    write_curve_set,
+    write_time_curve_set,
+)
 from .parallel import (
     parallel_mean_error_curve,
     parallel_placement_improvement_curves,
@@ -25,13 +30,18 @@ from .resilient import (
     run_cells,
     sweep_fingerprint,
 )
-from .results import Curve, CurveSet
+from .results import Curve, CurveSet, TimeCurve
 from .rng import derive_rng, derive_seed_sequence
 from .sweep import (
     build_world,
     default_model_factory,
     mean_error_curve,
     placement_improvement_curves,
+)
+from .timeline import (
+    TimelineConfig,
+    fault_error_timeline,
+    timeline_models_from_specs,
 )
 from .trial import TrialOutcome, TrialWorld, run_placement_trial
 
@@ -68,6 +78,12 @@ __all__ = [
     "resilient_placement_improvement_curves",
     "Curve",
     "CurveSet",
+    "TimeCurve",
+    "TimelineConfig",
+    "fault_error_timeline",
+    "timeline_models_from_specs",
     "write_curve_set",
     "read_curve_set",
+    "write_time_curve_set",
+    "read_time_curve_set",
 ]

@@ -24,6 +24,7 @@ __all__ = [
     "cached_grid",
     "cached_layout",
     "cached_localizer",
+    "cached_fault_realization",
     "clear_world_cache",
 ]
 
@@ -34,14 +35,15 @@ _MAX_ENTRIES = 8
 _grids: dict = {}
 _layouts: dict = {}
 _localizers: dict = {}
+_fault_realizations: dict = {}
 
 
-def _lookup(cache: dict, key, build):
+def _lookup(cache: dict, key, build, *, counter: str = "worldcache"):
     hit = cache.get(key)
     if hit is not None:
-        get_metrics().counter("worldcache.hits").inc()
+        get_metrics().counter(f"{counter}.hits").inc()
         return hit
-    get_metrics().counter("worldcache.misses").inc()
+    get_metrics().counter(f"{counter}.misses").inc()
     if len(cache) >= _MAX_ENTRIES:
         cache.clear()
     value = cache[key] = build()
@@ -73,8 +75,27 @@ def cached_localizer(side: float, policy) -> CentroidLocalizer:
     )
 
 
+def cached_fault_realization(key, build):
+    """The drawn fault realization for one (sweep, model, trial), per process.
+
+    Timeline sweeps evaluate many time snapshots of the *same* drawn outage
+    pattern; the realization is a pure function of the cell key (see
+    :func:`repro.sim.timeline._timeline_cell`), so whichever worker runs a
+    cell draws — or reuses — an identical object.  Cells of one trial land
+    in the same dispatch chunk in job order, so a worker typically realizes
+    each (model, trial) once and replays it across the trial's time cells.
+
+    Args:
+        key: hashable identity of the drawn realization — must include
+            everything the draw depends on (seed, model spec, trial).
+        build: zero-argument factory invoked on a miss.
+    """
+    return _lookup(_fault_realizations, key, build, counter="faultcache")
+
+
 def clear_world_cache() -> None:
     """Drop every cached component (tests; long-lived multi-config servers)."""
     _grids.clear()
     _layouts.clear()
     _localizers.clear()
+    _fault_realizations.clear()

@@ -7,6 +7,11 @@ without recomputation.  The format is a flat CSV with one row per
 sweeps carry a ``coverage`` column (fraction of scheduled replications that
 produced a finite sample; 1.0 for clean runs) which round-trips into
 ``Curve.meta["coverage"]``.
+
+Timeline sweeps (:mod:`repro.sim.timeline`) persist the same way but over a
+time axis with asymmetric bootstrap bounds: one row per (series, time) pair
+with ``ci_low``/``ci_high`` instead of a symmetric half-width, plus the
+per-point ``alive_fraction`` — see :func:`write_time_curve_set`.
 """
 
 from __future__ import annotations
@@ -14,9 +19,14 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 
-from .results import Curve, CurveSet
+from .results import Curve, CurveSet, TimeCurve
 
-__all__ = ["write_curve_set", "read_curve_set"]
+__all__ = [
+    "write_curve_set",
+    "read_curve_set",
+    "write_time_curve_set",
+    "read_time_curve_set",
+]
 
 _FIELDS = ["label", "count", "density", "value", "ci_half_width", "num_samples", "coverage"]
 
@@ -116,6 +126,114 @@ def read_curve_set(path, title: str | None = None) -> CurveSet:
                 ci_half_widths=tuple(r["ci_half_width"] for r in rows),
                 num_samples=tuple(r["num_samples"] for r in rows),
                 meta=meta,
+            )
+        )
+    return CurveSet(title=title or src.stem, curves=curves)
+
+
+_TIME_FIELDS = [
+    "label",
+    "time",
+    "value",
+    "ci_low",
+    "ci_high",
+    "num_samples",
+    "coverage",
+    "alive_fraction",
+]
+
+#: column -> converter; every timeline column is required (the format is new,
+#: there are no pre-coverage files to tolerate).
+_TIME_REQUIRED = {
+    "label": str,
+    "time": float,
+    "value": float,
+    "ci_low": float,
+    "ci_high": float,
+    "num_samples": int,
+    "coverage": float,
+    "alive_fraction": float,
+}
+
+
+def write_time_curve_set(curve_set: CurveSet, path) -> Path:
+    """Write a timeline curve set (of :class:`TimeCurve`) to CSV.
+
+    NaN points (total-outage times, exhausted cells) are written as ``nan``
+    and survive the round trip.
+
+    Returns:
+        The written path.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_TIME_FIELDS)
+        writer.writeheader()
+        for row in curve_set.as_rows():
+            writer.writerow(row)
+    return out
+
+
+def _parse_time_row(src: Path, line: int, row: dict) -> dict:
+    parsed = {}
+    for column, convert in _TIME_REQUIRED.items():
+        raw = row.get(column)
+        if raw is None or raw == "":
+            raise ValueError(
+                f"{src}: row {line} is missing column {column!r} "
+                f"(expected columns {_TIME_FIELDS})"
+            )
+        try:
+            parsed[column] = convert(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{src}: row {line} has malformed value {raw!r} in column "
+                f"{column!r} (expected {convert.__name__})"
+            ) from None
+    return parsed
+
+
+def read_time_curve_set(path, title: str | None = None) -> CurveSet:
+    """Read a timeline curve set written by :func:`write_time_curve_set`.
+
+    Args:
+        path: the CSV path.
+        title: title for the reconstructed set (defaults to the file stem).
+
+    Raises:
+        ValueError: naming the file and the missing/malformed column, if the
+            CSV does not parse as a timeline curve set.
+    """
+    src = Path(path)
+    series: dict[str, list[dict]] = {}
+    with src.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        header = reader.fieldnames or []
+        missing = [c for c in _TIME_REQUIRED if c not in header]
+        if missing:
+            raise ValueError(
+                f"{src}: header {header} is missing required "
+                f"column(s) {missing} — not a timeline curve-set CSV?"
+            )
+        for line, row in enumerate(reader, start=2):
+            parsed = _parse_time_row(src, line, row)
+            series.setdefault(parsed["label"], []).append(parsed)
+
+    curves = []
+    for label, rows in series.items():
+        curves.append(
+            TimeCurve(
+                label=label,
+                times=tuple(r["time"] for r in rows),
+                values=tuple(r["value"] for r in rows),
+                ci_low=tuple(r["ci_low"] for r in rows),
+                ci_high=tuple(r["ci_high"] for r in rows),
+                num_samples=tuple(r["num_samples"] for r in rows),
+                meta={
+                    "coverage": tuple(r["coverage"] for r in rows),
+                    "alive_fraction": tuple(r["alive_fraction"] for r in rows),
+                },
             )
         )
     return CurveSet(title=title or src.stem, curves=curves)

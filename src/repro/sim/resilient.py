@@ -34,9 +34,11 @@ by up to ``workers × timeout``).
 
 from __future__ import annotations
 
+import enum
 import hashlib
 import json
 import time as _time
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Sequence
@@ -111,19 +113,58 @@ def _canon_key(key) -> tuple:
     return tuple(out)
 
 
+def _canon_json(obj, where: str):
+    """Validate/convert a fingerprint payload to JSON-canonical values.
+
+    The old ``json.dumps(..., default=str)`` escape hatch silently hashed
+    ``str(obj)`` for unknown objects — anything whose ``str()`` embeds a
+    memory address fingerprinted differently every run, defeating journal
+    resume without any error.  Canonicalization is now explicit: enums
+    stringify (matching what ``default=str`` produced, so existing journal
+    fingerprints survive), numpy scalars narrow to Python numbers, and
+    anything else raises instead of degrading.
+    """
+    if obj is None or isinstance(obj, (str, bool)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return str(obj)
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return float(obj)
+    if isinstance(obj, (list, tuple)):
+        return [_canon_json(x, where) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canon_json(v, where) for k, v in obj.items()}
+    raise TypeError(
+        f"sweep_fingerprint: {where} contains non-JSON-canonical value {obj!r} "
+        f"({type(obj).__name__}); pass plain str/int/float/bool/list/dict — "
+        "for fault models, their spec()"
+    )
+
+
 def sweep_fingerprint(kind: str, config: ExperimentConfig, extra=None) -> str:
     """A stable identity for one sweep's parameter set.
 
     Two runs share a journal iff their fingerprints match — same kind of
     sweep, same config (seed included), same extras (e.g. algorithm names).
+
+    Raises:
+        TypeError: if ``extra`` (or the config) holds a value with no
+            JSON-canonical form — an unstable ``str()`` would silently
+            produce a fresh fingerprint every process.
     """
     payload = {
         "kind": kind,
-        "config": asdict(config),
-        "extra": extra,
+        "config": _canon_json(asdict(config), "config"),
+        "extra": _canon_json(extra, "extra"),
     }
-    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class _TruncatedHeader(Exception):
+    """The journal's first line never made it to disk intact (killed run)."""
 
 
 class SweepJournal:
@@ -134,7 +175,10 @@ class SweepJournal:
     ``{"kind": "cell", "key": [...], "ok": true, "attempts": 1, "value": …}``
     (failed cells carry ``"ok": false`` and an ``"error"`` string instead of
     a value).  Lines are flushed as written, so a crashed run loses at most
-    the line being written; a trailing partial line is ignored on load.
+    the line being written; a trailing partial line is ignored on load.  A
+    run killed *during creation* leaves a truncated (or empty) header line —
+    there is nothing to resume, so :meth:`open` recreates the journal with a
+    warning instead of refusing the path forever.
 
     Use :meth:`open` — it validates the fingerprint of an existing journal
     and creates a fresh one otherwise.
@@ -150,7 +194,7 @@ class SweepJournal:
 
     @classmethod
     def open(cls, path, fingerprint: str) -> "SweepJournal":
-        """Open (resuming) or create the journal at ``path``.
+        """Open (resuming), create, or recreate the journal at ``path``.
 
         Raises:
             ValueError: if an existing journal's fingerprint does not match
@@ -160,24 +204,39 @@ class SweepJournal:
         p = Path(path)
         entries: dict = {}
         if p.exists():
-            header, cells = cls._load(p)
-            if header.get("fingerprint") != fingerprint:
-                raise ValueError(
-                    f"journal {p} was written for a different sweep "
-                    f"(fingerprint {header.get('fingerprint')!r} != {fingerprint!r}); "
-                    "delete it or choose another --journal path"
+            try:
+                header, cells = cls._load(p)
+            except _TruncatedHeader:
+                warnings.warn(
+                    f"journal {p} has a truncated header (the creating run "
+                    "was killed mid-write); no cells are recoverable — "
+                    "starting a fresh journal at this path",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
-            entries = cells
-        else:
-            p.parent.mkdir(parents=True, exist_ok=True)
-            with p.open("w") as handle:
-                handle.write(
-                    json.dumps(
-                        {"kind": "header", "fingerprint": fingerprint, "version": cls.VERSION}
+                cls._create(p, fingerprint)
+            else:
+                if header.get("fingerprint") != fingerprint:
+                    raise ValueError(
+                        f"journal {p} was written for a different sweep "
+                        f"(fingerprint {header.get('fingerprint')!r} != {fingerprint!r}); "
+                        "delete it or choose another --journal path"
                     )
-                    + "\n"
-                )
+                entries = cells
+        else:
+            cls._create(p, fingerprint)
         return cls(p, fingerprint, entries)
+
+    @classmethod
+    def _create(cls, p: Path, fingerprint: str) -> None:
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with p.open("w") as handle:
+            handle.write(
+                json.dumps(
+                    {"kind": "header", "fingerprint": fingerprint, "version": cls.VERSION}
+                )
+                + "\n"
+            )
 
     @staticmethod
     def _load(path: Path) -> tuple[dict, dict]:
@@ -188,6 +247,10 @@ class SweepJournal:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    if i == 0:
+                        # The header itself is the partial line — the run
+                        # died during journal creation; nothing to resume.
+                        raise _TruncatedHeader(path) from None
                     # Partial trailing line from a killed run; everything
                     # before it is intact (one line per flushed cell).
                     break
@@ -198,7 +261,9 @@ class SweepJournal:
                 elif record.get("kind") == "cell":
                     cells[_canon_key(record["key"])] = record
         if not header:
-            raise ValueError(f"journal {path} has no header line")
+            # Zero complete lines: the file was created but the header never
+            # hit the disk before the kill.
+            raise _TruncatedHeader(path)
         return header, cells
 
     def __len__(self) -> int:
@@ -380,7 +445,8 @@ def _stable_describe(obj):
 def _fault_extra(faults, fault_time) -> dict | None:
     if faults is None:
         return None
-    return {"faults": _stable_describe(faults), "time": fault_time}
+    described = faults.spec() if hasattr(faults, "spec") else _stable_describe(faults)
+    return {"faults": described, "time": fault_time}
 
 
 def resilient_mean_error_curve(

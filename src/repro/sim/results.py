@@ -5,6 +5,13 @@ Every figure in the paper is a set of curves over the beacon-density axis;
 count), point estimates, confidence half-widths and sample counts — plus
 the conversions the paper's dual axes use (beacons per m², beacons per
 nominal coverage area, error as a fraction of range).
+
+:class:`TimeCurve` is the temporal analogue used by timeline sweeps
+(:mod:`repro.sim.timeline`): one fault model's localization error over
+snapshot *times* instead of densities, with asymmetric bootstrap intervals
+(error under degradation is skewed, so a t-interval would lie).  It plugs
+into the same :class:`CurveSet` container — ``label``/``as_rows``/
+``coverage`` follow the :class:`Curve` contract.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Curve", "CurveSet"]
+__all__ = ["Curve", "CurveSet", "TimeCurve"]
 
 
 @dataclass(frozen=True)
@@ -151,6 +158,160 @@ class Curve:
             densities=tuple(float(d) for d in densities),
             values=tuple(values),
             ci_half_widths=tuple(halves),
+            num_samples=tuple(ns),
+            meta={"coverage": tuple(coverage)},
+        )
+
+
+@dataclass(frozen=True)
+class TimeCurve:
+    """One labelled error-vs-time series (a fault model under degradation).
+
+    Attributes:
+        label: series label (the fault model's name).
+        times: snapshot times (seconds since deployment) at each x position,
+            in the sweep's display order (monotone input not required).
+        values: point estimates; NaN marks a time where no trial produced a
+            usable sample (e.g. every beacon was down in every field).
+        ci_low: lower bootstrap percentile bound per point (NaN with the
+            value).
+        ci_high: upper bootstrap percentile bound per point.
+        num_samples: finite trials behind each point.
+        meta: free-form provenance.  Timeline sweeps record
+            ``meta["coverage"]`` (fraction of scheduled trials with a finite
+            sample per point) and ``meta["alive_fraction"]`` (mean surviving
+            beacon fraction per point).  Excluded from equality comparisons.
+    """
+
+    label: str
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+    ci_low: tuple[float, ...]
+    ci_high: tuple[float, ...]
+    num_samples: tuple[int, ...]
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.times),
+            len(self.values),
+            len(self.ci_low),
+            len(self.ci_high),
+            len(self.num_samples),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"time-curve field lengths disagree: {lengths}")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def ci_half_widths(self) -> tuple[float, ...]:
+        """Symmetric half-widths ``(high − low) / 2`` for Curve-shaped consumers."""
+        return tuple((hi - lo) / 2.0 for lo, hi in zip(self.ci_low, self.ci_high))
+
+    def value_at_time(self, time: float) -> float:
+        """The point estimate at a given snapshot time."""
+        try:
+            idx = self.times.index(float(time))
+        except ValueError:
+            raise KeyError(f"time {time} not in curve (has {self.times})") from None
+        return self.values[idx]
+
+    def coverage(self) -> tuple[float, ...]:
+        """Per-point sample coverage (``meta["coverage"]``; 1.0 by default)."""
+        stored = self.meta.get("coverage")
+        if stored is None:
+            return (1.0,) * len(self)
+        return tuple(float(c) for c in stored)
+
+    def alive_fraction(self) -> tuple[float, ...]:
+        """Mean surviving beacon fraction per point (1.0 by default)."""
+        stored = self.meta.get("alive_fraction")
+        if stored is None:
+            return (1.0,) * len(self)
+        return tuple(float(a) for a in stored)
+
+    def as_rows(self) -> list[dict]:
+        """Plain dict rows for CSV/tables."""
+        return [
+            {
+                "label": self.label,
+                "time": t,
+                "value": v,
+                "ci_low": lo,
+                "ci_high": hi,
+                "num_samples": n,
+                "coverage": g,
+                "alive_fraction": a,
+            }
+            for t, v, lo, hi, n, g, a in zip(
+                self.times,
+                self.values,
+                self.ci_low,
+                self.ci_high,
+                self.num_samples,
+                self.coverage(),
+                self.alive_fraction(),
+            )
+        ]
+
+    @classmethod
+    def from_samples(
+        cls,
+        label: str,
+        times,
+        samples_per_time,
+        *,
+        confidence: float = 0.95,
+        resamples: int = 500,
+        rng_factory=None,
+    ) -> "TimeCurve":
+        """Aggregate per-trial samples into an error-vs-time curve.
+
+        NaN samples mark trials that failed or were degraded (every beacon
+        down); they are dropped from the point estimate and the per-point
+        coverage lands in ``meta["coverage"]``.  An all-NaN point degrades
+        to a NaN value with zero samples rather than raising.
+
+        Args:
+            label: series label.
+            times: snapshot times, one per sweep position.
+            samples_per_time: iterable of 1-D sample arrays, one per time.
+            confidence: bootstrap interval coverage.
+            resamples: bootstrap iterations per point.
+            rng_factory: ``rng_factory(point_index) -> Generator`` supplying
+                each point's bootstrap randomness.  Pass a seed-derived
+                factory for reproducible intervals (timeline sweeps do); a
+                fresh default generator is drawn per point if omitted.
+        """
+        from ..stats import bootstrap_ci  # local import to avoid a package cycle
+
+        values, lows, highs, ns, coverage = [], [], [], [], []
+        for i, samples in enumerate(samples_per_time):
+            arr = np.asarray(samples, dtype=float)
+            finite = int(np.count_nonzero(~np.isnan(arr)))
+            coverage.append(finite / arr.size if arr.size else 0.0)
+            if finite == 0:
+                values.append(float("nan"))
+                lows.append(float("nan"))
+                highs.append(float("nan"))
+                ns.append(0)
+                continue
+            rng = rng_factory(i) if rng_factory is not None else np.random.default_rng()
+            ci = bootstrap_ci(
+                arr, confidence=confidence, resamples=resamples, rng=rng
+            )
+            values.append(ci.value)
+            lows.append(ci.low)
+            highs.append(ci.high)
+            ns.append(finite)
+        return cls(
+            label=label,
+            times=tuple(float(t) for t in times),
+            values=tuple(values),
+            ci_low=tuple(lows),
+            ci_high=tuple(highs),
             num_samples=tuple(ns),
             meta={"coverage": tuple(coverage)},
         )

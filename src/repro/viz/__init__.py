@@ -3,11 +3,12 @@
 from .ascii_chart import SERIES_MARKERS, heatmap, line_chart
 from .field_map import field_map
 from .report import ReportBuilder
-from .tables import format_curve_set, format_table
+from .tables import format_curve_set, format_table, format_timeline_set
 
 __all__ = [
     "format_table",
     "format_curve_set",
+    "format_timeline_set",
     "line_chart",
     "heatmap",
     "field_map",

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "format_curve_set"]
+__all__ = ["format_table", "format_curve_set", "format_timeline_set"]
 
 
 def _fmt(value, float_digits: int) -> str:
@@ -69,5 +69,37 @@ def format_curve_set(curve_set, *, float_digits: int = 3) -> str:
         row = [count, f"{curves[0].densities[i]:.4f}"]
         for c in curves:
             row.append(f"{c.values[i]:.{float_digits}f}±{c.ci_half_widths[i]:.{float_digits}f}")
+        rows.append(row)
+    return f"{curve_set.title}\n" + format_table(headers, rows, float_digits=float_digits)
+
+
+def format_timeline_set(curve_set, *, float_digits: int = 3) -> str:
+    """Render a timeline :class:`repro.sim.CurveSet` (of ``TimeCurve``).
+
+    Columns: snapshot time, then per series ``value [low, high] (alive%)`` —
+    the asymmetric bootstrap bounds plus the mean surviving-beacon fraction.
+    A total-outage point renders as a dash.
+    """
+    curves = curve_set.curves
+    if not curves:
+        return f"{curve_set.title}: (empty)"
+    times = curves[0].times
+    for c in curves:
+        if c.times != times:
+            raise ValueError("curves in a timeline set must share the time axis")
+    headers = ["time"] + [c.label for c in curves]
+    rows = []
+    for i, t in enumerate(times):
+        row = [f"{t:g}"]
+        for c in curves:
+            v = c.values[i]
+            if v != v:  # NaN: no surviving beacon in any trial
+                row.append("—")
+            else:
+                row.append(
+                    f"{v:.{float_digits}f} "
+                    f"[{c.ci_low[i]:.{float_digits}f}, {c.ci_high[i]:.{float_digits}f}]"
+                    f" ({c.alive_fraction()[i]:.0%})"
+                )
         rows.append(row)
     return f"{curve_set.title}\n" + format_table(headers, rows, float_digits=float_digits)

@@ -210,6 +210,48 @@ class TestApplyFaults:
         assert degraded.source_size == 0
         assert degraded.alive_fraction == 1.0
 
+    def test_timeline_on_empty_field(self):
+        from repro.field import BeaconField
+
+        snapshots = fault_timeline(
+            BeaconField.empty(), realize(CrashFault(20.0)), [0.0, 50.0, 500.0]
+        )
+        assert [s.num_alive for s in snapshots] == [0, 0, 0]
+        assert all(s.source_size == 0 for s in snapshots)
+
+    def test_timeline_preserves_non_monotone_order(self, field):
+        """Snapshot order is the caller's display order, not sorted time —
+        a timeline sweep indexes cells by position in this list."""
+        times = [100.0, 0.0, 40.0]
+        snapshots = fault_timeline(field, realize(CrashFault(20.0)), times)
+        assert [s.time for s in snapshots] == times
+        by_time = {s.time: s.num_alive for s in snapshots}
+        assert by_time[0.0] >= by_time[40.0] >= by_time[100.0]
+
+    def test_all_dead_field_still_localizes(self, field, small_grid, small_layout):
+        """An all-beacons-down snapshot yields an *empty* field; the
+        localizer's unlocalized policy must still produce finite errors
+        rather than crash (the timeline sweep separately reports NaN for
+        this case — by choice, not necessity)."""
+        from repro import IdealDiskModel
+        from repro.localization import CentroidLocalizer
+        from repro.sim import TrialWorld
+
+        # Crash faults kill everything eventually; far beyond the mean
+        # lifetime every beacon is down.
+        degraded = apply_faults(field, realize(CrashFault(1.0)), 1e6)
+        assert degraded.num_alive == 0
+        world = TrialWorld(
+            field=degraded.field,
+            realization=IdealDiskModel(12.0).realize(np.random.default_rng(3)),
+            grid=small_grid,
+            layout=small_layout,
+            localizer=CentroidLocalizer(SIDE),
+        )
+        errors = world.errors()
+        assert errors.shape[0] == small_grid.num_points
+        assert np.all(np.isfinite(errors))
+
 
 class TestSweepInjection:
     def test_build_world_with_faults_degrades(self, tiny_config):

@@ -2,7 +2,10 @@
 
 import json
 import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -72,6 +75,30 @@ class TestJournal:
         with pytest.raises(ValueError, match="header"):
             SweepJournal.open(path, "abc123")
 
+    def test_truncated_header_recreated_with_warning(self, tmp_path):
+        """A kill during the very first write leaves half a header line; the
+        journal is unrecoverable (no cells can exist yet) and must be
+        recreated rather than crash every future resume."""
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.open(path, "abc123") as journal:
+            journal.record((0,), ok=True, value=1.0, attempts=1)
+        text = path.read_text()
+        path.write_text(text[:10])  # mid-header kill
+        with pytest.warns(RuntimeWarning, match="truncated header"):
+            journal = SweepJournal.open(path, "abc123")
+        journal.record((0,), ok=True, value=2.0, attempts=1)
+        journal.close()
+        reloaded = SweepJournal.open(path, "abc123")
+        assert reloaded.entry((0,))["value"] == 2.0
+
+    def test_empty_file_recreated_with_warning(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text("")
+        with pytest.warns(RuntimeWarning, match="truncated header"):
+            journal = SweepJournal.open(path, "abc123")
+        journal.close()
+        assert SweepJournal.open(path, "abc123") is not None
+
     def test_fingerprint_depends_on_config(self, tiny_config):
         a = sweep_fingerprint("mean-error", tiny_config)
         b = sweep_fingerprint("mean-error", tiny_config.with_fields(5))
@@ -87,6 +114,53 @@ class TestJournal:
         fresh = CompositeFault([CrashFault(30.0), DriftFault(0.5, 5.0)])
         b = sweep_fingerprint("mean-error", tiny_config, _fault_extra(fresh, 60.0))
         assert a == b
+
+    def test_fingerprint_rejects_non_canonical_extra(self, tiny_config):
+        """Objects whose identity would hinge on an unstable str() are
+        refused outright — a silently drifting fingerprint defeats resume."""
+
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="non-JSON-canonical"):
+            sweep_fingerprint("mean-error", tiny_config, {"faults": Opaque()})
+
+    def test_fingerprint_identical_across_processes(self, tiny_config):
+        """The regression that motivated canonical extras: two fresh
+        interpreters must fingerprint the same sweep identically, or a
+        restarted run silently refuses (or worse, mixes) its own journal."""
+        code = (
+            "from repro.faults import CompositeFault, CrashFault, DriftFault\n"
+            "from repro.sim import ExperimentConfig, sweep_fingerprint\n"
+            "from repro.sim.resilient import _fault_extra\n"
+            "config = ExperimentConfig(side=60.0, radio_range=12.0, step=3.0,\n"
+            "    num_grids=100, beacon_counts=(8, 20, 40), noise_levels=(0.0, 0.3),\n"
+            "    fields_per_density=3, seed=99)\n"
+            "model = CompositeFault([CrashFault(30.0), DriftFault(0.5, 5.0)])\n"
+            "print(sweep_fingerprint('mean-error', config, _fault_extra(model, 60.0)))\n"
+        )
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ, PYTHONPATH=src_root)
+        prints = [
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        ]
+        assert prints[0] == prints[1]
+        # And both match this process.
+        from repro.faults import CompositeFault, CrashFault, DriftFault
+        from repro.sim.resilient import _fault_extra
+
+        model = CompositeFault([CrashFault(30.0), DriftFault(0.5, 5.0)])
+        here = sweep_fingerprint("mean-error", tiny_config, _fault_extra(model, 60.0))
+        assert prints[0] == here
 
 
 class TestRunCells:

@@ -1,0 +1,413 @@
+"""Tests for repro.sim.timeline: time-series fault sweeps through the
+resilient engine — config validation, curve semantics, backend bit-identity,
+journal resume and the CLI surface."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.faults import (
+    BatteryFault,
+    CompositeFault,
+    CrashFault,
+    DriftFault,
+    IntermittentFault,
+    NoFaults,
+    fault_model_from_spec,
+)
+from repro.obs import MetricsRegistry, disable_metrics, enable_metrics
+from repro.sim import (
+    PoolExecutor,
+    SocketExecutor,
+    TimeCurve,
+    TimelineConfig,
+    fault_error_timeline,
+    read_time_curve_set,
+    run_worker,
+    timeline_models_from_specs,
+    write_time_curve_set,
+)
+from repro.sim.executors.cache import clear_world_cache
+from repro.viz import format_timeline_set
+
+TIMES = (0.0, 30.0, 120.0)
+
+
+@pytest.fixture
+def tiny_timeline():
+    return TimelineConfig(times=TIMES, beacons=12, noise=0.0, trials=3, resamples=50)
+
+
+def crash_models():
+    return [("crash", CrashFault(60.0)), ("none", NoFaults())]
+
+
+def assert_curves_identical(a, b):
+    """Bit-identity across every compared field, treating NaN == NaN."""
+    for f in ("times", "values", "ci_low", "ci_high", "num_samples"):
+        for x, y in zip(getattr(a, f), getattr(b, f)):
+            if isinstance(x, float) and np.isnan(x):
+                assert np.isnan(y), f"{f}: {x} vs {y}"
+            else:
+                assert x == y, f"{f}: {x} vs {y}"
+
+
+def assert_sets_identical(a, b):
+    assert a.labels() == b.labels()
+    for ca, cb in zip(a.curves, b.curves):
+        assert_curves_identical(ca, cb)
+
+
+class TestTimelineConfig:
+    def test_defaults(self):
+        tl = TimelineConfig(times=(0.0, 10.0))
+        assert tl.beacons == 40 and tl.trials == 10 and tl.percentile == 90.0
+
+    def test_times_coerced_to_floats(self):
+        assert TimelineConfig(times=(0, 10)).times == (0.0, 10.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"times": ()},
+            {"times": (0.0, -1.0)},
+            {"times": (0.0, 10.0, 10.0)},
+            {"times": (0.0, 10.0), "beacons": 0},
+            {"times": (0.0, 10.0), "trials": 0},
+            {"times": (0.0, 10.0), "percentile": 0.0},
+            {"times": (0.0, 10.0), "percentile": 100.0},
+            {"times": (0.0, 10.0), "resamples": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TimelineConfig(**kwargs)
+
+    def test_model_names_must_be_unique(self, tiny_config, tiny_timeline):
+        with pytest.raises(ValueError, match="unique"):
+            fault_error_timeline(
+                tiny_config,
+                tiny_timeline,
+                [("crash", CrashFault(10.0)), ("crash", CrashFault(20.0))],
+            )
+
+    def test_needs_a_model(self, tiny_config, tiny_timeline):
+        with pytest.raises(ValueError, match="at least one"):
+            fault_error_timeline(tiny_config, tiny_timeline, [])
+
+
+class TestModelSpecs:
+    MODELS = [
+        NoFaults(),
+        CrashFault(30.0),
+        BatteryFault(40.0, spread=0.2),
+        IntermittentFault(30.0, 10.0, start_up=False),
+        DriftFault(0.5, 5.0),
+        CompositeFault([CrashFault(30.0), DriftFault(0.5, 5.0)]),
+    ]
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_spec_round_trip(self, model):
+        rebuilt = fault_model_from_spec(model.spec())
+        assert rebuilt.spec() == model.spec()
+        assert type(rebuilt) is type(model)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_repr_is_stable_and_informative(self, model):
+        assert repr(model) == repr(fault_model_from_spec(model.spec()))
+        assert type(model).__name__ in repr(model)
+
+    def test_round_trip_realizes_identically(self):
+        model = CompositeFault([CrashFault(30.0), IntermittentFault(20.0, 5.0)])
+        rebuilt = fault_model_from_spec(model.spec())
+        a = model.realize(np.random.default_rng(7))
+        b = rebuilt.realize(np.random.default_rng(7))
+        ids = np.arange(10, dtype=np.uint64)
+        assert np.array_equal(a.up_mask(ids, 55.0), b.up_mask(ids, 55.0))
+
+    @pytest.mark.parametrize(
+        "spec", [None, 17, {"kind": "warp"}, {"kind": "crash"}]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            fault_model_from_spec(spec)
+
+    def test_models_from_specs(self):
+        pairs = timeline_models_from_specs(
+            [("a", {"kind": "crash", "mean_lifetime": 9.0}), ("b", {"kind": "none"})]
+        )
+        assert [name for name, _ in pairs] == ["a", "b"]
+        assert isinstance(pairs[0][1], CrashFault)
+
+
+class TestSerialSemantics:
+    def test_crash_curve_shape(self, tiny_config, tiny_timeline):
+        mean_set, upper_set = fault_error_timeline(
+            tiny_config, tiny_timeline, crash_models()
+        )
+        crash = mean_set.curve("crash")
+        none = mean_set.curve("none")
+        # A fault-free deployment is time-invariant.
+        assert len(set(none.values)) == 1
+        assert none.alive_fraction() == (1.0,) * len(TIMES)
+        # Crash faults only remove beacons, so error can only grow.
+        finite = [v for v in crash.values if not np.isnan(v)]
+        assert finite == sorted(finite)
+        assert finite[0] < finite[-1]
+        alive = crash.alive_fraction()
+        assert alive[0] == 1.0 and alive[-1] < alive[0]
+        # Percentile tracks at or above the mean wherever both exist.
+        for m, u in zip(crash.values, upper_set.curve("crash").values):
+            if not np.isnan(m):
+                assert u >= m
+        assert mean_set.meta["failed_cells"] == 0
+
+    def test_deterministic_rerun(self, tiny_config, tiny_timeline):
+        first = fault_error_timeline(tiny_config, tiny_timeline, crash_models())
+        second = fault_error_timeline(tiny_config, tiny_timeline, crash_models())
+        for a, b in zip(first, second):
+            assert_sets_identical(a, b)
+
+    def test_all_dead_degrades_to_nan(self, tiny_config):
+        """Far past every lifetime no beacon survives: NaN value, zero
+        coverage, and the outage is counted — not the fallback error."""
+        tl = TimelineConfig(
+            times=(0.0, 1e6), beacons=6, trials=2, resamples=20
+        )
+        registry = MetricsRegistry()
+        enable_metrics(registry)
+        try:
+            mean_set, _ = fault_error_timeline(
+                tiny_config, tl, [("crash", CrashFault(5.0))]
+            )
+        finally:
+            disable_metrics()
+        crash = mean_set.curve("crash")
+        assert np.isnan(crash.values[1]) and np.isnan(crash.ci_low[1])
+        assert crash.num_samples[1] == 0
+        assert crash.coverage() == (1.0, 0.0)
+        assert crash.alive_fraction()[1] == 0.0
+        assert registry.counter("timeline.all_dead").value == tl.trials
+        assert registry.counter("timeline.cells").value == 2 * tl.trials
+
+    def test_realization_cached_across_time_cells(self, tiny_config, tiny_timeline):
+        clear_world_cache()
+        registry = MetricsRegistry()
+        enable_metrics(registry)
+        try:
+            fault_error_timeline(tiny_config, tiny_timeline, [("crash", CrashFault(60.0))])
+        finally:
+            disable_metrics()
+            clear_world_cache()
+        # One draw per trial; every other time cell of the trial reuses it.
+        assert registry.counter("faultcache.misses").value == tiny_timeline.trials
+        expected_hits = tiny_timeline.trials * (len(TIMES) - 1)
+        assert registry.counter("faultcache.hits").value == expected_hits
+
+    def test_non_monotone_times_preserved(self, tiny_config):
+        tl = TimelineConfig(times=(120.0, 0.0, 30.0), beacons=12, trials=2, resamples=20)
+        mean_set, _ = fault_error_timeline(tiny_config, tl, [("crash", CrashFault(60.0))])
+        crash = mean_set.curve("crash")
+        assert crash.times == (120.0, 0.0, 30.0)
+        by_time = dict(zip(crash.times, crash.alive_fraction()))
+        assert by_time[0.0] >= by_time[30.0] >= by_time[120.0]
+
+
+class TestBackendsBitIdentical:
+    def test_pool_matches_serial(self, tiny_config, tiny_timeline):
+        serial = fault_error_timeline(tiny_config, tiny_timeline, crash_models())
+        with PoolExecutor(workers=2, chunk=2) as executor:
+            pooled = fault_error_timeline(
+                tiny_config, tiny_timeline, crash_models(), executor=executor
+            )
+        for a, b in zip(serial, pooled):
+            assert_sets_identical(a, b)
+
+    def test_socket_matches_serial(self, tiny_config, tiny_timeline):
+        serial = fault_error_timeline(tiny_config, tiny_timeline, crash_models())
+        with SocketExecutor(chunk=2) as executor:
+            worker = threading.Thread(
+                target=run_worker,
+                args=(executor.address,),
+                kwargs={"connect_timeout": 5.0},
+                daemon=True,
+            )
+            worker.start()
+            socketed = fault_error_timeline(
+                tiny_config, tiny_timeline, crash_models(), executor=executor
+            )
+        worker.join(timeout=15.0)
+        assert not worker.is_alive()
+        for a, b in zip(serial, socketed):
+            assert_sets_identical(a, b)
+
+
+class TestJournalResume:
+    def test_truncated_journal_resumes_identically(
+        self, tiny_config, tiny_timeline, tmp_path
+    ):
+        path = tmp_path / "timeline.jsonl"
+        full = fault_error_timeline(
+            tiny_config, tiny_timeline, crash_models(), journal_path=path
+        )
+        # Simulate a mid-run kill: keep the header plus the first 6 cells.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:7]) + "\n")
+        messages = []
+        resumed = fault_error_timeline(
+            tiny_config,
+            tiny_timeline,
+            crash_models(),
+            journal_path=path,
+            progress=messages.append,
+        )
+        assert any("resumed 6 cell(s)" in m for m in messages)
+        for a, b in zip(full, resumed):
+            assert_sets_identical(a, b)
+
+    def test_complete_journal_skips_compute(
+        self, tiny_config, tiny_timeline, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "timeline.jsonl"
+        fault_error_timeline(
+            tiny_config, tiny_timeline, crash_models(), journal_path=path
+        )
+
+        def poison(args):
+            raise AssertionError("recomputed a journaled timeline cell")
+
+        monkeypatch.setattr("repro.sim.timeline._timeline_cell", poison)
+        mean_set, _ = fault_error_timeline(
+            tiny_config, tiny_timeline, crash_models(), journal_path=path
+        )
+        assert mean_set.meta["failed_cells"] == 0
+
+    def test_journal_refused_for_different_timeline(
+        self, tiny_config, tiny_timeline, tmp_path
+    ):
+        path = tmp_path / "timeline.jsonl"
+        fault_error_timeline(
+            tiny_config, tiny_timeline, crash_models(), journal_path=path
+        )
+        other = TimelineConfig(
+            times=TIMES, beacons=12, trials=4, resamples=50
+        )
+        with pytest.raises(ValueError, match="different sweep"):
+            fault_error_timeline(
+                tiny_config, other, crash_models(), journal_path=path
+            )
+
+
+class TestPersistenceAndViz:
+    def test_csv_round_trip(self, tiny_config, tiny_timeline, tmp_path):
+        mean_set, _ = fault_error_timeline(tiny_config, tiny_timeline, crash_models())
+        path = write_time_curve_set(mean_set, tmp_path / "tl.csv")
+        back = read_time_curve_set(path, title=mean_set.title)
+        assert back.title == mean_set.title
+        assert_sets_identical(mean_set, back)
+        for label in mean_set.labels():
+            assert back.curve(label).coverage() == mean_set.curve(label).coverage()
+            assert (
+                back.curve(label).alive_fraction()
+                == mean_set.curve(label).alive_fraction()
+            )
+
+    def test_read_rejects_foreign_csv(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="missing required"):
+            read_time_curve_set(path)
+
+    def test_format_timeline_set(self, tiny_config, tiny_timeline):
+        mean_set, _ = fault_error_timeline(tiny_config, tiny_timeline, crash_models())
+        text = format_timeline_set(mean_set)
+        assert "crash" in text and "none" in text
+        assert "time" in text.splitlines()[1]
+
+    def test_format_renders_outage_as_dash(self):
+        curve = TimeCurve(
+            label="x",
+            times=(0.0, 9.0),
+            values=(1.0, float("nan")),
+            ci_low=(0.5, float("nan")),
+            ci_high=(1.5, float("nan")),
+            num_samples=(3, 0),
+            meta={"coverage": (1.0, 0.0)},
+        )
+        from repro.sim.results import CurveSet
+
+        text = format_timeline_set(CurveSet("t", [curve]))
+        assert "—" in text
+
+    def test_time_curve_helpers(self):
+        curve = TimeCurve(
+            label="x",
+            times=(0.0, 9.0),
+            values=(1.0, 2.0),
+            ci_low=(0.5, 1.5),
+            ci_high=(1.5, 2.5),
+            num_samples=(3, 3),
+        )
+        assert curve.ci_half_widths == (0.5, 0.5)
+        assert curve.value_at_time(9.0) == 2.0
+        with pytest.raises(KeyError):
+            curve.value_at_time(4.0)
+        with pytest.raises(ValueError, match="lengths disagree"):
+            TimeCurve(
+                label="bad",
+                times=(0.0,),
+                values=(1.0, 2.0),
+                ci_low=(0.5,),
+                ci_high=(1.5,),
+                num_samples=(3,),
+            )
+
+
+class TestCli:
+    def test_parse_times_linspace(self):
+        args = build_parser().parse_args(["timeline", "--times", "0:100:5"])
+        assert args.times == [0.0, 25.0, 50.0, 75.0, 100.0]
+
+    def test_parse_times_list(self):
+        args = build_parser().parse_args(["timeline", "--times", "0,30,120"])
+        assert args.times == [0.0, 30.0, 120.0]
+
+    @pytest.mark.parametrize("bad", ["0:100", "100:0:5", "0:100:1", "a:b:c"])
+    def test_parse_times_rejects(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timeline", "--times", bad])
+
+    def test_parse_models(self):
+        args = build_parser().parse_args(["timeline", "--models", "crash,flap,none"])
+        assert args.models == ["crash", "flap", "none"]
+
+    @pytest.mark.parametrize("bad", ["", "warp", "crash,crash"])
+    def test_parse_models_rejects(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timeline", "--models", bad])
+
+    def test_timeline_command_end_to_end(self, tmp_path, capsys):
+        csv = tmp_path / "tl.csv"
+        code = main(
+            [
+                "--fields", "2",
+                "--csv", str(csv),
+                "timeline",
+                "--models", "crash,none",
+                "--times", "0,40",
+                "--beacons", "10",
+                "--trials", "2",
+                "--resamples", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mean localization error vs time" in out
+        assert "p90 localization error vs time" in out
+        mean_csv = tmp_path / "tl_mean.csv"
+        upper_csv = tmp_path / "tl_p90.csv"
+        assert mean_csv.exists() and upper_csv.exists()
+        back = read_time_curve_set(mean_csv)
+        assert sorted(back.labels()) == ["crash", "none"]
