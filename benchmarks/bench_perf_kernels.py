@@ -7,12 +7,25 @@ centroid state is O(P) and therefore much cheaper than re-evaluating the
 whole field.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.localization import localization_errors
-from repro.sim import build_world, paper_config
+from repro.sim import (
+    ExperimentConfig,
+    PoolExecutor,
+    build_world,
+    paper_config,
+    run_cells,
+    set_kernel_mode,
+)
+from repro.sim.resilient import _mean_error_cell
+
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def _world():
@@ -101,3 +114,113 @@ def test_incremental_candidate_beats_full_recompute(benchmark, emit_table):
         float_digits=5,
     )
     assert incremental_time < recompute_time / 3.0
+
+
+# -- Batched kernels: the sweep-level floor ----------------------------------
+
+#: Acceptance bars for the vectorized kernels on the reference sweep (see
+#: DESIGN.md §10): batched serial evaluation must beat the legacy scalar
+#: serial path by this factor, and the chunked pool — which now plans each
+#: chunk through the same kernels and attaches the shared-memory world
+#: state — must beat scalar serial even on a small host.
+MIN_BATCH_SERIAL_SPEEDUP = 3.0
+MIN_POOL_OVER_SCALAR_SERIAL = 1.3
+
+#: The CI perf-smoke job reduces the sweep (REPRO_BENCH_CELLS) so the floor
+#: check fits a shared runner; the recorded numbers in
+#: ``results/BENCH_kernels.json`` come from the full 600-cell reference.
+SWEEP_CELLS = int(os.environ.get("REPRO_BENCH_CELLS", "600"))
+SWEEP_ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "4"))
+SWEEP_WORKERS = 2
+SWEEP_CHUNK = 32
+
+
+def test_batched_sweep_beats_scalar(emit_table):
+    """The tentpole claim, measured: one (T × P × N) kernel pass per chunk
+    must clearly beat per-cell scalar evaluation on the reference sweep,
+    and produce bit-identical results while doing it."""
+    import warnings
+
+    warnings.filterwarnings("ignore", message=".*oversubscribes.*")
+    config = ExperimentConfig(
+        side=60.0,
+        radio_range=12.0,
+        step=5.0,
+        num_grids=100,
+        beacon_counts=(8,),
+        noise_levels=(0.0,),
+        fields_per_density=4,
+        seed=7,
+    )
+    jobs = [
+        ((0.0, 8, index), (config, 0.0, 8, index, None, 0.0))
+        for index in range(SWEEP_CELLS)
+    ]
+    warm = jobs[:8]
+
+    pool = PoolExecutor(workers=SWEEP_WORKERS, chunk=SWEEP_CHUNK)
+    modes = {
+        "serial scalar (legacy)": ("scalar", None),
+        "serial batched": ("batch", None),
+        f"pool batched (workers={SWEEP_WORKERS}, chunk={SWEEP_CHUNK})": (
+            "batch",
+            pool,
+        ),
+    }
+    best = {name: float("inf") for name in modes}
+    results = {}
+    try:
+        for kernels, executor in modes.values():
+            set_kernel_mode(kernels)
+            run_cells(warm, _mean_error_cell, executor=executor)
+        for _ in range(SWEEP_ROUNDS):
+            for name, (kernels, executor) in modes.items():
+                set_kernel_mode(kernels)
+                start = time.perf_counter()
+                results[name] = run_cells(jobs, _mean_error_cell, executor=executor)
+                best[name] = min(best[name], time.perf_counter() - start)
+    finally:
+        set_kernel_mode("batch")
+        pool.close()
+
+    scalar, batched, pooled = list(modes)
+    for name, values in results.items():
+        assert values == results[scalar], f"{name} diverged from scalar serial"
+
+    serial_speedup = best[scalar] / best[batched]
+    pool_speedup = best[scalar] / best[pooled]
+    emit_table(
+        "perf_kernels",
+        ("mode", "best-of-%d (s)" % SWEEP_ROUNDS, "vs scalar serial"),
+        [
+            (name, f"{seconds:.3f}", f"{best[scalar] / seconds:.2f}x")
+            for name, seconds in best.items()
+        ],
+    )
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "sweep": {
+            "cells": SWEEP_CELLS,
+            "config": "side=60 range=12 step=5 beacons=8",
+        },
+        "workers": SWEEP_WORKERS,
+        "chunk": SWEEP_CHUNK,
+        "rounds": SWEEP_ROUNDS,
+        "best_seconds": {name: round(seconds, 4) for name, seconds in best.items()},
+        "batched_serial_speedup_over_scalar": round(serial_speedup, 3),
+        "pool_speedup_over_scalar_serial": round(pool_speedup, 3),
+        "min_batched_serial_speedup": MIN_BATCH_SERIAL_SPEEDUP,
+        "min_pool_over_scalar_serial": MIN_POOL_OVER_SCALAR_SERIAL,
+    }
+    with (RESULTS_DIR / "BENCH_kernels.json").open("w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    assert serial_speedup >= MIN_BATCH_SERIAL_SPEEDUP, (
+        f"batched serial is only {serial_speedup:.2f}x faster than scalar "
+        f"serial (needs >= {MIN_BATCH_SERIAL_SPEEDUP}x)"
+    )
+    assert pool_speedup >= MIN_POOL_OVER_SCALAR_SERIAL, (
+        f"batched pool is only {pool_speedup:.2f}x faster than scalar "
+        f"serial (needs >= {MIN_POOL_OVER_SCALAR_SERIAL}x)"
+    )

@@ -828,6 +828,16 @@ def build_parser() -> argparse.ArgumentParser:
             "a free port, announced on stderr)"
         ),
     )
+    parser.add_argument(
+        "--kernels",
+        choices=["batch", "scalar"],
+        default=None,
+        help=(
+            "cell evaluation path: 'batch' (default) pre-computes dispatch "
+            "chunks through the vectorized LE kernels, 'scalar' forces the "
+            "legacy per-cell path (A/B measurement; also REPRO_KERNELS)"
+        ),
+    )
     parser.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
     parser.add_argument(
         "--trace",
@@ -1104,6 +1114,10 @@ _COMMANDS = {
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernels", None):
+        from .sim import set_kernel_mode
+
+        set_kernel_mode(args.kernels)
     session = ObsSession(args.trace, profile=args.profile)
     with session:
         try:

@@ -104,6 +104,11 @@ def two_opt_improve(points, order, *, max_rounds: int = 8) -> np.ndarray:
 def plan_tour(points, *, start_index: int = 0, max_rounds: int = 8) -> np.ndarray:
     """Nearest-neighbour seed polished by 2-opt.
 
+    The heuristic tour can land in a 2-opt local optimum that is longer
+    than simply visiting the waypoints in input order (e.g. collinear
+    points where the greedy seed strands the far endpoint); the planned
+    tour is only used when it actually wins.
+
     Returns:
         The waypoints reordered, ``(K, 2)`` — ready for
         :meth:`SurveyAgent.measure_at`.
@@ -111,7 +116,10 @@ def plan_tour(points, *, start_index: int = 0, max_rounds: int = 8) -> np.ndarra
     pts = as_point_array(points)
     order = nearest_neighbor_tour(pts, start_index)
     order = two_opt_improve(pts, order, max_rounds=max_rounds)
-    return pts[order]
+    tour = pts[order]
+    if path_length(tour) > path_length(pts):
+        return pts.copy()
+    return tour
 
 
 def tour_savings(points, *, start_index: int = 0) -> tuple[float, float]:

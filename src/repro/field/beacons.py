@@ -53,7 +53,7 @@ class BeaconField:
     numeric kernels in the package consume that ``(N, 2)`` view.
     """
 
-    __slots__ = ("_beacons", "_positions", "_next_id")
+    __slots__ = ("_beacons", "_positions", "_ids", "_next_id")
 
     def __init__(self, beacons: Sequence[Beacon], *, next_id: int | None = None):
         self._beacons = tuple(beacons)
@@ -63,6 +63,7 @@ class BeaconField:
         pos = as_point_array([b.position for b in self._beacons])
         pos.setflags(write=False)
         self._positions = pos
+        self._ids = tuple(ids)
         inferred = max(ids, default=-1) + 1
         if next_id is not None and next_id < inferred:
             raise ValueError(f"next_id {next_id} collides with existing ids (max {inferred - 1})")
@@ -70,10 +71,21 @@ class BeaconField:
 
     @classmethod
     def from_positions(cls, positions) -> "BeaconField":
-        """Build a field from raw coordinates, assigning ids ``0..N-1``."""
-        pos = as_point_array(positions)
-        beacons = [Beacon(i, Point(float(x), float(y))) for i, (x, y) in enumerate(pos)]
-        return cls(beacons)
+        """Build a field from raw coordinates, assigning ids ``0..N-1``.
+
+        The :class:`Beacon` objects are materialized lazily: every numeric
+        consumer (connectivity kernels, centroid state) reads only the
+        ids/positions arrays, so sweeps that never inspect individual
+        beacons skip thousands of small object constructions.
+        """
+        pos = np.array(as_point_array(positions), dtype=float)
+        pos.setflags(write=False)
+        field = cls.__new__(cls)
+        field._beacons = None
+        field._positions = pos
+        field._ids = tuple(range(pos.shape[0]))
+        field._next_id = pos.shape[0]
+        return field
 
     @classmethod
     def empty(cls) -> "BeaconField":
@@ -81,20 +93,25 @@ class BeaconField:
         return cls(())
 
     def __len__(self) -> int:
-        return len(self._beacons)
+        return len(self._ids)
 
     def __iter__(self) -> Iterator[Beacon]:
-        return iter(self._beacons)
+        return iter(self.beacons)
 
     def __getitem__(self, index: int) -> Beacon:
-        return self._beacons[index]
+        return self.beacons[index]
 
     def __repr__(self) -> str:
         return f"BeaconField(n={len(self)}, next_id={self._next_id})"
 
     @property
     def beacons(self) -> tuple[Beacon, ...]:
-        """All beacons, in field order."""
+        """All beacons, in field order (materialized on first access)."""
+        if self._beacons is None:
+            self._beacons = tuple(
+                Beacon(i, Point(float(x), float(y)))
+                for i, (x, y) in zip(self._ids, self._positions)
+            )
         return self._beacons
 
     @property
@@ -110,7 +127,7 @@ class BeaconField:
     @property
     def beacon_ids(self) -> tuple[int, ...]:
         """Identifiers in field order, aligned with :meth:`positions` rows."""
-        return tuple(b.beacon_id for b in self._beacons)
+        return self._ids
 
     def positions(self) -> np.ndarray:
         """Beacon coordinates as a read-only ``(N, 2)`` array."""
@@ -123,7 +140,7 @@ class BeaconField:
         """
         p = as_point(position)
         new = Beacon(self._next_id, p)
-        return BeaconField(self._beacons + (new,), next_id=self._next_id + 1)
+        return BeaconField(self.beacons + (new,), next_id=self._next_id + 1)
 
     def with_beacons_at(self, positions) -> "BeaconField":
         """A new field with several additional beacons (batch placement)."""

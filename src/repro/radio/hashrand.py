@@ -71,6 +71,15 @@ def hash_normal(*keys) -> np.ndarray:
     """Deterministic standard normals via Box–Muller on two derived uniforms.
 
     Used by the log-normal shadowing model's static per-link fades.
+
+    Only the cosine half of the Box–Muller pair is kept — **by design**, not
+    oversight.  The transform yields two independent normals
+    (``r·cos θ``, ``r·sin θ``) per uniform pair; a sequential generator
+    would bank the sine half for the next call, but a *counter-based* hash
+    has no "next call" — every key must map to one value, statelessly and
+    order-independently.  Discarding the sine half costs one extra
+    ``hash_uniform`` per normal (cheap) and keeps the map pure, which is
+    the property the static noise field is built on.
     """
     u1 = hash_uniform(*keys, np.uint64(0x5BF0A8B1))
     u2 = hash_uniform(*keys, np.uint64(0x3C6EF372))

@@ -12,6 +12,12 @@ from .executors import (
     spawn_context,
     validate_workers,
 )
+from .kernels import (
+    batch_surface_stats,
+    kernel_mode,
+    set_kernel_mode,
+    warm_worlds,
+)
 from .io import (
     read_curve_set,
     read_time_curve_set,
@@ -57,6 +63,10 @@ __all__ = [
     "run_placement_trial",
     "build_world",
     "default_model_factory",
+    "kernel_mode",
+    "set_kernel_mode",
+    "warm_worlds",
+    "batch_surface_stats",
     "mean_error_curve",
     "placement_improvement_curves",
     "parallel_mean_error_curve",

@@ -17,8 +17,11 @@ regardless of backend.
 
 from .base import (
     CellExecutor,
+    batch_thunks,
     cell_fn_ref,
+    dispatch_extras,
     make_executor,
+    register_batch_planner,
     resolve_cell_fn,
     run_one_cell,
     spawn_context,
@@ -26,6 +29,12 @@ from .base import (
 )
 from .cache import cached_grid, cached_layout, cached_localizer, clear_world_cache
 from .local import PoolExecutor, SerialExecutor
+from .shm import (
+    SharedWorldState,
+    attach_shared_state,
+    publish_for_executor,
+    publish_shared_state,
+)
 from .sockets import SocketExecutor, WorkerRejected, run_worker
 
 __all__ = [
@@ -37,6 +46,9 @@ __all__ = [
     "make_executor",
     "run_worker",
     "run_one_cell",
+    "register_batch_planner",
+    "batch_thunks",
+    "dispatch_extras",
     "cell_fn_ref",
     "resolve_cell_fn",
     "spawn_context",
@@ -45,4 +57,8 @@ __all__ = [
     "cached_layout",
     "cached_localizer",
     "clear_world_cache",
+    "SharedWorldState",
+    "publish_shared_state",
+    "publish_for_executor",
+    "attach_shared_state",
 ]

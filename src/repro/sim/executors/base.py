@@ -28,8 +28,12 @@ __all__ = [
     "CellExecutor",
     "EmitFn",
     "ProgressFn",
+    "batch_thunks",
     "cell_fn_ref",
+    "dispatch_extras",
     "make_executor",
+    "plan_chunk",
+    "register_batch_planner",
     "resolve_cell_fn",
     "run_cell_chunk",
     "run_one_cell",
@@ -110,7 +114,7 @@ def resolve_cell_fn(ref: str) -> Callable:
     return obj
 
 
-def run_one_cell(fn: Callable, args, *, instrument: bool = False) -> dict:
+def run_one_cell(fn: Callable, args, *, instrument: bool = False, thunk=None) -> dict:
     """Run one cell, catching its exception into a shippable outcome dict.
 
     Returns ``{"ok": True, "value": …, "seconds": …}`` or ``{"ok": False,
@@ -119,6 +123,12 @@ def run_one_cell(fn: Callable, args, *, instrument: bool = False) -> dict:
     ``"metrics"`` (the :func:`repro.obs.instrumented_call` protocol, minus
     the exception-aborts-the-chunk behavior — a chunk must survive one bad
     cell).
+
+    ``thunk`` — a zero-argument callable from :func:`batch_thunks` — takes
+    the place of ``fn(args)`` when given; it is contracted to return the
+    value ``fn(args)`` would.  If the thunk raises, the cell falls back to
+    the scalar ``fn(args)`` before the failure is charged, so a kernel bug
+    degrades to slow, never to wrong or failed.
     """
     registry = previous = None
     if instrument:
@@ -127,7 +137,14 @@ def run_one_cell(fn: Callable, args, *, instrument: bool = False) -> dict:
         enable_metrics(registry)
     start = time.perf_counter()
     try:
-        value = fn(args)
+        if thunk is not None:
+            try:
+                value = thunk()
+            except Exception:  # noqa: BLE001 — batch path is an optimization
+                get_metrics().counter("kernel.batch.thunk_fallbacks").inc()
+                value = fn(args)
+        else:
+            value = fn(args)
     except Exception as exc:  # noqa: BLE001 — degrade, never abort the chunk
         outcome = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
     else:
@@ -141,15 +158,155 @@ def run_one_cell(fn: Callable, args, *, instrument: bool = False) -> dict:
     return outcome
 
 
+#: Batch planners by cell function: ``planner(args_list) -> [thunk | None]``.
+#: A planner pre-computes a whole chunk in one vectorized pass (see
+#: :mod:`repro.sim.kernels`) and returns one zero-argument thunk per cell
+#: whose call yields the exact value ``fn(args)`` would return; ``None``
+#: entries mean "this cell could not be batched — run it scalar".
+_BATCH_PLANNERS: dict = {}
+
+
+def register_batch_planner(fn: Callable, planner: Callable) -> None:
+    """Register ``planner`` as the batched implementation of cell ``fn``.
+
+    Registration happens at module import of the cell function's module, so
+    pool and socket workers — which resolve ``fn`` by import — see the same
+    registry as the parent process.
+    """
+    _BATCH_PLANNERS[fn] = planner
+
+
+def batch_thunks(fn: Callable, args_list) -> "list | None":
+    """Plan a chunk through ``fn``'s registered batch planner, if any.
+
+    Returns one thunk-or-None per cell, or ``None`` when the chunk must run
+    fully scalar (no planner, scalar kernel mode, or the planner failed —
+    planner failures are contained here so batching is never the reason a
+    cell fails).
+    """
+    planner = _BATCH_PLANNERS.get(fn)
+    if planner is None or len(args_list) < 2:
+        return None
+    from ..kernels import kernel_mode
+
+    if kernel_mode() != "batch":
+        return None
+    metrics = get_metrics()
+    try:
+        thunks = planner(list(args_list))
+    except Exception:  # noqa: BLE001 — planner bugs degrade to scalar
+        metrics.counter("kernel.batch.plan_errors").inc()
+        return None
+    if thunks is None or len(thunks) != len(args_list):
+        metrics.counter("kernel.batch.plan_errors").inc()
+        return None
+    metrics.counter("kernel.batch.chunks").inc()
+    return thunks
+
+
+def _under_private_registry(instrument: bool, call: Callable) -> tuple:
+    """``(call(), metrics snapshot or None)`` — the instrumented-call shape."""
+    if not instrument:
+        return call(), None
+    previous = get_metrics()
+    registry = MetricsRegistry()
+    enable_metrics(registry)
+    try:
+        result = call()
+    finally:
+        enable_metrics(previous) if previous.enabled else disable_metrics()
+    return result, registry.snapshot()
+
+
+def plan_chunk(fn: Callable, args_list, instrument: bool) -> tuple:
+    """(thunks, plan-metrics snapshot) for one dispatch chunk.
+
+    With ``instrument`` the planning pass (world building, kernel passes)
+    runs under a private registry so its counters ship back to the parent
+    alongside the cells' own snapshots.
+    """
+    return _under_private_registry(instrument, lambda: batch_thunks(fn, args_list))
+
+
+def merge_metric_snapshots(base: dict, extra: dict) -> dict:
+    """Combine two registry snapshots into one (for chunk-level metrics)."""
+    registry = MetricsRegistry()
+    registry.merge(base)
+    registry.merge(extra)
+    return registry.snapshot()
+
+
+def dispatch_extras(shared=None) -> dict:
+    """The extras dict shipped with pool payloads / socket welcomes.
+
+    Carries cross-process execution context: the parent's kernel mode (so
+    ``REPRO_KERNELS=scalar`` measurements cover workers too) and, when the
+    driver published one, the shared-memory world-state handle.
+    """
+    from ..kernels import kernel_mode
+
+    extras: dict = {"kernels": kernel_mode()}
+    if shared is not None:
+        extras["shared"] = shared
+    return extras
+
+
+def apply_dispatch_extras(extras: dict | None) -> None:
+    """Install chunk execution context on the worker side (idempotent)."""
+    if not extras:
+        return
+    mode = extras.get("kernels")
+    if mode:
+        from ..kernels import set_kernel_mode
+
+        try:
+            set_kernel_mode(mode)
+        except ValueError:
+            pass  # a newer parent's mode name; keep the local default
+    handle = extras.get("shared")
+    if handle:
+        from .shm import attach_shared_state
+
+        # Attach is best-effort: a worker on another machine (socket
+        # backend) or one that outlived the segment simply rebuilds its
+        # state through the ordinary caches.
+        try:
+            attach_shared_state(handle)
+        except Exception:  # noqa: BLE001
+            get_metrics().counter("shm.attach_failures").inc()
+
+
 def run_cell_chunk(payload: tuple) -> list[dict]:
     """Pool/worker entry point: run a chunk of cells, one outcome dict each.
 
-    ``payload`` is ``(fn, args_list, instrument)``.  Module-level and
-    picklable, so ``ProcessPoolExecutor`` ships it under the pinned
-    ``spawn`` start method; one pickled round-trip carries the whole chunk.
+    ``payload`` is ``(fn, args_list, instrument)`` or ``(fn, args_list,
+    instrument, extras)``.  Module-level and picklable, so
+    ``ProcessPoolExecutor`` ships it under the pinned ``spawn`` start
+    method; one pickled round-trip carries the whole chunk.  When ``fn``
+    has a registered batch planner the chunk is pre-computed in one
+    vectorized pass and the per-cell loop just collects results — outcome
+    shape, per-cell error attribution and instrument snapshots are
+    identical either way.
     """
-    fn, args_list, instrument = payload
-    return [run_one_cell(fn, args, instrument=instrument) for args in args_list]
+    fn, args_list, instrument = payload[0], payload[1], payload[2]
+    extras = payload[3] if len(payload) > 3 else None
+    _, extras_metrics = _under_private_registry(
+        instrument, lambda: apply_dispatch_extras(extras)
+    )
+    thunks, plan_metrics = plan_chunk(fn, args_list, instrument)
+    outcomes = [
+        run_one_cell(
+            fn, args, instrument=instrument,
+            thunk=thunks[i] if thunks is not None else None,
+        )
+        for i, args in enumerate(args_list)
+    ]
+    for chunk_metrics in (extras_metrics, plan_metrics):
+        if chunk_metrics is not None and outcomes:
+            outcomes[0]["metrics"] = merge_metric_snapshots(
+                outcomes[0]["metrics"], chunk_metrics
+            )
+    return outcomes
 
 
 class CellExecutor(ABC):

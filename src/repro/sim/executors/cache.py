@@ -7,11 +7,19 @@ Worse, the layout's membership masks (N_G × P_T booleans, ~4 MB at paper
 fidelity) were recomputed per *instance*, so a fresh layout per cell paid
 the full cost every time.
 
+Beacon fields and propagation realizations are cached too: both are
+immutable pure functions of their substream identity, the field does not
+depend on noise, and timeline/fault sweeps revisit the same (count, index)
+replication at many time snapshots — so a worker replays each field/world
+instead of re-deriving its RNG stream per cell.
+
 These caches are process-local module state: each pool/socket worker fills
 them once on its first cell and reuses them for the rest of the sweep (the
-serial path benefits identically).  All cached objects are frozen
-dataclasses the rest of the pipeline already treats as immutable, so
-sharing them across cells cannot change results.
+serial path benefits identically).  All cached objects are frozen/immutable
+value objects the rest of the pipeline already treats as shared, so reuse
+across cells cannot change results.  Eviction is LRU: a hit refreshes the
+entry, a miss at capacity evicts only the stalest entry (multi-config
+servers keep their hot entries instead of thrashing the whole cache).
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ __all__ = [
     "cached_grid",
     "cached_layout",
     "cached_localizer",
+    "cached_field",
+    "cached_realization",
     "cached_fault_realization",
     "clear_world_cache",
 ]
@@ -32,20 +42,29 @@ __all__ = [
 # bound only guards pathological many-config callers from unbounded growth.
 _MAX_ENTRIES = 8
 
+#: Fields/realizations are per-replication, not per-config: a sweep touches
+#: thousands, and reuse happens across noise levels and fault times.
+_MAX_WORLD_ENTRIES = 4096
+
 _grids: dict = {}
 _layouts: dict = {}
 _localizers: dict = {}
+_fields: dict = {}
+_realizations: dict = {}
 _fault_realizations: dict = {}
 
 
-def _lookup(cache: dict, key, build, *, counter: str = "worldcache"):
+def _lookup(cache: dict, key, build, *, counter: str = "worldcache", max_entries: int = _MAX_ENTRIES):
     hit = cache.get(key)
     if hit is not None:
         get_metrics().counter(f"{counter}.hits").inc()
+        # LRU refresh: insertion order doubles as recency order.
+        del cache[key]
+        cache[key] = hit
         return hit
     get_metrics().counter(f"{counter}.misses").inc()
-    if len(cache) >= _MAX_ENTRIES:
-        cache.clear()
+    if len(cache) >= max_entries:
+        del cache[next(iter(cache))]
     value = cache[key] = build()
     return value
 
@@ -75,6 +94,39 @@ def cached_localizer(side: float, policy) -> CentroidLocalizer:
     )
 
 
+def cached_field(key, build):
+    """The beacon field for one replication, per process.
+
+    The field is a pure function of ``(seed, count, field_index, side)`` —
+    deliberately independent of noise — so every noise level, fault time and
+    retry of a replication reuses one immutable instance.
+
+    Args:
+        key: hashable identity of the field draw.
+        build: zero-argument factory invoked on a miss.
+    """
+    return _lookup(
+        _fields, key, build, counter="fieldcache", max_entries=_MAX_WORLD_ENTRIES
+    )
+
+
+def cached_realization(key, build):
+    """The drawn propagation realization for one cell, per process.
+
+    Realizations are immutable (a seed plus model constants); timeline
+    sweeps revisit the same cell at many fault times, and retries re-enter
+    the same cell, so reuse is common.
+
+    Args:
+        key: hashable identity of the draw — must include everything it
+            depends on (seed, noise, count, index, model constants).
+        build: zero-argument factory invoked on a miss.
+    """
+    return _lookup(
+        _realizations, key, build, counter="realizationcache", max_entries=_MAX_WORLD_ENTRIES
+    )
+
+
 def cached_fault_realization(key, build):
     """The drawn fault realization for one (sweep, model, trial), per process.
 
@@ -98,4 +150,6 @@ def clear_world_cache() -> None:
     _grids.clear()
     _layouts.clear()
     _localizers.clear()
+    _fields.clear()
+    _realizations.clear()
     _fault_realizations.clear()

@@ -28,13 +28,32 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from ...obs import get_metrics, get_tracer, metrics_enabled
-from .base import CellExecutor, EmitFn, ProgressFn, run_cell_chunk, spawn_context
+from .base import (
+    CellExecutor,
+    EmitFn,
+    ProgressFn,
+    batch_thunks,
+    dispatch_extras,
+    run_cell_chunk,
+    spawn_context,
+)
 
 __all__ = ["SerialExecutor", "PoolExecutor", "auto_chunk"]
 
+#: Cells planned per serial batch pass.  Bounds the state a batch planner
+#: may retain (pre-warmed worlds live until their cell is emitted) while
+#: still amortizing the kernel pass over a useful block.
+SERIAL_BATCH = 128
+
 
 class SerialExecutor(CellExecutor):
-    """Run cells in-process, in order.  No timeouts (nothing can preempt)."""
+    """Run cells in-process, in order.  No timeouts (nothing can preempt).
+
+    Cells whose function has a registered batch planner are planned in
+    blocks of :data:`SERIAL_BATCH` — one vectorized pass per block — and
+    retried scalar (thunks are first-attempt only; a retry should not trust
+    the batch state that just failed).
+    """
 
     def execute(
         self,
@@ -50,24 +69,38 @@ class SerialExecutor(CellExecutor):
         cell_seconds = metrics.histogram("sweep.cell.seconds")
         retries = metrics.counter("sweep.cells.retried")
         tracer = get_tracer()
-        for key, args in pending:
-            last_error = None
-            for attempt in range(1, policy.max_attempts + 1):
-                if attempt > 1:
-                    retries.inc()
-                    policy.sleep_before(attempt)
-                try:
-                    with tracer.span("sweep.cell", key=list(key), attempt=attempt):
-                        start = time.perf_counter()
-                        value = fn(args)
-                        cell_seconds.observe(time.perf_counter() - start)
-                except Exception as exc:  # noqa: BLE001 — degrade, never abort
-                    last_error = f"{type(exc).__name__}: {exc}"
-                    continue
-                emit(key, ok=True, value=value, attempts=attempt)
-                break
-            else:
-                emit(key, ok=False, attempts=policy.max_attempts, error=last_error)
+        pending = list(pending)
+        for start_index in range(0, len(pending), SERIAL_BATCH):
+            block = pending[start_index : start_index + SERIAL_BATCH]
+            thunks = batch_thunks(fn, [args for _, args in block])
+            for j, (key, args) in enumerate(block):
+                thunk = thunks[j] if thunks is not None else None
+                last_error = None
+                for attempt in range(1, policy.max_attempts + 1):
+                    if attempt > 1:
+                        retries.inc()
+                        policy.sleep_before(attempt)
+                    try:
+                        with tracer.span("sweep.cell", key=list(key), attempt=attempt):
+                            start = time.perf_counter()
+                            if thunk is not None and attempt == 1:
+                                try:
+                                    value = thunk()
+                                except Exception:  # noqa: BLE001 — fall back
+                                    metrics.counter(
+                                        "kernel.batch.thunk_fallbacks"
+                                    ).inc()
+                                    value = fn(args)
+                            else:
+                                value = fn(args)
+                            cell_seconds.observe(time.perf_counter() - start)
+                    except Exception as exc:  # noqa: BLE001 — degrade, never abort
+                        last_error = f"{type(exc).__name__}: {exc}"
+                        continue
+                    emit(key, ok=True, value=value, attempts=attempt)
+                    break
+                else:
+                    emit(key, ok=False, attempts=policy.max_attempts, error=last_error)
 
 
 def auto_chunk(cells: int, workers: int) -> int:
@@ -103,6 +136,10 @@ class PoolExecutor(CellExecutor):
             raise ValueError(f"chunk must be >= 1, got {chunk}")
         self.workers = workers
         self.chunk = chunk
+        #: Optional shared-memory handle (see ``executors.shm``) shipped with
+        #: every chunk so workers attach the sweep's immutable arrays
+        #: zero-copy instead of rebuilding them per process.
+        self.shared_handle = None
         self._ctx = mp_context if mp_context is not None else spawn_context()
         # The pool persists across execute() sessions — spawn start-up
         # (workers re-import the package) is paid once per executor, not
@@ -149,7 +186,12 @@ class PoolExecutor(CellExecutor):
             nonlocal order
             cells, rest = queue[:chunk_size], queue[chunk_size:]
             queue[:] = rest
-            payload = (fn, [args for _, args, _ in cells], instrument)
+            payload = (
+                fn,
+                [args for _, args, _ in cells],
+                instrument,
+                dispatch_extras(shared=self.shared_handle),
+            )
             if instrument:
                 metrics.counter("executor.pool.bytes_shipped").inc(
                     len(pickle.dumps(payload))

@@ -1,0 +1,378 @@
+"""Zero-copy shared world state for pool/socket workers.
+
+Every worker process used to rebuild the sweep's immutable arrays from
+scratch: the measurement lattice (``P_T × 2`` floats), the overlapping-grid
+membership masks (``N_G × P_T`` booleans, the single largest constant of a
+sweep), every replication's beacon positions (re-deriving the RNG substream
+per field) and every cell's propagation-realization seed.  None of that
+state differs between workers — it is a pure function of the config — so
+the driver now publishes it **once** into a ``multiprocessing.shared_memory``
+segment and ships a small JSON-able *handle* with each dispatch (pool chunk
+payloads, socket welcome frames).
+
+Workers :func:`attach_shared_state` on first contact: NumPy views over the
+segment are installed into the ordinary per-process caches
+(:mod:`repro.sim.executors.cache`) as pre-seeded entries, so
+``build_world`` finds every component already "built" — backed by the one
+physical copy of the arrays, not a per-worker duplicate.  Attach is
+strictly best-effort: a worker on another machine (socket backend), a
+worker that outlives the segment, or any attach error simply falls back to
+rebuilding through the caches.  Batching/shm can degrade to slow, never to
+wrong.
+
+Lifecycle — the driver owns the segment:
+
+* :func:`publish_shared_state` creates and fills it, returning a
+  :class:`SharedWorldState` whose ``handle`` travels over the wire;
+* the sweep driver unlinks it in a ``finally`` as soon as the cells are
+  drained (:meth:`SharedWorldState.unlink` is idempotent);
+* a process-exit hook unlinks anything still live, so even a driver that
+  raises mid-sweep leaves no segment behind;
+* attachers *unregister* the segment from their ``resource_tracker``
+  (Python registers attached segments as if owned, so a worker exit would
+  otherwise unlink the segment under the driver and spam leak warnings) —
+  the POSIX mapping itself dies with the worker process, killed or not.
+"""
+
+from __future__ import annotations
+
+import atexit
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ...field import BeaconField
+from ...obs import get_metrics
+from ...radio import BeaconNoiseModel
+from . import cache as world_cache
+
+__all__ = [
+    "SharedWorldState",
+    "publish_shared_state",
+    "publish_for_executor",
+    "attach_shared_state",
+    "attached_segment_name",
+]
+
+_ALIGN = 16
+
+#: Live published segments, unlinked at interpreter exit (crash safety for
+#: drivers that never reach their ``finally``).
+_published: "list[SharedWorldState]" = []
+
+#: The segment this process attached to (kept referenced: cached arrays are
+#: views into its buffer).  One sweep segment at a time is the contract —
+#: a new handle replaces the old attachment.
+_attached: "dict[str, shared_memory.SharedMemory]" = {}
+
+
+class SharedWorldState:
+    """A published segment plus the handle workers attach with."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: dict):
+        self._shm = shm
+        self.handle = handle
+        _published.append(self)
+
+    @property
+    def name(self) -> str:
+        """The OS-level segment name (``handle["name"]``)."""
+        return self.handle["name"]
+
+    def unlink(self) -> None:
+        """Destroy the segment (idempotent; safe if already gone)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        if self in _published:
+            _published.remove(self)
+        try:
+            shm.close()
+        except BufferError:
+            pass  # a view escaped; the unlink below still reclaims the name
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedWorldState":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+@atexit.register
+def _unlink_published() -> None:
+    for state in list(_published):
+        state.unlink()
+
+
+def _field_key(seed: int, count: int, index: int, side: float) -> tuple:
+    """Mirror of the ``cached_field`` key in :func:`repro.sim.build_world`."""
+    return (seed, count, index, side)
+
+
+def _realization_key(
+    seed: int, noise: float, count: int, index: int, radio_range: float, cm_thresh
+) -> tuple:
+    """Mirror of the ``cached_realization`` key in :func:`repro.sim.build_world`."""
+    return (seed, noise, count, index, radio_range, cm_thresh)
+
+
+def publish_shared_state(config, *, noises=()) -> SharedWorldState:
+    """Build the sweep's immutable arrays and publish them in one segment.
+
+    Args:
+        config: the sweep's :class:`~repro.sim.ExperimentConfig`.
+        noises: noise levels whose propagation-realization seeds should ride
+            along (only meaningful for the default model family — drivers
+            with a custom ``model_factory`` must not publish seeds).
+
+    Returns:
+        The owning :class:`SharedWorldState`; its ``handle`` is JSON-able.
+    """
+    from ..rng import derive_rng
+    from ..sweep import default_model_factory
+
+    grid = world_cache.cached_grid(config.side, config.step)
+    layout = world_cache.cached_layout(
+        config.side, config.radio_range, config.num_grids
+    )
+    points = grid.points()
+    centers = layout.centers()
+    masks = layout.membership_masks(grid)
+
+    counts = [int(c) for c in config.beacon_counts]
+    per_density = int(config.fields_per_density)
+    noises = [float(n) for n in noises]
+
+    sections: list[np.ndarray] = [points, centers, masks]
+    # One contiguous positions block per density; the per-field slice is
+    # computable from (count, index) so the handle stays small.  Fields are
+    # built through the same cache/derivation ``build_world`` uses, so the
+    # published coordinates are bit-identical to a worker's own rebuild.
+    field_blocks: list[np.ndarray] = []
+    for count in counts:
+        block = np.empty((per_density, count, 2), dtype=float)
+        for index in range(per_density):
+
+            def build_field(_count=count, _index=index):
+                field_rng = derive_rng(config.seed, "field", _count, _index)
+                from ...field import random_uniform_field
+
+                return random_uniform_field(_count, config.side, field_rng)
+
+            field = world_cache.cached_field(
+                _field_key(config.seed, count, index, config.side), build_field
+            )
+            block[index] = field.positions()
+        field_blocks.append(block)
+        sections.append(block)
+
+    seeds = None
+    if noises:
+        seeds = np.empty((len(noises), len(counts), per_density), dtype=np.uint64)
+        factory = default_model_factory(config)
+        for ni, noise in enumerate(noises):
+            model: BeaconNoiseModel = factory(noise)
+            for ci, count in enumerate(counts):
+                for index in range(per_density):
+
+                    def build_realization(
+                        _model=model, _noise=noise, _count=count, _index=index
+                    ):
+                        world_rng = derive_rng(
+                            config.seed, "world", _noise, _count, _index
+                        )
+                        return _model.realize(world_rng)
+
+                    realization = world_cache.cached_realization(
+                        _realization_key(
+                            config.seed, noise, count, index,
+                            config.radio_range, config.cm_thresh,
+                        ),
+                        build_realization,
+                    )
+                    seeds[ni, ci, index] = np.uint64(realization.seed)
+        sections.append(seeds)
+
+    offsets = []
+    total = 0
+    for arr in sections:
+        total = -(-total // _ALIGN) * _ALIGN
+        offsets.append(total)
+        total += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    for arr, offset in zip(sections, offsets):
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset)
+        view[...] = arr
+        del view
+
+    handle = {
+        "name": shm.name,
+        "grid": {"side": config.side, "step": config.step, "points": offsets[0]},
+        "layout": {
+            "side": config.side,
+            "radio_range": config.radio_range,
+            "num_grids": config.num_grids,
+            "centers": offsets[1],
+            "masks": offsets[2],
+        },
+        "fields": {
+            "seed": int(config.seed),
+            "side": config.side,
+            "per_density": per_density,
+            "counts": counts,
+            "offsets": offsets[3 : 3 + len(counts)],
+        },
+    }
+    if seeds is not None:
+        handle["realizations"] = {
+            "seed": int(config.seed),
+            "noises": noises,
+            "counts": counts,
+            "per_density": per_density,
+            "radio_range": config.radio_range,
+            "cm_thresh": config.cm_thresh,
+            "offset": offsets[-1],
+        }
+    get_metrics().counter("shm.published_bytes").inc(total)
+    return SharedWorldState(shm, handle)
+
+
+def publish_for_executor(executor, config, *, noises=()) -> SharedWorldState | None:
+    """Publish shared state and advertise it on ``executor``, if it can.
+
+    Returns ``None`` (and publishes nothing) for executors without a
+    ``shared_handle`` slot (serial), when the caller already installed a
+    handle, or if publishing itself fails — the sweep then simply runs with
+    per-worker rebuilds.  The caller owns the returned state and must
+    ``unlink()`` it (and reset ``executor.shared_handle``) after the sweep.
+    """
+    if executor is None or not hasattr(executor, "shared_handle"):
+        return None
+    if executor.shared_handle is not None:
+        return None
+    try:
+        state = publish_shared_state(config, noises=noises)
+    except Exception:  # noqa: BLE001 — shm is an optimization, never fatal
+        get_metrics().counter("shm.publish_failures").inc()
+        return None
+    executor.shared_handle = state.handle
+    return state
+
+
+def _unregister_attachment(shm: shared_memory.SharedMemory) -> None:
+    """Undo Python's register-on-attach, but only for a private tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker as if this process owned it.  For a standalone worker (its own
+    tracker — e.g. ``beaconplace worker``) that is fatal: worker exit would
+    unlink the driver's live segment, so we unregister.  Pool workers,
+    however, *inherit the driver's tracker fd* through spawn — registration
+    lands in the driver's own tracker as a set no-op, and unregistering
+    there would strip the driver's registration out from under its eventual
+    ``unlink`` (tracker KeyError noise, and a crash-leak window).  An
+    inherited tracker is recognizable by fd-without-pid: leave it alone.
+    """
+    tracker = resource_tracker._resource_tracker
+    if getattr(tracker, "_fd", None) is not None and getattr(tracker, "_pid", None) is None:
+        return
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 — tracker layout is platform-specific
+        pass
+
+
+def attached_segment_name() -> str | None:
+    """The segment name this process is attached to, or ``None``."""
+    for name in _attached:
+        return name
+    return None
+
+
+def attach_shared_state(handle: dict) -> bool:
+    """Attach to a published segment and pre-seed the world caches.
+
+    Idempotent per segment name.  Raises on failure — the caller
+    (:func:`repro.sim.executors.base.apply_dispatch_extras`) treats any
+    exception as "rebuild locally".
+
+    Returns:
+        True if the caches were (re-)seeded, False if already attached.
+    """
+    name = handle["name"]
+    if name in _attached:
+        return False
+    for state in _published:
+        if state.handle.get("name") == name:
+            # This process *published* the segment (in-process socket
+            # worker, tests): its caches already hold the source objects.
+            return False
+    shm = shared_memory.SharedMemory(name=name)
+    _unregister_attachment(shm)
+    # Drop any previous sweep's attachment (its cached views die with the
+    # cache entries; the mapping stays valid until process exit).
+    _attached.clear()
+    _attached[name] = shm
+
+    def view(offset, shape, dtype):
+        arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        arr.setflags(write=False)
+        return arr
+
+    g = handle["grid"]
+    grid = world_cache.cached_grid(g["side"], g["step"])
+    pts = view(g["points"], (grid.num_points, 2), float)
+    grid._cache["points"] = pts
+
+    lay = handle["layout"]
+    layout = world_cache.cached_layout(
+        lay["side"], lay["radio_range"], lay["num_grids"]
+    )
+    layout._cache["centers"] = view(lay["centers"], (lay["num_grids"], 2), float)
+    layout._cache[("masks", g["side"], g["step"])] = view(
+        lay["masks"], (lay["num_grids"], grid.num_points), bool
+    )
+
+    f = handle["fields"]
+    for count, offset in zip(f["counts"], f["offsets"]):
+        for index in range(f["per_density"]):
+            positions = view(
+                offset + index * count * 2 * 8, (count, 2), float
+            )
+            field = BeaconField.__new__(BeaconField)
+            field._beacons = None
+            field._positions = positions
+            field._ids = tuple(range(count))
+            field._next_id = count
+            world_cache._fields[
+                _field_key(f["seed"], count, index, f["side"])
+            ] = field
+
+    r = handle.get("realizations")
+    if r is not None:
+        from ...radio import BeaconNoiseRealization
+
+        seeds = view(
+            r["offset"],
+            (len(r["noises"]), len(r["counts"]), r["per_density"]),
+            np.uint64,
+        )
+        for ni, noise in enumerate(r["noises"]):
+            for ci, count in enumerate(r["counts"]):
+                for index in range(r["per_density"]):
+                    world_cache._realizations[
+                        _realization_key(
+                            r["seed"], noise, count, index,
+                            r["radio_range"], r["cm_thresh"],
+                        )
+                    ] = BeaconNoiseRealization(
+                        r["radio_range"],
+                        noise,
+                        int(seeds[ni, ci, index]),
+                        cm_thresh=r["cm_thresh"],
+                    )
+    get_metrics().counter("shm.attached").inc()
+    return True

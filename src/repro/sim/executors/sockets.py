@@ -36,7 +36,18 @@ import time
 from typing import Callable, Sequence
 
 from ...obs import get_metrics, get_tracer, metrics_enabled
-from .base import CellExecutor, EmitFn, ProgressFn, cell_fn_ref, resolve_cell_fn, run_one_cell
+from .base import (
+    CellExecutor,
+    EmitFn,
+    ProgressFn,
+    apply_dispatch_extras,
+    cell_fn_ref,
+    dispatch_extras,
+    merge_metric_snapshots,
+    plan_chunk,
+    resolve_cell_fn,
+    run_one_cell,
+)
 from .wire import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -89,6 +100,9 @@ class SocketExecutor(CellExecutor):
             raise ValueError(f"chunk must be >= 1, got {chunk}")
         self.chunk = chunk or DEFAULT_SOCKET_CHUNK
         self.heartbeat = heartbeat
+        #: Optional shared-memory handle advertised in the welcome frame;
+        #: only workers on this host can attach (attach is best-effort).
+        self.shared_handle = None
         self._events: queue_mod.Queue = queue_mod.Queue()
         self._conn_lock = threading.Lock()
         self._conn_socks: set[socket.socket] = set()
@@ -274,6 +288,9 @@ class SocketExecutor(CellExecutor):
                     "fn": fn_ref,
                     "instrument": instrument,
                     "heartbeat": self.heartbeat,
+                    # Additive field: old workers ignore it, old servers
+                    # simply never send it — protocol version 1 holds.
+                    "extras": dispatch_extras(shared=self.shared_handle),
                 })
                 if progress is not None:
                     progress(f"worker {conn.name} joined")
@@ -460,6 +477,7 @@ def run_worker(
                 raise ProtocolError(f"expected welcome, got {welcome!r}")
             fn = resolve_cell_fn(welcome["fn"])
             instrument = bool(welcome.get("instrument"))
+            apply_dispatch_extras(welcome.get("extras"))
             if progress is not None:
                 progress(
                     f"joined sweep {welcome.get('fingerprint')} at {host}:{port} "
@@ -497,10 +515,23 @@ def run_worker(
                     if message["type"] != "batch":
                         continue
                     lost_server = False
-                    for index, cell in enumerate(message["cells"]):
+                    batch_args = [
+                        decode_payload(cell["args"]) for cell in message["cells"]
+                    ]
+                    thunks, plan_metrics = plan_chunk(fn, batch_args, instrument)
+                    for index, args in enumerate(batch_args):
                         outcome = run_one_cell(
-                            fn, decode_payload(cell["args"]), instrument=instrument
+                            fn, args, instrument=instrument,
+                            thunk=thunks[index] if thunks is not None else None,
                         )
+                        if plan_metrics is not None:
+                            # Charge the plan's counters to the first result
+                            # frame (mirrors run_cell_chunk's chunk-level
+                            # accounting).
+                            outcome["metrics"] = merge_metric_snapshots(
+                                outcome["metrics"], plan_metrics
+                            )
+                            plan_metrics = None
                         if not safe_send({
                             "type": "result",
                             "batch": message["id"],

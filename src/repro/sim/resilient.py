@@ -48,7 +48,9 @@ import numpy as np
 from ..obs import get_metrics, get_tracer
 from ..placement import PlacementAlgorithm
 from .config import ExperimentConfig
-from .executors import CellExecutor, make_executor
+from .executors import CellExecutor, make_executor, register_batch_planner
+from .executors.shm import publish_for_executor
+from .kernels import DEFAULT_BLOCK_ELEMENTS, batch_surface_stats, warm_worlds
 from .results import Curve, CurveSet
 from .rng import derive_rng
 from .sweep import build_world
@@ -417,6 +419,102 @@ def _improvement_cell(args) -> dict:
     }
 
 
+def _mean_error_cells_planner(args_list):
+    """Batch plan for :func:`_mean_error_cell`: one kernel pass per block.
+
+    Worlds are built the normal way (field/realization caches make that
+    cheap), pre-warmed through the batched kernels, reduced with
+    :func:`batch_surface_stats`, and *dropped* — the returned thunks close
+    over plain floats, so planning a chunk retains no arrays.  A cell whose
+    world fails to build gets no thunk (``None``); the executor's scalar
+    path recomputes it and surfaces the error with per-cell attribution.
+    """
+    thunks: list = [None] * len(args_list)
+    worlds: list = []
+    slots: list = []
+    elements = 0
+
+    def flush():
+        nonlocal elements
+        if not worlds:
+            return
+        warm_worlds(worlds)
+        means, _ = batch_surface_stats(worlds, medians=False)
+        for slot, mean in zip(slots, means):
+            value = float(mean)
+            thunks[slot] = lambda _v=value: _v
+        worlds.clear()
+        slots.clear()
+        elements = 0
+
+    for i, args in enumerate(args_list):
+        config, noise, count, index, faults, fault_time = args
+        try:
+            world = build_world(
+                config, noise, count, index, faults=faults, fault_time=fault_time
+            )
+        except Exception:  # noqa: BLE001 — scalar path owns the failure
+            continue
+        worlds.append(world)
+        slots.append(i)
+        elements += world.points().shape[0] * max(len(world.field), 1)
+        if elements >= DEFAULT_BLOCK_ELEMENTS:
+            flush()
+    flush()
+    return thunks
+
+
+def _improvement_cells_planner(args_list):
+    """Batch plan for :func:`_improvement_cell`: warm worlds, defer trials.
+
+    The placement trial itself is order-sensitive, survey-driven scalar code
+    — only the *initial* world evaluation (connectivity, centroid state, the
+    base error surface) batches.  Each thunk runs the unchanged
+    :func:`run_placement_trial` against its pre-warmed world with the exact
+    RNG substreams :func:`_improvement_cell` would derive, and releases the
+    world as soon as it runs so chunk memory peaks at one warmed chunk.
+    """
+    thunks: list = [None] * len(args_list)
+    worlds: list = []
+    for i, args in enumerate(args_list):
+        config, noise, count, index, faults, fault_time, algorithms = args
+        try:
+            world = build_world(
+                config, noise, count, index, faults=faults, fault_time=fault_time
+            )
+        except Exception:  # noqa: BLE001 — scalar path owns the failure
+            continue
+        worlds.append(world)
+        holder = [world]
+
+        def thunk(
+            holder=holder,
+            config=config,
+            noise=noise,
+            count=count,
+            index=index,
+            algorithms=algorithms,
+        ):
+            warmed, holder[0] = holder[0], None
+
+            def rng_for(name: str):
+                return derive_rng(config.seed, "alg", name, noise, count, index)
+
+            outcomes = run_placement_trial(warmed, list(algorithms), rng_for)
+            return {
+                o.algorithm: (o.improvement_mean, o.improvement_median)
+                for o in outcomes
+            }
+
+        thunks[i] = thunk
+    warm_worlds(worlds)
+    return thunks
+
+
+register_batch_planner(_mean_error_cell, _mean_error_cells_planner)
+register_batch_planner(_improvement_cell, _improvement_cells_planner)
+
+
 def _open_journal(journal_path, fingerprint) -> SweepJournal | None:
     if journal_path is None:
         return None
@@ -493,13 +591,25 @@ def resilient_mean_error_curve(
         for count in config.beacon_counts
         for index in range(config.fields_per_density)
     ]
+    shared = None
+    owned_executor = None
+    if executor is None and workers > 1:
+        # Build the pool here (instead of inside run_cells) so the shared
+        # world state can be published on it before the first dispatch.
+        owned_executor = executor = make_executor(workers=workers)
     try:
+        shared = publish_for_executor(executor, config, noises=[noise])
         cells = run_cells(
             jobs, _mean_error_cell,
             workers=workers, policy=policy, journal=journal, progress=progress,
             executor=executor,
         )
     finally:
+        if shared is not None:
+            executor.shared_handle = None
+            shared.unlink()
+        if owned_executor is not None:
+            owned_executor.close()
         if journal is not None:
             journal.close()
     samples_per_count = []
@@ -562,13 +672,23 @@ def resilient_placement_improvement_curves(
         for count in config.beacon_counts
         for index in range(config.fields_per_density)
     ]
+    shared = None
+    owned_executor = None
+    if executor is None and workers > 1:
+        owned_executor = executor = make_executor(workers=workers)
     try:
+        shared = publish_for_executor(executor, config, noises=[noise])
         cells = run_cells(
             jobs, _improvement_cell,
             workers=workers, policy=policy, journal=journal, progress=progress,
             executor=executor,
         )
     finally:
+        if shared is not None:
+            executor.shared_handle = None
+            shared.unlink()
+        if owned_executor is not None:
+            owned_executor.close()
         if journal is not None:
             journal.close()
 

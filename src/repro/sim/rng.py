@@ -47,6 +47,27 @@ def derive_seed_sequence(seed: int, *keys) -> np.random.SeedSequence:
     )
 
 
+#: Initial PCG64 states per substream identity.  Deriving a stream means
+#: hashing the key path into a SeedSequence and pooling its entropy — pure
+#: recomputation for substreams a sweep revisits (field streams are shared
+#: across every noise level and fault time).  Restoring a cached state is
+#: byte-identical to re-deriving it and roughly halves the cost.
+_STATE_CACHE: "dict[tuple, dict]" = {}
+_STATE_CACHE_MAX = 4096
+
+
 def derive_rng(seed: int, *keys) -> np.random.Generator:
     """A PCG64 generator for the named substream (see module docstring)."""
-    return np.random.Generator(np.random.PCG64(derive_seed_sequence(seed, *keys)))
+    identity = (int(seed), tuple(_key_to_int(k) for k in keys))
+    state = _STATE_CACHE.get(identity)
+    if state is None:
+        bit_gen = np.random.PCG64(
+            np.random.SeedSequence(entropy=identity[0], spawn_key=identity[1])
+        )
+        if len(_STATE_CACHE) >= _STATE_CACHE_MAX:
+            _STATE_CACHE.pop(next(iter(_STATE_CACHE)))
+        _STATE_CACHE[identity] = bit_gen.state
+    else:
+        bit_gen = np.random.PCG64(0)
+        bit_gen.state = state
+    return np.random.Generator(bit_gen)

@@ -28,7 +28,13 @@ from ..obs import get_metrics, get_profile, get_tracer
 from ..placement import PlacementAlgorithm
 from ..radio import BeaconNoiseModel, PropagationModel
 from .config import ExperimentConfig
-from .executors.cache import cached_grid, cached_layout, cached_localizer
+from .executors.cache import (
+    cached_field,
+    cached_grid,
+    cached_layout,
+    cached_localizer,
+    cached_realization,
+)
 from .results import Curve, CurveSet
 from .rng import derive_rng
 from .trial import TrialOutcome, TrialWorld, run_placement_trial
@@ -76,17 +82,45 @@ def build_world(
     it.  Surviving beacons keep their ids, so their propagation links are
     identical to the pristine world's.
     """
-    if model_factory is None:
-        model_factory = default_model_factory(config)
     with get_profile().section("world.build"):
         get_metrics().counter("sweep.worlds_built").inc()
-        field_rng = derive_rng(config.seed, "field", num_beacons, field_index)
-        field = random_uniform_field(num_beacons, config.side, field_rng)
+
+        def build_field():
+            field_rng = derive_rng(config.seed, "field", num_beacons, field_index)
+            return random_uniform_field(num_beacons, config.side, field_rng)
+
+        # Fields and realizations are immutable pure functions of their
+        # substream identity — cache hits replay the exact object a fresh
+        # derivation would produce (reuse across noise levels, fault times
+        # and retries).
+        field = cached_field(
+            (config.seed, num_beacons, field_index, config.side), build_field
+        )
         if faults is not None:
             fault_rng = derive_rng(config.seed, "faults", num_beacons, field_index)
             field = apply_faults(field, faults.realize(fault_rng), fault_time).field
-        world_rng = derive_rng(config.seed, "world", noise, num_beacons, field_index)
-        realization = model_factory(noise).realize(world_rng)
+
+        def build_realization():
+            factory = default_model_factory(config) if model_factory is None else model_factory
+            world_rng = derive_rng(config.seed, "world", noise, num_beacons, field_index)
+            return factory(noise).realize(world_rng)
+
+        if model_factory is None:
+            realization = cached_realization(
+                (
+                    config.seed,
+                    noise,
+                    num_beacons,
+                    field_index,
+                    config.radio_range,
+                    config.cm_thresh,
+                ),
+                build_realization,
+            )
+        else:
+            # Custom model families are not identifiable by config constants;
+            # realize them fresh rather than risk a stale cache hit.
+            realization = build_realization()
         # Lattice, layout and localizer depend only on config constants;
         # the process-local cache builds them once per worker instead of
         # once per cell (all three are frozen/immutable, so sharing them

@@ -117,6 +117,28 @@ class TrialWorld:
                 self._conn = self.realization.connectivity(self.points(), self.field)
         return self._conn
 
+    def prewarm(
+        self,
+        *,
+        conn: np.ndarray | None = None,
+        state: CentroidState | None = None,
+        errors: np.ndarray | None = None,
+    ) -> None:
+        """Fill the evaluation caches with externally computed values.
+
+        The batched kernels (:mod:`repro.sim.kernels`) evaluate many worlds
+        in one array pass and hand each world its slice here; afterwards
+        :meth:`connectivity`, :meth:`errors` and the candidate counterfactuals
+        are cache hits.  Callers own the bit-identity contract: the supplied
+        arrays must equal what the world would have computed itself.
+        """
+        if conn is not None:
+            self._conn = conn
+        if state is not None:
+            self._state = state
+        if errors is not None:
+            self._errors = errors
+
     # -- Error evaluation ----------------------------------------------------
 
     def _centroid_state(self) -> CentroidState:

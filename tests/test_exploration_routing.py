@@ -93,3 +93,10 @@ class TestPlanTour:
         planned = plan_tour(shuffled)
         optimal = (pts.shape[0] - 1) * 5.0
         assert path_length(planned) <= 1.35 * optimal
+
+    def test_never_loses_to_input_order(self):
+        """Collinear regression: the greedy seed starts at [3,1], walks to
+        the near cluster and strands [6,1], and 2-opt cannot untangle it —
+        the planner must fall back to the (optimal) input order."""
+        pts = np.array([[3.0, 1.0], [1.0, 1.0], [4.0, 1.0], [6.0, 1.0]])
+        assert path_length(plan_tour(pts)) <= path_length(pts)

@@ -37,6 +37,42 @@ class TestMix64:
         with pytest.raises(ValueError):
             mix64()
 
+    def test_avalanche_single_bit_flips(self):
+        """Flipping any single input bit flips ~half the output bits.
+
+        SplitMix64's finalizer is expected to give each input bit full
+        avalanche; the vectorized implementation must preserve that (a
+        truncated shift or wrong constant would show up here as a heavily
+        biased flip count).
+        """
+        base_keys = np.uint64(0xDEADBEEFCAFEF00D)
+        base = mix64(base_keys)
+        flips = []
+        for bit in range(64):
+            flipped = mix64(base_keys ^ (np.uint64(1) << np.uint64(bit)))
+            flips.append(bin(int(base ^ flipped)).count("1"))
+        flips = np.asarray(flips, dtype=float)
+        # Per-bit flips ~ Binomial(64, 0.5): mean 32, sd 4.  4 sigma per
+        # bit keeps the deterministic test safe; the mean is much tighter.
+        assert np.all(np.abs(flips - 32.0) < 16.0), flips
+        assert abs(flips.mean() - 32.0) < 2.0
+
+    def test_output_bit_uniformity(self):
+        """Each of the 64 output bit positions is set about half the time."""
+        out = mix64(9, np.arange(4096, dtype=np.uint64))
+        ones = np.array(
+            [np.count_nonzero(out & (np.uint64(1) << np.uint64(b))) for b in range(64)],
+            dtype=float,
+        )
+        # Binomial(4096, 0.5): sd = 32; allow 5 sigma per position.
+        assert np.all(np.abs(ones - 2048.0) < 160.0), ones
+
+    def test_low_bit_of_sequential_keys_unbiased(self):
+        """Counter-style consecutive keys must not leak into the low bit."""
+        out = mix64(np.arange(8192, dtype=np.uint64))
+        low = (out & np.uint64(1)).astype(float)
+        assert abs(low.mean() - 0.5) < 0.03
+
 
 class TestHashUniform:
     def test_range(self):
