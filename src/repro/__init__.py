@@ -128,6 +128,15 @@ from .radio import (
     coverage_fraction,
     mean_degree,
 )
+from .selfheal import (
+    ControllerConfig,
+    FaultAwareGrid,
+    FaultAwareMax,
+    SelfHealResult,
+    expected_alive_fraction,
+    selfheal_timeline,
+    survival_probability,
+)
 from .sim import (
     Curve,
     CurveSet,
@@ -266,6 +275,14 @@ __all__ = [
     "DegradedField",
     "apply_faults",
     "fault_timeline",
+    # selfheal
+    "ControllerConfig",
+    "FaultAwareMax",
+    "FaultAwareGrid",
+    "SelfHealResult",
+    "selfheal_timeline",
+    "survival_probability",
+    "expected_alive_fraction",
     # sim
     "ExperimentConfig",
     "paper_config",

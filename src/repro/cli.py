@@ -20,6 +20,11 @@ Subcommands:
   the resilient engine (``--models crash,battery,intermittent --times
   0:86400:24``), with bootstrap CIs, journal resume and every executor
   backend.
+* ``selfheal`` — the closed-loop version of ``timeline``: a repair
+  controller (thresholds, hysteresis, beacon budget) walks each fault
+  timeline and fights the degradation with fault-aware placement; prints
+  paired controller-on/off curves, recovery metrics and the decision log
+  (``--decisions PATH`` writes it as JSON).
 * ``obs`` — summarize the observability artifacts of an instrumented run
   (top spans by cumulative time, counters, duration histograms).
 * ``journal`` — inspect a sweep checkpoint journal (done/failed/NaN
@@ -70,6 +75,7 @@ from .obs import (
 )
 from .placement import GridPlacement, MaxPlacement, RandomPlacement
 from .protocol import ProtocolConnectivityEstimator
+from .selfheal import ControllerConfig, selfheal_timeline
 from .sim import (
     PAPER_NOISE_LEVELS,
     TimelineConfig,
@@ -664,17 +670,9 @@ def _emit_timeline(curve_set, args, csv_suffix: str = "") -> None:
 
 def _cmd_timeline(args) -> int:
     config = _config_from_args(args)
-    timeline = TimelineConfig(
-        times=tuple(args.times),
-        beacons=args.beacons,
-        noise=args.noise,
-        trials=args.trials,
-        percentile=args.percentile,
-        resamples=args.resamples,
-    )
     mean_set, upper_set = fault_error_timeline(
         config,
-        timeline,
+        _timeline_from_args(args),
         _timeline_models(args),
         workers=args.workers,
         journal_path=args.journal,
@@ -687,6 +685,83 @@ def _cmd_timeline(args) -> int:
     failed = mean_set.meta.get("failed_cells", 0)
     if failed:
         print(f"\nwarning: {failed} cell(s) exhausted retries (NaN-degraded)", file=sys.stderr)
+    return 0
+
+
+def _timeline_from_args(args) -> TimelineConfig:
+    return TimelineConfig(
+        times=tuple(args.times),
+        beacons=args.beacons,
+        noise=args.noise,
+        trials=args.trials,
+        percentile=args.percentile,
+        resamples=args.resamples,
+    )
+
+
+def _cmd_selfheal(args) -> int:
+    config = _config_from_args(args)
+    controller = ControllerConfig(
+        mean_threshold=args.mean_threshold,
+        alive_threshold=args.alive_threshold,
+        budget=args.budget,
+        repair_k=args.repair_k,
+        horizon=args.horizon,
+        hysteresis=args.hysteresis,
+        catastrophic_fraction=args.catastrophic,
+        penalty=args.penalty,
+    )
+    result = selfheal_timeline(
+        config,
+        _timeline_from_args(args),
+        _timeline_models(args),
+        controller,
+        workers=args.workers,
+        journal_path=args.journal,
+        progress=_progress(args),
+        executor=_executor_from_args(args),
+    )
+    for curve_set, suffix in (
+        (result.off_mean, "_off_mean"),
+        (result.off_upper, f"_off_p{args.percentile:g}"),
+        (result.on_mean, "_on_mean"),
+        (result.on_upper, f"_on_p{args.percentile:g}"),
+    ):
+        _emit_timeline(curve_set, args, csv_suffix=suffix)
+        print()
+    print("recovery summary (mean LE vs the controller threshold):")
+    for name in result.on_mean.labels():
+        on = result.on_mean.curve(name)
+        off = result.off_mean.curve(name)
+        print(
+            f"  {name}: repairs={result.repairs[name]} "
+            f"added={result.added[name]} moved={result.moved[name]} | "
+            f"time-to-recover on={on.meta['time_to_recover']:g} "
+            f"off={off.meta['time_to_recover']:g} | "
+            f"area-under-degradation on={on.meta['area_under_degradation']:g} "
+            f"off={off.meta['area_under_degradation']:g}"
+        )
+    if args.decisions:
+        import json
+        from pathlib import Path
+
+        payload = {
+            "controller": controller.spec(),
+            "decisions": result.decisions,
+            "repairs": result.repairs,
+            "added": result.added,
+            "moved": result.moved,
+        }
+        Path(args.decisions).write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        )
+        print(f"\nwrote decision log {args.decisions}")
+    failed = result.on_mean.meta.get("failed_cells", 0)
+    if failed:
+        print(
+            f"\nwarning: {failed} cell(s) exhausted retries (NaN-degraded)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -954,6 +1029,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot times, comma-separated",
     )
 
+    def add_timeline_arguments(p) -> None:
+        """Flags shared by the ``timeline`` and ``selfheal`` sweeps."""
+        p.add_argument(
+            "--models",
+            type=_parse_model_names,
+            default=["crash", "battery", "intermittent"],
+            help=(
+                "fault models to sweep, comma-separated from "
+                f"{{{','.join(_TIMELINE_MODELS)}}} ('flap' is an alias for "
+                "'intermittent')"
+            ),
+        )
+        p.add_argument(
+            "--times",
+            type=_parse_times,
+            default=[0.0, 25.0, 50.0, 75.0, 100.0],
+            help=(
+                "snapshot times: comma-separated floats, or START:STOP:NUM for "
+                "an inclusive linspace (e.g. 0:86400:24)"
+            ),
+        )
+        p.add_argument("--beacons", type=int, default=40)
+        p.add_argument("--noise", type=float, default=0.0)
+        p.add_argument(
+            "--trials", type=int, default=8, help="random fields per fault model"
+        )
+        p.add_argument(
+            "--percentile",
+            type=float,
+            default=90.0,
+            help="upper-tail LE percentile reported alongside the mean",
+        )
+        p.add_argument(
+            "--resamples",
+            type=int,
+            default=500,
+            help="bootstrap iterations behind each confidence interval",
+        )
+        p.add_argument(
+            "--lifetime", type=float, default=50.0,
+            help="mean beacon lifetime (crash/battery/mixed)",
+        )
+        p.add_argument(
+            "--spread", type=float, default=0.1, help="battery lifetime spread fraction"
+        )
+        p.add_argument(
+            "--up-time", type=float, default=30.0, help="intermittent mean up-time"
+        )
+        p.add_argument(
+            "--down-time", type=float, default=10.0, help="intermittent mean down-time"
+        )
+        p.add_argument(
+            "--drift-rate", type=float, default=0.5,
+            help="drift magnitude in m per unit sqrt(time) (drift/mixed)",
+        )
+        p.add_argument(
+            "--max-drift", type=float, default=10.0, help="drift displacement cap in m"
+        )
+
     timeline = sub.add_parser(
         "timeline",
         help=(
@@ -961,61 +1095,60 @@ def build_parser() -> argparse.ArgumentParser:
             "resilient sweep engine"
         ),
     )
-    timeline.add_argument(
-        "--models",
-        type=_parse_model_names,
-        default=["crash", "battery", "intermittent"],
+    add_timeline_arguments(timeline)
+
+    selfheal = sub.add_parser(
+        "selfheal",
         help=(
-            "fault models to sweep, comma-separated from "
-            f"{{{','.join(_TIMELINE_MODELS)}}} ('flap' is an alias for "
-            "'intermittent')"
+            "closed-loop recovery: a repair controller walks each fault "
+            "timeline and fights back (paired controller-on/off curves)"
         ),
     )
-    timeline.add_argument(
-        "--times",
-        type=_parse_times,
-        default=[0.0, 25.0, 50.0, 75.0, 100.0],
-        help=(
-            "snapshot times: comma-separated floats, or START:STOP:NUM for "
-            "an inclusive linspace (e.g. 0:86400:24)"
-        ),
-    )
-    timeline.add_argument("--beacons", type=int, default=40)
-    timeline.add_argument("--noise", type=float, default=0.0)
-    timeline.add_argument(
-        "--trials", type=int, default=8, help="random fields per fault model"
-    )
-    timeline.add_argument(
-        "--percentile",
+    add_timeline_arguments(selfheal)
+    selfheal.add_argument(
+        "--mean-threshold",
         type=float,
-        default=90.0,
-        help="upper-tail LE percentile reported alongside the mean",
+        default=15.0,
+        help="mean-LE ceiling in meters; exceeding it (or total outage) is a breach",
     )
-    timeline.add_argument(
-        "--resamples",
-        type=int,
-        default=500,
-        help="bootstrap iterations behind each confidence interval",
+    selfheal.add_argument(
+        "--alive-threshold",
+        type=float,
+        default=0.0,
+        help="minimum surviving fraction of the designed field size",
     )
-    timeline.add_argument(
-        "--lifetime", type=float, default=50.0,
-        help="mean beacon lifetime (crash/battery/mixed)",
+    selfheal.add_argument(
+        "--budget", type=int, default=8,
+        help="total beacons the controller may add over the whole timeline",
     )
-    timeline.add_argument(
-        "--spread", type=float, default=0.1, help="battery lifetime spread fraction"
+    selfheal.add_argument(
+        "--repair-k", type=int, default=2,
+        help="beacons added per repair (capped by the remaining budget)",
     )
-    timeline.add_argument(
-        "--up-time", type=float, default=30.0, help="intermittent mean up-time"
+    selfheal.add_argument(
+        "--horizon", type=float, default=25.0,
+        help="survivability look-ahead in seconds for fault-aware placement",
     )
-    timeline.add_argument(
-        "--down-time", type=float, default=10.0, help="intermittent mean down-time"
+    selfheal.add_argument(
+        "--hysteresis", type=float, default=0.9,
+        help="re-arm fraction of the mean threshold after a repair",
     )
-    timeline.add_argument(
-        "--drift-rate", type=float, default=0.5,
-        help="drift magnitude in m per unit sqrt(time) (drift/mixed)",
+    selfheal.add_argument(
+        "--catastrophic", type=float, default=0.0,
+        help=(
+            "surviving fraction below which a breach redeploys the "
+            "survivors instead of adding beacons (0 disables)"
+        ),
     )
-    timeline.add_argument(
-        "--max-drift", type=float, default=10.0, help="drift displacement cap in m"
+    selfheal.add_argument(
+        "--penalty", type=float, default=None,
+        help="orphaned-point error for fault-aware placement (default: side/2)",
+    )
+    selfheal.add_argument(
+        "--decisions",
+        default=None,
+        metavar="PATH",
+        help="write the controller decision log as JSON to PATH",
     )
 
     obs = sub.add_parser("obs", help="summarize an instrumented run directory")
@@ -1104,6 +1237,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "faults": _cmd_faults,
     "timeline": _cmd_timeline,
+    "selfheal": _cmd_selfheal,
     "obs": _cmd_obs,
     "journal": _cmd_journal,
     "worker": _cmd_worker,

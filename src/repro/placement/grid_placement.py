@@ -52,12 +52,28 @@ class GridPlacement(PlacementAlgorithm):
         """The §4 configuration: ``gridSide = 2R``, ``N_G = 400``."""
         return cls(OverlappingGridLayout.for_radio_range(side, radio_range, num_grids))
 
-    def cumulative_errors(self, survey: Survey) -> np.ndarray:
+    def cumulative_errors(
+        self, survey: Survey, errors: np.ndarray | None = None
+    ) -> np.ndarray:
         """``S(i, j)`` for every grid, as an ``(N_G,)`` array.
 
         NaN error measurements (excluded points) contribute zero.
+
+        Args:
+            survey: the measured points (supplies geometry and, by default,
+                the error values).
+            errors: optional ``(P,)`` replacement for ``survey.errors`` over
+                the same points — survivability-weighted variants
+                (:mod:`repro.selfheal.placement`) rescore points while
+                reusing the grid accumulation unchanged.
         """
-        errors = np.nan_to_num(survey.errors, nan=0.0)
+        errors = survey.errors if errors is None else np.asarray(errors, dtype=float)
+        if errors.shape != (survey.num_points,):
+            raise ValueError(
+                f"errors shape {errors.shape} does not match "
+                f"{survey.num_points} survey points"
+            )
+        errors = np.nan_to_num(errors, nan=0.0)
         if survey.is_complete and abs(survey.grid.side - self.layout.side) < 1e-9:
             return self.layout.cumulative_values(survey.grid, errors)
         # Partial survey: direct membership test against surveyed points.

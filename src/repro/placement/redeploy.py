@@ -62,6 +62,16 @@ class WeightedRedeployment:
             return field
         if survey.num_points == 0:
             raise ValueError("survey has no measured points for redeployment")
+        if np.all(np.isnan(survey.errors)):
+            # Without a single finite measurement the weights would collapse
+            # to the uniform mass floor and "redeploy" into a blind k-means
+            # of the survey lattice — an answer that looks authoritative but
+            # carries no information.  Make the caller decide what a fully
+            # unobserved field should mean.
+            raise ValueError(
+                "survey errors are all NaN: redeployment has no error mass "
+                "to follow (every beacon dead or every point excluded)"
+            )
 
         points = survey.points
         errors = np.nan_to_num(survey.errors, nan=0.0)

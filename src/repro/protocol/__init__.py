@@ -3,7 +3,11 @@
 from .beacon_process import BeaconTransmitter, start_beacon_processes
 from .channel import Listener, RadioChannel, Transmission
 from .duty_cycle import DutyCycledTransmitter, start_duty_cycled_processes
-from .estimator import ProtocolConnectivityEstimator, ProtocolRunResult
+from .estimator import (
+    BeaconBlacklist,
+    ProtocolConnectivityEstimator,
+    ProtocolRunResult,
+)
 from .events import ScheduledEvent, Simulator
 from .loss import GilbertElliottLoss
 
@@ -19,5 +23,6 @@ __all__ = [
     "start_duty_cycled_processes",
     "ProtocolConnectivityEstimator",
     "ProtocolRunResult",
+    "BeaconBlacklist",
     "GilbertElliottLoss",
 ]

@@ -30,7 +30,101 @@ from .beacon_process import start_beacon_processes
 from .channel import RadioChannel
 from .events import Simulator
 
-__all__ = ["ProtocolConnectivityEstimator", "ProtocolRunResult"]
+__all__ = ["BeaconBlacklist", "ProtocolConnectivityEstimator", "ProtocolRunResult"]
+
+
+class BeaconBlacklist:
+    """Client-side beacon blacklisting across successive listening windows.
+
+    Under :class:`~repro.faults.IntermittentFault` flapping, a beacon that
+    oscillates around ``CM_thresh`` flips in and out of every client's
+    centroid set window after window, and the localization estimate jitters
+    with it.  This is the minimal protocol-level recovery: each client
+    tracks, per beacon, how many *consecutive* windows an expected beacon
+    has gone missing; after ``miss_limit`` misses the beacon is dropped
+    from the connected set for ``cooldown`` windows, then re-admitted the
+    next time it is actually heard.  A flapping beacon thus degrades the
+    client to its stable neighbours *gracefully* instead of oscillating —
+    and a beacon that genuinely recovers rejoins after one clean window.
+
+    A beacon becomes *expected* by being heard while admitted; a beacon the
+    client has never heard is not counted as missing (clients cannot miss
+    beacons they don't know about).  Hearing a beacon mid-cooldown does not
+    shorten the cooldown — that is the point: one lucky window must not
+    instantly restore trust in a flapper.
+
+    The filter is stateful and deterministic: feeding it the same window
+    sequence reproduces the same admitted sets.
+
+    Args:
+        miss_limit: consecutive missed windows before a beacon is dropped.
+        cooldown: windows a dropped beacon stays excluded before it may be
+            re-admitted.
+    """
+
+    def __init__(self, miss_limit: int = 3, cooldown: int = 5):
+        if miss_limit < 1:
+            raise ValueError(f"miss_limit must be >= 1, got {miss_limit}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self.miss_limit = int(miss_limit)
+        self.cooldown = int(cooldown)
+        self._expected: np.ndarray | None = None
+        self._misses: np.ndarray | None = None
+        self._cooldown_left: np.ndarray | None = None
+
+    def _ensure_state(self, shape: tuple[int, int]) -> None:
+        if self._expected is None:
+            self._expected = np.zeros(shape, dtype=bool)
+            self._misses = np.zeros(shape, dtype=np.int64)
+            self._cooldown_left = np.zeros(shape, dtype=np.int64)
+        elif self._expected.shape != shape:
+            raise ValueError(
+                f"window shape {shape} does not match blacklist state "
+                f"{self._expected.shape} (one blacklist per client/field pairing)"
+            )
+
+    @property
+    def blacklisted(self) -> np.ndarray:
+        """Current ``(P, N)`` exclusion mask (False before the first window)."""
+        if self._cooldown_left is None:
+            return np.zeros((0, 0), dtype=bool)
+        return self._cooldown_left > 0
+
+    def observe(self, connectivity: np.ndarray) -> np.ndarray:
+        """Fold one window's raw connectivity into the admitted set.
+
+        Args:
+            connectivity: ``(P, N)`` boolean — the §2.2 threshold outcome
+                for this listening window.
+
+        Returns:
+            The admitted ``(P, N)`` matrix: raw connectivity minus
+            blacklisted beacons.  Call once per window, in order.
+        """
+        observed = np.asarray(connectivity, dtype=bool)
+        if observed.ndim != 2:
+            raise ValueError(
+                f"connectivity must be 2-D (clients x beacons), got {observed.shape}"
+            )
+        self._ensure_state(observed.shape)
+        active = self._cooldown_left == 0
+        admitted = observed & active
+
+        missed = self._expected & active & ~observed
+        self._misses = np.where(missed, self._misses + 1, 0)
+        drop = self._misses >= self.miss_limit
+        # Existing cooldowns tick down at window end; fresh drops are set
+        # *after* the tick so a dropped beacon sits out `cooldown` complete
+        # windows before it may be re-admitted.
+        np.maximum(self._cooldown_left - 1, 0, out=self._cooldown_left)
+        if drop.any():
+            self._cooldown_left[drop] = self.cooldown
+            self._expected[drop] = False
+            self._misses[drop] = 0
+            admitted &= ~drop
+        self._expected |= admitted
+        return admitted
 
 
 @dataclass(frozen=True)
@@ -107,6 +201,7 @@ class ProtocolConnectivityEstimator:
         *,
         burst_loss=None,
         faults=None,
+        blacklist: "BeaconBlacklist | None" = None,
     ) -> ProtocolRunResult:
         """Simulate one listening window for every client point at once.
 
@@ -120,6 +215,10 @@ class ProtocolConnectivityEstimator:
             faults: optional beacon fault realization (see
                 :class:`repro.faults.FaultRealization`); down beacons skip
                 scheduled transmissions.
+            blacklist: optional stateful :class:`BeaconBlacklist`; this
+                window's threshold outcome is folded into it and the
+                returned connectivity is the *admitted* set.  Pass the same
+                instance across consecutive windows.
         """
         pts = as_point_array(points)
         sim = Simulator()
@@ -147,6 +246,8 @@ class ProtocolConnectivityEstimator:
         with np.errstate(divide="ignore", invalid="ignore"):
             fraction = np.where(sent[None, :] > 0, received / sent[None, :], 0.0)
         connectivity = fraction >= self.cm_thresh
+        if blacklist is not None:
+            connectivity = blacklist.observe(connectivity)
 
         collisions = sum(listener.collisions for listener in channel.listeners)
         missed = sum(listener.missed for listener in channel.listeners)

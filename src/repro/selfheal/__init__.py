@@ -1,0 +1,39 @@
+"""Self-healing beacon fields: fault-aware placement and closed-loop repair.
+
+The paper's future-work vision is a *self-configuring* beacon system.  The
+fault layer (:mod:`repro.faults`) and the timeline sweeps
+(:mod:`repro.sim.timeline`) reproduce the decay half of that story; this
+package adds the response half:
+
+* :mod:`~repro.selfheal.survival` — closed-form survival weights derived
+  from the declared fault statistics (:func:`survival_probability`,
+  :func:`expected_alive_fraction`);
+* :mod:`~repro.selfheal.placement` — :class:`FaultAwareMax` and
+  :class:`FaultAwareGrid`, which score candidate points by expected
+  *post-failure* error instead of the measured snapshot;
+* :mod:`~repro.selfheal.controller` — :class:`ControllerConfig` and the
+  monitored timeline walk (:func:`run_controller_timeline`): thresholds
+  with hysteresis, a beacon budget, add-k / redeploy / blind repairs and a
+  journaled decision log;
+* :mod:`~repro.selfheal.timeline` — :func:`selfheal_timeline`, the paired
+  controller-on/off sweep through the resilient engine, returning a
+  :class:`SelfHealResult` with recovery metrics.
+
+Exposed on the CLI as ``beaconplace selfheal``.
+"""
+
+from .controller import ControllerConfig, run_controller_timeline
+from .placement import FaultAwareGrid, FaultAwareMax
+from .survival import expected_alive_fraction, survival_probability
+from .timeline import SelfHealResult, selfheal_timeline
+
+__all__ = [
+    "ControllerConfig",
+    "FaultAwareGrid",
+    "FaultAwareMax",
+    "SelfHealResult",
+    "expected_alive_fraction",
+    "run_controller_timeline",
+    "selfheal_timeline",
+    "survival_probability",
+]

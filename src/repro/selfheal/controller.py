@@ -1,0 +1,496 @@
+"""The closed-loop redeployment controller.
+
+This is the half of "self-configuring" the paper leaves as future work: a
+policy that *watches* a degrading deployment and fights back.  The
+controller walks one trial's fault timeline forward in time; at every
+snapshot it measures mean localization error and the surviving beacon
+fraction, compares them to configured thresholds, and on a breach spends
+part of a beacon budget on a repair:
+
+* **add-k** (the normal case): deploy up to ``repair_k`` new beacons, one
+  at a time, each placed by :class:`~repro.selfheal.FaultAwareGrid` on a
+  fresh survey of the *current* degraded world — so repairs avoid leaning
+  on survivors that are themselves about to die (per-beacon service ages
+  condition the survival weights);
+* **redeploy** (catastrophic loss): when the surviving fraction falls below
+  ``catastrophic_fraction`` but some beacons remain, re-place the survivors
+  with :class:`~repro.placement.WeightedRedeployment` — moving radios costs
+  no budget, only adding does;
+* **blind** (total outage): with every beacon down there is nothing to
+  survey; deploy budgeted beacons at seed-derived uniform positions (the
+  paper's Random strategy, the only one available without measurements).
+
+A hysteresis band keeps the loop from thrashing: after a repair the
+controller *disarms* and only re-arms once the mean error has fallen back
+below ``hysteresis × mean_threshold`` — the classic two-threshold
+controller shape.  Exhausting the budget is itself a logged event
+(``selfheal.budget_exhausted``), after which the controller goes silent.
+
+Everything here is a pure function of ``(config.seed, model name, trial)``:
+fault realizations and the propagation world come from the *same* derived
+RNG streams as :mod:`repro.sim.timeline` (so the controller-off arm is
+bit-identical to ``fault_error_timeline``), and every repair decision draws
+from ``derive_rng(seed, "selfheal", name, trial, time_index, attempt)``.
+The full decision log is part of the cell value and therefore of the
+journal: a resumed sweep replays the identical log without re-simulating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..faults import fault_model_from_spec
+from ..field import Beacon, BeaconField, random_uniform_field
+from ..geometry import Point
+from ..obs import get_metrics, get_tracer
+from ..placement import WeightedRedeployment
+from ..sim.config import ExperimentConfig
+from ..sim.executors.cache import (
+    cached_fault_realization,
+    cached_grid,
+    cached_layout,
+    cached_localizer,
+)
+from ..sim.rng import derive_rng
+from ..sim.sweep import default_model_factory
+from ..sim.timeline import _spec_token
+from ..sim.trial import TrialWorld
+from .placement import FaultAwareGrid
+
+__all__ = ["ControllerConfig", "run_controller_timeline"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Policy parameters of the closed-loop controller.
+
+    The config is the *only* controller state that crosses the wire: it
+    serializes to a plain-JSON :meth:`spec` that lands in the sweep
+    fingerprint, so two runs with equal specs journal interchangeable cells.
+
+    Attributes:
+        mean_threshold: mean-LE ceiling (meters); exceeding it — or losing
+            service entirely — is a breach.
+        alive_threshold: minimum surviving fraction of the *designed* field
+            size (breach below it even if error still looks fine — early
+            warning from the roster, not the error field).
+        budget: total beacons the controller may add over the whole
+            timeline.
+        repair_k: beacons added per add-k repair (capped by the remaining
+            budget).
+        horizon: look-ahead (seconds) for the survivability weighting of
+            repair placements.
+        hysteresis: re-arm fraction; after a repair the controller stays
+            quiet until mean LE ≤ ``hysteresis × mean_threshold``.
+        catastrophic_fraction: surviving fraction below which a breach
+            triggers survivor redeployment instead of add-k.
+        penalty: orphaned-point error for the fault-aware placer (None:
+            half the terrain side).
+    """
+
+    mean_threshold: float
+    alive_threshold: float = 0.0
+    budget: int = 8
+    repair_k: int = 2
+    horizon: float = 25.0
+    hysteresis: float = 0.9
+    catastrophic_fraction: float = 0.0
+    penalty: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mean_threshold <= 0.0:
+            raise ValueError(
+                f"mean_threshold must be positive, got {self.mean_threshold}"
+            )
+        if not 0.0 <= self.alive_threshold <= 1.0:
+            raise ValueError(
+                f"alive_threshold must be in [0, 1], got {self.alive_threshold}"
+            )
+        if self.budget < 0:
+            raise ValueError(f"budget must be non-negative, got {self.budget}")
+        if self.repair_k < 1:
+            raise ValueError(f"repair_k must be >= 1, got {self.repair_k}")
+        if self.horizon < 0.0:
+            raise ValueError(f"horizon must be non-negative, got {self.horizon}")
+        if not 0.0 < self.hysteresis <= 1.0:
+            raise ValueError(
+                f"hysteresis must be in (0, 1], got {self.hysteresis}"
+            )
+        if not 0.0 <= self.catastrophic_fraction <= 1.0:
+            raise ValueError(
+                "catastrophic_fraction must be in [0, 1], "
+                f"got {self.catastrophic_fraction}"
+            )
+        if self.penalty is not None and self.penalty < 0.0:
+            raise ValueError(f"penalty must be non-negative, got {self.penalty}")
+
+    def spec(self) -> dict:
+        """JSON-canonical identity (what sweep fingerprints hash)."""
+        return {
+            "mean_threshold": self.mean_threshold,
+            "alive_threshold": self.alive_threshold,
+            "budget": self.budget,
+            "repair_k": self.repair_k,
+            "horizon": self.horizon,
+            "hysteresis": self.hysteresis,
+            "catastrophic_fraction": self.catastrophic_fraction,
+            "penalty": self.penalty,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ControllerConfig":
+        """Rebuild a config from its :meth:`spec` dict (wire inverse)."""
+        fields = (
+            "mean_threshold",
+            "alive_threshold",
+            "budget",
+            "repair_k",
+            "horizon",
+            "hysteresis",
+            "catastrophic_fraction",
+            "penalty",
+        )
+        try:
+            return cls(**{k: spec[k] for k in fields})
+        except KeyError as exc:
+            raise ValueError(
+                f"controller spec {spec!r} is missing {exc}"
+            ) from None
+
+
+class _Roster:
+    """The controller's deployment ledger: every beacon ever fielded.
+
+    Each entry carries a stable id, the *deployed* position and the
+    deployment time.  Fault schedules are a field over beacon identities
+    (:mod:`repro.faults.models`), so a beacon deployed at ``d`` is queried
+    at its own service age ``t − d`` — fresh repairs start with a fresh
+    fault clock, exactly as a newly fielded radio would.
+    """
+
+    def __init__(self, field: BeaconField):
+        self.ids = [int(b) for b in field.beacon_ids]
+        self.positions = [
+            (float(x), float(y)) for x, y in np.asarray(field.positions())
+        ]
+        self.deploy_times = [0.0] * len(self.ids)
+        self.next_id = field.next_beacon_id
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def add(self, position: Point, time: float) -> int:
+        beacon_id = self.next_id
+        self.next_id += 1
+        self.ids.append(beacon_id)
+        self.positions.append((float(position.x), float(position.y)))
+        self.deploy_times.append(float(time))
+        return beacon_id
+
+    def snapshot(self, realization, time: float) -> tuple[BeaconField, np.ndarray]:
+        """The surviving (possibly drifted) field at ``time``.
+
+        Mirrors :func:`repro.faults.apply_faults` — identical beacon
+        construction arithmetic keeps the controller-off arm bit-identical
+        to the plain timeline sweep — generalized to per-beacon deployment
+        times: up-state and drift are queried at each beacon's service age.
+        """
+        n = len(self.ids)
+        ids = np.asarray(self.ids, dtype=np.uint64)
+        deploys = np.asarray(self.deploy_times)
+        up = np.zeros(n, dtype=bool)
+        offsets = np.zeros((n, 2))
+        for d in np.unique(deploys):
+            sel = deploys == d
+            age = float(time) - float(d)
+            up[sel] = realization.up_mask(ids[sel], age)
+            offsets[sel] = realization.position_offsets(ids[sel], age)
+        beacons = [
+            Beacon(i, Point(x + float(dx), y + float(dy)))
+            for i, (x, y), alive, (dx, dy) in zip(
+                self.ids, self.positions, up, offsets
+            )
+            if alive
+        ]
+        return BeaconField(beacons, next_id=self.next_id), up
+
+    def ages_at(self, time: float) -> dict[int, float]:
+        """Per-beacon service age at ``time`` (conditions survival weights)."""
+        return {
+            i: float(time) - d for i, d in zip(self.ids, self.deploy_times)
+        }
+
+    def move_alive(self, up: np.ndarray, positions: np.ndarray) -> None:
+        """Re-place the surviving beacons (row order = alive roster order)."""
+        rows = iter(np.asarray(positions))
+        for idx, alive in enumerate(up):
+            if alive:
+                x, y = next(rows)
+                self.positions[idx] = (float(x), float(y))
+
+
+def _finite(value: float) -> bool:
+    return math.isfinite(value)
+
+
+def run_controller_timeline(
+    config: ExperimentConfig,
+    timeline,
+    name: str,
+    model_spec: dict,
+    controller_spec: dict | None,
+    trial: int,
+) -> dict:
+    """One trial's monitored walk along the fault timeline — pure in the seed.
+
+    The controller-off arm (``controller_spec=None``) is the same walk with
+    monitoring only; its per-time values match
+    :func:`repro.sim.timeline.fault_error_timeline` bit for bit, because the
+    field, the fault realization and the propagation world come from the
+    same derived RNG streams.
+
+    Args:
+        config: terrain/propagation parameters.
+        timeline: a :class:`~repro.sim.TimelineConfig` (times are walked in
+            ascending order for causality; outputs follow the input order).
+        name: the fault model's curve label (keys the RNG streams).
+        model_spec: the fault model's JSON spec.
+        controller_spec: a :meth:`ControllerConfig.spec` dict, or None for
+            the monitor-only baseline arm.
+        trial: trial index.
+
+    Returns:
+        A plain-JSON dict: per-time ``mean``/``upper``/``alive`` lists (in
+        ``timeline.times`` input order), total ``repairs``/``added``/
+        ``moved`` counts, the remaining ``budget_left`` and the ordered
+        ``decisions`` log.
+    """
+    metrics = get_metrics()
+    tracer = get_tracer()
+    metrics.counter("selfheal.cells").inc()
+    controller = (
+        None if controller_spec is None else ControllerConfig.from_spec(controller_spec)
+    )
+    realization = cached_fault_realization(
+        (config.seed, name, _spec_token(model_spec), trial),
+        lambda: fault_model_from_spec(model_spec).realize(
+            derive_rng(config.seed, "timeline-faults", name, trial)
+        ),
+    )
+    field_rng = derive_rng(config.seed, "field", timeline.beacons, trial)
+    base_field = random_uniform_field(timeline.beacons, config.side, field_rng)
+    world_rng = derive_rng(
+        config.seed, "world", timeline.noise, timeline.beacons, trial
+    )
+    prop = default_model_factory(config)(timeline.noise).realize(world_rng)
+    grid = cached_grid(config.side, config.step)
+    layout = cached_layout(config.side, config.radio_range, config.num_grids)
+    localizer = cached_localizer(config.side, config.policy)
+
+    def make_world(field: BeaconField) -> TrialWorld:
+        return TrialWorld(
+            field=field,
+            realization=prop,
+            grid=grid,
+            layout=layout,
+            localizer=localizer,
+        )
+
+    roster = _Roster(base_field)
+    num_times = len(timeline.times)
+    means = [float("nan")] * num_times
+    uppers = [float("nan")] * num_times
+    alive_counts = [0] * num_times
+    decisions: list[dict] = []
+    repairs = added = moved = 0
+    budget_left = controller.budget if controller is not None else 0
+    armed = True
+    exhausted_logged = False
+    # Post-repair service level; re-arming compares against it so the
+    # controller re-engages when degradation *resumes*, not merely persists.
+    last_after_mean = float("inf")
+    last_after_alive = 0
+
+    arm = "off" if controller is None else "on"
+    with tracer.span("selfheal.trial", model=name, trial=trial, arm=arm):
+        for time_index in sorted(
+            range(num_times), key=lambda i: timeline.times[i]
+        ):
+            t = timeline.times[time_index]
+            field, up = roster.snapshot(realization, t)
+            num_alive = len(field)
+            alive_counts[time_index] = num_alive
+            world = None
+            if num_alive == 0:
+                metrics.counter("selfheal.all_dead").inc()
+                mean = upper = float("nan")
+            else:
+                world = make_world(field)
+                errors = world.errors()
+                mean = float(np.mean(errors))
+                upper = float(np.percentile(errors, timeline.percentile))
+            means[time_index] = mean
+            uppers[time_index] = upper
+
+            if controller is None:
+                continue
+
+            alive_frac = num_alive / timeline.beacons
+            healthy = (
+                _finite(mean)
+                and mean <= controller.mean_threshold
+                and alive_frac >= controller.alive_threshold
+            )
+            if not armed:
+                # Re-arm on any of: recovery below the hysteresis band
+                # (episode over), total outage, error climbing past the
+                # post-repair level, or the roster shrinking below both the
+                # alive threshold and its post-repair size.  A breach that
+                # merely *persists* at the repaired level stays quiet — the
+                # last repair already did what the budget could buy there.
+                armed = (
+                    not _finite(mean)
+                    or mean <= controller.hysteresis * controller.mean_threshold
+                    or mean > last_after_mean
+                    or (
+                        alive_frac < controller.alive_threshold
+                        and num_alive < last_after_alive
+                    )
+                )
+            if healthy or not armed:
+                continue
+            reason = (
+                "outage"
+                if not _finite(mean)
+                else ("alive" if alive_frac < controller.alive_threshold else "mean")
+            )
+            if budget_left <= 0 and num_alive == 0:
+                # Nothing to move and nothing left to add.
+                if not exhausted_logged:
+                    metrics.counter("selfheal.budget_exhausted").inc()
+                    decisions.append(
+                        {
+                            "time": t,
+                            "action": "exhausted",
+                            "reason": reason,
+                            "added": 0,
+                            "budget_left": 0,
+                            "mean_before": mean,
+                            "mean_after": mean,
+                            "alive": num_alive,
+                        }
+                    )
+                    exhausted_logged = True
+                continue
+
+            with tracer.span("selfheal.repair", model=name, trial=trial, time=t):
+                catastrophic = (
+                    num_alive > 0
+                    and alive_frac < controller.catastrophic_fraction
+                    # Redeployment needs error mass to follow; an all-NaN
+                    # survey (policy-excluded points) falls through to add-k.
+                    and bool(np.any(~np.isnan(world.errors())))
+                )
+                if num_alive == 0:
+                    # Total outage: no survey exists; deploy budgeted
+                    # beacons at seed-derived uniform positions (Random is
+                    # the only measurement-free strategy).
+                    action = "blind"
+                    count = min(controller.repair_k, budget_left)
+                    for attempt in range(count):
+                        rng = derive_rng(
+                            config.seed, "selfheal", name, trial, time_index, attempt
+                        )
+                        x, y = rng.uniform(0.0, config.side, size=2)
+                        roster.add(Point(float(x), float(y)), t)
+                    budget_left -= count
+                    added += count
+                    field, up = roster.snapshot(realization, t)
+                    world = make_world(field) if len(field) else None
+                elif catastrophic:
+                    # Catastrophic but not total: moving the survivors
+                    # buys recovery without spending the add budget.
+                    action = "redeploy"
+                    count = 0
+                    rng = derive_rng(
+                        config.seed, "selfheal", name, trial, time_index, 0
+                    )
+                    replaced = WeightedRedeployment().redeploy(
+                        field, world.survey(), rng
+                    )
+                    roster.move_alive(up, replaced.positions())
+                    moved += num_alive
+                    field, up = roster.snapshot(realization, t)
+                    world = make_world(field)
+                else:
+                    if budget_left <= 0:
+                        if not exhausted_logged:
+                            metrics.counter("selfheal.budget_exhausted").inc()
+                            decisions.append(
+                                {
+                                    "time": t,
+                                    "action": "exhausted",
+                                    "reason": reason,
+                                    "added": 0,
+                                    "budget_left": 0,
+                                    "mean_before": mean,
+                                    "mean_after": mean,
+                                    "alive": num_alive,
+                                }
+                            )
+                            exhausted_logged = True
+                        continue
+                    action = "add"
+                    count = min(controller.repair_k, budget_left)
+                    for attempt in range(count):
+                        placer = FaultAwareGrid(
+                            layout,
+                            model_spec,
+                            controller.horizon,
+                            penalty=controller.penalty,
+                            ages=roster.ages_at(t),
+                        )
+                        rng = derive_rng(
+                            config.seed, "selfheal", name, trial, time_index, attempt
+                        )
+                        pick = placer.propose(world.survey(), rng, world)
+                        roster.add(pick, t)
+                        world = world.with_beacon(pick)
+                    budget_left -= count
+                    added += count
+                    field, up = roster.snapshot(realization, t)
+
+                repairs += 1
+                armed = False
+                metrics.counter("selfheal.repairs").inc()
+                mean_after = (
+                    float(np.mean(world.errors())) if world is not None else float("nan")
+                )
+                last_after_mean = mean_after if _finite(mean_after) else float("-inf")
+                last_after_alive = len(field)
+                decisions.append(
+                    {
+                        "time": t,
+                        "action": action,
+                        "reason": reason,
+                        "added": count if action != "redeploy" else 0,
+                        "budget_left": budget_left,
+                        "mean_before": mean,
+                        "mean_after": mean_after,
+                        "alive": len(field),
+                    }
+                )
+
+    return {
+        "mean": means,
+        "upper": uppers,
+        "alive": alive_counts,
+        "repairs": repairs,
+        "added": added,
+        "moved": moved,
+        "budget_left": budget_left,
+        "decisions": decisions,
+    }

@@ -1,0 +1,167 @@
+"""Analytic survival weights for the fault models.
+
+Fault-aware placement (:mod:`repro.selfheal.placement`) needs to know, at
+planning time, how likely each existing beacon is to still be serving at a
+future horizon — *without* peeking at the drawn
+:class:`~repro.faults.FaultRealization` (a real controller cannot observe
+which beacon will die, only the declared failure statistics).  This module
+derives those weights in closed form from a :class:`~repro.faults.FaultModel`
+spec:
+
+* :func:`expected_alive_fraction` — the unconditional probability that a
+  beacon deployed at time 0 is up at time ``t`` (what the timeline sweeps
+  measure empirically as their per-point alive fraction), and
+* :func:`survival_probability` — the conditional probability that a beacon
+  observed up at ``age`` is still up ``horizon`` seconds later (what a
+  controller planning a repair actually wants: it can see who is alive *now*).
+
+The formulas mirror :mod:`repro.faults.models` exactly:
+
+===================  ====================================================
+model                survival at ``t`` (deployed at 0, started up)
+===================  ====================================================
+``none`` / ``drift``   1
+``crash``              ``exp(-t / mean_lifetime)`` (memoryless)
+``battery``            uniform-lifetime tail: ``clip((m(1+s) − t)/(2ms))``
+``intermittent``       two-state CTMC: ``π + (1 − π)·exp(-(λ+μ)t)`` with
+                       ``π = up/(up+down)``; the permanent-outage limit
+                       (``mean_down_time = ∞``) reduces to crash with
+                       mean ``mean_up_time``
+``composite``          product of the components (independent processes)
+===================  ====================================================
+
+Property tests (``tests/test_selfheal_survival.py``) pin these formulas to
+the hash-replayed realizations: empirical alive fractions over thousands of
+beacon ids match the analytic weights.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["expected_alive_fraction", "survival_probability"]
+
+
+def _as_spec(model_or_spec) -> dict:
+    if isinstance(model_or_spec, dict):
+        return model_or_spec
+    spec = getattr(model_or_spec, "spec", None)
+    if callable(spec):
+        return spec()
+    raise TypeError(
+        f"expected a FaultModel or spec dict, got {type(model_or_spec).__name__}"
+    )
+
+
+def _battery_tail(spec: dict, t: float) -> float:
+    mean, spread = spec["mean_lifetime"], spec["spread"]
+    if spread == 0.0:
+        return 1.0 if t < mean else 0.0
+    low, high = mean * (1.0 - spread), mean * (1.0 + spread)
+    if t <= low:
+        return 1.0
+    if t >= high:
+        return 0.0
+    return (high - t) / (high - low)
+
+
+def _intermittent_up_probability(spec: dict, t: float, *, start_up) -> float:
+    up, down = spec["mean_up_time"], spec["mean_down_time"]
+    if math.isinf(down):
+        # First outage is permanent: a crash with exponential mean ``up``.
+        return math.exp(-t / up) if start_up else 0.0
+    pi = up / (up + down)
+    if start_up is None:
+        return pi  # steady-state start: up-probability is constant
+    rate = 1.0 / up + 1.0 / down
+    decay = math.exp(-rate * t)
+    if start_up:
+        return pi + (1.0 - pi) * decay
+    return pi * (1.0 - decay)
+
+
+def expected_alive_fraction(model_or_spec, time: float) -> float:
+    """P(a beacon deployed at 0 is up at ``time``), from the model alone.
+
+    For every built-in model the per-beacon fault processes are i.i.d., so
+    this is also the expected surviving *fraction* of a field — the analytic
+    counterpart of ``TimeCurve.alive_fraction()``.
+
+    Args:
+        model_or_spec: a :class:`~repro.faults.FaultModel` or its
+            :meth:`~repro.faults.FaultModel.spec` dict.
+        time: seconds since deployment (non-negative).
+
+    Raises:
+        ValueError: on a negative time or an unknown model kind.
+    """
+    spec = _as_spec(model_or_spec)
+    t = float(time)
+    if t < 0.0:
+        raise ValueError(f"time must be non-negative, got {t}")
+    kind = spec.get("kind")
+    if kind in ("none", "drift"):
+        return 1.0
+    if kind == "crash":
+        return math.exp(-t / spec["mean_lifetime"])
+    if kind == "battery":
+        return _battery_tail(spec, t)
+    if kind == "intermittent":
+        return _intermittent_up_probability(spec, t, start_up=spec["start_up"])
+    if kind == "composite":
+        out = 1.0
+        for part in spec["models"]:
+            out *= expected_alive_fraction(part, t)
+        return out
+    raise ValueError(f"unknown fault-model kind {kind!r} in spec {spec!r}")
+
+
+def survival_probability(model_or_spec, age: float, horizon: float) -> float:
+    """P(up at ``age + horizon`` | up at ``age``) for one beacon.
+
+    This is the weight fault-aware placement puts on an existing beacon's
+    contribution: the controller can observe who is alive now (``age``
+    seconds after that beacon's deployment) but must anticipate the next
+    ``horizon`` seconds from the declared statistics.
+
+    Per model: crash is memoryless (``exp(-horizon/mean)`` regardless of
+    age); battery conditions the uniform-lifetime tail on having lasted
+    this long (old beacons are *more* likely to die soon — the hazard the
+    issue's "about to die" weighting exists for); intermittent is Markov in
+    its up/down state, so conditioning on "up now" resets the chain
+    (``start_up=True`` at the observation instant); composites multiply.
+
+    Args:
+        model_or_spec: a :class:`~repro.faults.FaultModel` or its spec dict.
+        age: seconds since this beacon's deployment (non-negative).
+        horizon: look-ahead in seconds (non-negative).
+
+    Raises:
+        ValueError: on negative arguments or an unknown model kind.
+    """
+    spec = _as_spec(model_or_spec)
+    a, h = float(age), float(horizon)
+    if a < 0.0:
+        raise ValueError(f"age must be non-negative, got {a}")
+    if h < 0.0:
+        raise ValueError(f"horizon must be non-negative, got {h}")
+    kind = spec.get("kind")
+    if kind in ("none", "drift"):
+        return 1.0
+    if kind == "crash":
+        return math.exp(-h / spec["mean_lifetime"])
+    if kind == "battery":
+        now = _battery_tail(spec, a)
+        if now <= 0.0:
+            return 0.0  # conditioning on a measure-zero event; be conservative
+        return _battery_tail(spec, a + h) / now
+    if kind == "intermittent":
+        # Exponential sojourns make the up/down chain Markov: observing the
+        # beacon up at ``age`` restarts it in the up state.
+        return _intermittent_up_probability(spec, h, start_up=True)
+    if kind == "composite":
+        out = 1.0
+        for part in spec["models"]:
+            out *= survival_probability(part, a, h)
+        return out
+    raise ValueError(f"unknown fault-model kind {kind!r} in spec {spec!r}")

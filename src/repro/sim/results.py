@@ -232,6 +232,65 @@ class TimeCurve:
             return (1.0,) * len(self)
         return tuple(float(a) for a in stored)
 
+    def _time_ordered(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) sorted ascending in time (display order may differ)."""
+        times = np.asarray(self.times)
+        values = np.asarray(self.values)
+        order = np.argsort(times, kind="stable")
+        return times[order], values[order]
+
+    def time_to_recover(self, threshold: float) -> float:
+        """Duration from the first breach until service is back under ``threshold``.
+
+        A *breach* is the first point (in time order) whose value exceeds
+        ``threshold`` or is NaN (total outage); *recovery* is the first
+        later point with a finite value at or below ``threshold``.
+
+        Returns:
+            ``recovery time − breach time`` in seconds; ``nan`` if the curve
+            never breaches, ``inf`` if it breaches and never recovers — the
+            three cases a controller-on/off comparison needs to distinguish.
+        """
+        times, values = self._time_ordered()
+        breached = np.isnan(values) | (values > threshold)
+        breach_idx = np.argmax(breached) if breached.any() else None
+        if breach_idx is None:
+            return float("nan")
+        after = ~np.isnan(values) & (values <= threshold)
+        after[: breach_idx + 1] = False
+        if not after.any():
+            return float("inf")
+        return float(times[np.argmax(after)] - times[breach_idx])
+
+    def area_under_degradation(self, baseline: float | None = None) -> float:
+        """Trapezoid integral of excess error over the acceptable level.
+
+        Integrates ``max(0, value − baseline)`` over time — the cumulative
+        service-quality debt of a degradation episode; smaller is better,
+        zero means the curve never rose above ``baseline``.  NaN points
+        (total outage) carry no finite value and are excluded, so the
+        metric understates episodes containing outages — compare it
+        alongside :meth:`time_to_recover`, which treats NaN as breached.
+
+        Args:
+            baseline: the acceptable error level; defaults to the curve's
+                first finite value in time order (degradation relative to
+                the initial healthy state).
+
+        Returns:
+            Meter-seconds of excess error; NaN if the curve has fewer than
+            two finite points.
+        """
+        times, values = self._time_ordered()
+        finite = ~np.isnan(values)
+        if finite.sum() < 2:
+            return float("nan")
+        times, values = times[finite], values[finite]
+        if baseline is None:
+            baseline = float(values[0])
+        excess = np.maximum(values - baseline, 0.0)
+        return float(np.trapezoid(excess, times))
+
     def as_rows(self) -> list[dict]:
         """Plain dict rows for CSV/tables."""
         return [

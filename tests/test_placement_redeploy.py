@@ -97,3 +97,28 @@ class TestRedeployment:
         dist_before = np.linalg.norm(field.positions() - [55.0, 55.0], axis=1).mean()
         dist_after = np.linalg.norm(out.positions() - [55.0, 55.0], axis=1).mean()
         assert dist_after < dist_before
+
+
+class TestAllNanSurvey:
+    def test_all_nan_survey_raises(self, small_field, rng):
+        """Regression: an all-NaN survey (every point policy-excluded, e.g.
+        after mass beacon death) used to feed an all-zero mass field into
+        Lloyd's iteration and silently return garbage centers."""
+        from repro.exploration import Survey
+
+        points = np.array([[x, y] for x in range(0, 61, 10) for y in range(0, 61, 10)], float)
+        survey = Survey(
+            points=points, errors=np.full(len(points), np.nan), terrain_side=60.0
+        )
+        with pytest.raises(ValueError, match="all NaN"):
+            WeightedRedeployment().redeploy(small_field, survey, rng)
+
+    def test_partial_nan_survey_still_works(self, small_field, rng):
+        from repro.exploration import Survey
+
+        points = np.array([[x, y] for x in range(0, 61, 10) for y in range(0, 61, 10)], float)
+        errors = np.full(len(points), np.nan)
+        errors[::2] = 5.0
+        survey = Survey(points=points, errors=errors, terrain_side=60.0)
+        out = WeightedRedeployment().redeploy(small_field, survey, rng)
+        assert len(out) == len(small_field)

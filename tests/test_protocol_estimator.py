@@ -91,3 +91,147 @@ class TestSelfInterference:
         assert result.decoded_messages >= 0
         assert result.collision_losses >= 0
         assert 0.0 <= result.collision_rate <= 1.0
+
+
+class TestBeaconBlacklist:
+    """Deterministic flap schedule through the consecutive-miss filter."""
+
+    def observe_all(self, blacklist, windows):
+        return [blacklist.observe(np.array([w], dtype=bool))[0] for w in windows]
+
+    def test_rejects_bad_params(self):
+        from repro.protocol import BeaconBlacklist
+
+        with pytest.raises(ValueError, match="miss_limit"):
+            BeaconBlacklist(miss_limit=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            BeaconBlacklist(cooldown=0)
+
+    def test_rejects_non_2d_windows(self):
+        from repro.protocol import BeaconBlacklist
+
+        with pytest.raises(ValueError, match="2-D"):
+            BeaconBlacklist().observe(np.array([True, False]))
+
+    def test_rejects_shape_changes(self):
+        from repro.protocol import BeaconBlacklist
+
+        bl = BeaconBlacklist()
+        bl.observe(np.ones((2, 3), dtype=bool))
+        with pytest.raises(ValueError, match="does not match"):
+            bl.observe(np.ones((2, 4), dtype=bool))
+
+    def test_empty_before_first_window(self):
+        from repro.protocol import BeaconBlacklist
+
+        assert BeaconBlacklist().blacklisted.shape == (0, 0)
+
+    def test_flapper_dropped_for_exactly_cooldown_windows(self):
+        from repro.protocol import BeaconBlacklist
+
+        # One client, two beacons: beacon 0 stable, beacon 1 heard once then
+        # silent for miss_limit windows, then loudly back.
+        bl = BeaconBlacklist(miss_limit=2, cooldown=2)
+        admitted = self.observe_all(
+            bl,
+            [
+                [1, 1],  # both heard -> both expected
+                [1, 0],  # miss 1
+                [1, 0],  # miss 2 -> dropped at window end
+                [1, 1],  # cooldown window 1: heard but still excluded
+                [1, 1],  # cooldown window 2: still excluded
+                [1, 1],  # cooldown over -> re-admitted on first hear
+            ],
+        )
+        expected = [
+            [True, True],
+            [True, False],
+            [True, False],
+            [True, False],
+            [True, False],
+            [True, True],
+        ]
+        assert [list(w) for w in admitted] == expected
+
+    def test_unknown_beacons_cannot_be_missed(self):
+        from repro.protocol import BeaconBlacklist
+
+        # Beacon 1 is never heard: it never becomes expected, so windows
+        # without it accumulate no misses and never blacklist it.
+        bl = BeaconBlacklist(miss_limit=1, cooldown=3)
+        for _ in range(5):
+            admitted = bl.observe(np.array([[True, False]]))
+        assert list(admitted[0]) == [True, False]
+        assert not bl.blacklisted.any()
+
+    def test_readmission_requires_a_hear(self):
+        from repro.protocol import BeaconBlacklist
+
+        bl = BeaconBlacklist(miss_limit=1, cooldown=1)
+        self.observe_all(
+            bl,
+            [
+                [1, 1],  # expected
+                [1, 0],  # miss 1 -> dropped
+                [1, 0],  # cooldown window (silent anyway)
+            ],
+        )
+        # Cooldown expired but the beacon stays un-expected until heard;
+        # silence costs it nothing and the first hear restores it.
+        assert list(bl.observe(np.array([[True, False]]))[0]) == [True, False]
+        assert list(bl.observe(np.array([[True, True]]))[0]) == [True, True]
+
+    def test_nonconsecutive_misses_never_drop(self):
+        from repro.protocol import BeaconBlacklist
+
+        bl = BeaconBlacklist(miss_limit=2, cooldown=4)
+        admitted = self.observe_all(
+            bl,
+            [[1, 1], [1, 0], [1, 1], [1, 0], [1, 1], [1, 0], [1, 1]],
+        )
+        # Alternating hear/miss never reaches two consecutive misses.
+        assert not bl.blacklisted.any()
+        assert list(admitted[-1]) == [True, True]
+
+    def test_per_client_state_is_independent(self):
+        from repro.protocol import BeaconBlacklist
+
+        bl = BeaconBlacklist(miss_limit=1, cooldown=2)
+        bl.observe(np.array([[True], [True]]))
+        bl.observe(np.array([[False], [True]]))  # only client 0 misses
+        assert list(bl.blacklisted[:, 0]) == [True, False]
+
+    def test_deterministic_replay(self):
+        from repro.protocol import BeaconBlacklist
+
+        windows = np.random.default_rng(11).random((12, 3, 4)) < 0.6
+        runs = []
+        for _ in range(2):
+            bl = BeaconBlacklist(miss_limit=2, cooldown=3)
+            runs.append([bl.observe(w).copy() for w in windows])
+        for a, b in zip(*runs):
+            assert np.array_equal(a, b)
+
+    def test_estimator_integration(self, rng, small_field, ideal_realization):
+        from repro.protocol import BeaconBlacklist
+
+        est = ProtocolConnectivityEstimator(
+            period=1.0, listen_time=20.0, message_duration=0.002
+        )
+        near = np.array([[30.0, 30.0]])
+        far = np.array([[3000.0, 3000.0]])  # out of range of every beacon
+        bl = BeaconBlacklist(miss_limit=1, cooldown=5)
+
+        heard = est.run(near, small_field, ideal_realization, rng, blacklist=bl)
+        geo = ideal_realization.connectivity(near, small_field)
+        assert np.array_equal(heard.connectivity, geo)
+        assert geo.any()
+
+        # A window of total silence blacklists every expected beacon...
+        est.run(far, small_field, ideal_realization, rng, blacklist=bl)
+        assert np.array_equal(bl.blacklisted[0], geo[0])
+
+        # ...so back in range the raw connectivity is filtered down to
+        # nothing until the cooldown runs out.
+        filtered = est.run(near, small_field, ideal_realization, rng, blacklist=bl)
+        assert not filtered.connectivity.any()

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.exploration",
     "repro.faults",
     "repro.protocol",
+    "repro.selfheal",
     "repro.sim",
     "repro.stats",
     "repro.viz",

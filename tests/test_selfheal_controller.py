@@ -1,0 +1,206 @@
+"""The closed-loop controller: config wire model, repairs, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.faults import CrashFault
+from repro.selfheal import ControllerConfig
+from repro.selfheal.controller import run_controller_timeline
+from repro.sim.timeline import TimelineConfig, _timeline_cell
+
+TIMES = (0.0, 30.0, 60.0, 90.0)
+
+
+@pytest.fixture
+def timeline():
+    return TimelineConfig(
+        times=TIMES, beacons=10, noise=0.0, trials=2, resamples=50
+    )
+
+
+def crash_spec(lifetime=35.0):
+    return CrashFault(mean_lifetime=lifetime).spec()
+
+
+def controller_spec(**overrides):
+    defaults = dict(mean_threshold=14.0, budget=6, repair_k=2, horizon=25.0)
+    defaults.update(overrides)
+    return ControllerConfig(**defaults).spec()
+
+
+class TestControllerConfig:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(mean_threshold=0.0), "mean_threshold"),
+            (dict(mean_threshold=10.0, alive_threshold=1.5), "alive_threshold"),
+            (dict(mean_threshold=10.0, budget=-1), "budget"),
+            (dict(mean_threshold=10.0, repair_k=0), "repair_k"),
+            (dict(mean_threshold=10.0, horizon=-1.0), "horizon"),
+            (dict(mean_threshold=10.0, hysteresis=0.0), "hysteresis"),
+            (dict(mean_threshold=10.0, hysteresis=1.1), "hysteresis"),
+            (
+                dict(mean_threshold=10.0, catastrophic_fraction=-0.1),
+                "catastrophic_fraction",
+            ),
+            (dict(mean_threshold=10.0, penalty=-5.0), "penalty"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ControllerConfig(**kwargs)
+
+    def test_spec_round_trip(self):
+        config = ControllerConfig(
+            mean_threshold=12.0,
+            alive_threshold=0.4,
+            budget=5,
+            repair_k=3,
+            horizon=20.0,
+            hysteresis=0.8,
+            catastrophic_fraction=0.25,
+            penalty=18.0,
+        )
+        assert ControllerConfig.from_spec(config.spec()) == config
+
+    def test_spec_is_plain_json(self):
+        import json
+
+        spec = ControllerConfig(mean_threshold=12.0).spec()
+        assert json.loads(json.dumps(spec)) == spec
+
+    def test_from_spec_missing_key(self):
+        with pytest.raises(ValueError, match="missing"):
+            ControllerConfig.from_spec({"mean_threshold": 12.0})
+
+
+class TestMonitorOnlyArm:
+    def test_matches_timeline_cells_bit_for_bit(self, tiny_config, timeline):
+        """The off arm IS the plain timeline sweep, one cell per time."""
+        spec = crash_spec()
+        for trial in range(timeline.trials):
+            walk = run_controller_timeline(
+                tiny_config, timeline, "crash", spec, None, trial
+            )
+            for i in range(len(TIMES)):
+                cell = _timeline_cell(
+                    (tiny_config, timeline, "crash", spec, trial, i)
+                )
+                for key in ("mean", "upper", "alive"):
+                    a, b = walk[key][i], cell[key]
+                    assert (a == b) or (np.isnan(a) and np.isnan(b))
+
+    def test_never_repairs(self, tiny_config, timeline):
+        walk = run_controller_timeline(
+            tiny_config, timeline, "crash", crash_spec(), None, 0
+        )
+        assert walk["repairs"] == 0
+        assert walk["added"] == 0
+        assert walk["moved"] == 0
+        assert walk["decisions"] == []
+
+
+class TestControllerArm:
+    def test_deterministic(self, tiny_config, timeline):
+        args = (tiny_config, timeline, "crash", crash_spec(), controller_spec(), 0)
+        first = run_controller_timeline(*args)
+        second = run_controller_timeline(*args)
+        assert first == second
+
+    def test_repairs_spend_the_budget(self, tiny_config, timeline):
+        walk = run_controller_timeline(
+            tiny_config, timeline, "crash", crash_spec(), controller_spec(), 0
+        )
+        assert walk["repairs"] >= 1
+        assert walk["added"] >= 1
+        assert walk["budget_left"] == 6 - walk["added"]
+        for decision in walk["decisions"]:
+            assert decision["action"] in {"add", "blind", "redeploy", "exhausted"}
+            assert decision["reason"] in {"mean", "alive", "outage"}
+            assert decision["time"] in TIMES
+
+    def test_controller_keeps_more_beacons_alive(self, tiny_config, timeline):
+        """The point of the whole exercise: the on arm outlives the off arm."""
+        spec = crash_spec()
+        on = run_controller_timeline(
+            tiny_config, timeline, "crash", spec, controller_spec(), 0
+        )
+        off = run_controller_timeline(tiny_config, timeline, "crash", spec, None, 0)
+        assert sum(on["alive"]) > sum(off["alive"])
+        assert on["alive"][-1] >= off["alive"][-1]
+
+    def test_zero_budget_logs_exhaustion_once(self, tiny_config, timeline):
+        walk = run_controller_timeline(
+            tiny_config,
+            timeline,
+            "crash",
+            crash_spec(lifetime=15.0),
+            controller_spec(budget=0),
+            0,
+        )
+        exhausted = [d for d in walk["decisions"] if d["action"] == "exhausted"]
+        assert len(exhausted) == 1
+        assert walk["added"] == 0
+        assert walk["budget_left"] == 0
+
+    def test_catastrophic_redeploys_survivors(self, tiny_config, timeline):
+        walk = run_controller_timeline(
+            tiny_config,
+            timeline,
+            "crash",
+            crash_spec(lifetime=15.0),
+            controller_spec(catastrophic_fraction=1.0, mean_threshold=0.5),
+            0,
+        )
+        redeploys = [d for d in walk["decisions"] if d["action"] == "redeploy"]
+        assert redeploys, f"no redeploy in {walk['decisions']}"
+        assert walk["moved"] > 0
+        assert redeploys[0]["added"] == 0  # moving radios is budget-free
+
+    def test_total_outage_triggers_blind_drops(self, tiny_config):
+        # A short-lived crash field with a late first sample: everything is
+        # dead by the first look, so the only possible repair is blind.
+        late = TimelineConfig(
+            times=(150.0, 180.0), beacons=6, noise=0.0, trials=1, resamples=50
+        )
+        walk = run_controller_timeline(
+            tiny_config,
+            late,
+            "crash",
+            crash_spec(lifetime=10.0),
+            controller_spec(budget=4),
+            0,
+        )
+        blind = [d for d in walk["decisions"] if d["action"] == "blind"]
+        assert blind, f"no blind drop in {walk['decisions']}"
+        assert blind[0]["reason"] == "outage"
+        assert walk["alive"][0] == 0  # the outage itself is still recorded
+
+    def test_unsorted_times_are_walked_causally(self, tiny_config, timeline):
+        shuffled = TimelineConfig(
+            times=(60.0, 0.0, 90.0, 30.0),
+            beacons=timeline.beacons,
+            noise=timeline.noise,
+            trials=timeline.trials,
+            resamples=timeline.resamples,
+        )
+        walk = run_controller_timeline(
+            tiny_config, timeline, "crash", crash_spec(), controller_spec(), 0
+        )
+        walk_shuffled = run_controller_timeline(
+            tiny_config, shuffled, "crash", crash_spec(), controller_spec(), 0
+        )
+        order = [TIMES.index(t) for t in shuffled.times]
+        assert walk_shuffled["mean"] == [walk["mean"][i] for i in order]
+        assert walk_shuffled["alive"] == [walk["alive"][i] for i in order]
+        assert walk_shuffled["decisions"] == walk["decisions"]
+
+    def test_result_is_plain_json(self, tiny_config, timeline):
+        import json
+
+        walk = run_controller_timeline(
+            tiny_config, timeline, "crash", crash_spec(), controller_spec(), 0
+        )
+        round_tripped = json.loads(json.dumps(walk))
+        assert round_tripped["decisions"] == walk["decisions"]
+        assert round_tripped["added"] == walk["added"]

@@ -1,0 +1,180 @@
+"""Fault-aware placement: survivability weighting of Max/Grid scores."""
+
+import numpy as np
+import pytest
+
+from repro import GridPlacement, MaxPlacement
+from repro.faults import BatteryFault, CrashFault, NoFaults
+from repro.selfheal import FaultAwareGrid, FaultAwareMax
+
+
+@pytest.fixture
+def survey(small_world):
+    return small_world.survey()
+
+
+class TestSurvivalWeights:
+    def test_no_faults_weights_are_one(self, small_world):
+        algo = FaultAwareMax(NoFaults(), horizon=50.0)
+        weights = algo.survival_weights(small_world.field)
+        assert weights.shape == (len(small_world.field),)
+        np.testing.assert_array_equal(weights, 1.0)
+
+    def test_crash_weights_match_horizon(self, small_world):
+        algo = FaultAwareMax(CrashFault(40.0), horizon=20.0)
+        weights = algo.survival_weights(small_world.field)
+        np.testing.assert_allclose(weights, np.exp(-20.0 / 40.0))
+
+    def test_ages_lower_battery_survival(self, small_world):
+        fresh = FaultAwareMax(BatteryFault(50.0, 0.2), horizon=10.0)
+        aged = FaultAwareMax(BatteryFault(50.0, 0.2), horizon=10.0, ages=45.0)
+        assert np.all(
+            aged.survival_weights(small_world.field)
+            < fresh.survival_weights(small_world.field)
+        )
+
+    def test_ages_mapping_defaults_missing_ids_to_zero(self, small_world):
+        first_id = small_world.field.beacon_ids[0]
+        algo = FaultAwareMax(
+            BatteryFault(50.0, 0.2), horizon=10.0, ages={first_id: 45.0}
+        )
+        weights = algo.survival_weights(small_world.field)
+        fresh = FaultAwareMax(BatteryFault(50.0, 0.2), horizon=10.0)
+        expected = fresh.survival_weights(small_world.field)
+        assert weights[0] < expected[0]
+        np.testing.assert_array_equal(weights[1:], expected[1:])
+
+
+class TestExpectedErrors:
+    def test_no_faults_equals_measured_errors(self, survey, small_world):
+        algo = FaultAwareMax(NoFaults(), horizon=50.0)
+        expected = algo.expected_errors(survey, small_world)
+        measured = np.nan_to_num(survey.errors, nan=small_world.terrain_side / 2.0)
+        # With q_i = 1 every covered point keeps its measured error exactly
+        # (up to the 1e-12 survival clip) and uncovered points get the penalty.
+        covered = small_world.connectivity().sum(axis=1) > 0
+        np.testing.assert_allclose(expected[covered], measured[covered], atol=1e-9)
+        np.testing.assert_allclose(
+            expected[~covered], small_world.terrain_side / 2.0
+        )
+
+    def test_doomed_field_scores_at_penalty(self, survey, small_world):
+        # Battery field far past its band: every survival weight is 0, so
+        # every point is expected-orphaned and scores at the penalty.
+        algo = FaultAwareMax(
+            BatteryFault(50.0, 0.1), horizon=10.0, ages=100.0, penalty=25.0
+        )
+        np.testing.assert_allclose(
+            algo.expected_errors(survey, small_world), 25.0
+        )
+
+    def test_scores_bounded_by_error_and_penalty(self, survey, small_world):
+        algo = FaultAwareMax(CrashFault(30.0), horizon=30.0)
+        scores = algo.expected_errors(survey, small_world)
+        penalty = small_world.terrain_side / 2.0
+        errors = np.nan_to_num(survey.errors, nan=penalty)
+        lo = np.minimum(errors, penalty) - 1e-9
+        hi = np.maximum(errors, penalty) + 1e-9
+        assert np.all(scores >= lo) and np.all(scores <= hi)
+
+    def test_world_required(self, survey):
+        algo = FaultAwareMax(CrashFault(30.0), horizon=30.0)
+        with pytest.raises(ValueError, match="trial world"):
+            algo.expected_errors(survey, None)
+
+    def test_empty_field_is_all_penalty(self, survey, small_world, rng):
+        from repro import BeaconField, TrialWorld
+
+        empty_world = TrialWorld(
+            field=BeaconField([]),
+            realization=small_world.realization,
+            grid=small_world.grid,
+            layout=small_world.layout,
+            localizer=small_world.localizer,
+        )
+        algo = FaultAwareMax(CrashFault(30.0), horizon=30.0, penalty=12.0)
+        np.testing.assert_array_equal(
+            algo.expected_errors(survey, empty_world), 12.0
+        )
+
+
+class TestReductionToPaperAlgorithms:
+    def test_fa_max_with_no_faults_is_max(self, survey, small_world, rng):
+        fa = FaultAwareMax(NoFaults(), horizon=50.0)
+        pick = fa.propose(survey, rng, world=small_world)
+        baseline = MaxPlacement().propose(survey, rng)
+        assert (pick.x, pick.y) == (baseline.x, baseline.y)
+
+    def test_fa_grid_with_no_faults_is_grid(
+        self, survey, small_world, small_layout, rng
+    ):
+        from repro.exploration import Survey
+
+        # Immortal beacons keep every covered point at its measured error;
+        # the remaining difference from the paper's Grid is deliberate —
+        # orphaned points (no connected beacon) count the penalty instead of
+        # their unlocalized-policy error — so the baseline gets the same
+        # penalty substitution before comparing.
+        fa = FaultAwareGrid(small_layout, NoFaults(), horizon=50.0)
+        pick = fa.propose(survey, rng, world=small_world)
+        penalty = small_world.terrain_side / 2.0
+        covered = small_world.connectivity().sum(axis=1) > 0
+        errors = np.where(np.isnan(survey.errors), penalty, survey.errors)
+        penalized = Survey(
+            points=survey.points,
+            errors=np.where(covered, errors, penalty),
+            terrain_side=survey.terrain_side,
+            grid=survey.grid,
+        )
+        baseline = GridPlacement(small_layout).propose(penalized, rng)
+        assert (pick.x, pick.y) == (baseline.x, baseline.y)
+
+    def test_fa_grid_pick_is_a_grid_center(
+        self, survey, small_world, small_layout, rng
+    ):
+        fa = FaultAwareGrid(small_layout, CrashFault(40.0), horizon=25.0)
+        pick = fa.propose(survey, rng, world=small_world)
+        centers = small_layout.centers()
+        assert np.any(
+            (centers[:, 0] == pick.x) & (centers[:, 1] == pick.y)
+        )
+
+    def test_paper_configuration(self):
+        fa = FaultAwareGrid.paper_configuration(
+            100.0, 15.0, CrashFault(40.0), horizon=25.0, num_grids=100
+        )
+        base = GridPlacement.paper_configuration(100.0, 15.0, 100)
+        assert fa.layout.num_grids == base.layout.num_grids
+        assert fa.layout.grid_side == base.layout.grid_side
+        assert fa.name == "fa-grid"
+        assert fa.requires_world
+
+
+class TestValidation:
+    def test_negative_horizon_raises(self):
+        with pytest.raises(ValueError, match="horizon"):
+            FaultAwareMax(CrashFault(40.0), horizon=-1.0)
+
+    def test_negative_penalty_raises(self):
+        with pytest.raises(ValueError, match="penalty"):
+            FaultAwareMax(CrashFault(40.0), horizon=1.0, penalty=-2.0)
+
+    def test_empty_survey_raises(self, small_world, rng):
+        from repro.exploration import Survey
+
+        empty = Survey(
+            points=np.empty((0, 2)),
+            errors=np.empty(0),
+            terrain_side=small_world.terrain_side,
+            grid=None,
+        )
+        algo = FaultAwareMax(CrashFault(40.0), horizon=10.0)
+        with pytest.raises(ValueError, match="no measured points"):
+            algo.propose(empty, rng, world=small_world)
+
+    def test_cumulative_errors_override_shape_checked(
+        self, survey, small_layout
+    ):
+        algo = GridPlacement(small_layout)
+        with pytest.raises(ValueError, match="shape"):
+            algo.cumulative_errors(survey, errors=np.zeros(survey.num_points + 1))

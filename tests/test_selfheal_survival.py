@@ -1,0 +1,199 @@
+"""Property tests pinning the analytic survival weights to the realizations.
+
+The fault-aware placer trusts :mod:`repro.selfheal.survival` to predict what
+the hash-replayed fault schedules actually do; these tests measure empirical
+alive fractions over thousands of beacon identities and require them to
+match the closed forms.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    BatteryFault,
+    CompositeFault,
+    CrashFault,
+    DriftFault,
+    IntermittentFault,
+    NoFaults,
+)
+from repro.selfheal import expected_alive_fraction, survival_probability
+
+N_IDS = 4000
+IDS = np.arange(N_IDS, dtype=np.uint64)
+# ~4 sigma of a binomial proportion at n=4000, p=0.5.
+TOL = 0.032
+
+
+def empirical_alive(model, time, seed=7):
+    realization = model.realize(np.random.default_rng(seed))
+    return float(realization.up_mask(IDS, time).mean())
+
+
+class TestExpectedAliveFraction:
+    @pytest.mark.parametrize("time", [0.0, 10.0, 40.0, 120.0])
+    def test_crash_matches_exponential(self, time):
+        model = CrashFault(mean_lifetime=40.0)
+        assert empirical_alive(model, time) == pytest.approx(
+            expected_alive_fraction(model, time), abs=TOL
+        )
+
+    @pytest.mark.parametrize("time", [0.0, 35.0, 50.0, 58.0, 70.0])
+    def test_battery_matches_uniform_band(self, time):
+        model = BatteryFault(mean_lifetime=50.0, spread=0.2)
+        assert empirical_alive(model, time) == pytest.approx(
+            expected_alive_fraction(model, time), abs=TOL
+        )
+
+    def test_battery_zero_spread_is_a_step(self):
+        model = BatteryFault(mean_lifetime=50.0, spread=0.0)
+        assert expected_alive_fraction(model, 49.999) == 1.0
+        assert expected_alive_fraction(model, 50.0) == 0.0
+        assert empirical_alive(model, 49.999) == 1.0
+        assert empirical_alive(model, 50.0) == 0.0
+
+    @pytest.mark.parametrize("time", [0.0, 5.0, 20.0, 80.0, 400.0])
+    def test_intermittent_matches_two_state_chain(self, time):
+        model = IntermittentFault(mean_up_time=30.0, mean_down_time=10.0)
+        assert empirical_alive(model, time) == pytest.approx(
+            expected_alive_fraction(model, time), abs=TOL
+        )
+
+    def test_intermittent_converges_to_duty_factor(self):
+        model = IntermittentFault(mean_up_time=30.0, mean_down_time=10.0)
+        assert expected_alive_fraction(model, 1e6) == pytest.approx(
+            model.steady_state_up, abs=1e-9
+        )
+
+    def test_intermittent_steady_state_start_is_constant(self):
+        model = IntermittentFault(30.0, 10.0, start_up=None)
+        for t in (0.0, 5.0, 100.0):
+            assert expected_alive_fraction(model, t) == pytest.approx(
+                model.steady_state_up
+            )
+            assert empirical_alive(model, t) == pytest.approx(
+                model.steady_state_up, abs=TOL
+            )
+
+    @pytest.mark.parametrize("time", [0.0, 20.0, 60.0])
+    def test_intermittent_permanent_outage_is_crash(self, time):
+        model = IntermittentFault(30.0, float("inf"))
+        assert expected_alive_fraction(model, time) == pytest.approx(
+            math.exp(-time / 30.0)
+        )
+        assert empirical_alive(model, time) == pytest.approx(
+            expected_alive_fraction(model, time), abs=TOL
+        )
+
+    def test_reliable_models_never_die(self):
+        for model in (NoFaults(), DriftFault(rate=0.5, max_drift=5.0)):
+            assert expected_alive_fraction(model, 1e6) == 1.0
+            assert empirical_alive(model, 1e6) == 1.0
+
+    @pytest.mark.parametrize("time", [0.0, 15.0, 45.0])
+    def test_composite_multiplies_components(self, time):
+        parts = [CrashFault(60.0), IntermittentFault(30.0, 10.0)]
+        composite = CompositeFault(parts)
+        expected = math.prod(expected_alive_fraction(p, time) for p in parts)
+        assert expected_alive_fraction(composite, time) == pytest.approx(expected)
+        assert empirical_alive(composite, time) == pytest.approx(expected, abs=TOL)
+
+    def test_accepts_spec_dicts(self):
+        model = CrashFault(40.0)
+        assert expected_alive_fraction(model.spec(), 20.0) == pytest.approx(
+            expected_alive_fraction(model, 20.0)
+        )
+
+
+class TestSurvivalProbability:
+    def test_crash_is_memoryless(self):
+        model = CrashFault(40.0)
+        for age in (0.0, 10.0, 200.0):
+            assert survival_probability(model, age, 25.0) == pytest.approx(
+                math.exp(-25.0 / 40.0)
+            )
+
+    def test_crash_conditional_matches_survivors(self):
+        model = CrashFault(40.0)
+        realization = model.realize(np.random.default_rng(7))
+        age, horizon = 30.0, 20.0
+        alive_now = realization.up_mask(IDS, age)
+        alive_later = realization.up_mask(IDS, age + horizon)
+        empirical = alive_later[alive_now].mean()
+        assert empirical == pytest.approx(
+            survival_probability(model, age, horizon), abs=TOL
+        )
+
+    def test_battery_hazard_grows_with_age(self):
+        model = BatteryFault(mean_lifetime=50.0, spread=0.2)
+        fresh = survival_probability(model, 0.0, 10.0)
+        worn = survival_probability(model, 45.0, 10.0)
+        assert worn < fresh  # old batteries are the ones about to die
+
+    def test_battery_conditional_matches_survivors(self):
+        model = BatteryFault(mean_lifetime=50.0, spread=0.2)
+        realization = model.realize(np.random.default_rng(7))
+        age, horizon = 45.0, 10.0
+        alive_now = realization.up_mask(IDS, age)
+        alive_later = realization.up_mask(IDS, age + horizon)
+        empirical = alive_later[alive_now].mean()
+        assert empirical == pytest.approx(
+            survival_probability(model, age, horizon), abs=TOL
+        )
+
+    def test_battery_past_the_band_is_zero(self):
+        model = BatteryFault(mean_lifetime=50.0, spread=0.2)
+        assert survival_probability(model, 70.0, 1.0) == 0.0
+
+    def test_intermittent_conditions_on_up_state(self):
+        model = IntermittentFault(mean_up_time=30.0, mean_down_time=10.0)
+        realization = model.realize(np.random.default_rng(7))
+        age, horizon = 40.0, 8.0
+        up_now = realization.up_mask(IDS, age)
+        up_later = realization.up_mask(IDS, age + horizon)
+        empirical = up_later[up_now].mean()
+        assert empirical == pytest.approx(
+            survival_probability(model, age, horizon), abs=TOL
+        )
+
+    def test_reliable_models_are_certain(self):
+        assert survival_probability(NoFaults(), 100.0, 100.0) == 1.0
+        assert survival_probability(DriftFault(0.5, 5.0), 100.0, 100.0) == 1.0
+
+    def test_composite_multiplies(self):
+        parts = [CrashFault(60.0), BatteryFault(80.0, 0.1)]
+        composite = CompositeFault(parts)
+        expected = math.prod(survival_probability(p, 20.0, 15.0) for p in parts)
+        assert survival_probability(composite, 20.0, 15.0) == pytest.approx(expected)
+
+    def test_zero_horizon_is_certain_for_all_models(self):
+        for model in (
+            CrashFault(40.0),
+            BatteryFault(50.0, 0.2),
+            IntermittentFault(30.0, 10.0),
+            NoFaults(),
+        ):
+            assert survival_probability(model, 10.0, 0.0) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_negative_arguments_raise(self):
+        model = CrashFault(40.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            expected_alive_fraction(model, -1.0)
+        with pytest.raises(ValueError, match="age"):
+            survival_probability(model, -1.0, 5.0)
+        with pytest.raises(ValueError, match="horizon"):
+            survival_probability(model, 1.0, -5.0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fault-model kind"):
+            expected_alive_fraction({"kind": "gamma-ray"}, 1.0)
+        with pytest.raises(ValueError, match="unknown fault-model kind"):
+            survival_probability({"kind": "gamma-ray"}, 1.0, 1.0)
+
+    def test_non_model_raises_type_error(self):
+        with pytest.raises(TypeError, match="FaultModel"):
+            expected_alive_fraction(42, 1.0)

@@ -1,0 +1,258 @@
+"""Self-healing sweeps: arm pairing, backend bit-identity, resumable
+decision logs and the CLI surface."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.faults import CrashFault, NoFaults
+from repro.obs import MetricsRegistry, disable_metrics, enable_metrics
+from repro.selfheal import ControllerConfig, selfheal_timeline
+from repro.sim import PoolExecutor, SocketExecutor, TimelineConfig, run_worker
+
+TIMES = (0.0, 30.0, 60.0, 90.0)
+
+RESULT_SETS = ("on_mean", "on_upper", "off_mean", "off_upper")
+
+
+@pytest.fixture
+def timeline():
+    return TimelineConfig(
+        times=TIMES, beacons=10, noise=0.0, trials=2, resamples=50
+    )
+
+
+@pytest.fixture
+def controller():
+    return ControllerConfig(mean_threshold=14.0, budget=6, repair_k=2, horizon=25.0)
+
+
+def crash_models():
+    return [("crash", CrashFault(35.0))]
+
+
+def assert_curves_identical(a, b):
+    """Bit-identity across every compared field, treating NaN == NaN."""
+    for f in ("times", "values", "ci_low", "ci_high", "num_samples"):
+        for x, y in zip(getattr(a, f), getattr(b, f)):
+            if isinstance(x, float) and np.isnan(x):
+                assert np.isnan(y), f"{f}: {x} vs {y}"
+            else:
+                assert x == y, f"{f}: {x} vs {y}"
+
+
+def assert_sets_identical(a, b):
+    assert a.labels() == b.labels()
+    for ca, cb in zip(a.curves, b.curves):
+        assert_curves_identical(ca, cb)
+
+
+def assert_results_identical(a, b):
+    for attr in RESULT_SETS:
+        assert_sets_identical(getattr(a, attr), getattr(b, attr))
+    # The decision logs are part of the cell values, so they must survive
+    # every backend and resume path bit for bit too.
+    assert a.decisions == b.decisions
+    assert a.repairs == b.repairs
+    assert a.added == b.added
+    assert a.moved == b.moved
+
+
+class TestSerialSemantics:
+    def test_paired_arms(self, tiny_config, timeline, controller):
+        result = selfheal_timeline(
+            tiny_config, timeline, crash_models(), controller
+        )
+        for attr in RESULT_SETS:
+            curve_set = getattr(result, attr)
+            assert curve_set.labels() == ["crash"]
+            assert curve_set.meta["failed_cells"] == 0
+        assert result.on_mean.meta["controller"] == controller.spec()
+        assert result.off_mean.meta["controller"] is None
+        # The crash schedule forces repairs, and repairs keep service alive:
+        # the on arm's late-time coverage dominates the off arm's.
+        assert result.repairs["crash"] >= 1
+        assert result.added["crash"] >= 1
+        on_alive = result.on_mean.curve("crash").meta["alive_fraction"]
+        off_alive = result.off_mean.curve("crash").meta["alive_fraction"]
+        assert on_alive[-1] > off_alive[-1]
+        assert len(result.decisions["crash"]) == timeline.trials
+        for log in result.decisions["crash"]:
+            assert isinstance(log, list) and log
+
+    def test_recovery_metrics_in_meta(self, tiny_config, timeline, controller):
+        result = selfheal_timeline(
+            tiny_config, timeline, crash_models(), controller
+        )
+        for attr in RESULT_SETS:
+            meta = getattr(result, attr).curve("crash").meta
+            assert "time_to_recover" in meta
+            assert "area_under_degradation" in meta
+        on = result.on_mean.curve("crash").meta["area_under_degradation"]
+        assert np.isnan(on) or on >= 0.0
+        ttr = result.on_mean.curve("crash").meta["time_to_recover"]
+        assert np.isnan(ttr) or ttr >= 0.0
+
+    def test_no_faults_needs_no_repairs(self, tiny_config, timeline):
+        # The threshold sits above the healthy field's error, so a fault-free
+        # deployment never breaches and the arms coincide exactly.
+        controller = ControllerConfig(mean_threshold=60.0, budget=6)
+        result = selfheal_timeline(
+            tiny_config, timeline, [("none", NoFaults())], controller
+        )
+        assert result.repairs["none"] == 0
+        assert result.decisions["none"] == [[] for _ in range(timeline.trials)]
+        assert_sets_identical(result.on_mean, result.off_mean)
+
+    def test_deterministic_rerun(self, tiny_config, timeline, controller):
+        first = selfheal_timeline(tiny_config, timeline, crash_models(), controller)
+        second = selfheal_timeline(tiny_config, timeline, crash_models(), controller)
+        assert_results_identical(first, second)
+
+    def test_metrics_counters(self, tiny_config, timeline, controller):
+        registry = MetricsRegistry()
+        enable_metrics(registry)
+        try:
+            selfheal_timeline(tiny_config, timeline, crash_models(), controller)
+        finally:
+            disable_metrics()
+        assert registry.counter("selfheal.cells").value == 2 * timeline.trials
+        assert registry.counter("selfheal.repairs").value >= 1
+
+
+class TestBackendsBitIdentical:
+    def test_pool_matches_serial(self, tiny_config, timeline, controller):
+        serial = selfheal_timeline(tiny_config, timeline, crash_models(), controller)
+        with PoolExecutor(workers=2, chunk=2) as executor:
+            pooled = selfheal_timeline(
+                tiny_config, timeline, crash_models(), controller, executor=executor
+            )
+        assert_results_identical(serial, pooled)
+
+    def test_socket_matches_serial(self, tiny_config, timeline, controller):
+        serial = selfheal_timeline(tiny_config, timeline, crash_models(), controller)
+        with SocketExecutor(chunk=2) as executor:
+            worker = threading.Thread(
+                target=run_worker,
+                args=(executor.address,),
+                kwargs={"connect_timeout": 5.0},
+                daemon=True,
+            )
+            worker.start()
+            socketed = selfheal_timeline(
+                tiny_config, timeline, crash_models(), controller, executor=executor
+            )
+        worker.join(timeout=15.0)
+        assert not worker.is_alive()
+        assert_results_identical(serial, socketed)
+
+
+class TestJournalResume:
+    def test_truncated_journal_replays_decisions(
+        self, tiny_config, timeline, controller, tmp_path
+    ):
+        path = tmp_path / "selfheal.jsonl"
+        full = selfheal_timeline(
+            tiny_config, timeline, crash_models(), controller, journal_path=path
+        )
+        # Simulate a mid-run kill: keep the header plus the first 2 cells.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+        messages = []
+        resumed = selfheal_timeline(
+            tiny_config,
+            timeline,
+            crash_models(),
+            controller,
+            journal_path=path,
+            progress=messages.append,
+        )
+        assert any("resumed 2 cell(s)" in m for m in messages)
+        assert_results_identical(full, resumed)
+
+    def test_complete_journal_skips_compute(
+        self, tiny_config, timeline, controller, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "selfheal.jsonl"
+        selfheal_timeline(
+            tiny_config, timeline, crash_models(), controller, journal_path=path
+        )
+
+        def poison(args):
+            raise AssertionError("recomputed a journaled selfheal cell")
+
+        monkeypatch.setattr("repro.selfheal.timeline._selfheal_cell", poison)
+        result = selfheal_timeline(
+            tiny_config, timeline, crash_models(), controller, journal_path=path
+        )
+        assert result.on_mean.meta["failed_cells"] == 0
+
+    def test_journal_refused_for_different_controller(
+        self, tiny_config, timeline, controller, tmp_path
+    ):
+        path = tmp_path / "selfheal.jsonl"
+        selfheal_timeline(
+            tiny_config, timeline, crash_models(), controller, journal_path=path
+        )
+        other = ControllerConfig(
+            mean_threshold=controller.mean_threshold, budget=controller.budget + 1
+        )
+        with pytest.raises(ValueError, match="different sweep"):
+            selfheal_timeline(
+                tiny_config, timeline, crash_models(), other, journal_path=path
+            )
+
+
+class TestCli:
+    def test_parser_accepts_selfheal_flags(self):
+        args = build_parser().parse_args(
+            [
+                "selfheal",
+                "--models", "crash",
+                "--times", "0,30,60",
+                "--mean-threshold", "12",
+                "--budget", "4",
+                "--repair-k", "1",
+                "--horizon", "20",
+                "--hysteresis", "0.8",
+                "--catastrophic", "0.25",
+                "--alive-threshold", "0.5",
+            ]
+        )
+        assert args.command == "selfheal"
+        assert args.mean_threshold == 12.0
+        assert args.budget == 4
+        assert args.catastrophic == 0.25
+
+    def test_selfheal_command_end_to_end(self, tmp_path, capsys):
+        csv = tmp_path / "sh.csv"
+        decisions = tmp_path / "decisions.json"
+        code = main(
+            [
+                "--fields", "2",
+                "--csv", str(csv),
+                "selfheal",
+                "--models", "crash",
+                "--times", "0,40,80",
+                "--beacons", "8",
+                "--trials", "2",
+                "--resamples", "20",
+                "--lifetime", "25",
+                "--mean-threshold", "12",
+                "--budget", "4",
+                "--decisions", str(decisions),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "controller on" in out and "controller off" in out
+        assert "recovery summary" in out
+        for suffix in ("off_mean", "off_p90", "on_mean", "on_p90"):
+            assert (tmp_path / f"sh_{suffix}.csv").exists()
+        log = json.loads(decisions.read_text())
+        assert log["controller"]["mean_threshold"] == 12.0
+        assert "crash" in log["decisions"]
+        assert log["repairs"]["crash"] >= 0

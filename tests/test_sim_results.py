@@ -73,3 +73,69 @@ class TestCurveSet:
         rows = CurveSet("fig", [curve, other]).as_rows()
         assert len(rows) == 4
         assert {r["label"] for r in rows} == {"grid", "max"}
+
+
+def _time_curve(times, values):
+    from repro.sim import TimeCurve
+
+    n = len(times)
+    return TimeCurve(
+        label="x",
+        times=tuple(times),
+        values=tuple(values),
+        ci_low=tuple(values),
+        ci_high=tuple(values),
+        num_samples=(3,) * n,
+    )
+
+
+class TestRecoveryMetrics:
+    def test_never_breached_is_nan(self):
+        curve = _time_curve((0.0, 10.0, 20.0), (1.0, 2.0, 1.5))
+        assert np.isnan(curve.time_to_recover(5.0))
+
+    def test_breach_and_recover(self):
+        curve = _time_curve((0.0, 10.0, 20.0, 30.0), (1.0, 8.0, 9.0, 2.0))
+        assert curve.time_to_recover(5.0) == 20.0
+
+    def test_breach_without_recovery_is_inf(self):
+        curve = _time_curve((0.0, 10.0, 20.0), (1.0, 8.0, 9.0))
+        assert curve.time_to_recover(5.0) == float("inf")
+
+    def test_nan_counts_as_breach(self):
+        curve = _time_curve((0.0, 10.0, 20.0), (1.0, float("nan"), 2.0))
+        assert curve.time_to_recover(5.0) == 10.0
+
+    def test_exactly_at_threshold_is_healthy(self):
+        curve = _time_curve((0.0, 10.0, 20.0), (5.0, 8.0, 5.0))
+        assert curve.time_to_recover(5.0) == 10.0
+
+    def test_unsorted_times_measured_in_time_order(self):
+        shuffled = _time_curve((20.0, 0.0, 30.0, 10.0), (9.0, 1.0, 2.0, 8.0))
+        ordered = _time_curve((0.0, 10.0, 20.0, 30.0), (1.0, 8.0, 9.0, 2.0))
+        assert shuffled.time_to_recover(5.0) == ordered.time_to_recover(5.0)
+
+    def test_area_default_baseline_is_first_finite(self):
+        curve = _time_curve((0.0, 10.0, 20.0), (2.0, 4.0, 2.0))
+        # Excess over 2.0 is a triangle peaking at 2: area = 20 * 2 / 2.
+        assert curve.area_under_degradation() == pytest.approx(20.0)
+
+    def test_area_explicit_baseline(self):
+        curve = _time_curve((0.0, 10.0), (3.0, 5.0))
+        assert curve.area_under_degradation(baseline=3.0) == pytest.approx(10.0)
+        assert curve.area_under_degradation(baseline=10.0) == 0.0
+
+    def test_area_ignores_dips_below_baseline(self):
+        curve = _time_curve((0.0, 10.0, 20.0), (5.0, 1.0, 5.0))
+        assert curve.area_under_degradation(baseline=5.0) == 0.0
+
+    def test_area_excludes_nan_points(self):
+        with_outage = _time_curve(
+            (0.0, 10.0, 20.0), (2.0, float("nan"), 4.0)
+        )
+        # The NaN point drops out; the trapezoid runs 0 -> 20 directly.
+        assert with_outage.area_under_degradation(baseline=2.0) == pytest.approx(20.0)
+
+    def test_area_needs_two_finite_points(self):
+        curve = _time_curve((0.0, 10.0), (2.0, float("nan")))
+        assert np.isnan(curve.area_under_degradation())
