@@ -17,10 +17,11 @@ This bench pins both claims on a real sweep:
 Results land in ``benchmarks/results/obs_overhead.txt``.
 """
 
+import itertools
 import time
 
-from repro.obs import ObsSession, read_trace
-from repro.sim import ExperimentConfig, mean_error_curve
+from repro.obs import ObsSession, read_status, read_trace
+from repro.sim import ExperimentConfig, mean_error_curve, resilient_mean_error_curve
 
 # Budget from ISSUE/DESIGN: instrumentation may cost at most 3% of sweep
 # wall clock.  Shared CI hosts jitter by a few percent on their own, so the
@@ -93,5 +94,61 @@ def test_obs_overhead_within_budget(emit_table, tmp_path):
     )
     assert overhead < OVERHEAD_BUDGET + TIMER_NOISE_FLOOR, (
         f"observability overhead {overhead:.2%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget (+{TIMER_NOISE_FLOOR:.0%} timer slack)"
+    )
+
+
+def test_obs_live_telemetry_overhead_within_budget(emit_table, tmp_path):
+    """The streaming additions (status ledger + live metrics dumps + span
+    shipping) must fit the same budget on a journaled sweep.
+
+    Both modes run with a fresh journal (so the status ledger, which any
+    journaled sweep gets, is present in both); the instrumented mode adds
+    metrics + tracing on top — the full ``beaconplace top`` telemetry path.
+    """
+    config = _bench_sweep_config()
+    noise = 0.3
+    counter = itertools.count()
+
+    mean_error_curve(config, noise)  # warm imports and allocator
+
+    def journaled(instrument: bool):
+        run_dir = tmp_path / f"live{next(counter)}"
+        if not instrument:
+            return resilient_mean_error_curve(
+                config, noise, journal_path=run_dir / "journal.jsonl"
+            )
+        with ObsSession(run_dir):
+            curve = resilient_mean_error_curve(
+                config, noise, journal_path=run_dir / "journal.jsonl"
+            )
+        # The ledger must have settled every cell it saw.
+        status = read_status(run_dir)
+        assert status["state"] == "complete"
+        assert status["cells"]["done"] == status["cells"]["total"]
+        return curve
+
+    off_seconds = on_seconds = float("inf")
+    plain = observed = None
+    for _ in range(REPEATS):
+        seconds, plain = _timed(lambda: journaled(False))
+        off_seconds = min(off_seconds, seconds)
+        seconds, observed = _timed(lambda: journaled(True))
+        on_seconds = min(on_seconds, seconds)
+
+    assert observed.values == plain.values
+    assert observed.ci_half_widths == plain.ci_half_widths
+
+    overhead = on_seconds / off_seconds - 1.0
+    emit_table(
+        "obs_live_overhead",
+        ("mode", "best-of-%d (s)" % REPEATS, "overhead"),
+        [
+            ("journaled, obs off", f"{off_seconds:.3f}", "—"),
+            ("journaled, live telemetry", f"{on_seconds:.3f}", f"{overhead:+.2%}"),
+        ],
+    )
+    assert overhead < OVERHEAD_BUDGET + TIMER_NOISE_FLOOR, (
+        f"live telemetry overhead {overhead:.2%} exceeds the "
         f"{OVERHEAD_BUDGET:.0%} budget (+{TIMER_NOISE_FLOOR:.0%} timer slack)"
     )

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Diff fresh ``BENCH_*.json`` numbers against committed baselines.
+
+The perf benches (``bench_perf_kernels.py``, ``bench_dist_executor.py``)
+overwrite ``benchmarks/results/BENCH_*.json`` in place, so a regression
+only shows up if someone reads the diff.  This script makes the check
+mechanical:
+
+1. copy the committed baselines somewhere (CI does ``cp`` to a temp dir),
+2. run the benches (they rewrite ``benchmarks/results/``),
+3. ``python benchmarks/compare_bench.py --against TEMP_DIR``.
+
+Comparison rules, per matching ``BENCH_*.json`` pair:
+
+* top-level numeric keys containing ``speedup`` (except the ``min_*``
+  assertion floors) are higher-is-better;
+* ``best_seconds`` entries are lower-is-better, but only when the bench
+  metadata (``sweep``, ``workers``, ``chunk``, ``rounds``) matches —
+  absolute seconds from different sweep shapes or hosts are not
+  comparable, while speedup ratios still are;
+* a metric regressing by more than ``--tolerance`` (default 15%) fails
+  the run with exit code 1.
+
+Baselines missing a fresh counterpart (bench not run) are skipped with a
+note — partial bench runs must not fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.15
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Metadata keys that must match for absolute timings to be comparable.
+TIMING_CONTEXT_KEYS = ("sweep", "workers", "chunk", "rounds")
+
+
+def _speedup_keys(doc: dict) -> list[str]:
+    return sorted(
+        name
+        for name, value in doc.items()
+        if "speedup" in name
+        and not name.startswith("min_")
+        and isinstance(value, (int, float))
+    )
+
+
+def _timing_context(doc: dict) -> dict:
+    return {key: doc.get(key) for key in TIMING_CONTEXT_KEYS}
+
+
+def compare_docs(name: str, fresh: dict, base: dict, tolerance: float) -> list[dict]:
+    """Compare one fresh/baseline pair; returns one row dict per metric.
+
+    Each row has ``metric``, ``base``, ``fresh``, ``change`` (signed,
+    positive = improvement) and ``regressed``.
+    """
+    rows: list[dict] = []
+
+    for key in _speedup_keys(base):
+        if key not in fresh:
+            continue
+        base_value, fresh_value = float(base[key]), float(fresh[key])
+        change = fresh_value / base_value - 1.0 if base_value else 0.0
+        rows.append({
+            "metric": f"{name}:{key}",
+            "base": base_value,
+            "fresh": fresh_value,
+            "change": change,
+            "regressed": fresh_value < base_value * (1.0 - tolerance),
+        })
+
+    if _timing_context(base) == _timing_context(fresh):
+        base_times = base.get("best_seconds", {})
+        fresh_times = fresh.get("best_seconds", {})
+        for label in sorted(base_times):
+            if label not in fresh_times:
+                continue
+            base_value, fresh_value = float(base_times[label]), float(fresh_times[label])
+            # Lower is better: improvement is the *drop* in seconds.
+            change = 1.0 - fresh_value / base_value if base_value else 0.0
+            rows.append({
+                "metric": f"{name}:best_seconds[{label}]",
+                "base": base_value,
+                "fresh": fresh_value,
+                "change": change,
+                "regressed": fresh_value > base_value * (1.0 + tolerance),
+            })
+    else:
+        print(
+            f"note: {name} timing context differs from baseline "
+            "(different sweep shape); comparing speedup ratios only"
+        )
+
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        default=str(RESULTS_DIR),
+        metavar="DIR",
+        help="directory holding the just-generated BENCH_*.json "
+        "(default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--against",
+        default=str(RESULTS_DIR),
+        metavar="DIR",
+        help="directory holding the baseline BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        metavar="FRACTION",
+        help="allowed fractional regression before failing (default: 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_dir, base_dir = Path(args.fresh), Path(args.against)
+    baselines = sorted(base_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines under {base_dir}", file=sys.stderr)
+        return 2
+
+    rows: list[dict] = []
+    for base_path in baselines:
+        fresh_path = fresh_dir / base_path.name
+        if not fresh_path.exists():
+            print(f"note: {base_path.name} has no fresh run, skipping")
+            continue
+        with base_path.open() as handle:
+            base = json.load(handle)
+        with fresh_path.open() as handle:
+            fresh = json.load(handle)
+        rows.extend(compare_docs(base_path.stem, fresh, base, args.tolerance))
+
+    if not rows:
+        print("error: nothing to compare (no overlapping metrics)", file=sys.stderr)
+        return 2
+
+    width = max(len(row["metric"]) for row in rows)
+    for row in rows:
+        flag = "REGRESSED" if row["regressed"] else "ok"
+        print(
+            f"{row['metric']:<{width}}  base {row['base']:>9.4f}  "
+            f"fresh {row['fresh']:>9.4f}  {row['change']:+7.1%}  {flag}"
+        )
+
+    regressions = [row for row in rows if row["regressed"]]
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) regressed beyond "
+            f"{args.tolerance:.0%} tolerance:",
+            file=sys.stderr,
+        )
+        for row in regressions:
+            print(f"  {row['metric']}: {row['change']:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} metric(s) within {args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,11 +66,17 @@ from .faults import (
 )
 from .localization import overlap_ratio_sweep
 from .obs import (
+    METRICS_FILENAME,
     ObsSession,
+    TRACE_FILENAME,
     compact_journal,
     format_journal_summary,
+    format_status,
+    format_trace_tree,
     inspect_journal,
     merge_journals,
+    read_status,
+    snapshot_to_prometheus,
     summarize_run_dir,
 )
 from .placement import GridPlacement, MaxPlacement, RandomPlacement
@@ -767,10 +773,106 @@ def _cmd_selfheal(args) -> int:
 
 def _cmd_obs(args) -> int:
     try:
-        print(summarize_run_dir(args.run_dir))
+        if args.tree:
+            from pathlib import Path
+
+            print(format_trace_tree(Path(args.run_dir) / TRACE_FILENAME))
+        else:
+            print(summarize_run_dir(args.run_dir))
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _status_complete(status: dict) -> bool:
+    cells = status.get("cells", {})
+    settled = (
+        cells.get("done", 0) + cells.get("failed", 0) + cells.get("degraded", 0)
+    )
+    return status.get("state") == "complete" or settled >= cells.get("total", 0)
+
+
+def _cmd_top(args) -> int:
+    """Live refreshing view of a running sweep's ``status.json``."""
+    import time
+
+    waiting_logged = False
+    try:
+        while True:
+            status = read_status(args.run_dir)
+            if status is None:
+                if args.once:
+                    print(
+                        f"error: no status.json under {args.run_dir} "
+                        "(is a journaled sweep running there?)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if not waiting_logged:
+                    print(f"waiting for status.json under {args.run_dir} …")
+                    waiting_logged = True
+            else:
+                if not args.once and sys.stdout.isatty():
+                    sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+                print(format_status(status))
+                if args.once or _status_complete(status):
+                    return 0
+                print()  # frame separator for non-tty consumers
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_status(args) -> int:
+    """One-shot sweep status; ``--prom`` renders Prometheus text format."""
+    import json
+    from pathlib import Path
+
+    status = read_status(args.run_dir)
+    if args.prom:
+        sections = []
+        metrics_path = Path(args.run_dir) / METRICS_FILENAME
+        if metrics_path.exists():
+            try:
+                with metrics_path.open() as handle:
+                    sections.append(snapshot_to_prometheus(json.load(handle)))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                print(f"error: unreadable {metrics_path}: {exc}", file=sys.stderr)
+                return 1
+        if status is not None:
+            cells = status.get("cells", {})
+            rate = status.get("rate", {})
+            lines = []
+            for name, value in (
+                ("sweep_cells_total", cells.get("total", 0)),
+                ("sweep_cells_done", cells.get("done", 0)),
+                ("sweep_cells_failed", cells.get("failed", 0)),
+                ("sweep_cells_degraded", cells.get("degraded", 0)),
+                ("sweep_cells_per_second", rate.get("cells_per_second", 0.0)),
+                ("sweep_workers", len(status.get("workers", {}))),
+            ):
+                metric = f"beaconplace_{name}"
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {value}")
+            sections.append("\n".join(lines) + "\n")
+        if not sections:
+            print(
+                f"error: neither {METRICS_FILENAME} nor status.json under "
+                f"{args.run_dir}",
+                file=sys.stderr,
+            )
+            return 1
+        print("".join(sections), end="")
+        return 0
+    if status is None:
+        print(
+            f"error: no status.json under {args.run_dir} "
+            "(journaled sweeps write one next to the journal)",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_status(status))
     return 0
 
 
@@ -1153,6 +1255,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs = sub.add_parser("obs", help="summarize an instrumented run directory")
     obs.add_argument("run_dir", help="directory written by --trace/--profile")
+    obs.add_argument(
+        "--tree",
+        action="store_true",
+        help="render the stitched driver→worker→cell trace tree",
+    )
+
+    top = sub.add_parser(
+        "top", help="live refreshing view of a running journaled sweep"
+    )
+    top.add_argument("run_dir", help="directory holding the sweep's status.json")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period (default: 1.0)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (nonzero if no status.json yet)",
+    )
+
+    status = sub.add_parser(
+        "status", help="one-shot sweep status from a run directory"
+    )
+    status.add_argument("run_dir", help="directory holding status.json/metrics.json")
+    status.add_argument(
+        "--prom",
+        action="store_true",
+        help="emit Prometheus text format instead of the human view",
+    )
 
     journal = sub.add_parser(
         "journal", help="inspect, compact or merge sweep journals"
@@ -1239,6 +1373,8 @@ _COMMANDS = {
     "timeline": _cmd_timeline,
     "selfheal": _cmd_selfheal,
     "obs": _cmd_obs,
+    "top": _cmd_top,
+    "status": _cmd_status,
     "journal": _cmd_journal,
     "worker": _cmd_worker,
     "serve": _cmd_serve,

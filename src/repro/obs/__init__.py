@@ -21,9 +21,21 @@ to ``DIR/trace.jsonl`` and the final metrics snapshot to
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
+from .live import (
+    LiveStatus,
+    NULL_LIVE,
+    STATUS_FILENAME,
+    disable_live,
+    enable_live,
+    format_status,
+    get_live,
+    live_enabled,
+    read_status,
+    write_json_atomic,
+    write_text_atomic,
+)
 from .metrics import (
     BUCKET_BOUNDS,
     Counter,
@@ -36,6 +48,7 @@ from .metrics import (
     get_metrics,
     instrumented_call,
     metrics_enabled,
+    snapshot_to_prometheus,
 )
 from .profiling import (
     ProfileSession,
@@ -49,22 +62,31 @@ from .summary import (
     METRICS_FILENAME,
     PROFILE_FILENAME,
     TRACE_FILENAME,
+    TraceStitch,
     compact_journal,
     format_journal_summary,
     format_metrics_snapshot,
     format_trace_summary,
+    format_trace_tree,
     inspect_journal,
     merge_journals,
+    stitch_trace,
     summarize_run_dir,
     summarize_spans,
 )
 from .trace import (
     NULL_TRACER,
     Tracer,
+    clear_trace_context,
+    current_trace_context,
     disable_tracing,
     enable_tracing,
     get_tracer,
+    process_metadata,
     read_trace,
+    set_trace_context,
+    set_worker_id,
+    span_record,
     tracing_enabled,
 )
 
@@ -91,6 +113,27 @@ __all__ = [
     "get_profile",
     "enable_profiling",
     "disable_profiling",
+    "LiveStatus",
+    "NULL_LIVE",
+    "STATUS_FILENAME",
+    "get_live",
+    "enable_live",
+    "disable_live",
+    "live_enabled",
+    "read_status",
+    "format_status",
+    "write_json_atomic",
+    "write_text_atomic",
+    "snapshot_to_prometheus",
+    "set_trace_context",
+    "clear_trace_context",
+    "current_trace_context",
+    "set_worker_id",
+    "process_metadata",
+    "span_record",
+    "TraceStitch",
+    "stitch_trace",
+    "format_trace_tree",
     "summarize_spans",
     "summarize_run_dir",
     "format_trace_summary",
@@ -154,10 +197,11 @@ class ObsSession:
             self.profile_report = self._session.render()
         snapshot = get_metrics().snapshot()
         if self.run_dir is not None:
-            with (self.run_dir / METRICS_FILENAME).open("w") as handle:
-                json.dump(snapshot, handle, indent=1, sort_keys=True)
-                handle.write("\n")
+            # Atomic so a live `top`/`status --prom` never reads a torn file.
+            write_json_atomic(self.run_dir / METRICS_FILENAME, snapshot)
             if self.profile_report is not None:
-                (self.run_dir / PROFILE_FILENAME).write_text(self.profile_report + "\n")
+                write_text_atomic(
+                    self.run_dir / PROFILE_FILENAME, self.profile_report + "\n"
+                )
         disable_tracing()
         disable_metrics()

@@ -1,0 +1,409 @@
+"""Live run-status ledger: an atomically rewritten ``status.json``.
+
+While a resilient sweep runs, the driver keeps a :class:`LiveStatus` next
+to the journal and rewrites ``status.json`` (tmp + ``os.replace``, so a
+concurrent ``beaconplace top`` never reads a torn file) at most once per
+:data:`STATUS_WRITE_INTERVAL` seconds.  The ledger tracks:
+
+* progress — cells total / done / failed / degraded (NaN values) /
+  resumed-from-journal, the session throughput in cells/s, elapsed wall
+  time and an ETA extrapolated from it;
+* fleet health — one entry per worker (pool worker pid, socket connection
+  name, or ``serial``) with last-seen timestamp, current cell and cells
+  completed, fed by chunk results and socket heartbeat frames;
+* stragglers — the slowest cells seen so far, so a stuck fleet points at
+  its cause.
+
+The same null-object convention as metrics/tracing applies: executors call
+:func:`get_live` unconditionally and pay one no-op method call when no
+ledger is enabled.  :func:`read_status` / :func:`format_status` are the
+consumer half, used by ``beaconplace top`` and ``beaconplace status``.
+
+When metrics are also enabled, every ledger write dumps a live
+``metrics.json`` beside the status file so the Prometheus exporter
+(``beaconplace status --prom``) serves mid-run numbers, not just the
+post-exit snapshot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+from .metrics import get_metrics, metrics_enabled
+from .trace import _hostname
+
+__all__ = [
+    "LiveStatus",
+    "NULL_LIVE",
+    "STATUS_FILENAME",
+    "get_live",
+    "enable_live",
+    "disable_live",
+    "live_enabled",
+    "read_status",
+    "format_status",
+    "write_json_atomic",
+    "write_text_atomic",
+]
+
+STATUS_FILENAME = "status.json"
+STATUS_FORMAT = "beaconplace-status"
+STATUS_VERSION = 1
+
+# Minimum seconds between status.json rewrites (tests shrink this to 0 to
+# observe every outcome land).
+STATUS_WRITE_INTERVAL = 1.0
+
+# How many slowest cells the ledger remembers.
+STRAGGLER_LIMIT = 5
+
+
+def write_json_atomic(path, payload) -> None:
+    """Write ``payload`` as JSON via a tmp file + ``os.replace``.
+
+    Readers polling the file (``top``, ``status``) either see the old
+    complete document or the new one, never a partial write.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def write_text_atomic(path, text: str) -> None:
+    """Write ``text`` via a tmp file + ``os.replace`` (same guarantee)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class LiveStatus:
+    """The driver-side ledger behind ``status.json``.
+
+    Single-writer: only the driver's execute loop mutates it (executor
+    hooks all run on that thread), so no locking is needed.
+    """
+
+    def __init__(self, path, *, fingerprint: str = "", total: int = 0,
+                 interval: float | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+        self.total = int(total)
+        self.done = 0
+        self.failed = 0
+        self.degraded = 0
+        self.resumed = 0
+        self.interval = STATUS_WRITE_INTERVAL if interval is None else float(interval)
+        self._started = time.time()
+        self._clock = time.perf_counter()
+        self._session_settled = 0  # settled this session — the rate basis
+        self._last_write = float("-inf")
+        self._workers: dict[str, dict] = {}
+        self._stragglers: list[tuple] = []  # min-heap of (seconds, seq, key, worker)
+        self._seq = 0
+        self.write()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this ledger records anything (False only for the null)."""
+        return True
+
+    @property
+    def settled(self) -> int:
+        """Cells with a recorded outcome (done + failed + degraded)."""
+        return self.done + self.failed + self.degraded
+
+    # ------------------------------------------------------------------ #
+    # recording hooks (driver thread)                                    #
+    # ------------------------------------------------------------------ #
+
+    def note_outcome(self, key, *, ok: bool, value=None, resumed: bool = False) -> None:
+        """Record one settled cell; NaN values count as degraded."""
+        if not ok:
+            self.failed += 1
+        elif isinstance(value, float) and math.isnan(value):
+            self.degraded += 1
+        else:
+            self.done += 1
+        if resumed:
+            self.resumed += 1
+        else:
+            self._session_settled += 1
+        self.maybe_write()
+
+    def cell_timing(self, key, seconds: float, worker: str | None = None) -> None:
+        """Track ``key`` as a straggler candidate."""
+        self._seq += 1
+        entry = (float(seconds), self._seq, _jsonable_key(key), worker)
+        if len(self._stragglers) < STRAGGLER_LIMIT:
+            heapq.heappush(self._stragglers, entry)
+        elif entry[0] > self._stragglers[0][0]:
+            heapq.heapreplace(self._stragglers, entry)
+
+    def worker_seen(self, worker_id, *, current=None, pid=None, host=None,
+                    cells_done: int | None = None) -> None:
+        """Refresh a worker's health entry (heartbeat, assignment, result)."""
+        entry = self._workers.setdefault(str(worker_id), {"cells": 0})
+        entry["last_seen"] = time.time()
+        if current is not None:
+            entry["current"] = _jsonable_key(current)
+        if pid is not None:
+            entry["pid"] = pid
+        if host is not None:
+            entry["host"] = host
+        if cells_done is not None:
+            entry["cells"] = int(cells_done)
+        self.maybe_write()
+
+    def worker_cell_done(self, worker_id) -> None:
+        """Credit one completed cell to a worker and clear its current cell."""
+        entry = self._workers.setdefault(str(worker_id), {"cells": 0})
+        entry["last_seen"] = time.time()
+        entry["cells"] = entry.get("cells", 0) + 1
+        entry.pop("current", None)
+
+    # ------------------------------------------------------------------ #
+    # persistence                                                        #
+    # ------------------------------------------------------------------ #
+
+    def maybe_write(self) -> None:
+        """Rewrite ``status.json`` if the write interval has elapsed."""
+        if time.perf_counter() - self._last_write >= self.interval:
+            self.write()
+
+    def payload(self) -> dict:
+        """The JSON document written to ``status.json``."""
+        elapsed = time.perf_counter() - self._clock
+        rate = self._session_settled / elapsed if elapsed > 0 else 0.0
+        remaining = max(0, self.total - self.settled)
+        eta = remaining / rate if rate > 0 else None
+        return {
+            "format": STATUS_FORMAT,
+            "version": STATUS_VERSION,
+            "state": "complete" if self.settled >= self.total else "running",
+            "fingerprint": self.fingerprint,
+            "pid": os.getpid(),
+            "host": _hostname(),
+            "started": self._started,
+            "updated": time.time(),
+            "cells": {
+                "total": self.total,
+                "done": self.done,
+                "failed": self.failed,
+                "degraded": self.degraded,
+                "resumed": self.resumed,
+            },
+            "rate": {
+                "cells_per_second": rate,
+                "elapsed_seconds": elapsed,
+                "eta_seconds": eta,
+            },
+            "workers": {name: dict(entry) for name, entry in self._workers.items()},
+            "stragglers": [
+                {"key": key, "seconds": seconds, **({"worker": worker} if worker else {})}
+                for seconds, _, key, worker in sorted(self._stragglers, reverse=True)
+            ],
+        }
+
+    def write(self) -> None:
+        """Rewrite ``status.json`` (and a live ``metrics.json``) atomically."""
+        write_json_atomic(self.path, self.payload())
+        if metrics_enabled():
+            from .summary import METRICS_FILENAME
+
+            write_json_atomic(
+                self.path.with_name(METRICS_FILENAME), get_metrics().snapshot()
+            )
+        self._last_write = time.perf_counter()
+
+    def close(self) -> None:
+        """Write the final ledger state."""
+        self.write()
+
+
+def _jsonable_key(key) -> list | str:
+    if isinstance(key, (tuple, list)):
+        return [_jsonable_key(k) if isinstance(k, (tuple, list)) else k for k in key]
+    return key
+
+
+class _NullLiveStatus(LiveStatus):
+    """The do-nothing ledger installed by default."""
+
+    def __init__(self):  # noqa: D107 — no file, no state
+        pass
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def note_outcome(self, key, *, ok, value=None, resumed=False) -> None:
+        pass
+
+    def cell_timing(self, key, seconds, worker=None) -> None:
+        pass
+
+    def worker_seen(self, worker_id, *, current=None, pid=None, host=None,
+                    cells_done=None) -> None:
+        pass
+
+    def worker_cell_done(self, worker_id) -> None:
+        pass
+
+    def maybe_write(self) -> None:
+        pass
+
+    def write(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_LIVE = _NullLiveStatus()
+_active: LiveStatus = NULL_LIVE
+
+
+def get_live() -> LiveStatus:
+    """The currently installed ledger (the null ledger by default)."""
+    return _active
+
+
+def live_enabled() -> bool:
+    """Whether a real (writing) ledger is installed."""
+    return _active.enabled
+
+
+def enable_live(path, *, fingerprint: str = "", total: int = 0,
+                interval: float | None = None) -> LiveStatus:
+    """Install a :class:`LiveStatus` writing to ``path``."""
+    global _active
+    _active = LiveStatus(path, fingerprint=fingerprint, total=total, interval=interval)
+    return _active
+
+
+def disable_live() -> None:
+    """Write the final ledger state and restore the no-op null ledger."""
+    global _active
+    _active.close()
+    _active = NULL_LIVE
+
+
+# ---------------------------------------------------------------------- #
+# consumers                                                              #
+# ---------------------------------------------------------------------- #
+
+
+def read_status(path):
+    """Load a status document from a file or run directory.
+
+    Returns ``None`` when the file is missing (run not started yet) or
+    unparsable (should not happen — writes are atomic — but a reader
+    polling a shared filesystem should not crash on the impossible).
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / STATUS_FILENAME
+    try:
+        with path.open() as handle:
+            status = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(status, dict) or status.get("format") != STATUS_FORMAT:
+        return None
+    return status
+
+
+def _fmt_duration(seconds) -> str:
+    if seconds is None:
+        return "—"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def _fmt_key(key) -> str:
+    if isinstance(key, list):
+        return "(" + ", ".join(str(k) for k in key) + ")"
+    return str(key)
+
+
+def format_status(status: dict, *, now: float | None = None) -> str:
+    """Render a status document as the ``top``/``status`` terminal view."""
+    from ..viz import format_table
+
+    cells = status.get("cells", {})
+    rate = status.get("rate", {})
+    total = cells.get("total", 0)
+    done = cells.get("done", 0)
+    failed = cells.get("failed", 0)
+    degraded = cells.get("degraded", 0)
+    settled = done + failed + degraded
+    now = time.time() if now is None else now
+
+    lines = [
+        f"sweep {status.get('fingerprint') or '?'} — {status.get('state', '?')} "
+        f"(driver pid {status.get('pid', '?')} @{status.get('host', '?')})"
+    ]
+    frac = settled / total if total else 0.0
+    width = 30
+    filled = int(round(frac * width))
+    bar = "#" * filled + "." * (width - filled)
+    lines.append(f"  [{bar}] {settled}/{total} cells ({frac:6.1%})")
+    detail = f"  done {done}  failed {failed}  degraded {degraded}"
+    if cells.get("resumed"):
+        detail += f"  (resumed {cells['resumed']})"
+    lines.append(detail)
+    lines.append(
+        f"  {rate.get('cells_per_second', 0.0):.2f} cells/s   "
+        f"elapsed {_fmt_duration(rate.get('elapsed_seconds'))}   "
+        f"eta {_fmt_duration(rate.get('eta_seconds'))}"
+    )
+
+    workers = status.get("workers", {})
+    if workers:
+        rows = []
+        for name in sorted(workers):
+            entry = workers[name]
+            age = now - entry["last_seen"] if "last_seen" in entry else None
+            rows.append(
+                [
+                    name,
+                    str(entry.get("cells", 0)),
+                    _fmt_key(entry.get("current", "—")),
+                    f"{age:.1f}s ago" if age is not None else "—",
+                ]
+            )
+        lines.append("")
+        lines.append(
+            format_table(["worker", "cells", "current", "last seen"], rows)
+        )
+
+    stragglers = status.get("stragglers", [])
+    if stragglers:
+        rows = [
+            [
+                _fmt_key(entry.get("key")),
+                f"{entry.get('seconds', 0.0):.3f}s",
+                entry.get("worker") or "—",
+            ]
+            for entry in stragglers
+        ]
+        lines.append("")
+        lines.append(format_table(["slowest cells", "seconds", "worker"], rows))
+
+    return "\n".join(lines)

@@ -27,6 +27,7 @@ order across workers never changes the result.
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from typing import Callable
@@ -42,6 +43,7 @@ __all__ = [
     "disable_metrics",
     "metrics_enabled",
     "instrumented_call",
+    "snapshot_to_prometheus",
 ]
 
 SNAPSHOT_VERSION = 1
@@ -178,6 +180,10 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
+        # Baselines for snapshot_delta(): name -> last-shipped value.
+        self._delta_counters: dict[str, int] = {}
+        self._delta_gauges: dict[str, float] = {}
+        self._delta_histograms: dict[str, tuple] = {}
 
     @property
     def enabled(self) -> bool:
@@ -260,6 +266,99 @@ class MetricsRegistry:
             for i, n in enumerate(buckets):
                 hist.counts[i] += n
 
+    def snapshot_delta(self) -> dict:
+        """Increments since the previous ``snapshot_delta`` call.
+
+        The delta has the same shape as :meth:`snapshot` and is consumed by
+        the same :meth:`merge`, but only carries what changed: counter and
+        histogram fields hold the *increase* since the last call, gauges
+        ship their current value only when it changed (merge keeps the max,
+        so a stream of deltas yields the max-over-time on the receiver).
+        Merging every delta a registry ever emitted reproduces its full
+        snapshot exactly for counters and histogram counts/sums/buckets —
+        the property that makes streaming telemetry (heartbeat frames,
+        chunk results) equivalent to the old ship-once-at-exit protocol.
+
+        Values read concurrently with writer threads are never lost: each
+        baseline stores exactly the value that was shipped, so an increment
+        racing this call lands in the *next* delta.
+        """
+        delta: dict = {
+            "version": SNAPSHOT_VERSION,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name, counter in list(self._counters.items()):
+            current = counter.value
+            previous = self._delta_counters.get(name, 0)
+            if current != previous:
+                delta["counters"][name] = current - previous
+                self._delta_counters[name] = current
+        for name, gauge in list(self._gauges.items()):
+            current = gauge.value
+            if current is not None and current != self._delta_gauges.get(name):
+                delta["gauges"][name] = current
+                self._delta_gauges[name] = current
+        for name, hist in list(self._histograms.items()):
+            count = hist.count
+            total = hist.total
+            buckets = list(hist.counts)
+            prev_count, prev_total, prev_buckets = self._delta_histograms.get(
+                name, (0, 0.0, None)
+            )
+            if count != prev_count:
+                delta["histograms"][name] = {
+                    "count": count - prev_count,
+                    "sum": total - prev_total,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "buckets": [
+                        n - (prev_buckets[i] if prev_buckets else 0)
+                        for i, n in enumerate(buckets)
+                    ],
+                }
+                self._delta_histograms[name] = (count, total, buckets)
+        return delta
+
+    def to_prometheus(self, *, prefix: str = "beaconplace_") -> str:
+        """Render the current state in Prometheus text exposition format."""
+        return snapshot_to_prometheus(self.snapshot(), prefix=prefix)
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def snapshot_to_prometheus(snapshot: dict, *, prefix: str = "beaconplace_") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus text.
+
+    Counters become ``<prefix><name>_total``, gauges map directly, and
+    histograms expand to the conventional cumulative ``_bucket{le=...}`` /
+    ``_sum`` / ``_count`` series over :data:`BUCKET_BOUNDS`.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {snapshot['gauges'][name]}")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(BUCKET_BOUNDS, data["buckets"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound:.6g}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{metric}_sum {data['sum']}")
+        lines.append(f"{metric}_count {data['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
 
 class _NullRegistry(MetricsRegistry):
     """The do-nothing registry installed by default.
@@ -288,6 +387,9 @@ class _NullRegistry(MetricsRegistry):
 
     def snapshot(self) -> dict:
         return {"version": SNAPSHOT_VERSION, "counters": {}, "gauges": {}, "histograms": {}}
+
+    def snapshot_delta(self) -> dict:
+        return self.snapshot()
 
     def merge(self, snapshot: dict) -> None:
         pass

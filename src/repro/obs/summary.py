@@ -33,6 +33,9 @@ __all__ = [
     "format_trace_summary",
     "format_metrics_snapshot",
     "summarize_run_dir",
+    "TraceStitch",
+    "stitch_trace",
+    "format_trace_tree",
     "JournalSummary",
     "JournalMergeStats",
     "inspect_journal",
@@ -89,6 +92,122 @@ def format_trace_summary(path, *, top: int = 12) -> str:
             format_table(
                 ("span", "count", "total (s)", "mean (ms)", "max (ms)"), rows
             )
+        )
+    return "\n".join(lines)
+
+
+# -- Trace stitching --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceStitch:
+    """One distributed trace reassembled from span records.
+
+    Attributes:
+        spans: every span record carrying a ``span`` id.
+        roots: spans with no parent — normally the driver's top-level
+            section(s) (``sweep.run_cells``).
+        children: parent span id → child records, dispatch order preserved.
+        orphans: spans naming a parent that no record defines — a stitching
+            failure (lost context, or a trace file truncated mid-run).
+        legacy: span records without ids (pre-v2 traces); they cannot be
+            placed in the tree.
+        traces: distinct trace ids seen.
+    """
+
+    spans: list[dict]
+    roots: list[dict]
+    children: dict[str, list[dict]]
+    orphans: list[dict]
+    legacy: list[dict]
+    traces: list[str]
+
+
+def stitch_trace(records: list[dict]) -> TraceStitch:
+    """Reassemble span records into a driver → worker → cell tree.
+
+    Worker-side spans ship home with the driver's span id as their
+    ``parent`` (:func:`repro.obs.trace.span_record`), so one socket or pool
+    sweep stitches into a single tree no matter how many processes and
+    machines produced the spans.
+    """
+    spans = [r for r in records if r.get("kind") == "span" and "span" in r]
+    legacy = [r for r in records if r.get("kind") == "span" and "span" not in r]
+    by_id = {r["span"]: r for r in spans}
+    roots: list[dict] = []
+    orphans: list[dict] = []
+    children: dict[str, list[dict]] = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is None:
+            roots.append(record)
+        elif parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            orphans.append(record)
+    traces = sorted({r["trace"] for r in spans if "trace" in r})
+    return TraceStitch(
+        spans=spans,
+        roots=roots,
+        children=children,
+        orphans=orphans,
+        legacy=legacy,
+        traces=traces,
+    )
+
+
+def _span_origin(record: dict) -> str:
+    origin = record.get("worker") or f"pid {record.get('pid', '?')}"
+    host = record.get("host")
+    return f"{origin}@{host}" if host else str(origin)
+
+
+def _render_subtree(record: dict, children: dict, lines: list[str],
+                    prefix: str, last: bool, max_children: int) -> None:
+    connector = "└─ " if last else "├─ "
+    attrs = record.get("attrs") or {}
+    key = attrs.get("key")
+    label = f"{record['name']}{' ' + _fmt_stitch_key(key) if key is not None else ''}"
+    lines.append(
+        f"{prefix}{connector}{label}  {record.get('dur', 0.0):.3f}s"
+        f"  [{_span_origin(record)}]"
+    )
+    kids = children.get(record["span"], [])
+    shown = kids[:max_children]
+    child_prefix = prefix + ("   " if last else "│  ")
+    for i, kid in enumerate(shown):
+        kid_last = i == len(shown) - 1 and len(kids) <= max_children
+        _render_subtree(kid, children, lines, child_prefix, kid_last, max_children)
+    if len(kids) > max_children:
+        lines.append(f"{child_prefix}└─ … {len(kids) - max_children} more")
+
+
+def _fmt_stitch_key(key) -> str:
+    if isinstance(key, list):
+        return "(" + ", ".join(str(k) for k in key) + ")"
+    return str(key)
+
+
+def format_trace_tree(path, *, max_children: int = 8) -> str:
+    """Render the stitched trace tree of one trace file."""
+    _, records = read_trace(path)
+    stitch = stitch_trace(records)
+    if not stitch.spans:
+        return "trace tree: no id-carrying spans (trace predates stitching?)"
+    trace_label = ", ".join(stitch.traces) if stitch.traces else "?"
+    lines = [
+        f"trace {trace_label} — {len(stitch.spans)} span(s), "
+        f"{len(stitch.roots)} root(s), {len(stitch.orphans)} orphan(s)"
+        + (f", {len(stitch.legacy)} legacy" if stitch.legacy else "")
+    ]
+    for i, root in enumerate(stitch.roots):
+        _render_subtree(
+            root, stitch.children, lines, "", i == len(stitch.roots) - 1, max_children
+        )
+    for orphan in stitch.orphans:
+        lines.append(
+            f"?? orphan {orphan['name']} (parent {orphan.get('parent')!r} missing)"
+            f"  [{_span_origin(orphan)}]"
         )
     return "\n".join(lines)
 
@@ -162,6 +281,16 @@ def summarize_run_dir(run_dir) -> str:
     trace_path = run_dir / TRACE_FILENAME
     if trace_path.exists():
         sections.append(format_trace_summary(trace_path))
+        _, records = read_trace(trace_path)
+        stitch = stitch_trace(records)
+        if stitch.spans:
+            hosts = {r.get("host") for r in stitch.spans} - {None}
+            pids = {r.get("pid") for r in stitch.spans} - {None}
+            sections.append(
+                f"stitched trace: {len(stitch.spans)} span(s) across "
+                f"{len(pids)} process(es) on {len(hosts)} host(s), "
+                f"{len(stitch.roots)} root(s), {len(stitch.orphans)} orphan(s)"
+            )
     metrics_path = run_dir / METRICS_FILENAME
     if metrics_path.exists():
         with metrics_path.open() as handle:

@@ -26,6 +26,7 @@ from .base import (
     run_one_cell,
     spawn_context,
     validate_workers,
+    worker_session_metrics,
 )
 from .cache import cached_grid, cached_layout, cached_localizer, clear_world_cache
 from .local import PoolExecutor, SerialExecutor
@@ -53,6 +54,7 @@ __all__ = [
     "resolve_cell_fn",
     "spawn_context",
     "validate_workers",
+    "worker_session_metrics",
     "cached_grid",
     "cached_layout",
     "cached_localizer",

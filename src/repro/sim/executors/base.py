@@ -22,7 +22,17 @@ import warnings
 from abc import ABC, abstractmethod
 from typing import Callable, Protocol, Sequence
 
-from ...obs import MetricsRegistry, disable_metrics, enable_metrics, get_metrics
+from ...obs import (
+    MetricsRegistry,
+    current_trace_context,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    process_metadata,
+    set_trace_context,
+    set_worker_id,
+    span_record,
+)
 
 __all__ = [
     "CellExecutor",
@@ -39,6 +49,7 @@ __all__ = [
     "run_one_cell",
     "spawn_context",
     "validate_workers",
+    "worker_session_metrics",
 ]
 
 ProgressFn = Callable[[str], None]
@@ -155,6 +166,10 @@ def run_one_cell(fn: Callable, args, *, instrument: bool = False, thunk=None) ->
         if outcome["ok"]:
             registry.histogram("sweep.cell.seconds").observe(outcome["seconds"])
         outcome["metrics"] = registry.snapshot()
+        # Identity + a pre-built span record (parented under the shipped
+        # trace context) so the driver can stitch and attribute this cell.
+        outcome["worker"] = process_metadata()
+        outcome["span"] = span_record("sweep.cell", outcome["seconds"])
     return outcome
 
 
@@ -240,12 +255,18 @@ def dispatch_extras(shared=None) -> dict:
     """The extras dict shipped with pool payloads / socket welcomes.
 
     Carries cross-process execution context: the parent's kernel mode (so
-    ``REPRO_KERNELS=scalar`` measurements cover workers too) and, when the
-    driver published one, the shared-memory world-state handle.
+    ``REPRO_KERNELS=scalar`` measurements cover workers too), the trace
+    context (trace id + the dispatching span's id) when the driver is
+    tracing — the hook that lets worker spans stitch under the driver's
+    tree — and, when the driver published one, the shared-memory
+    world-state handle.
     """
     from ..kernels import kernel_mode
 
     extras: dict = {"kernels": kernel_mode()}
+    trace = current_trace_context()
+    if trace is not None:
+        extras["trace"] = trace
     if shared is not None:
         extras["shared"] = shared
     return extras
@@ -263,6 +284,9 @@ def apply_dispatch_extras(extras: dict | None) -> None:
             set_kernel_mode(mode)
         except ValueError:
             pass  # a newer parent's mode name; keep the local default
+    trace = extras.get("trace")
+    if trace:
+        set_trace_context(trace.get("trace"), trace.get("parent"))
     handle = extras.get("shared")
     if handle:
         from .shm import attach_shared_state
@@ -274,6 +298,24 @@ def apply_dispatch_extras(extras: dict | None) -> None:
             attach_shared_state(handle)
         except Exception:  # noqa: BLE001
             get_metrics().counter("shm.attach_failures").inc()
+
+
+#: Worker-lifetime registry behind :func:`worker_session_metrics`.
+_worker_session: MetricsRegistry | None = None
+
+
+def worker_session_metrics() -> MetricsRegistry:
+    """This worker process's session registry (created on first use).
+
+    Unlike the per-cell private registries, this one persists across chunks;
+    each dispatch ships only its :meth:`MetricsRegistry.snapshot_delta`, so
+    worker-lifetime totals (chunks served, cells run) stream back to the
+    driver incrementally without ever double-counting.
+    """
+    global _worker_session
+    if _worker_session is None:
+        _worker_session = MetricsRegistry()
+    return _worker_session
 
 
 def run_cell_chunk(payload: tuple) -> list[dict]:
@@ -290,6 +332,7 @@ def run_cell_chunk(payload: tuple) -> list[dict]:
     """
     fn, args_list, instrument = payload[0], payload[1], payload[2]
     extras = payload[3] if len(payload) > 3 else None
+    set_worker_id(f"pool:{os.getpid()}")
     _, extras_metrics = _under_private_registry(
         instrument, lambda: apply_dispatch_extras(extras)
     )
@@ -301,7 +344,13 @@ def run_cell_chunk(payload: tuple) -> list[dict]:
         )
         for i, args in enumerate(args_list)
     ]
-    for chunk_metrics in (extras_metrics, plan_metrics):
+    chunk_level = [extras_metrics, plan_metrics]
+    if instrument:
+        session = worker_session_metrics()
+        session.counter("worker.batches").inc()
+        session.counter("worker.cells").inc(len(args_list))
+        chunk_level.append(session.snapshot_delta())
+    for chunk_metrics in chunk_level:
         if chunk_metrics is not None and outcomes:
             outcomes[0]["metrics"] = merge_metric_snapshots(
                 outcomes[0]["metrics"], chunk_metrics

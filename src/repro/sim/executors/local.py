@@ -21,13 +21,14 @@ poisonous cell exhausts its budget within ``max_attempts`` rebuilds.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
-from ...obs import get_metrics, get_tracer, metrics_enabled
+from ...obs import get_live, get_metrics, get_tracer, metrics_enabled
 from .base import (
     CellExecutor,
     EmitFn,
@@ -69,6 +70,7 @@ class SerialExecutor(CellExecutor):
         cell_seconds = metrics.histogram("sweep.cell.seconds")
         retries = metrics.counter("sweep.cells.retried")
         tracer = get_tracer()
+        live = get_live()
         pending = list(pending)
         for start_index in range(0, len(pending), SERIAL_BATCH):
             block = pending[start_index : start_index + SERIAL_BATCH]
@@ -80,6 +82,7 @@ class SerialExecutor(CellExecutor):
                     if attempt > 1:
                         retries.inc()
                         policy.sleep_before(attempt)
+                    live.worker_seen("serial", current=list(key), pid=os.getpid())
                     try:
                         with tracer.span("sweep.cell", key=list(key), attempt=attempt):
                             start = time.perf_counter()
@@ -93,10 +96,13 @@ class SerialExecutor(CellExecutor):
                                     value = fn(args)
                             else:
                                 value = fn(args)
-                            cell_seconds.observe(time.perf_counter() - start)
+                            elapsed = time.perf_counter() - start
+                            cell_seconds.observe(elapsed)
                     except Exception as exc:  # noqa: BLE001 — degrade, never abort
                         last_error = f"{type(exc).__name__}: {exc}"
                         continue
+                    live.cell_timing(key, elapsed, "serial")
+                    live.worker_cell_done("serial")
                     emit(key, ok=True, value=value, attempts=attempt)
                     break
                 else:
@@ -227,15 +233,33 @@ class PoolExecutor(CellExecutor):
                 for key, args, attempt in entry.cells:
                     fail_or_requeue(key, args, attempt, f"{type(exc).__name__}: {exc}")
                 return False
+            live = get_live()
             for (key, args, attempt), outcome in zip(entry.cells, cell_outcomes):
+                winfo = outcome.get("worker")
+                worker_id = winfo.get("worker") if winfo else None
                 if outcome["ok"]:
                     value = outcome["value"]
                     if instrument:
                         metrics.merge(outcome["metrics"])
-                        tracer.record_span(
-                            "sweep.cell", outcome["seconds"],
-                            key=list(key), attempt=attempt,
+                        span = outcome.get("span")
+                        if span is not None:
+                            # Worker-built record: keep its identity/parent,
+                            # stamp the driver-known attributes.
+                            span.setdefault("attrs", {}).update(
+                                key=list(key), attempt=attempt
+                            )
+                            tracer.write_span_record(span)
+                        else:
+                            tracer.record_span(
+                                "sweep.cell", outcome["seconds"],
+                                key=list(key), attempt=attempt,
+                            )
+                    live.cell_timing(key, outcome["seconds"], worker_id)
+                    if worker_id is not None:
+                        live.worker_seen(
+                            worker_id, pid=winfo.get("pid"), host=winfo.get("host")
                         )
+                        live.worker_cell_done(worker_id)
                     emit(key, ok=True, value=value, attempts=attempt)
                 else:
                     fail_or_requeue(key, args, attempt, outcome["error"])

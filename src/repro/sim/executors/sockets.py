@@ -29,13 +29,21 @@ cell function and fingerprint change per sweep.
 
 from __future__ import annotations
 
+import os
 import queue as queue_mod
 import socket
 import threading
 import time
 from typing import Callable, Sequence
 
-from ...obs import get_metrics, get_tracer, metrics_enabled
+from ...obs import (
+    get_live,
+    get_metrics,
+    get_tracer,
+    metrics_enabled,
+    process_metadata,
+    set_worker_id,
+)
 from .base import (
     CellExecutor,
     EmitFn,
@@ -47,6 +55,7 @@ from .base import (
     plan_chunk,
     resolve_cell_fn,
     run_one_cell,
+    worker_session_metrics,
 )
 from .wire import (
     PROTOCOL_VERSION,
@@ -67,6 +76,21 @@ DEFAULT_SOCKET_CHUNK = 8
 
 class WorkerRejected(RuntimeError):
     """The server refused this worker's handshake (protocol/fingerprint)."""
+
+
+def _merge_remote_delta(metrics, delta) -> None:
+    """Fold a worker-shipped metrics delta into the driver registry.
+
+    Best-effort: a malformed or incompatible delta (newer worker build)
+    must not take the sweep down — the frame already served its liveness
+    purpose.
+    """
+    if not delta:
+        return
+    try:
+        metrics.merge(delta)
+    except (KeyError, TypeError, ValueError):
+        metrics.counter("executor.socket.bad_deltas").inc()
 
 
 class _Conn:
@@ -142,10 +166,12 @@ class SocketExecutor(CellExecutor):
             ).start()
 
     def _recv_loop(self, conn: _Conn) -> None:
-        conn.sock.settimeout(self.heartbeat * 3)
         try:
             while True:
                 try:
+                    # Set inside the loop's try: the handshake path may
+                    # close a rejected connection before this thread runs.
+                    conn.sock.settimeout(self.heartbeat * 3)
                     message, nbytes = recv_frame(conn.sock)
                 except (ProtocolError, OSError) as exc:
                     self._events.put(("gone", conn, str(exc), 0))
@@ -216,6 +242,8 @@ class SocketExecutor(CellExecutor):
             )
             working[conn.batch_id] = conn
             metrics.counter("executor.socket.batches").inc()
+            if cells:
+                get_live().worker_seen(conn.name, current=list(cells[0][0]))
             send(
                 conn,
                 {
@@ -310,14 +338,28 @@ class SocketExecutor(CellExecutor):
                 conn.done[index] = True
                 key, args, attempt = conn.cells[index]
                 outcome = decode_payload(message["outcome"])
+                live = get_live()
+                winfo = outcome.get("worker") or {}
                 if outcome["ok"]:
                     value = outcome["value"]
                     if instrument:
                         metrics.merge(outcome["metrics"])
-                        tracer.record_span(
-                            "sweep.cell", outcome["seconds"],
-                            key=list(key), attempt=attempt,
-                        )
+                        span = outcome.get("span")
+                        if span is not None:
+                            span.setdefault("attrs", {}).update(
+                                key=list(key), attempt=attempt
+                            )
+                            tracer.write_span_record(span)
+                        else:
+                            tracer.record_span(
+                                "sweep.cell", outcome["seconds"],
+                                key=list(key), attempt=attempt,
+                            )
+                    live.cell_timing(key, outcome["seconds"], conn.name)
+                    live.worker_seen(
+                        conn.name, pid=winfo.get("pid"), host=winfo.get("host")
+                    )
+                    live.worker_cell_done(conn.name)
                     emit(key, ok=True, value=value, attempts=attempt)
                 else:
                     fail_or_requeue(key, args, attempt, outcome["error"])
@@ -328,8 +370,22 @@ class SocketExecutor(CellExecutor):
                     else:
                         ready.append(conn)
             elif kind == "heartbeat":
-                pass  # receipt alone resets the handler's recv timeout
+                # Receipt alone resets the handler's recv timeout.  New
+                # workers also attach a status payload (worker health for
+                # the live ledger) and a metrics snapshot delta; both are
+                # optional, so bare version-1 heartbeats still work.
+                _merge_remote_delta(metrics, message.get("metrics"))
+                status = message.get("status") or {}
+                get_live().worker_seen(
+                    conn.name,
+                    current=status.get("current"),
+                    pid=status.get("pid"),
+                    host=status.get("host"),
+                    cells_done=status.get("cells"),
+                )
             elif kind == "goodbye":
+                # A departing worker flushes its final session delta here.
+                _merge_remote_delta(metrics, message.get("metrics"))
                 conn.sock.close()
 
         def handle_gone(conn: _Conn, detail: str) -> None:
@@ -447,6 +503,11 @@ def run_worker(
     cells_done = 0
     batches_done = 0
     ever_connected = False
+    set_worker_id(f"sock:{os.getpid()}")
+    # Shared with the heartbeat thread: plain-assignment updates, read
+    # whole — worker-lifetime state surviving drain/rejoin cycles.
+    state: dict = {"cells": 0, "current": None}
+    session = worker_session_metrics()
     while True:
         sock = _connect_with_retry(
             host, port, connect_timeout, give_up_on_refused=ever_connected
@@ -488,7 +549,8 @@ def run_worker(
             beat = threading.Thread(
                 target=_heartbeat_loop,
                 args=(sock, send_lock, stop_heartbeat,
-                      float(welcome.get("heartbeat", 30.0))),
+                      float(welcome.get("heartbeat", 30.0)),
+                      state, session if instrument else None),
                 daemon=True,
             )
             beat.start()
@@ -509,7 +571,7 @@ def run_worker(
                             return False  # server gone; end the session
 
                     if message["type"] == "drain":
-                        safe_send({"type": "goodbye"})
+                        safe_send(_goodbye_frame(session if instrument else None))
                         drained = True
                         break
                     if message["type"] != "batch":
@@ -520,6 +582,7 @@ def run_worker(
                     ]
                     thunks, plan_metrics = plan_chunk(fn, batch_args, instrument)
                     for index, args in enumerate(batch_args):
+                        state["current"] = message["cells"][index].get("key")
                         outcome = run_one_cell(
                             fn, args, instrument=instrument,
                             thunk=thunks[index] if thunks is not None else None,
@@ -541,13 +604,17 @@ def run_worker(
                             lost_server = True
                             break
                         cells_done += 1
+                        state["cells"] += 1
+                        session.counter("worker.cells").inc()
+                    state["current"] = None
                     if lost_server:
                         break
                     batches_done += 1
+                    session.counter("worker.batches").inc()
                     if progress is not None:
                         progress(f"batch {message['id']}: {len(message['cells'])} cell(s)")
                     if max_batches is not None and batches_done >= max_batches:
-                        safe_send({"type": "goodbye"})
+                        safe_send(_goodbye_frame(session if instrument else None))
                         return cells_done
             finally:
                 stop_heartbeat.set()
@@ -585,10 +652,46 @@ def _connect_with_retry(
             time.sleep(0.2)
 
 
-def _heartbeat_loop(sock, send_lock, stop: threading.Event, interval: float) -> None:
+def _nonempty_delta(session) -> dict | None:
+    """The session registry's pending delta, or ``None`` when quiet."""
+    if session is None:
+        return None
+    delta = session.snapshot_delta()
+    if delta["counters"] or delta["gauges"] or delta["histograms"]:
+        return delta
+    return None
+
+
+def _goodbye_frame(session) -> dict:
+    """A goodbye frame flushing the final session metrics delta, if any."""
+    frame: dict = {"type": "goodbye"}
+    delta = _nonempty_delta(session)
+    if delta is not None:
+        frame["metrics"] = delta
+    return frame
+
+
+def _heartbeat_loop(sock, send_lock, stop: threading.Event, interval: float,
+                    state: dict | None = None, session=None) -> None:
+    """Send periodic heartbeats, carrying worker status + metrics deltas.
+
+    Both payloads are additive protocol-v1 fields: an old server ignores
+    them, and an old worker's bare ``{"type": "heartbeat"}`` still counts
+    as liveness on a new server.
+    """
     while not stop.wait(interval):
+        frame: dict = {"type": "heartbeat"}
+        if state is not None:
+            frame["status"] = {
+                **process_metadata(),
+                "cells": state.get("cells", 0),
+                "current": state.get("current"),
+            }
+        delta = _nonempty_delta(session)
+        if delta is not None:
+            frame["metrics"] = delta
         try:
             with send_lock:
-                send_frame(sock, {"type": "heartbeat"})
+                send_frame(sock, frame)
         except OSError:
             return

@@ -10,15 +10,24 @@ type         dir    fields
 ===========  =====  =====================================================
 hello        w → s  ``protocol``, optional ``fingerprint``
 welcome      s → w  ``protocol``, ``fingerprint``, ``fn`` (module:qualname
-                    reference), ``instrument``, ``heartbeat`` (seconds)
+                    reference), ``instrument``, ``heartbeat`` (seconds),
+                    optional ``extras`` (kernel mode, shm handle, trace
+                    context — see ``base.dispatch_extras``)
 reject       s → w  ``reason`` — protocol or fingerprint mismatch
 batch        s → w  ``id``, ``cells``: list of ``{"key": […], "args": …}``
 result       w → s  ``batch``, ``index``, ``outcome`` (one cell, streamed
                     as soon as it finishes — crash accounting stays exact)
-heartbeat    w → s  ``{}`` — liveness while a long cell runs
+heartbeat    w → s  liveness while a long cell runs; optionally ``status``
+                    (pid/host/worker, cells completed, current cell key)
+                    and ``metrics`` (a registry snapshot *delta*, merged
+                    into the driver registry on receipt)
 drain        s → w  ``{}`` — no more batches; finish and say goodbye
-goodbye      w → s  ``{}`` — clean exit
+goodbye      w → s  clean exit; optional ``metrics`` — the worker's final
+                    unshipped session delta
 ===========  =====  =====================================================
+
+Optional fields are additive: version-1 peers that omit them interoperate
+with peers that send them, so old workers join new servers and vice versa.
 
 Cell ``args``, result values and shipped metrics snapshots are arbitrary
 Python objects (configs, fault models, algorithm instances), so they ride

@@ -45,7 +45,14 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..obs import get_metrics, get_tracer
+from ..obs import (
+    STATUS_FILENAME,
+    disable_live,
+    enable_live,
+    get_live,
+    get_metrics,
+    get_tracer,
+)
 from ..placement import PlacementAlgorithm
 from .config import ExperimentConfig
 from .executors import CellExecutor, make_executor, register_batch_planner
@@ -361,7 +368,22 @@ def run_cells(
         get_metrics().counter("sweep.cells.resumed").inc(len(results))
         if progress is not None:
             progress(f"resumed {len(results)} cell(s) from {journal.path}")
+    # A journaled run keeps a live status ledger (status.json beside the
+    # journal) so `beaconplace top`/`status` can watch progress.  Nested
+    # run_cells calls (one CLI command sweeping several panels) reuse the
+    # outer ledger rather than fight over the file.
+    live = None
+    if journal is not None and not get_live().enabled:
+        live = enable_live(
+            journal.path.parent / STATUS_FILENAME,
+            fingerprint=journal.fingerprint,
+            total=len(jobs),
+        )
+        for k, value in results.items():
+            live.note_outcome(k, ok=True, value=value, resumed=True)
     if not pending:
+        if live is not None:
+            disable_live()
         return results
 
     def emit(key, *, ok, value=None, attempts, error=None):
@@ -385,12 +407,15 @@ def run_cells(
     finally:
         if owned:
             executor.close()
+        if live is not None:
+            disable_live()
     return results
 
 
 def _note_outcome(results, journal, progress, key, *, ok, value=None, attempts, error=None):
     results[key] = value if ok else None
     get_metrics().counter("sweep.cells.completed" if ok else "sweep.cells.failed").inc()
+    get_live().note_outcome(key, ok=ok, value=value)
     if journal is not None:
         journal.record(key, ok=ok, value=value, attempts=attempts, error=error)
     if progress is not None and not ok:

@@ -1,0 +1,94 @@
+"""Tests for benchmarks/compare_bench.py (the perf regression gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).parent.parent / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+BASE_DOC = {
+    "batched_speedup_over_scalar": 4.0,
+    "min_batched_speedup": 3.0,
+    "best_seconds": {"serial": 0.10, "pool": 0.05},
+    "sweep": {"cells": 600},
+    "workers": 2,
+    "chunk": 32,
+    "rounds": 4,
+}
+
+
+def _write(directory: Path, doc: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    with (directory / "BENCH_x.json").open("w") as handle:
+        json.dump(doc, handle)
+
+
+def _run(tmp_path, fresh_doc, *, tolerance=0.15):
+    _write(tmp_path / "base", BASE_DOC)
+    _write(tmp_path / "fresh", fresh_doc)
+    return compare_bench.main([
+        "--fresh", str(tmp_path / "fresh"),
+        "--against", str(tmp_path / "base"),
+        "--tolerance", str(tolerance),
+    ])
+
+
+class TestCompareDocs:
+    def test_identical_passes(self, tmp_path, capsys):
+        assert _run(tmp_path, BASE_DOC) == 0
+        assert "within 15% tolerance" in capsys.readouterr().out
+
+    def test_speedup_drop_fails(self, tmp_path, capsys):
+        doc = dict(BASE_DOC, batched_speedup_over_scalar=2.0)
+        assert _run(tmp_path, doc) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_min_floor_keys_are_not_metrics(self, tmp_path):
+        # Halving the assertion floor is a config change, not a regression.
+        doc = dict(BASE_DOC, min_batched_speedup=1.0)
+        assert _run(tmp_path, doc) == 0
+
+    def test_timing_regression_fails(self, tmp_path):
+        doc = dict(BASE_DOC, best_seconds={"serial": 0.20, "pool": 0.05})
+        assert _run(tmp_path, doc) == 1
+
+    def test_small_drift_within_tolerance(self, tmp_path):
+        doc = dict(BASE_DOC, best_seconds={"serial": 0.11, "pool": 0.05})
+        assert _run(tmp_path, doc) == 0
+
+    def test_mismatched_sweep_skips_timings(self, tmp_path, capsys):
+        # 10× slower seconds but from a different sweep shape: the absolute
+        # numbers are incomparable, only the speedup ratio is checked.
+        doc = dict(
+            BASE_DOC,
+            sweep={"cells": 60},
+            best_seconds={"serial": 1.0, "pool": 0.5},
+        )
+        assert _run(tmp_path, doc) == 0
+        assert "comparing speedup ratios only" in capsys.readouterr().out
+
+    def test_missing_fresh_file_skips(self, tmp_path, capsys):
+        _write(tmp_path / "base", BASE_DOC)
+        (tmp_path / "fresh").mkdir()
+        assert compare_bench.main([
+            "--fresh", str(tmp_path / "fresh"),
+            "--against", str(tmp_path / "base"),
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "no fresh run" in captured.out
+        assert "nothing to compare" in captured.err
+
+    def test_no_baselines_errors(self, tmp_path, capsys):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "fresh").mkdir()
+        assert compare_bench.main([
+            "--fresh", str(tmp_path / "fresh"),
+            "--against", str(tmp_path / "base"),
+        ]) == 2
+        assert "no BENCH_*.json baselines" in capsys.readouterr().err

@@ -1,0 +1,520 @@
+"""Tests for live observability: streaming deltas, the status ledger,
+trace stitching, heartbeat telemetry and the top/status CLI."""
+
+import json
+import os
+import socket as socket_mod
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    BUCKET_BOUNDS,
+    MetricsRegistry,
+    NULL_LIVE,
+    STATUS_FILENAME,
+    disable_live,
+    disable_metrics,
+    disable_tracing,
+    enable_live,
+    enable_metrics,
+    enable_tracing,
+    format_status,
+    get_live,
+    live_enabled,
+    read_status,
+    read_trace,
+    snapshot_to_prometheus,
+    stitch_trace,
+    write_json_atomic,
+)
+from repro.obs import live as live_mod
+from repro.sim import (
+    PoolExecutor,
+    SweepJournal,
+    run_cells,
+)
+from repro.sim.executors.sockets import _heartbeat_loop
+from repro.sim.executors.wire import recv_frame
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with observability fully off."""
+    disable_metrics()
+    disable_tracing()
+    disable_live()
+    yield
+    disable_metrics()
+    disable_tracing()
+    disable_live()
+
+
+def _double(args):
+    return args * 2
+
+
+# -- Streaming snapshot deltas -----------------------------------------------
+
+
+class TestSnapshotDelta:
+    def test_deltas_merge_back_to_full_snapshot(self):
+        source = MetricsRegistry()
+        sink = MetricsRegistry()
+
+        source.counter("cells").inc(3)
+        source.histogram("dur").observe(0.25)
+        sink.merge(source.snapshot_delta())
+
+        source.counter("cells").inc(2)
+        source.counter("retries").inc()
+        source.histogram("dur").observe(4.0)
+        sink.merge(source.snapshot_delta())
+
+        full = source.snapshot()
+        merged = sink.snapshot()
+        assert merged["counters"] == full["counters"]
+        assert merged["histograms"]["dur"]["count"] == full["histograms"]["dur"]["count"]
+        assert merged["histograms"]["dur"]["sum"] == full["histograms"]["dur"]["sum"]
+        assert (
+            merged["histograms"]["dur"]["buckets"]
+            == full["histograms"]["dur"]["buckets"]
+        )
+
+    def test_quiet_registry_ships_empty_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        first = registry.snapshot_delta()
+        assert first["counters"] == {"c": 1}
+        second = registry.snapshot_delta()
+        assert second["counters"] == {}
+        assert second["gauges"] == {}
+        assert second["histograms"] == {}
+
+    def test_gauges_ship_current_value_on_change(self):
+        registry = MetricsRegistry()
+        registry.gauge("duty").set(0.5)
+        assert registry.snapshot_delta()["gauges"] == {"duty": 0.5}
+        assert registry.snapshot_delta()["gauges"] == {}
+        registry.gauge("duty").set(0.25)
+        assert registry.snapshot_delta()["gauges"] == {"duty": 0.25}
+
+    def test_delta_only_carries_changed_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("b").inc()
+        registry.snapshot_delta()
+        registry.counter("a").inc(5)
+        delta = registry.snapshot_delta()
+        assert delta["counters"] == {"a": 5}
+
+
+# -- Prometheus exposition ---------------------------------------------------
+
+
+class TestPrometheus:
+    def test_counters_gauges_and_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.counter("sweep.cells.completed").inc(7)
+        registry.gauge("duty").set(0.5)
+        registry.histogram("cell.seconds").observe(0.1)
+        registry.histogram("cell.seconds").observe(10.0)
+        text = registry.to_prometheus()
+
+        assert "# TYPE beaconplace_sweep_cells_completed_total counter" in text
+        assert "beaconplace_sweep_cells_completed_total 7" in text
+        assert "beaconplace_duty 0.5" in text
+        assert "# TYPE beaconplace_cell_seconds histogram" in text
+        assert 'beaconplace_cell_seconds_bucket{le="+Inf"} 2' in text
+        assert "beaconplace_cell_seconds_count 2" in text
+        assert "beaconplace_cell_seconds_sum 10.1" in text
+        # One cumulative bucket line per bound plus the +Inf bucket.
+        assert text.count("cell_seconds_bucket") == len(BUCKET_BOUNDS) + 1
+
+    def test_bucket_counts_are_cumulative(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1e-9)  # first bucket
+        text = registry.to_prometheus()
+        first_bound = f"{BUCKET_BOUNDS[0]:.6g}"
+        assert f'beaconplace_h_bucket{{le="{first_bound}"}} 1' in text
+        last_bound = f"{BUCKET_BOUNDS[-1]:.6g}"
+        assert f'beaconplace_h_bucket{{le="{last_bound}"}} 1' in text
+
+    def test_names_are_sanitized(self):
+        text = snapshot_to_prometheus(
+            {"counters": {"weird-name/with spaces": 1}, "gauges": {}, "histograms": {}}
+        )
+        assert "beaconplace_weird_name_with_spaces_total 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert snapshot_to_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        ) == ""
+
+
+# -- The status ledger -------------------------------------------------------
+
+
+class TestLiveStatus:
+    def test_write_json_atomic_leaves_no_tmp(self, tmp_path):
+        target = tmp_path / "doc.json"
+        write_json_atomic(target, {"a": 1})
+        assert json.loads(target.read_text()) == {"a": 1}
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_ledger_lifecycle(self, tmp_path):
+        path = tmp_path / STATUS_FILENAME
+        ledger = live_mod.LiveStatus(path, fingerprint="fp", total=3, interval=0.0)
+        status = read_status(tmp_path)
+        assert status["state"] == "running"
+        assert status["cells"] == {
+            "total": 3, "done": 0, "failed": 0, "degraded": 0, "resumed": 0,
+        }
+
+        ledger.note_outcome(("a",), ok=True, value=1.0)
+        ledger.note_outcome(("b",), ok=False)
+        ledger.note_outcome(("c",), ok=True, value=float("nan"))
+        status = read_status(path)
+        assert status["state"] == "complete"
+        assert status["cells"]["done"] == 1
+        assert status["cells"]["failed"] == 1
+        assert status["cells"]["degraded"] == 1
+        assert status["rate"]["cells_per_second"] > 0
+        ledger.close()
+
+    def test_resumed_cells_do_not_skew_rate(self, tmp_path):
+        ledger = live_mod.LiveStatus(
+            tmp_path / STATUS_FILENAME, total=4, interval=0.0
+        )
+        ledger.note_outcome(("a",), ok=True, value=1.0, resumed=True)
+        ledger.note_outcome(("b",), ok=True, value=2.0, resumed=True)
+        status = read_status(tmp_path)
+        assert status["cells"]["resumed"] == 2
+        assert status["cells"]["done"] == 2
+        # Only session cells drive the rate; nothing settled this session.
+        assert status["rate"]["cells_per_second"] == 0.0
+        assert status["rate"]["eta_seconds"] is None
+        ledger.close()
+
+    def test_stragglers_keep_slowest_cells(self, tmp_path):
+        ledger = live_mod.LiveStatus(
+            tmp_path / STATUS_FILENAME, total=100, interval=0.0
+        )
+        for i in range(20):
+            ledger.cell_timing((i,), float(i), worker=f"w{i % 2}")
+        ledger.write()
+        stragglers = read_status(tmp_path)["stragglers"]
+        assert [entry["seconds"] for entry in stragglers] == [
+            19.0, 18.0, 17.0, 16.0, 15.0,
+        ]
+        assert stragglers[0]["key"] == [19]
+        assert stragglers[0]["worker"] == "w1"
+        ledger.close()
+
+    def test_worker_health_entries(self, tmp_path):
+        ledger = live_mod.LiveStatus(
+            tmp_path / STATUS_FILENAME, total=2, interval=0.0
+        )
+        ledger.worker_seen("pool:1", current=(0, 1), pid=1234, host="nodeA")
+        ledger.worker_cell_done("pool:1")
+        ledger.worker_seen("pool:2", cells_done=7)
+        ledger.write()
+        workers = read_status(tmp_path)["workers"]
+        assert workers["pool:1"]["cells"] == 1
+        assert workers["pool:1"]["pid"] == 1234
+        assert workers["pool:1"]["host"] == "nodeA"
+        assert "current" not in workers["pool:1"]  # cleared on completion
+        assert workers["pool:2"]["cells"] == 7
+        ledger.close()
+
+    def test_enable_disable_roundtrip(self, tmp_path):
+        assert get_live() is NULL_LIVE
+        assert not live_enabled()
+        ledger = enable_live(tmp_path / STATUS_FILENAME, total=1)
+        assert get_live() is ledger
+        assert live_enabled()
+        ledger.note_outcome(("x",), ok=True, value=1)
+        disable_live()
+        assert get_live() is NULL_LIVE
+        assert read_status(tmp_path)["state"] == "complete"
+
+    def test_null_ledger_is_inert(self):
+        NULL_LIVE.note_outcome(("x",), ok=True)
+        NULL_LIVE.cell_timing(("x",), 1.0)
+        NULL_LIVE.worker_seen("w")
+        NULL_LIVE.worker_cell_done("w")
+        NULL_LIVE.write()
+        NULL_LIVE.close()
+        assert not NULL_LIVE.enabled
+
+    def test_read_status_rejects_garbage(self, tmp_path):
+        assert read_status(tmp_path) is None  # missing
+        (tmp_path / STATUS_FILENAME).write_text("{not json")
+        assert read_status(tmp_path) is None  # unparsable
+        (tmp_path / STATUS_FILENAME).write_text('{"format": "other"}')
+        assert read_status(tmp_path) is None  # wrong document type
+
+    def test_format_status_renders_all_sections(self, tmp_path):
+        ledger = live_mod.LiveStatus(
+            tmp_path / STATUS_FILENAME, fingerprint="cafe", total=4, interval=0.0
+        )
+        ledger.note_outcome(("a",), ok=True, value=1.0)
+        ledger.cell_timing(("a", 1), 2.5, worker="pool:9")
+        ledger.worker_seen("pool:9", current=("b", 2), pid=9)
+        ledger.write()
+        text = format_status(read_status(tmp_path))
+        assert "sweep cafe — running" in text
+        assert "1/4 cells" in text
+        assert "pool:9" in text
+        assert "(b, 2)" in text
+        assert "2.500s" in text
+        ledger.close()
+
+
+# -- Ledger integration with resilient sweeps --------------------------------
+
+
+class TestRunCellsLedger:
+    def test_journaled_sweep_writes_status(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(live_mod, "STATUS_WRITE_INTERVAL", 0.0)
+        journal = SweepJournal.open(tmp_path / "journal.jsonl", "fp-live")
+        jobs = [((i,), i) for i in range(6)]
+        results = run_cells(jobs, _double, journal=journal)
+        journal.close()
+        assert results == {(i,): i * 2 for i in range(6)}
+        status = read_status(tmp_path)
+        assert status["state"] == "complete"
+        assert status["fingerprint"] == "fp-live"
+        assert status["cells"]["done"] == 6
+        assert status["cells"]["total"] == 6
+        assert not live_enabled()  # ledger uninstalled after the sweep
+
+    def test_resume_counts_resumed_cells(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(live_mod, "STATUS_WRITE_INTERVAL", 0.0)
+        jobs = [((i,), i) for i in range(5)]
+        journal = SweepJournal.open(tmp_path / "journal.jsonl", "fp-resume")
+        run_cells(jobs[:3], _double, journal=journal)
+        journal.close()
+
+        journal = SweepJournal.open(tmp_path / "journal.jsonl", "fp-resume")
+        results = run_cells(jobs, _double, journal=journal)
+        journal.close()
+        assert results == {(i,): i * 2 for i in range(5)}
+        status = read_status(tmp_path)
+        assert status["state"] == "complete"
+        assert status["cells"]["resumed"] == 3
+        assert status["cells"]["done"] == 5
+
+    def test_unjournaled_sweep_writes_nothing(self, tmp_path):
+        run_cells([((0,), 0)], _double)
+        assert read_status(tmp_path) is None
+        assert not live_enabled()
+
+
+# -- Heartbeat telemetry frames ----------------------------------------------
+
+
+class TestHeartbeatFrames:
+    def test_heartbeat_ships_status_and_metrics_delta(self):
+        ours, theirs = socket_mod.socketpair()
+        stop = threading.Event()
+        state = {"cells": 3, "current": [1, 2]}
+        session = MetricsRegistry()
+        session.counter("worker.cells").inc(3)
+        thread = threading.Thread(
+            target=_heartbeat_loop,
+            args=(theirs, threading.Lock(), stop, 0.05, state, session),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            ours.settimeout(5.0)
+            first, _ = recv_frame(ours)
+            second, _ = recv_frame(ours)
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+            ours.close()
+            theirs.close()
+
+        assert first["type"] == "heartbeat"
+        assert first["status"]["pid"] == os.getpid()
+        assert first["status"]["cells"] == 3
+        assert first["status"]["current"] == [1, 2]
+        assert first["metrics"]["counters"] == {"worker.cells": 3}
+        # Nothing new happened, so the second beat carries no delta.
+        assert second["type"] == "heartbeat"
+        assert "metrics" not in second
+
+    def test_bare_heartbeat_without_state(self):
+        ours, theirs = socket_mod.socketpair()
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=_heartbeat_loop,
+            args=(theirs, threading.Lock(), stop, 0.05),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            ours.settimeout(5.0)
+            frame, _ = recv_frame(ours)
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+            ours.close()
+            theirs.close()
+        assert frame == {"type": "heartbeat"}
+
+
+# -- Distributed trace stitching ---------------------------------------------
+
+
+class TestTraceStitching:
+    def test_pool_sweep_stitches_into_one_tree(self, tmp_path):
+        enable_metrics(MetricsRegistry())
+        tracer = enable_tracing(tmp_path / "trace.jsonl")
+        jobs = [((i,), i) for i in range(6)]
+        with tracer.span("driver.sweep"):
+            with PoolExecutor(workers=2, chunk=2) as pool:
+                results = run_cells(jobs, _double, executor=pool)
+        disable_tracing()
+        disable_metrics()
+        assert results == {(i,): i * 2 for i in range(6)}
+
+        _, records = read_trace(tmp_path / "trace.jsonl")
+        stitch = stitch_trace(records)
+        assert stitch.orphans == []
+        assert stitch.legacy == []
+        assert len(stitch.traces) == 1
+        assert len(stitch.roots) == 1
+        assert stitch.roots[0]["name"] == "driver.sweep"
+
+        cell_spans = [r for r in stitch.spans if r["name"] == "sweep.cell"]
+        assert len(cell_spans) == 6
+        driver_pid = os.getpid()
+        worker_pids = {r["pid"] for r in cell_spans}
+        assert driver_pid not in worker_pids  # spans really came from workers
+        run_span = next(r for r in stitch.spans if r["name"] == "sweep.run_cells")
+        assert all(r["parent"] == run_span["span"] for r in cell_spans)
+        assert all(r["trace"] == run_span["trace"] for r in cell_spans)
+        # Harvested spans carry the cell key for straggler forensics.
+        assert {tuple(r["attrs"]["key"]) for r in cell_spans} == {
+            (i,) for i in range(6)
+        }
+
+    def test_socket_sweep_stitches_into_one_tree(self, tmp_path):
+        from repro.sim import SocketExecutor, run_worker
+
+        enable_metrics(MetricsRegistry())
+        enable_tracing(tmp_path / "trace.jsonl")
+        jobs = [((i,), i) for i in range(8)]
+        with SocketExecutor(chunk=3) as executor:
+            worker = threading.Thread(
+                target=run_worker,
+                args=(executor.address,),
+                kwargs={"connect_timeout": 5.0},
+                daemon=True,
+            )
+            worker.start()
+            results = run_cells(jobs, _double, executor=executor)
+        worker.join(timeout=15.0)
+        disable_tracing()
+        disable_metrics()
+        assert results == {(i,): i * 2 for i in range(8)}
+
+        _, records = read_trace(tmp_path / "trace.jsonl")
+        stitch = stitch_trace(records)
+        # Even with the worker on an in-process thread (its remote context
+        # is thread-local), the driver's span stays the single root.
+        assert stitch.orphans == []
+        assert len(stitch.roots) == 1
+        run_span = stitch.roots[0]
+        assert run_span["name"] == "sweep.run_cells"
+        cell_spans = [r for r in stitch.spans if r["name"] == "sweep.cell"]
+        assert len(cell_spans) == 8
+        assert all(r["parent"] == run_span["span"] for r in cell_spans)
+        assert all(r["worker"].startswith("sock:") for r in cell_spans)
+
+    def test_orphan_detection(self):
+        records = [
+            {"kind": "span", "name": "a", "span": "s1", "trace": "t", "parent": None},
+            {"kind": "span", "name": "b", "span": "s2", "trace": "t",
+             "parent": "missing"},
+        ]
+        stitch = stitch_trace(records)
+        assert len(stitch.roots) == 1
+        assert len(stitch.orphans) == 1
+        assert stitch.orphans[0]["name"] == "b"
+
+
+# -- CLI consumers -----------------------------------------------------------
+
+
+class TestCli:
+    def _completed_run(self, tmp_path):
+        ledger = live_mod.LiveStatus(
+            tmp_path / STATUS_FILENAME, fingerprint="feed", total=2, interval=0.0
+        )
+        ledger.note_outcome(("a",), ok=True, value=1.0)
+        ledger.note_outcome(("b",), ok=True, value=2.0)
+        ledger.close()
+        return tmp_path
+
+    def test_top_once(self, tmp_path, capsys):
+        run = self._completed_run(tmp_path)
+        assert main(["top", str(run), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep feed — complete" in out
+        assert "2/2 cells" in out
+
+    def test_top_exits_when_complete(self, tmp_path, capsys):
+        run = self._completed_run(tmp_path)
+        assert main(["top", str(run), "--interval", "0.01"]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_top_once_missing_status(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path), "--once"]) == 1
+        assert "no status.json" in capsys.readouterr().err
+
+    def test_status_human(self, tmp_path, capsys):
+        run = self._completed_run(tmp_path)
+        assert main(["status", str(run)]) == 0
+        assert "sweep feed — complete" in capsys.readouterr().out
+
+    def test_status_missing(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path)]) == 1
+        assert "no status.json" in capsys.readouterr().err
+
+    def test_status_prom(self, tmp_path, capsys):
+        run = self._completed_run(tmp_path)
+        registry = MetricsRegistry()
+        registry.counter("sweep.cells.completed").inc(2)
+        write_json_atomic(run / "metrics.json", registry.snapshot())
+        assert main(["status", str(run), "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "beaconplace_sweep_cells_completed_total 2" in out
+        assert "beaconplace_sweep_cells_done 2" in out
+        assert "beaconplace_sweep_cells_total 2" in out
+
+    def test_status_prom_without_metrics_uses_status(self, tmp_path, capsys):
+        run = self._completed_run(tmp_path)
+        assert main(["status", str(run), "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "beaconplace_sweep_cells_done 2" in out
+
+    def test_status_prom_nothing_to_export(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path), "--prom"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_obs_tree(self, tmp_path, capsys):
+        enable_metrics(MetricsRegistry())
+        tracer = enable_tracing(tmp_path / "trace.jsonl")
+        with tracer.span("outer"):
+            pass
+        disable_tracing()
+        disable_metrics()
+        assert main(["obs", str(tmp_path), "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "outer" in out
+        assert "0 orphan(s)" in out

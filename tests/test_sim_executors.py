@@ -5,6 +5,7 @@ import os
 import socket as socket_mod
 import struct
 import threading
+import time
 
 import pytest
 
@@ -39,6 +40,7 @@ from repro.sim.executors.cache import (
 from repro.sim.executors.local import auto_chunk
 from repro.sim.executors.wire import (
     MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     ProtocolError,
     decode_payload,
     encode_payload,
@@ -196,9 +198,16 @@ class TestFactory:
             "value": 8,
             "seconds": outcome["seconds"],
             "metrics": outcome["metrics"],
+            "worker": outcome["worker"],
+            "span": outcome["span"],
         }
         hist = outcome["metrics"]["histograms"]["sweep.cell.seconds"]
         assert hist["count"] == 1
+        assert outcome["worker"]["pid"] == os.getpid()
+        span = outcome["span"]
+        assert span["name"] == "sweep.cell"
+        assert span["pid"] == os.getpid()
+        assert span["span"]
 
 
 # -- Local backends ----------------------------------------------------------
@@ -317,6 +326,70 @@ class TestSocketExecutor:
         assert registry.counter("sweep.cells.worker_death").value == 1
         assert registry.counter("sweep.cells.requeued_innocent").value == 4
         assert registry.counter("executor.socket.requeues").value == 4
+
+    def test_silent_connection_reaped_and_batch_requeued(self):
+        """A worker silent for 3× the heartbeat interval — alive at the TCP
+        level but sending neither results nor heartbeats — is declared dead
+        and its whole batch requeues onto the next worker."""
+        jobs = [((i,), i) for i in range(5)]
+        registry = MetricsRegistry()
+        enable_metrics(registry)
+        silent_state = {}
+        release = threading.Event()
+
+        def silent_client(host, port):
+            # Handshake like a real worker, accept one batch, then vanish
+            # into silence: no heartbeats, no results, socket held open.
+            sock = socket_mod.create_connection((host, port), timeout=10.0)
+            try:
+                send_frame(sock, {"type": "hello", "protocol": PROTOCOL_VERSION})
+                welcome, _ = recv_frame(sock)
+                silent_state["welcome"] = welcome
+                batch, _ = recv_frame(sock)
+                silent_state["batch"] = batch
+                release.wait(timeout=30.0)
+            finally:
+                sock.close()
+
+        try:
+            with SocketExecutor(chunk=8, heartbeat=0.2) as executor:
+                host, port = executor.address
+                mute = threading.Thread(
+                    target=silent_client, args=(host, port), daemon=True
+                )
+                mute.start()
+                relief = {}
+
+                def send_relief():
+                    # Give the silent client time to claim the batch first.
+                    time.sleep(0.3)
+                    worker = _WorkerThread(executor.address, connect_timeout=10.0)
+                    worker.start()
+                    relief["worker"] = worker
+
+                relief_thread = threading.Thread(target=send_relief, daemon=True)
+                relief_thread.start()
+                results = run_cells(
+                    jobs,
+                    _double,
+                    executor=executor,
+                    policy=RetryPolicy(max_attempts=2, backoff=0.0),
+                )
+                release.set()
+            relief_thread.join(timeout=30.0)
+            relief["worker"].join(timeout=15.0)
+        finally:
+            release.set()
+            disable_metrics()
+        mute.join(timeout=15.0)
+        assert silent_state["welcome"]["type"] == "welcome"
+        assert silent_state["batch"]["type"] == "batch"
+        assert len(silent_state["batch"]["cells"]) == 5
+        assert results == {(i,): i * 2 for i in range(5)}
+        # The running cell is charged to the dead connection; batch-mates
+        # requeue as innocents.  Everyone finishes on the relief worker.
+        assert registry.counter("sweep.cells.worker_death").value == 1
+        assert registry.counter("sweep.cells.requeued_innocent").value == 4
 
 
 class TestBackendsBitIdentical:
