@@ -1,7 +1,7 @@
 """Executor scaling: serial vs per-cell pool vs chunked pool vs socket.
 
 Paper-fidelity sweeps spend their time in orchestration once the kernels
-are incremental (see ``results/perf_incremental.txt``): one pickled task
+are incremental (see ``results/BENCH_incremental.json``): one pickled task
 per cell and a rebuilt world per cell.  This bench pins the wins of the
 :mod:`repro.sim.executors` rework on a small paper-geometry sweep:
 

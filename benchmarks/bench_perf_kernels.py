@@ -81,39 +81,111 @@ def test_perf_grid_cumulative_scores(benchmark):
     assert scores.shape == (400,)
 
 
-def test_incremental_candidate_beats_full_recompute(benchmark, emit_table):
-    """The O(P) claim, measured: cached-state candidate evaluation must be
-    several times faster than re-running the full localization pass."""
+# -- Incremental delta-engine: scan vs full recompute -------------------------
+
+#: Acceptance bars for the delta-engine (DESIGN.md §13): a Max-style survey
+#: scan of the top candidates must beat per-candidate full rebuilds by an
+#: order of magnitude, and the greedy-k inner iteration — where one batched
+#: connectivity pass amortizes over the whole lattice — by more.
+MIN_SURVEY_SCAN_SPEEDUP = 10.0
+MIN_GREEDY_ITER_SPEEDUP = 25.0
+
+#: The CI incremental-smoke job reduces the candidate counts so the check
+#: fits a shared runner; the recorded numbers in
+#: ``results/BENCH_incremental.json`` come from the full reference run.
+INCR_CANDIDATES = int(os.environ.get("REPRO_BENCH_INCR_CANDIDATES", "64"))
+GREEDY_CANDIDATES = int(os.environ.get("REPRO_BENCH_GREEDY_CANDIDATES", "400"))
+INCR_ROUNDS = int(os.environ.get("REPRO_BENCH_INCR_ROUNDS", "3"))
+INCR_FULL_REPEATS = int(os.environ.get("REPRO_BENCH_INCR_FULL_REPEATS", "3"))
+
+
+def test_incremental_scan_beats_full_recompute():
+    """The delta-engine claim, measured: scanning K add-candidates through
+    one :class:`FieldState` (one base field + K cheap deltas) must be an
+    order of magnitude cheaper per candidate than rebuilding the world, on
+    both a 64-candidate Max survey scan and a greedy-k lattice round."""
+    from repro.placement import MaxPlacement
+    from repro.sim.incremental import FieldState
+
     world = _world()
     world.errors()
+    state = FieldState.from_world(world)
+    survey = world.survey()
 
-    incremental = benchmark(lambda: world.errors_with_candidate((37.0, 53.0)))
-    assert incremental.shape == (10201,)
-    incremental_time = benchmark.stats.stats.mean
+    top = MaxPlacement().top_candidates(survey, INCR_CANDIDATES)
+    stride = max(1, survey.points.shape[0] // GREEDY_CANDIDATES)
+    lattice = survey.points[::stride]
 
-    extended = world.field.with_beacon_at((37.0, 53.0))
-
-    def full():
+    def full(position):
+        extended = world.field.with_beacon_at(tuple(position))
         conn = world.realization.connectivity(world.points(), extended)
         est = world.localizer.estimate(conn, extended.positions(), world.points())
         return localization_errors(est, world.points())
 
-    repeats = 5
-    start = time.perf_counter()
-    for _ in range(repeats):
-        full()
-    recompute_time = (time.perf_counter() - start) / repeats
+    full_best = float("inf")
+    for _ in range(INCR_ROUNDS):
+        start = time.perf_counter()
+        for position in top[:INCR_FULL_REPEATS]:
+            full(position)
+        full_best = min(
+            full_best, (time.perf_counter() - start) / INCR_FULL_REPEATS
+        )
 
-    emit_table(
-        "perf_incremental",
-        ("path", "seconds per candidate"),
-        [
-            ("incremental (cached state)", incremental_time),
-            ("full recompute", recompute_time),
-        ],
-        float_digits=5,
+    scan_best = greedy_best = float("inf")
+    scan_means = None
+    for _ in range(INCR_ROUNDS):
+        start = time.perf_counter()
+        scan_means = state.scan_add_candidates(top)
+        scan_best = min(
+            scan_best, (time.perf_counter() - start) / top.shape[0]
+        )
+        start = time.perf_counter()
+        state.scan_add_candidates(lattice)
+        greedy_best = min(
+            greedy_best, (time.perf_counter() - start) / lattice.shape[0]
+        )
+
+    # Spot-check: the engine's scan agrees with the full rebuild (byte-level
+    # identity of committed deltas is pinned in tests/test_sim_incremental.py;
+    # the O(P) peek is allclose by design).
+    spot = np.array(
+        [float(np.nanmean(full(p))) for p in top[:INCR_FULL_REPEATS]]
     )
-    assert incremental_time < recompute_time / 3.0
+    assert np.allclose(scan_means[:INCR_FULL_REPEATS], spot)
+
+    survey_speedup = full_best / scan_best
+    greedy_speedup = full_best / greedy_best
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "sweep": {
+            "config": "paper side=100 range=15 step=1 beacons=120 noise=0.3",
+            "scan_candidates": int(top.shape[0]),
+            "greedy_candidates": int(lattice.shape[0]),
+            "full_repeats": INCR_FULL_REPEATS,
+        },
+        "rounds": INCR_ROUNDS,
+        "best_seconds": {
+            "full_rebuild_per_candidate": round(full_best, 5),
+            "engine_scan_per_candidate": round(scan_best, 5),
+            "greedy_iteration_per_candidate": round(greedy_best, 5),
+        },
+        "survey_scan_speedup_over_full": round(survey_speedup, 3),
+        "greedy_iter_speedup_over_full": round(greedy_speedup, 3),
+        "min_survey_scan_speedup": MIN_SURVEY_SCAN_SPEEDUP,
+        "min_greedy_iter_speedup": MIN_GREEDY_ITER_SPEEDUP,
+    }
+    with (RESULTS_DIR / "BENCH_incremental.json").open("w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    assert survey_speedup >= MIN_SURVEY_SCAN_SPEEDUP, (
+        f"engine survey scan is only {survey_speedup:.1f}x faster than full "
+        f"rebuilds (needs >= {MIN_SURVEY_SCAN_SPEEDUP}x)"
+    )
+    assert greedy_speedup >= MIN_GREEDY_ITER_SPEEDUP, (
+        f"greedy-k iteration is only {greedy_speedup:.1f}x faster than full "
+        f"rebuilds (needs >= {MIN_GREEDY_ITER_SPEEDUP}x)"
+    )
 
 
 # -- Batched kernels: the sweep-level floor ----------------------------------

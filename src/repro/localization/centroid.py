@@ -11,6 +11,14 @@ is the performance-critical companion: it keeps, per client point, the
 beacons, so that evaluating a candidate additional beacon (the inner loop of
 every placement experiment — thousands of times per figure) costs O(P)
 instead of O(P·N).
+
+The state supports deltas in **both directions**: :meth:`CentroidState.with_beacon`
+adds a beacon and :meth:`CentroidState.remove_beacon` subtracts one — the
+centroid sums are linear in the beacon set, which is what makes this
+localizer *subtractable* (see DESIGN.md §13).  Exact byte-level equality on
+removal needs the re-derivation path (floating-point subtraction is not
+exactly invertible); the pure-subtraction fast path is exact for the counts
+and for every untouched point, and within one ulp elsewhere.
 """
 
 from __future__ import annotations
@@ -69,6 +77,61 @@ class CentroidState:
         pos = as_point_array(position)[0]
         sums = self.coord_sums + col[:, None] * pos[None, :]
         return CentroidState(sums, self.counts + col)
+
+    def remove_beacon(
+        self,
+        column: np.ndarray,
+        position,
+        *,
+        connectivity: np.ndarray | None = None,
+        beacon_positions: np.ndarray | None = None,
+    ) -> "CentroidState":
+        """State after removing one beacon — the inverse of :meth:`with_beacon`.
+
+        The counts subtract exactly (integer arithmetic).  For the coordinate
+        sums there are two paths:
+
+        * **Subtraction** (default) — O(affected points): only rows where
+          ``column`` is True are touched, so every other row stays
+          bit-identical; rows whose count drops to zero are reset to an
+          exact ``+0.0``.  Touched rows with survivors can differ from a
+          fresh recompute in the last ulp (IEEE addition is not exactly
+          invertible).
+        * **Re-derivation** — pass the remaining field's ``connectivity``
+          and ``beacon_positions`` to rebuild the sums with the same
+          vectorized pass :meth:`from_connectivity` uses, which makes the
+          result **byte-identical** to a state built fresh from the
+          remaining field (same inputs, same arithmetic).
+
+        Args:
+            column: ``(P,)`` boolean connectivity of the departing beacon.
+            position: the departing beacon's coordinates.
+            connectivity: optional ``(P, N-1)`` connectivity of the
+                *remaining* field (enables the exact re-derivation path).
+            beacon_positions: optional ``(N-1, 2)`` positions of the
+                remaining field (required with ``connectivity``).
+        """
+        col = np.asarray(column, dtype=bool)
+        if col.shape != self.counts.shape:
+            raise ValueError(f"column shape {col.shape} != counts shape {self.counts.shape}")
+        counts = self.counts - col
+        if np.any(counts < 0):
+            raise ValueError("column removes a beacon from points that never heard it")
+        if connectivity is not None:
+            if beacon_positions is None:
+                raise ValueError("re-derivation needs beacon_positions with connectivity")
+            derived = CentroidState.from_connectivity(connectivity, beacon_positions)
+            if not np.array_equal(derived.counts, counts):
+                raise ValueError(
+                    "connectivity does not describe the field after removal "
+                    "(derived counts disagree with subtracted counts)"
+                )
+            return derived
+        pos = as_point_array(position)[0]
+        sums = self.coord_sums.copy()
+        sums[col] -= pos[None, :]
+        sums[col & (counts == 0)] = 0.0
+        return CentroidState(sums, counts)
 
     def estimates(
         self,

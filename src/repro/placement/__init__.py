@@ -12,6 +12,7 @@ from .batch import plan_batch_independent, plan_batch_sequential
 from .coverage import CoverageHolePlacement
 from .redeploy import WeightedRedeployment
 from .gdop_placement import GdopPlacement
+from .greedy import GreedyKPlacement
 from .grid_placement import GridPlacement
 from .hybrid import HybridPlacement
 from .locus_area import LocusAreaPlacement
@@ -24,6 +25,7 @@ __all__ = [
     "RandomPlacement",
     "MaxPlacement",
     "GridPlacement",
+    "GreedyKPlacement",
     "OracleGreedyPlacement",
     "LocusAreaPlacement",
     "GdopPlacement",

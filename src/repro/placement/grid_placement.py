@@ -38,12 +38,22 @@ class GridPlacement(PlacementAlgorithm):
     Args:
         layout: the overlapping-grid decomposition (the paper uses
             ``N_G = 400`` grids of side 2R on the 100 m terrain).
+        refine_k: when set, the top-k grid centers by cumulative error are
+            rescored through the incremental delta-engine
+            (:mod:`repro.sim.incremental`) by the mean LE a beacon there
+            would actually produce, and the best center wins; None keeps
+            the paper's survey-only argmax.
     """
 
     name = "grid"
 
-    def __init__(self, layout: OverlappingGridLayout):
+    def __init__(self, layout: OverlappingGridLayout, refine_k: int | None = None):
+        if refine_k is not None and refine_k < 1:
+            raise ValueError(f"refine_k must be >= 1, got {refine_k}")
         self.layout = layout
+        self.refine_k = refine_k
+        if refine_k is not None:
+            self.requires_world = True
 
     @classmethod
     def paper_configuration(
@@ -84,6 +94,23 @@ class GridPlacement(PlacementAlgorithm):
         masks = (dx <= half) & (dy <= half)
         return masks @ errors
 
+    def top_candidates(
+        self, survey: Survey, k: int, errors: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The ``k`` grid centers with highest cumulative error, best first.
+
+        Args:
+            survey: the measured points.
+            k: how many centers to return.
+            errors: optional per-point rescoring (see
+                :meth:`cumulative_errors`).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        scores = self.cumulative_errors(survey, errors)
+        order = np.argsort(-scores, kind="stable")
+        return self.layout.centers()[order[:k]]
+
     def propose(
         self,
         survey: Survey,
@@ -92,6 +119,13 @@ class GridPlacement(PlacementAlgorithm):
     ) -> Point:
         if survey.num_points == 0:
             raise ValueError("survey has no measured points for Grid placement")
+        if self.refine_k is not None and world is not None:
+            from ..sim.incremental import scan_candidates
+
+            candidates = self.top_candidates(survey, self.refine_k)
+            means = scan_candidates(world, candidates)
+            best = int(np.nanargmin(means))
+            return Point(float(candidates[best, 0]), float(candidates[best, 1]))
         scores = self.cumulative_errors(survey)
         winner = int(np.argmax(scores))
         x, y = self.layout.centers()[winner]

@@ -14,6 +14,13 @@ mass floor keeps beacons from abandoning well-served areas entirely.
 Bench E7 compares: one adaptive Grid beacon (cost: 1 beacon + 1 survey)
 versus full redeployment of the same N beacons (cost: N placements) — the
 paper's economic argument in numbers.
+
+Lloyd's converges to a *local* optimum of the weighted quantization
+objective, which is only a proxy for mean LE.  With ``restarts > 1`` and a
+world available, several jittered starts run and the winner is chosen by
+the **actual** expected-LE map each candidate layout produces — served
+through the fingerprint-keyed :class:`~repro.sim.incremental.FieldCache`,
+so re-scoring a layout the search already visited is a cache hit.
 """
 
 from __future__ import annotations
@@ -34,29 +41,72 @@ class WeightedRedeployment:
         mass_floor: uniform per-point mass added to the error weights, as a
             fraction of the mean error (keeps empty cells rare and retains
             coverage in low-error areas).
+        restarts: jittered Lloyd starts; with a world supplied to
+            :meth:`redeploy`, the start whose final layout minimizes the
+            engine-evaluated mean LE wins.  ``1`` (the default) preserves
+            the original single-start behavior exactly.
     """
 
-    def __init__(self, iterations: int = 25, mass_floor: float = 0.25):
+    def __init__(
+        self, iterations: int = 25, mass_floor: float = 0.25, restarts: int = 1
+    ):
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
         if mass_floor < 0:
             raise ValueError(f"mass_floor must be non-negative, got {mass_floor}")
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
         self.iterations = int(iterations)
         self.mass_floor = float(mass_floor)
+        self.restarts = int(restarts)
 
     def redeploy(
         self,
         field: BeaconField,
         survey: Survey,
         rng: np.random.Generator,
+        *,
+        world=None,
     ) -> BeaconField:
         """Re-place every beacon of ``field`` against the survey.
+
+        Args:
+            field: the beacons to re-place.
+            survey: the measured error field to follow.
+            rng: jitter source (consumed once per restart).
+            world: optional trial world / field state; required to score
+                multiple ``restarts`` by their actual expected mean LE.
 
         Returns:
             A NEW field with ids ``0..N-1`` — the same radios re-placed, so
             a static noise realization keeps each beacon's per-radio noise
             factor while the location-dependent part follows the move.
         """
+        if self.restarts == 1 or world is None:
+            return self._lloyd(field, survey, rng)
+        from ..sim.incremental import expected_le_field
+
+        best_field = None
+        best_mean = np.inf
+        for _ in range(self.restarts):
+            candidate = self._lloyd(field, survey, rng)
+            errors = expected_le_field(
+                candidate, world.realization, world.grid, world.localizer
+            )
+            mean = (
+                np.inf if np.all(np.isnan(errors)) else float(np.nanmean(errors))
+            )
+            if mean < best_mean or best_field is None:
+                best_mean = mean
+                best_field = candidate
+        return best_field
+
+    def _lloyd(
+        self,
+        field: BeaconField,
+        survey: Survey,
+        rng: np.random.Generator,
+    ) -> BeaconField:
         n = len(field)
         if n == 0:
             return field

@@ -54,10 +54,10 @@ from ..sim.executors.cache import (
     cached_layout,
     cached_localizer,
 )
+from ..sim.incremental import FieldState
 from ..sim.rng import derive_rng
 from ..sim.sweep import default_model_factory
 from ..sim.timeline import _spec_token
-from ..sim.trial import TrialWorld
 from .placement import FaultAwareGrid
 
 __all__ = ["ControllerConfig", "run_controller_timeline"]
@@ -290,14 +290,28 @@ def run_controller_timeline(
     layout = cached_layout(config.side, config.radio_range, config.num_grids)
     localizer = cached_localizer(config.side, config.policy)
 
-    def make_world(field: BeaconField) -> TrialWorld:
-        return TrialWorld(
-            field=field,
-            realization=prop,
-            grid=grid,
-            layout=layout,
-            localizer=localizer,
-        )
+    # Successive fault-timeline snapshots differ by a few dead/revived/
+    # drifted beacons, so the walk runs on the incremental delta-engine:
+    # the first snapshot pays one full build, every later one advances by
+    # per-column deltas (bit-identical to a fresh TrialWorld by the
+    # engine's contract, so the controller-off arm still matches the plain
+    # timeline sweep byte for byte).  The lineage's shared column cache
+    # also makes the add-k search's committed picks free to re-splice.
+    last_state: FieldState | None = None
+
+    def make_world(field: BeaconField) -> FieldState:
+        nonlocal last_state
+        if last_state is None:
+            last_state = FieldState.build(
+                field,
+                prop,
+                grid,
+                layout,
+                localizer,
+            )
+        else:
+            last_state = last_state.advance_to(field)
+        return last_state
 
     roster = _Roster(base_field)
     num_times = len(timeline.times)
@@ -459,6 +473,9 @@ def run_controller_timeline(
                         pick = placer.propose(world.survey(), rng, world)
                         roster.add(pick, t)
                         world = world.with_beacon(pick)
+                    # Adopt the extended state so the next snapshot advances
+                    # from it instead of re-splicing the committed columns.
+                    last_state = world
                     budget_left -= count
                     added += count
                     field, up = roster.snapshot(realization, t)

@@ -132,12 +132,22 @@ class FaultAwareMax(PlacementAlgorithm):
         ages: per-beacon elapsed service time used to condition survival —
             a ``{beacon_id: age}`` mapping (missing ids default to 0), a
             scalar applied to every beacon, or None for a fresh field.
+        refine_k: when set, the top-k points by survival-weighted score are
+            rescored through the incremental delta-engine
+            (:mod:`repro.sim.incremental`) by the mean LE a beacon there
+            would actually produce, and the best one wins.
     """
 
     name = "fa-max"
     requires_world = True
 
-    def __init__(self, fault_model, horizon: float, *, penalty=None, ages=None):
+    def __init__(
+        self, fault_model, horizon: float, *, penalty=None, ages=None,
+        refine_k: int | None = None,
+    ):
+        if refine_k is not None and refine_k < 1:
+            raise ValueError(f"refine_k must be >= 1, got {refine_k}")
+        self.refine_k = refine_k
         self._scorer = _SurvivabilityScorer(
             fault_model, horizon, penalty=penalty, ages=ages
         )
@@ -154,6 +164,14 @@ class FaultAwareMax(PlacementAlgorithm):
         if survey.num_points == 0:
             raise ValueError("survey has no measured points for fa-max placement")
         scores = self.expected_errors(survey, world)
+        if self.refine_k is not None:
+            from ..sim.incremental import scan_candidates
+
+            order = np.argsort(-scores, kind="stable")[: self.refine_k]
+            candidates = survey.points[order]
+            means = scan_candidates(world, candidates)
+            best = int(np.nanargmin(means))
+            return Point(float(candidates[best, 0]), float(candidates[best, 1]))
         idx = int(np.argmax(scores))
         x, y = survey.points[idx]
         return Point(float(x), float(y))
@@ -172,13 +190,19 @@ class FaultAwareGrid(GridPlacement):
         horizon: planning look-ahead in seconds.
         penalty: orphaned-point error (default: half the terrain side).
         ages: per-beacon service ages (see :class:`FaultAwareMax`).
+        refine_k: when set, the top-k centers by survival-weighted
+            cumulative score are rescored through the incremental
+            delta-engine and the best one wins (see :class:`FaultAwareMax`).
     """
 
     name = "fa-grid"
     requires_world = True
 
-    def __init__(self, layout, fault_model, horizon: float, *, penalty=None, ages=None):
-        super().__init__(layout)
+    def __init__(
+        self, layout, fault_model, horizon: float, *, penalty=None, ages=None,
+        refine_k: int | None = None,
+    ):
+        super().__init__(layout, refine_k=refine_k)
         self._scorer = _SurvivabilityScorer(
             fault_model, horizon, penalty=penalty, ages=ages
         )
@@ -208,9 +232,15 @@ class FaultAwareGrid(GridPlacement):
     def propose(self, survey: Survey, rng: np.random.Generator, world=None) -> Point:
         if survey.num_points == 0:
             raise ValueError("survey has no measured points for fa-grid placement")
-        scores = self.cumulative_errors(
-            survey, errors=self.expected_errors(survey, world)
-        )
+        weighted = self.expected_errors(survey, world)
+        if self.refine_k is not None:
+            from ..sim.incremental import scan_candidates
+
+            candidates = self.top_candidates(survey, self.refine_k, errors=weighted)
+            means = scan_candidates(world, candidates)
+            best = int(np.nanargmin(means))
+            return Point(float(candidates[best, 0]), float(candidates[best, 1]))
+        scores = self.cumulative_errors(survey, errors=weighted)
         winner = int(np.argmax(scores))
         x, y = self.layout.centers()[winner]
         return Point(float(x), float(y))

@@ -18,6 +18,17 @@ from .kernels import (
     set_kernel_mode,
     warm_worlds,
 )
+from .incremental import (
+    AddBeacon,
+    FieldCache,
+    FieldState,
+    MoveBeacon,
+    RemoveBeacon,
+    default_field_cache,
+    expected_le_field,
+    field_fingerprint,
+    scan_candidates,
+)
 from .io import (
     read_curve_set,
     read_time_curve_set,
@@ -61,6 +72,15 @@ __all__ = [
     "TrialWorld",
     "TrialOutcome",
     "run_placement_trial",
+    "FieldState",
+    "FieldCache",
+    "AddBeacon",
+    "RemoveBeacon",
+    "MoveBeacon",
+    "field_fingerprint",
+    "expected_le_field",
+    "default_field_cache",
+    "scan_candidates",
     "build_world",
     "default_model_factory",
     "kernel_mode",

@@ -1,0 +1,737 @@
+"""Incremental LE delta-engine: O(affected-region) beacon add/remove/move.
+
+Every candidate scan in the placement loop — Max/Grid refinement, the
+fault-aware variants, greedy-k, the selfheal repair search — asks the same
+question over and over: *what does the expected-LE field become if this one
+beacon appears / disappears / moves?*  Answering it by rebuilding a
+:class:`~repro.sim.TrialWorld` pays the full O(P·N) per-link noise
+evaluation (the hash-keyed connectivity of :mod:`repro.radio.hashrand`,
+which dominates the build at paper fidelity) for a perturbation that only
+touches one beacon's column.
+
+:class:`FieldState` is the engine.  It holds the ``(P, N)`` connectivity of
+the current field and applies :class:`AddBeacon` / :class:`RemoveBeacon` /
+:class:`MoveBeacon` deltas by recomputing **only the affected beacon's
+column** — the O(affected-region) part, since a beacon's column is exactly
+its connectivity disk.  The localization stage downstream of connectivity
+(one BLAS mat-vec plus elementwise policy/error arithmetic, ~2% of a full
+build) is re-run whole rather than row-subset:
+
+Bit-identity contract
+---------------------
+``state.apply(delta).errors()`` is **byte-identical** to
+``FieldState.build(field_after_delta, …).errors()`` — and therefore to
+``TrialWorld.errors()`` on the same field — for every supported localizer,
+noise model and fault mask.  Two empirical facts (pinned by
+``tests/test_sim_incremental.py``) make this work:
+
+* connectivity is *column-subset invariant*: every per-link quantity
+  (hash-keyed noise, the two-term distance, the threshold comparison) is
+  elementwise over ``(P, N)``, so a beacon's column computed alone equals
+  its slice of the full matrix, byte for byte;
+* BLAS reductions are **not** row-subset invariant on this toolchain
+  (``(W @ pos)[rows] != W[rows] @ pos`` in the last ulp for some rows), so
+  the engine deliberately re-runs the cheap full-shape reduction on the
+  incrementally maintained connectivity instead of patching rows of a
+  cached result.
+
+Non-centroid localizers have no incremental sum structure; the engine still
+maintains their connectivity incrementally but falls back to a full
+re-estimate for the error field, counting ``incremental.fallback.full`` —
+never silently diverging.
+
+:class:`FieldCache` adds the memoization layer: an LRU of expected-LE maps
+keyed by :func:`field_fingerprint` — a canonical sha256 over the beacon
+ids/positions, the realization's identity and the grid/localizer parameters
+(same conventions as :func:`repro.sim.sweep_fingerprint`).  The cache is
+process-local by design: spawn-pool workers build their own (they must not
+silently share driver-side state), which ``tests/test_sim_incremental.py``
+pins.
+
+Observability: every delta bumps ``sweep.delta_applied`` inside an
+``incremental.delta`` span, and full builds run under
+``incremental.full_build`` — ``beaconplace obs --tree`` shows the
+delta-vs-rebuild time split.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exploration import Survey
+from ..field import Beacon, BeaconField
+from ..geometry import MeasurementGrid, Point, as_point, as_point_array
+from ..localization import (
+    CentroidLocalizer,
+    CentroidState,
+    ErrorSurface,
+    Localizer,
+    localization_errors,
+)
+from ..obs import get_metrics, get_tracer
+from ..radio import PropagationRealization
+from ..radio.kernels import batch_params_from_realization
+
+__all__ = [
+    "AddBeacon",
+    "RemoveBeacon",
+    "MoveBeacon",
+    "FieldState",
+    "FieldCache",
+    "field_fingerprint",
+    "expected_le_field",
+    "default_field_cache",
+    "scan_candidates",
+]
+
+#: Cap on the per-lineage column cache (re-adds of intermittent beacons hit
+#: it; anything past this is a pathological churn pattern, evict oldest).
+_MAX_CACHED_COLUMNS = 4096
+
+
+@dataclass(frozen=True)
+class AddBeacon:
+    """Delta: deploy one new beacon at ``position``.
+
+    The beacon receives the field's ``next_beacon_id`` — the same identity
+    (and therefore the same static noise) it would get from
+    :meth:`~repro.field.BeaconField.with_beacon_at`.
+    """
+
+    position: tuple
+
+    def describe(self) -> str:
+        return "add"
+
+
+@dataclass(frozen=True)
+class RemoveBeacon:
+    """Delta: beacon ``beacon_id`` disappears (crash, battery, fault mask)."""
+
+    beacon_id: int
+
+    def describe(self) -> str:
+        return "remove"
+
+
+@dataclass(frozen=True)
+class MoveBeacon:
+    """Delta: beacon ``beacon_id`` relocates to ``position`` (drift, redeploy)."""
+
+    beacon_id: int
+    position: tuple
+
+    def describe(self) -> str:
+        return "move"
+
+
+class FieldState:
+    """The incrementally maintained expected-LE state of one beacon field.
+
+    Duck-types the world protocol placement algorithms consume
+    (``field``/``realization``/``grid``/``points()``/``connectivity()``/
+    ``errors()``/``survey()``/``evaluate_candidate()``/``with_beacon()`` —
+    see :class:`~repro.sim.TrialWorld`), so it drops into
+    ``requires_world`` algorithms and the selfheal controller unchanged.
+
+    Args:
+        field: the current beacon field.
+        realization: the static propagation world.
+        grid: the measurement lattice.
+        layout: optional overlapping-grid decomposition (forwarded to
+            algorithms that need it; not used by the engine itself).
+        localizer: the localization algorithm under study.
+        conn: optional pre-assembled ``(P, N)`` connectivity.  Callers own
+            the bit-identity contract: it must equal what
+            ``realization.connectivity(grid.points(), field)`` computes.
+    """
+
+    def __init__(
+        self,
+        field: BeaconField,
+        realization: PropagationRealization,
+        grid: MeasurementGrid,
+        layout=None,
+        localizer: Localizer | None = None,
+        *,
+        conn: np.ndarray | None = None,
+        column_cache: dict | None = None,
+    ):
+        if localizer is None:
+            raise ValueError("FieldState needs a localizer")
+        self.field = field
+        self.realization = realization
+        self.grid = grid
+        self.layout = layout
+        self.localizer = localizer
+        self._conn = conn
+        self._state: CentroidState | None = None
+        self._errors: np.ndarray | None = None
+        # Shared across the delta lineage: columns depend only on
+        # (beacon id, position), never on the rest of the field.
+        self._columns: dict = {} if column_cache is None else column_cache
+
+    # -- Construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        field: BeaconField,
+        realization: PropagationRealization,
+        grid: MeasurementGrid,
+        layout=None,
+        localizer: Localizer | None = None,
+    ) -> "FieldState":
+        """Full canonical build — the reference every delta chain must match."""
+        state = cls(field, realization, grid, layout, localizer)
+        state.connectivity()
+        return state
+
+    @classmethod
+    def from_world(cls, world) -> "FieldState":
+        """Adopt a :class:`~repro.sim.TrialWorld` (its warm caches included).
+
+        Only the connectivity cache is adopted — it is bit-identical by the
+        world's own contract.  The error field is re-derived so a world
+        whose state came from stacked :meth:`CentroidState.with_beacon`
+        updates (ulp-level drift) cannot leak into the engine's contract.
+        """
+        state = cls(
+            world.field,
+            world.realization,
+            world.grid,
+            getattr(world, "layout", None),
+            world.localizer,
+            conn=world.connectivity(),
+        )
+        return state
+
+    # -- World protocol ------------------------------------------------------
+
+    @property
+    def terrain_side(self) -> float:
+        """Side of the terrain square."""
+        return self.grid.side
+
+    def points(self) -> np.ndarray:
+        """The measurement lattice points ``(P, 2)``."""
+        return self.grid.points()
+
+    def connectivity(self) -> np.ndarray:
+        """The current ``(P, N)`` connectivity (full build on first touch)."""
+        if self._conn is None:
+            metrics = get_metrics()
+            metrics.counter("incremental.full_builds").inc()
+            with get_tracer().span(
+                "incremental.full_build", beacons=len(self.field)
+            ):
+                self._conn = self.realization.connectivity(
+                    self.points(), self.field
+                )
+        return self._conn
+
+    def _localize(self) -> None:
+        conn = self.connectivity()
+        positions = self.field.positions()
+        pts = self.points()
+        localizer = self.localizer
+        if isinstance(localizer, CentroidLocalizer):
+            self._state = CentroidState.from_connectivity(conn, positions)
+            estimates = self._state.estimates(
+                localizer.policy,
+                points=pts,
+                beacon_positions=positions,
+                terrain_side=localizer.terrain_side,
+            )
+        else:
+            # Non-subtractable localizer: connectivity is still maintained
+            # incrementally, but the error field needs a full re-estimate.
+            get_metrics().counter("incremental.fallback.full").inc()
+            estimates = localizer.estimate(conn, positions, pts)
+        self._errors = localization_errors(estimates, pts)
+
+    def errors(self) -> np.ndarray:
+        """Per-lattice-point LE of the current field (bit-identical to
+        :meth:`TrialWorld.errors` on the same field)."""
+        if self._errors is None:
+            self._localize()
+        return self._errors
+
+    def centroid_state(self) -> CentroidState:
+        """The per-point connected-sum/count arrays (centroid localizer only)."""
+        if self._state is None:
+            self.errors()
+        if self._state is None:
+            raise TypeError(
+                f"{type(self.localizer).__name__} has no centroid state "
+                "(non-subtractable localizer)"
+            )
+        return self._state
+
+    def error_surface(self) -> ErrorSurface:
+        """The error field as an :class:`~repro.localization.ErrorSurface`."""
+        return ErrorSurface(self.grid, self.errors())
+
+    def survey(self) -> Survey:
+        """The complete, noise-free survey of this field."""
+        return Survey.from_error_surface(self.error_surface())
+
+    def base_stats(self) -> tuple[float, float]:
+        """(mean, median) LE of the current field."""
+        surface = self.error_surface()
+        return surface.mean_error(), surface.median_error()
+
+    # -- Columns -------------------------------------------------------------
+
+    def _column_for(self, beacon_id: int, position: Point) -> np.ndarray:
+        """The ``(P,)`` connectivity column of one beacon, cached by identity.
+
+        Column-subset invariance (module docstring) makes this value
+        byte-identical to the corresponding slice of any full connectivity
+        matrix containing the beacon, so cached columns are safe to splice.
+        """
+        key = (int(beacon_id), float(position.x), float(position.y))
+        cached = self._columns.get(key)
+        metrics = get_metrics()
+        if cached is not None:
+            metrics.counter("incremental.column.hits").inc()
+            return cached
+        metrics.counter("incremental.column.misses").inc()
+        column = self.realization.connectivity(
+            self.points(), [Beacon(int(beacon_id), position)]
+        )[:, 0]
+        column.setflags(write=False)
+        if len(self._columns) >= _MAX_CACHED_COLUMNS:
+            del self._columns[next(iter(self._columns))]
+        self._columns[key] = column
+        return column
+
+    def candidate_column(self, position) -> np.ndarray:
+        """Connectivity column a beacon at ``position`` would have, ``(P,)``."""
+        return self._column_for(self.field.next_beacon_id, as_point(position))
+
+    # -- Deltas --------------------------------------------------------------
+
+    def _index_of(self, beacon_id: int) -> int:
+        try:
+            return self.field.beacon_ids.index(int(beacon_id))
+        except ValueError:
+            raise KeyError(f"beacon id {beacon_id} not in field") from None
+
+    def apply(self, delta) -> "FieldState":
+        """A new state with one delta applied — the input state untouched.
+
+        Only the affected beacon's connectivity column is (re)computed; the
+        remaining columns are spliced from the current matrix.  The error
+        field re-derives lazily from the new connectivity through the same
+        arithmetic a full build runs, which is what makes the result
+        byte-identical to a fresh :meth:`build` of the resulting field.
+        """
+        metrics = get_metrics()
+        with get_tracer().span("incremental.delta", kind=delta.describe()):
+            metrics.counter("sweep.delta_applied").inc()
+            conn = self.connectivity()
+            if isinstance(delta, AddBeacon):
+                p = as_point(delta.position)
+                column = self._column_for(self.field.next_beacon_id, p)
+                new_field = self.field.with_beacon_at(p)
+                new_conn = np.column_stack([conn, column])
+            elif isinstance(delta, RemoveBeacon):
+                idx = self._index_of(delta.beacon_id)
+                beacons = list(self.field.beacons)
+                del beacons[idx]
+                new_field = BeaconField(
+                    beacons, next_id=self.field.next_beacon_id
+                )
+                new_conn = np.ascontiguousarray(np.delete(conn, idx, axis=1))
+            elif isinstance(delta, MoveBeacon):
+                idx = self._index_of(delta.beacon_id)
+                p = as_point(delta.position)
+                column = self._column_for(delta.beacon_id, p)
+                beacons = list(self.field.beacons)
+                beacons[idx] = Beacon(int(delta.beacon_id), p)
+                new_field = BeaconField(
+                    beacons, next_id=self.field.next_beacon_id
+                )
+                new_conn = conn.copy()
+                new_conn[:, idx] = column
+            else:
+                raise TypeError(f"unknown delta {delta!r}")
+        return FieldState(
+            new_field,
+            self.realization,
+            self.grid,
+            self.layout,
+            self.localizer,
+            conn=new_conn,
+            column_cache=self._columns,
+        )
+
+    def apply_many(self, deltas) -> "FieldState":
+        """Fold several deltas left to right."""
+        state = self
+        for delta in deltas:
+            state = state.apply(delta)
+        return state
+
+    def advance_to(self, new_field: BeaconField) -> "FieldState":
+        """Jump to an arbitrary target field, reusing every unchanged column.
+
+        The workhorse of the selfheal controller: successive fault-timeline
+        snapshots differ by a few dead/revived/drifted beacons, so the walk
+        pays per-link noise evaluation only for the columns that actually
+        changed.  Ids are matched exactly and positions byte-compared, so a
+        drifted beacon (same id, new coordinates) recomputes while an
+        untouched survivor splices.
+        """
+        metrics = get_metrics()
+        with get_tracer().span(
+            "incremental.delta", kind="advance", beacons=len(new_field)
+        ):
+            metrics.counter("sweep.delta_applied").inc()
+            conn = self.connectivity()
+            old_index = {
+                beacon_id: i for i, beacon_id in enumerate(self.field.beacon_ids)
+            }
+            old_positions = self.field.positions()
+            columns = []
+            reused = 0
+            for beacon_id, position in zip(
+                new_field.beacon_ids, new_field.positions()
+            ):
+                i = old_index.get(beacon_id)
+                if i is not None and np.array_equal(old_positions[i], position):
+                    columns.append(conn[:, i])
+                    reused += 1
+                else:
+                    columns.append(
+                        self._column_for(
+                            beacon_id, Point(float(position[0]), float(position[1]))
+                        )
+                    )
+            if columns:
+                new_conn = np.column_stack(columns)
+            else:
+                new_conn = np.zeros((self.points().shape[0], 0), dtype=bool)
+            metrics.counter("incremental.columns.reused").inc(reused)
+            metrics.counter("incremental.columns.recomputed").inc(
+                len(columns) - reused
+            )
+        return FieldState(
+            new_field,
+            self.realization,
+            self.grid,
+            self.layout,
+            self.localizer,
+            conn=new_conn,
+            column_cache=self._columns,
+        )
+
+    def with_beacon(self, position) -> "FieldState":
+        """A new state with the beacon deployed (world-protocol spelling)."""
+        p = as_point(position)
+        return self.apply(AddBeacon((float(p.x), float(p.y))))
+
+    # -- Counterfactuals -----------------------------------------------------
+
+    def peek_add_errors(self, position) -> np.ndarray:
+        """Per-point LE if a beacon were added at ``position`` (no mutation).
+
+        For the centroid localizer this is the O(P) peek — bit-identical to
+        :meth:`TrialWorld.errors_with_candidate` (same ``with_beacon``
+        arithmetic); it can differ from ``apply(AddBeacon(...)).errors()``
+        in the last ulp because the committed path re-derives the sums from
+        connectivity.  Non-subtractable localizers fall back to a full
+        re-estimate with the candidate column stacked on.
+        """
+        p = as_point(position)
+        column = self.candidate_column(p)
+        pts = self.points()
+        if isinstance(self.localizer, CentroidLocalizer):
+            state = self.centroid_state().with_beacon(column, p)
+            positions = np.vstack([self.field.positions(), [p.as_array()]])
+            estimates = state.estimates(
+                self.localizer.policy,
+                points=pts,
+                beacon_positions=positions,
+                terrain_side=self.localizer.terrain_side,
+            )
+            return localization_errors(estimates, pts)
+        get_metrics().counter("incremental.fallback.full").inc()
+        extended = self.field.with_beacon_at(p)
+        conn = np.column_stack([self.connectivity(), column])
+        estimates = self.localizer.estimate(conn, extended.positions(), pts)
+        return localization_errors(estimates, pts)
+
+    # World-protocol alias (TrialWorld spelling).
+    errors_with_candidate = peek_add_errors
+
+    def evaluate_candidate(self, position) -> tuple[float, float]:
+        """§4.1 improvement metrics for a candidate beacon at ``position``."""
+        base_mean, base_median = self.base_stats()
+        after = ErrorSurface(self.grid, self.peek_add_errors(position))
+        return base_mean - after.mean_error(), base_median - after.median_error()
+
+    def scan_add_candidates(self, positions, *, chunk: int = 256) -> np.ndarray:
+        """Mean LE after adding a beacon at each candidate, ``(K,)``.
+
+        One batched connectivity pass per ``chunk`` candidates (each column
+        is byte-identical to :meth:`candidate_column` — all candidates
+        evaluate under the id the added beacon would actually receive) plus
+        an O(P) peek per candidate.  This is the engine's survey-scan
+        primitive: one base field + K cheap deltas instead of K rebuilds.
+        """
+        candidates = as_point_array(positions)
+        means = np.empty(candidates.shape[0])
+        pts = self.points()
+        centroid = isinstance(self.localizer, CentroidLocalizer)
+        if centroid:
+            base = self.centroid_state()
+        else:
+            get_metrics().counter("incremental.fallback.full").inc(
+                candidates.shape[0]
+            )
+        candidate_id = self.field.next_beacon_id
+        metrics = get_metrics()
+        with get_tracer().span(
+            "incremental.scan", candidates=int(candidates.shape[0])
+        ):
+            from .kernels import candidate_columns
+
+            for start in range(0, candidates.shape[0], chunk):
+                block = candidates[start : start + chunk]
+                columns = candidate_columns(
+                    self.realization, pts, candidate_id, block
+                )
+                metrics.counter("incremental.scan.candidates").inc(
+                    block.shape[0]
+                )
+                for j, (x, y) in enumerate(block):
+                    p = Point(float(x), float(y))
+                    column = columns[:, j]
+                    if centroid:
+                        state = base.with_beacon(column, p)
+                        positions_after = np.vstack(
+                            [self.field.positions(), [p.as_array()]]
+                        )
+                        estimates = state.estimates(
+                            self.localizer.policy,
+                            points=pts,
+                            beacon_positions=positions_after,
+                            terrain_side=self.localizer.terrain_side,
+                        )
+                    else:
+                        extended = self.field.with_beacon_at(p)
+                        conn = np.column_stack([self.connectivity(), column])
+                        estimates = self.localizer.estimate(
+                            conn, extended.positions(), pts
+                        )
+                    errors = localization_errors(estimates, pts)
+                    means[start + j] = (
+                        float("nan")
+                        if np.all(np.isnan(errors))
+                        else float(np.nanmean(errors))
+                    )
+        return means
+
+
+def scan_candidates(world, positions) -> np.ndarray:
+    """Mean LE after adding a beacon at each candidate position, ``(K,)``.
+
+    Accepts either a :class:`FieldState` or any world implementing the
+    :class:`~repro.sim.TrialWorld` protocol (adopted via
+    :meth:`FieldState.from_world`).
+    """
+    state = world if isinstance(world, FieldState) else FieldState.from_world(world)
+    return state.scan_add_candidates(positions)
+
+
+# -- Fingerprint-keyed expected-LE cache --------------------------------------
+
+
+def _realization_token(realization) -> list | None:
+    """Canonical identity of a propagation realization, or None.
+
+    Only realizations whose parameters are fully observable (currently the
+    paper's :class:`~repro.radio.BeaconNoiseRealization` family, via
+    :func:`repro.radio.kernels.batch_params_from_realization`) are
+    fingerprintable; anything else is uncacheable rather than wrongly keyed.
+    """
+    params = batch_params_from_realization(realization)
+    if params is None:
+        return None
+    return ["beacon-noise", int(realization.seed), list(params.key())]
+
+
+def field_fingerprint(
+    field: BeaconField,
+    realization,
+    grid: MeasurementGrid,
+    localizer: Localizer,
+) -> str | None:
+    """Canonical identity of one expected-LE map, 16 hex chars (or None).
+
+    Same conventions as :func:`repro.sim.sweep_fingerprint`: a sha256 over a
+    JSON-canonical payload, stable across processes and machines.  The
+    payload covers everything the error field depends on — beacon ids,
+    position bytes, the realization's drawn identity, the lattice and the
+    localizer's parameters.  Returns None when the realization (or the
+    localizer) has no canonical form; callers must then skip the cache.
+    """
+    token = _realization_token(realization)
+    if token is None:
+        return None
+    if isinstance(localizer, CentroidLocalizer):
+        loc = [
+            type(localizer).__name__,
+            float(localizer.terrain_side),
+            str(localizer.policy),
+        ]
+    else:
+        return None
+    payload = {
+        "ids": [int(i) for i in field.beacon_ids],
+        "positions": hashlib.sha256(
+            np.ascontiguousarray(field.positions()).tobytes()
+        ).hexdigest(),
+        "realization": token,
+        "grid": [float(grid.side), float(grid.step)],
+        "localizer": loc,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class FieldCache:
+    """LRU cache of expected-LE maps keyed by the canonical field fingerprint.
+
+    Process-local on purpose: spawn-pool workers each hold their own (a
+    driver-side cache silently shared through fork/pickle would serve stale
+    or double-counted entries).  Counters: ``cache.le_field.hits`` /
+    ``misses`` / ``evictions`` / ``uncacheable``, visible through
+    ``beaconplace obs``.
+
+    Args:
+        capacity: maximum number of cached error maps (each is one float64
+            array of lattice size — ~80 kB at paper fidelity).
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def fingerprints(self) -> list[str]:
+        """Cached keys, least- to most-recently used (for tests/inspection)."""
+        return list(self._entries)
+
+    def get(self, fingerprint: str) -> np.ndarray | None:
+        """The cached error map for ``fingerprint``, refreshing recency."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            get_metrics().counter("cache.le_field.misses").inc()
+            return None
+        get_metrics().counter("cache.le_field.hits").inc()
+        # LRU refresh: insertion order doubles as recency order.
+        del self._entries[fingerprint]
+        self._entries[fingerprint] = entry
+        return entry
+
+    def put(self, fingerprint: str, errors: np.ndarray) -> np.ndarray:
+        """Insert (or refresh) one error map, evicting the stalest at capacity.
+
+        Returns the stored (read-only) array, so callers can hand out the
+        cached view immediately.
+        """
+        if fingerprint in self._entries:
+            del self._entries[fingerprint]
+        elif len(self._entries) >= self.capacity:
+            del self._entries[next(iter(self._entries))]
+            get_metrics().counter("cache.le_field.evictions").inc()
+        value = np.asarray(errors).copy()
+        value.setflags(write=False)
+        self._entries[fingerprint] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (tests; config changes)."""
+        self._entries.clear()
+
+
+#: The process-default cache (one per worker process — see class docstring).
+_default_cache = FieldCache()
+
+
+def default_field_cache() -> FieldCache:
+    """This process's default :class:`FieldCache`."""
+    return _default_cache
+
+
+def expected_le_field(
+    field: BeaconField,
+    realization,
+    grid: MeasurementGrid,
+    localizer: Localizer,
+    *,
+    cache: FieldCache | None = None,
+) -> np.ndarray:
+    """The expected-LE map of ``field``, served through the fingerprint cache.
+
+    On a hit the stored (read-only) array returns without touching the
+    radio model; on a miss the map builds through :class:`FieldState` and is
+    cached.  Fields whose realization/localizer has no canonical
+    fingerprint compute uncached (``cache.le_field.uncacheable``).
+    """
+    cache = _default_cache if cache is None else cache
+    fingerprint = field_fingerprint(field, realization, grid, localizer)
+    if fingerprint is None:
+        get_metrics().counter("cache.le_field.uncacheable").inc()
+        return FieldState.build(
+            field, realization, grid, localizer=localizer
+        ).errors()
+    cached = cache.get(fingerprint)
+    if cached is not None:
+        return cached
+    errors = FieldState.build(
+        field, realization, grid, localizer=localizer
+    ).errors()
+    return cache.put(fingerprint, errors)
+
+
+# -- Sweep cell (module-level: picklable for pool mode, importable by
+# reference for socket workers) -----------------------------------------------
+
+
+def _greedyk_cell(args) -> dict:
+    """One ``beaconplace greedyk`` cell: greedy-k on one generated field.
+
+    Returns a plain-JSON dict so every executor backend (serial, spawn
+    pool, socket) can journal and ship it; bit-identical across backends
+    because the engine scan is deterministic and the named RNG streams
+    derive identically in every process.
+    """
+    config, noise, count, index, k, subsample = args
+    from ..placement.greedy import GreedyKPlacement
+    from .rng import derive_rng
+    from .sweep import build_world
+
+    algorithm = GreedyKPlacement(k=int(k), subsample=int(subsample))
+    state = FieldState.from_world(build_world(config, noise, count, index))
+    base_mean, _ = state.base_stats()
+    rng = derive_rng(config.seed, "alg", algorithm.name, noise, count, index)
+    picks = algorithm.plan(state.survey(), rng, state)
+    final = state.apply_many(AddBeacon((p.x, p.y)) for p in picks)
+    final_mean, _ = final.base_stats()
+    return {
+        "base_mean": float(base_mean),
+        "final_mean": float(final_mean),
+        "picks": [[float(p.x), float(p.y)] for p in picks],
+    }

@@ -36,6 +36,8 @@ import os
 
 import numpy as np
 
+from ..field import Beacon
+from ..geometry import Point
 from ..localization import (
     CentroidLocalizer,
     CentroidState,
@@ -51,6 +53,7 @@ __all__ = [
     "set_kernel_mode",
     "warm_worlds",
     "batch_surface_stats",
+    "candidate_columns",
     "DEFAULT_BLOCK_ELEMENTS",
 ]
 
@@ -82,6 +85,36 @@ def set_kernel_mode(mode: str) -> None:
     if mode not in _VALID_MODES:
         raise ValueError(f"kernel mode must be one of {_VALID_MODES}, got {mode!r}")
     _mode = mode
+
+
+def candidate_columns(realization, points, beacon_id, positions) -> np.ndarray:
+    """``(P, K)`` connectivity columns of ``K`` candidate beacons, one pass.
+
+    Every candidate probes under the SAME id ``beacon_id`` — the id the
+    next added beacon would actually receive — so column ``k`` is
+    byte-identical to ``realization.connectivity(points, [Beacon(beacon_id,
+    p_k)])[:, 0]``.  Duplicate ids are legal in a probe sequence: only the
+    ``(seed, id)`` hash enters the per-link noise, never id uniqueness.
+
+    Batchable realizations run one ``(1, P, K)`` kernel pass; other model
+    families (and ``REPRO_KERNELS=scalar``) take the scalar call, which
+    produces the identical bytes — the mode is a perf toggle, not a
+    correctness decision.  This is the survey-scan primitive behind
+    :meth:`repro.sim.incremental.FieldState.scan_add_candidates`.
+    """
+    pos = np.asarray(positions, dtype=float)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise ValueError(f"expected (K, 2) candidate positions, got {pos.shape}")
+    params = batch_params_from_realization(realization)
+    if params is None or kernel_mode() == "scalar":
+        probes = [
+            Beacon(int(beacon_id), Point(float(x), float(y))) for x, y in pos
+        ]
+        return realization.connectivity(points, probes)
+    seeds = np.array([realization.seed], dtype=np.uint64)
+    ids = np.full((1, pos.shape[0]), int(beacon_id), dtype=np.uint64)
+    stacked = batched_connectivity(params, seeds, ids, pos[None, :, :], points)
+    return np.ascontiguousarray(stacked[0])
 
 
 def _world_group_key(world: TrialWorld, params) -> tuple:

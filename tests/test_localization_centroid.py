@@ -115,6 +115,79 @@ class TestCentroidState:
         with pytest.raises(ValueError, match="column"):
             state.with_beacon(np.zeros(5, dtype=bool), (0.0, 0.0))
 
+    def test_remove_beacon_rederivation_restores_prior_bytes(self, setup, rng):
+        """add -> remove with re-derivation is byte-identical to the start."""
+        beacons, conn, _ = setup
+        state = CentroidState.from_connectivity(conn, beacons)
+        new_pos = np.array([33.0, 44.0])
+        new_col = rng.random(30) < 0.5
+        extended = state.with_beacon(new_col, new_pos)
+        back = extended.remove_beacon(
+            new_col, new_pos, connectivity=conn, beacon_positions=beacons
+        )
+        assert back.coord_sums.tobytes() == state.coord_sums.tobytes()
+        assert back.counts.tobytes() == state.counts.tobytes()
+
+    def test_remove_beacon_subtraction_path(self, setup, rng):
+        beacons, conn, _ = setup
+        state = CentroidState.from_connectivity(conn, beacons)
+        new_pos = np.array([33.0, 44.0])
+        new_col = rng.random(30) < 0.5
+        back = state.with_beacon(new_col, new_pos).remove_beacon(new_col, new_pos)
+        assert np.array_equal(back.counts, state.counts)
+        # Rows the removed beacon never touched are bit-identical; touched
+        # rows agree to float tolerance (exact subtraction, documented
+        # non-byte-exact — hence the re-derivation path above).
+        untouched = ~new_col
+        assert (
+            back.coord_sums[untouched].tobytes()
+            == state.coord_sums[untouched].tobytes()
+        )
+        assert np.allclose(back.coord_sums, state.coord_sums)
+
+    def test_remove_beacon_zeroes_newly_orphaned_rows(self):
+        beacons = np.array([[10.0, 20.0]])
+        conn = np.array([[True], [False]])
+        state = CentroidState.from_connectivity(conn, beacons)
+        back = state.remove_beacon(conn[:, 0], beacons[0])
+        assert np.array_equal(back.counts, [0, 0])
+        assert np.array_equal(back.coord_sums, np.zeros((2, 2)))
+
+    def test_remove_beacon_rejects_unheard_column(self):
+        beacons = np.array([[10.0, 20.0]])
+        conn = np.array([[True], [False]])
+        state = CentroidState.from_connectivity(conn, beacons)
+        claims_second_point = np.array([False, True])
+        with pytest.raises(ValueError, match="never heard"):
+            state.remove_beacon(claims_second_point, beacons[0])
+
+    def test_remove_beacon_shape_mismatch(self, setup):
+        beacons, conn, _ = setup
+        state = CentroidState.from_connectivity(conn, beacons)
+        with pytest.raises(ValueError, match="column"):
+            state.remove_beacon(np.zeros(5, dtype=bool), (0.0, 0.0))
+
+    def test_remove_beacon_connectivity_requires_positions(self, setup):
+        beacons, conn, _ = setup
+        state = CentroidState.from_connectivity(conn, beacons)
+        with pytest.raises(ValueError, match="beacon_positions"):
+            state.remove_beacon(
+                np.zeros(30, dtype=bool), (0.0, 0.0), connectivity=conn
+            )
+
+    def test_remove_beacon_rejects_mismatched_connectivity(self, setup, rng):
+        beacons, conn, _ = setup
+        state = CentroidState.from_connectivity(conn, beacons)
+        new_pos = np.array([33.0, 44.0])
+        new_col = rng.random(30) < 0.5
+        extended = state.with_beacon(new_col, new_pos)
+        wrong = conn.copy()
+        wrong[:, 0] = ~wrong[:, 0]
+        with pytest.raises(ValueError, match="does not describe"):
+            extended.remove_beacon(
+                new_col, new_pos, connectivity=wrong, beacon_positions=beacons
+            )
+
     def test_copy_independent(self, setup):
         beacons, conn, _ = setup
         state = CentroidState.from_connectivity(conn, beacons)
