@@ -1,0 +1,214 @@
+"""Load bench for the placement service (not a paper figure).
+
+Drives a fleet of concurrent asyncio clients — 1000 by default — against
+one in-process :class:`repro.serve.PlacementServer` and records
+``results/BENCH_serve.json``: p50/p99 request latency, sustained
+queries/s, the cache hit rate of the burst, and the repeat-query speedup
+(cold p50 over warm p50) that the shared expected-LE field cache buys.
+That last ratio is the gated metric: ``compare_bench.py`` treats any
+top-level ``*speedup*`` key as higher-is-better, while the absolute
+timings only compare when the sweep context matches.
+
+Every sampled response is also checked byte-identical to
+:func:`repro.serve.solve_request` run directly — the service must never
+trade correctness for throughput.
+
+The CI serve-smoke job shrinks the fleet via ``REPRO_BENCH_SERVE_*`` so
+the burst fits a shared runner; the committed numbers come from the full
+1000-client run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import (
+    AsyncPlacementClient,
+    PlacementRequest,
+    PlacementServer,
+    solve_request,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Acceptance floor: answering a warmed repeat query must be at least this
+#: much faster (p50) than a cold query that builds its field state.
+MIN_REPEAT_QUERY_SPEEDUP = 1.5
+
+CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "1000"))
+QUERIES_PER_CLIENT = int(os.environ.get("REPRO_BENCH_SERVE_QUERIES", "2"))
+DISTINCT_SPECS = int(os.environ.get("REPRO_BENCH_SERVE_SPECS", "8"))
+
+#: The field each query describes: mid-sized (961 lattice points) so a
+#: cold build visibly costs more than a cache hit, small enough that a
+#: thousand-client burst finishes on one core.
+SPEC = dict(
+    side=60.0,
+    step=2.0,
+    radio_range=12.0,
+    num_grids=64,
+    count=24,
+    noise=0.2,
+    algorithm="grid",
+)
+
+
+def _request(index: int) -> PlacementRequest:
+    return PlacementRequest(field_index=index % DISTINCT_SPECS, **SPEC)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+class _ServerThread:
+    """The server under test, on its own event-loop thread."""
+
+    def __init__(self):
+        self._holder: dict = {}
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(30), "placement server failed to start"
+
+    def _run(self):
+        async def body():
+            server = PlacementServer(cache_capacity=DISTINCT_SPECS + 4)
+            await server.start()
+            self._holder["server"] = server
+            self._holder["loop"] = asyncio.get_running_loop()
+            self._started.set()
+            await server.serve_forever()
+            await server.aclose()
+
+        asyncio.run(body())
+
+    @property
+    def server(self) -> PlacementServer:
+        return self._holder["server"]
+
+    def stop(self):
+        loop = self._holder["loop"]
+        if not loop.is_closed():
+            loop.call_soon_threadsafe(self.server._done.set)
+        self._thread.join(30)
+
+
+async def _one_client(address, client_index: int, latencies: list):
+    client = await AsyncPlacementClient.connect(address)
+    try:
+        hits = 0
+        for query in range(QUERIES_PER_CLIENT):
+            request = _request(client_index + query)
+            start = time.perf_counter()
+            solution = await client.place(request)
+            latencies.append(time.perf_counter() - start)
+            hits += bool(solution.cache_hit)
+        return hits
+    finally:
+        await client.close()
+
+
+async def _burst(address):
+    latencies: list[float] = []
+    started = time.perf_counter()
+    hits = await asyncio.gather(
+        *(_one_client(address, i, latencies) for i in range(CLIENTS))
+    )
+    elapsed = time.perf_counter() - started
+    return latencies, sum(hits), elapsed
+
+
+async def _serial_pass(address, *, expect_hits: bool, repeats: int = 1):
+    """One unloaded client touching every distinct spec; identity-checked.
+
+    Serial on purpose: cold-vs-warm latency is only a cache measurement
+    when both sides queue behind nothing.  (The concurrent burst measures
+    queueing and throughput separately.)
+    """
+    client = await AsyncPlacementClient.connect(address)
+    latencies: list[float] = []
+    try:
+        for repeat in range(repeats):
+            for index in range(DISTINCT_SPECS):
+                request = _request(index)
+                start = time.perf_counter()
+                wire = await client.place(request)
+                latencies.append(time.perf_counter() - start)
+                assert wire.cache_hit == expect_hits, (
+                    f"expected cache_hit={expect_hits} "
+                    f"for spec {index} repeat {repeat}"
+                )
+                if repeat == 0:
+                    direct = solve_request(request)
+                    assert wire.picks == direct.picks, request.payload()
+                    assert wire.errors.tobytes() == direct.errors.tobytes()
+                    assert wire.base_mean == direct.base_mean
+    finally:
+        await client.close()
+    return latencies
+
+
+def test_serve_concurrent_burst():
+    harness = _ServerThread()
+    try:
+        address = harness.server.address
+        cold = asyncio.run(_serial_pass(address, expect_hits=False))
+        warm = asyncio.run(_serial_pass(address, expect_hits=True, repeats=5))
+        latencies, hits, elapsed = asyncio.run(_burst(address))
+    finally:
+        harness.stop()
+
+    total = CLIENTS * QUERIES_PER_CLIENT
+    assert len(latencies) == total
+    hit_rate = hits / total
+    # Every burst query re-asks one of the DISTINCT_SPECS fields the cold
+    # pass already built, so the burst must be essentially all cache hits.
+    assert hit_rate > 0.95, f"cache hit rate {hit_rate:.3f} in the warm burst"
+
+    cold.sort()
+    warm.sort()
+    latencies.sort()
+    cold_p50 = _percentile(cold, 0.50)
+    warm_p50 = _percentile(warm, 0.50)
+    burst_p50 = _percentile(latencies, 0.50)
+    burst_p99 = _percentile(latencies, 0.99)
+    speedup = cold_p50 / warm_p50
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "sweep": {
+            "config": (
+                f"side={SPEC['side']:g} range={SPEC['radio_range']:g} "
+                f"step={SPEC['step']:g} beacons={SPEC['count']} "
+                f"noise={SPEC['noise']:g} algorithm={SPEC['algorithm']}"
+            ),
+            "clients": CLIENTS,
+            "queries_per_client": QUERIES_PER_CLIENT,
+            "distinct_specs": DISTINCT_SPECS,
+        },
+        "best_seconds": {
+            "cold_query_p50": round(cold_p50, 5),
+            "warm_query_p50": round(warm_p50, 5),
+            "burst_query_p50": round(burst_p50, 5),
+            "burst_query_p99": round(burst_p99, 5),
+        },
+        "queries_per_second": round(total / elapsed, 1),
+        "cache_hit_rate": round(hit_rate, 4),
+        "repeat_query_speedup": round(speedup, 3),
+        "min_repeat_query_speedup": MIN_REPEAT_QUERY_SPEEDUP,
+    }
+    with (RESULTS_DIR / "BENCH_serve.json").open("w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    assert speedup >= MIN_REPEAT_QUERY_SPEEDUP, (
+        f"repeat queries are only {speedup:.2f}x faster than cold ones "
+        f"(needs >= {MIN_REPEAT_QUERY_SPEEDUP}x)"
+    )

@@ -37,6 +37,12 @@ Subcommands:
   (``--connect HOST:PORT``) and pull cell batches until drained.
 * ``serve`` — reproduce a figure with the socket executor: cells are
   served to ``worker`` processes instead of computed locally.
+* ``place-serve`` — long-running placement service: answers concurrent
+  placement queries from a shared expected-LE field cache
+  (:mod:`repro.serve`; DESIGN §14).
+* ``place-client`` — query a running placement service (field spec +
+  algorithm in, placement + base statistics out; ``--repeat`` shows the
+  cache warming up, ``--prom`` dumps the server's live counters).
 
 Long sweeps are resilient: ``--workers N`` fans cells across processes and
 ``--journal PATH`` checkpoints every completed cell to a JSONL file, so an
@@ -1029,6 +1035,93 @@ def _cmd_serve(args) -> int:
     return _cmd_reproduce(args)
 
 
+def _cmd_place_serve(args) -> int:
+    """Run the placement service until interrupted (or --max-requests)."""
+    import asyncio
+
+    from .serve import PlacementServer
+
+    async def run() -> int:
+        server = PlacementServer(
+            args.bind or ("127.0.0.1", 0),
+            cache_capacity=args.cache,
+            heartbeat=args.heartbeat,
+            max_requests=args.max_requests,
+        )
+        await server.start()
+        host, port = server.address
+        print(
+            f"placement service on {host}:{port} — query with: "
+            f"beaconplace place-client --connect {host}:{port}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+        print(
+            f"served {server.requests} request(s), "
+            f"{server.cache_hits} cache hit(s), {server.errors} error(s)"
+        )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_place_client(args) -> int:
+    """One conversation with a placement service: place, then show status."""
+    from .serve import PlacementClient, PlacementRequest, PlacementServiceError
+
+    try:
+        request = PlacementRequest(
+            side=args.side,
+            radio_range=args.radio_range,
+            seed=args.seed,
+            noise=args.noise,
+            count=args.beacons,
+            field_index=args.field_index,
+            algorithm=args.algorithm,
+            k=args.k,
+            subsample=args.subsample,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with PlacementClient(args.connect, retry_for=args.connect_timeout) as client:
+            for _ in range(args.repeat):
+                solution = client.place(request)
+                picks = "; ".join(f"({x:.1f}, {y:.1f})" for x, y in solution.picks)
+                print(
+                    f"{solution.algorithm}: {picks} | base mean "
+                    f"{solution.base_mean:.2f} m, median "
+                    f"{solution.base_median:.2f} m | "
+                    f"{'cache hit' if solution.cache_hit else 'cold'} "
+                    f"({solution.fingerprint})"
+                )
+            if args.prom:
+                print(client.status(prom=True)["prom"], end="")
+            else:
+                status = client.status()
+                cache = status["cache"]
+                print(
+                    f"server: {status['requests']} request(s), "
+                    f"{cache['hits']} cache hit(s), "
+                    f"{cache['size']}/{cache['capacity']} field(s) cached",
+                    file=sys.stderr,
+                )
+    except PlacementServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach placement service: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -1464,6 +1557,79 @@ def build_parser() -> argparse.ArgumentParser:
         "figure", choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
     )
 
+    place_serve = sub.add_parser(
+        "place-serve",
+        help=(
+            "run the placement service: concurrent placement queries "
+            "answered from a shared expected-LE field cache"
+        ),
+    )
+    place_serve.add_argument(
+        "--cache",
+        type=_parse_workers,
+        default=256,
+        metavar="N",
+        help="expected-LE maps held in the server's LRU field cache",
+    )
+    place_serve.add_argument(
+        "--heartbeat",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="advertised heartbeat interval; 3x silence drops a connection",
+    )
+    place_serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after answering N placements (CI smoke runs)",
+    )
+
+    place_client = sub.add_parser(
+        "place-client", help="query a running placement service"
+    )
+    place_client.add_argument(
+        "--connect",
+        type=_parse_hostport,
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the placement service (see 'place-serve')",
+    )
+    place_client.add_argument(
+        "--algorithm",
+        choices=["random", "max", "grid", "greedy"],
+        default="grid",
+    )
+    place_client.add_argument("--beacons", type=int, default=40)
+    place_client.add_argument("--noise", type=float, default=0.0)
+    place_client.add_argument("--field-index", type=int, default=0)
+    place_client.add_argument("--side", type=float, default=100.0)
+    place_client.add_argument("--radio-range", type=float, default=15.0)
+    place_client.add_argument("--seed", type=int, default=20010416)
+    place_client.add_argument("--k", type=int, default=1, help="greedy-k picks")
+    place_client.add_argument(
+        "--subsample", type=int, default=1, help="greedy candidate stride"
+    )
+    place_client.add_argument(
+        "--repeat",
+        type=_parse_workers,
+        default=1,
+        metavar="N",
+        help="issue the query N times (the repeats should be cache hits)",
+    )
+    place_client.add_argument(
+        "--prom",
+        action="store_true",
+        help="print the server's live Prometheus counters after placing",
+    )
+    place_client.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to retry the initial connect (client may start first)",
+    )
+
     return parser
 
 
@@ -1487,6 +1653,8 @@ _COMMANDS = {
     "journal": _cmd_journal,
     "worker": _cmd_worker,
     "serve": _cmd_serve,
+    "place-serve": _cmd_place_serve,
+    "place-client": _cmd_place_client,
 }
 
 

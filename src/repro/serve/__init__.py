@@ -1,0 +1,47 @@
+"""Placement-as-a-service: asyncio server, clients and request schema.
+
+The service half of the incremental engine (PR 9 shipped
+:class:`~repro.sim.incremental.FieldState` and
+:class:`~repro.sim.incremental.FieldCache`; this package puts a wire in
+front of them).  See :mod:`repro.serve.server` for the frame protocol,
+:mod:`repro.serve.schema` for the request contract, and DESIGN.md §14
+for the architecture walkthrough.
+"""
+
+from .client import AsyncPlacementClient, PlacementClient, PlacementServiceError
+from .schema import (
+    ALGORITHM_NAMES,
+    PlacementRequest,
+    PlacementSolution,
+    decode_array,
+    decode_float,
+    encode_array,
+    encode_float,
+    solve_request,
+)
+from .server import (
+    SERVE_PROTOCOL_VERSION,
+    SERVICE_NAME,
+    PlacementServer,
+    read_stream_frame,
+    write_stream_frame,
+)
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AsyncPlacementClient",
+    "PlacementClient",
+    "PlacementRequest",
+    "PlacementServiceError",
+    "PlacementServer",
+    "PlacementSolution",
+    "SERVE_PROTOCOL_VERSION",
+    "SERVICE_NAME",
+    "decode_array",
+    "decode_float",
+    "encode_array",
+    "encode_float",
+    "read_stream_frame",
+    "solve_request",
+    "write_stream_frame",
+]

@@ -61,6 +61,7 @@ from .wire import (
     PROTOCOL_VERSION,
     ProtocolError,
     decode_payload,
+    enable_nodelay,
     encode_payload,
     recv_frame,
     send_frame,
@@ -154,6 +155,9 @@ class SocketExecutor(CellExecutor):
                 sock, peer = self._listener.accept()
             except OSError:
                 return  # listener closed
+            # Per-cell result frames and heartbeats are tiny; without
+            # TCP_NODELAY each one can stall a delayed-ACK round trip.
+            enable_nodelay(sock)
             with self._conn_lock:
                 if self._closed:
                     sock.close()
@@ -641,7 +645,9 @@ def _connect_with_retry(
     deadline = time.monotonic() + timeout
     while True:
         try:
-            return socket.create_connection((host, port), timeout=max(timeout, 1.0))
+            sock = socket.create_connection((host, port), timeout=max(timeout, 1.0))
+            enable_nodelay(sock)
+            return sock
         except ConnectionRefusedError:
             if give_up_on_refused or time.monotonic() >= deadline:
                 return None

@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.faults",
     "repro.protocol",
     "repro.selfheal",
+    "repro.serve",
     "repro.sim",
     "repro.stats",
     "repro.viz",

@@ -42,7 +42,10 @@ from repro.sim.executors.wire import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
+    decode_frame,
     decode_payload,
+    enable_nodelay,
+    encode_frame,
     encode_payload,
     recv_frame,
     send_frame,
@@ -140,6 +143,149 @@ class TestWire:
     def test_payload_roundtrip(self):
         args = (1.5, "stall", (2, 3), {"k": [None, True]})
         assert decode_payload(encode_payload(args)) == args
+
+    @pytest.mark.parametrize("partial", [1, 2, 3])
+    def test_mid_header_close_raises(self, partial):
+        # A peer that dies 1-3 bytes into the 4-byte header left a torn
+        # frame; this must NOT be reported as a clean (None, 0) close.
+        a, b = socket_mod.socketpair()
+        a.sendall(struct.pack(">I", 16)[:partial])
+        a.close()
+        try:
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_mid_payload_close_raises(self):
+        a, b = socket_mod.socketpair()
+        payload = encode_frame({"type": "batch", "cells": list(range(100))})
+        a.sendall(payload[:-5])  # full header, payload cut short
+        a.close()
+        try:
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_nan_bearing_frame_rejected(self, value):
+        # Strict JSON: bare NaN/Infinity tokens are not parseable from
+        # other languages, so the frame layer refuses them outright.
+        a, b = socket_mod.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="non-finite"):
+                send_frame(a, {"type": "heartbeat", "metric": value})
+        finally:
+            a.close()
+            b.close()
+
+    def test_nan_payload_rides_through_encode_payload(self):
+        # The sanctioned route for non-finite values: pickle-in-base64.
+        a, b = socket_mod.socketpair()
+        try:
+            send_frame(
+                a,
+                {"type": "result", "outcome": encode_payload(float("nan"))},
+            )
+            message, _ = recv_frame(b)
+            decoded = decode_payload(message["outcome"])
+            assert decoded != decoded  # NaN survived the trip
+        finally:
+            a.close()
+            b.close()
+
+    def test_encode_frame_oversize_rejected(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.sim.executors.wire.MAX_FRAME_BYTES", 64
+        )
+        with pytest.raises(ProtocolError, match="cap"):
+            encode_frame({"type": "batch", "cells": ["x" * 200]})
+
+    def test_decode_frame_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_frame(b"\xff\xfe not json")
+        with pytest.raises(ProtocolError, match="typed"):
+            decode_frame(b"[1, 2, 3]")
+
+    def test_payload_fuzz_roundtrip(self):
+        # Adversarial-ish payloads: deep nesting, non-finite floats, byte
+        # strings, unicode astray, big ints — all must survive untouched.
+        import math
+        import random
+
+        rng = random.Random(20010416)
+
+        def scramble(depth=0):
+            kind = rng.randrange(8 if depth < 4 else 6)
+            if kind == 0:
+                return rng.choice(
+                    [float("nan"), float("inf"), float("-inf"), -0.0, 1e308]
+                )
+            if kind == 1:
+                return rng.getrandbits(200) - 2**199
+            if kind == 2:
+                return bytes(rng.randrange(256) for _ in range(rng.randrange(32)))
+            if kind == 3:
+                return "".join(
+                    chr(rng.randrange(1, 0x10000)) for _ in range(rng.randrange(16))
+                )
+            if kind == 4:
+                return rng.choice([None, True, False])
+            if kind == 5:
+                return rng.random()
+            if kind == 6:
+                return [scramble(depth + 1) for _ in range(rng.randrange(4))]
+            return {
+                f"k{i}": scramble(depth + 1) for i in range(rng.randrange(4))
+            }
+
+        def equal(x, y):
+            if isinstance(x, float):
+                return (
+                    isinstance(y, float)
+                    and (x == y or (math.isnan(x) and math.isnan(y)))
+                )
+            if isinstance(x, list):
+                return (
+                    isinstance(y, list)
+                    and len(x) == len(y)
+                    and all(equal(a, b) for a, b in zip(x, y))
+                )
+            if isinstance(x, dict):
+                return (
+                    isinstance(y, dict)
+                    and x.keys() == y.keys()
+                    and all(equal(v, y[k]) for k, v in x.items())
+                )
+            return type(x) is type(y) and x == y
+
+        for _ in range(200):
+            obj = scramble()
+            assert equal(decode_payload(encode_payload(obj)), obj)
+
+    def test_enable_nodelay_tcp_and_nontcp(self):
+        listener = socket_mod.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        client = socket_mod.create_connection(listener.getsockname())
+        try:
+            enable_nodelay(client)
+            assert client.getsockopt(
+                socket_mod.IPPROTO_TCP, socket_mod.TCP_NODELAY
+            )
+        finally:
+            client.close()
+            listener.close()
+        # Non-TCP sockets (the socketpair tests use) must not blow up.
+        a, b = socket_mod.socketpair()
+        try:
+            enable_nodelay(a)
+        finally:
+            a.close()
+            b.close()
 
 
 # -- Executor factory and helpers --------------------------------------------
